@@ -1,0 +1,66 @@
+// Command mpeg2bench regenerates the tables and figures of the paper's
+// evaluation (Bilas, Fritts & Singh, IPPS 1997). Each experiment encodes
+// its own test streams, profiles real decode costs, and replays them in
+// the deterministic parallel simulator — see DESIGN.md for the full
+// experiment index.
+//
+// Usage:
+//
+//	mpeg2bench                 # everything, at the default (small) scale
+//	mpeg2bench -exp fig11      # one experiment
+//	mpeg2bench -full           # all four paper resolutions incl. 1408x960
+//	mpeg2bench -list           # experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"mpeg2par/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id or 'all'")
+	full := flag.Bool("full", false, "use all four paper resolutions (1408x960 is slow)")
+	list := flag.Bool("list", false, "list experiment ids")
+	workers := flag.Int("maxworkers", 14, "largest worker count in sweeps")
+	profileGOPs := flag.Int("profilegops", 2, "GOPs to encode+measure per configuration")
+	jsonOut := flag.Bool("json", false, "emit structured JSON instead of tables")
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(bench.Names(), "\n"))
+		return
+	}
+
+	cfg := bench.SmallConfig()
+	if *full {
+		cfg = bench.Config{}
+	}
+	cfg.MaxWorkers = *workers
+	cfg.ProfileGOPs = *profileGOPs
+	r := bench.NewRunner(cfg)
+
+	start := time.Now()
+	var err error
+	switch {
+	case *jsonOut && *exp == "all":
+		err = r.AllJSON(os.Stdout)
+	case *jsonOut:
+		err = r.RunJSON(*exp, os.Stdout)
+	case *exp == "all":
+		err = r.All(os.Stdout)
+	default:
+		err = r.Run(*exp, os.Stdout)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mpeg2bench: %v\n", err)
+		os.Exit(1)
+	}
+	if !*jsonOut {
+		fmt.Printf("\ncompleted in %v\n", time.Since(start).Round(time.Millisecond))
+	}
+}

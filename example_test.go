@@ -1,0 +1,105 @@
+package mpeg2par_test
+
+import (
+	"fmt"
+
+	"mpeg2par"
+)
+
+// ExampleGenerateStream encodes a short test stream and reports its
+// structure.
+func ExampleGenerateStream() {
+	stream, err := mpeg2par.GenerateStream(mpeg2par.StreamConfig{
+		Width: 96, Height: 64, Pictures: 4, GOPSize: 4,
+	})
+	if err != nil {
+		panic(err)
+	}
+	types := ""
+	for _, p := range stream.Pictures {
+		types += string(p.Type)
+	}
+	fmt.Println("decode-order picture types:", types)
+	fmt.Println("GOPs:", len(stream.GOPs))
+	// Output:
+	// decode-order picture types: IPBB
+	// GOPs: 1
+}
+
+// ExampleDecodeParallel decodes with the fine-grained parallel decoder
+// and verifies it against the sequential decoder.
+func ExampleDecodeParallel() {
+	stream, err := mpeg2par.GenerateStream(mpeg2par.StreamConfig{
+		Width: 96, Height: 64, Pictures: 8, GOPSize: 4,
+	})
+	if err != nil {
+		panic(err)
+	}
+	want, err := mpeg2par.DecodeAll(stream.Data)
+	if err != nil {
+		panic(err)
+	}
+	identical := true
+	i := 0
+	stats, err := mpeg2par.DecodeParallel(stream.Data, mpeg2par.Options{
+		Mode:    mpeg2par.ModeSliceImproved,
+		Workers: 3,
+		Sink: func(f *mpeg2par.Frame) {
+			if !f.Equal(want[i]) {
+				identical = false
+			}
+			i++
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("pictures:", stats.Pictures)
+	fmt.Println("bit-exact with sequential decode:", identical)
+	// Output:
+	// pictures: 8
+	// bit-exact with sequential decode: true
+}
+
+// ExampleScan shows the structural index the scan process builds — the
+// foundation of task-parallel decoding.
+func ExampleScan() {
+	stream, err := mpeg2par.GenerateStream(mpeg2par.StreamConfig{
+		Width: 96, Height: 64, Pictures: 8, GOPSize: 4,
+	})
+	if err != nil {
+		panic(err)
+	}
+	m, err := mpeg2par.Scan(stream.Data)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("GOPs:", len(m.GOPs))
+	fmt.Println("pictures:", m.TotalPictures)
+	fmt.Println("slices per picture:", len(m.GOPs[0].Pictures[0].Slices))
+	// Output:
+	// GOPs: 2
+	// pictures: 8
+	// slices per picture: 4
+}
+
+// ExampleSimulateSlices replays measured slice costs under many simulated
+// workers — how the paper's 16-processor results are reproduced on small
+// hosts.
+func ExampleSimulateSlices() {
+	stream, err := mpeg2par.GenerateStream(mpeg2par.StreamConfig{
+		Width: 96, Height: 64, Pictures: 13, GOPSize: 13,
+	})
+	if err != nil {
+		panic(err)
+	}
+	pics, err := mpeg2par.ProfileSlices(stream.Data)
+	if err != nil {
+		panic(err)
+	}
+	one := mpeg2par.SimulateSlices(pics, 1, true)
+	many := mpeg2par.SimulateSlices(pics, 4, true)
+	fmt.Println("4 workers faster than 1:", many.Makespan < one.Makespan)
+	// Output:
+	// 4 workers faster than 1: true
+}

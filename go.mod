@@ -1,0 +1,3 @@
+module mpeg2par
+
+go 1.22

@@ -1,0 +1,130 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"mpeg2par/internal/encoder"
+	"mpeg2par/internal/frame"
+	"mpeg2par/internal/simsched"
+)
+
+// AblationRow compares the synchronization disciplines of the slice
+// decoder at one worker count.
+type AblationRow struct {
+	Workers  int
+	Simple   float64 // speedup over 1 worker
+	Improved float64
+	Max      float64 // slice-level dependency scheduling (no barriers)
+}
+
+// AblationSync quantifies what each synchronization refinement buys: the
+// paper's simple version (barrier every picture), its improved version
+// (barrier after references), and the "maximum concurrency" scheme the
+// paper deemed too complex to build (§5.2) — slice-level dependencies
+// only.
+func (r *Runner) AblationSync(w io.Writer) ([]AblationRow, error) {
+	res := r.localityRes()
+	pics, err := r.SlicePics(res, 13)
+	if err != nil {
+		return nil, err
+	}
+	base := SimSlices(pics, 1, true).Makespan
+	var rows []AblationRow
+	var out [][]string
+	for _, p := range []int{2, 4, 8, r.cfg.MaxWorkers, 2 * r.cfg.MaxWorkers} {
+		row := AblationRow{
+			Workers:  p,
+			Simple:   float64(base) / float64(SimSlices(pics, p, false).Makespan),
+			Improved: float64(base) / float64(SimSlices(pics, p, true).Makespan),
+			Max:      float64(base) / float64(simsched.SimulateSlicesMax(pics, p, 1).Makespan),
+		}
+		rows = append(rows, row)
+		out = append(out, []string{fmt.Sprintf("%d", p), f2(row.Simple), f2(row.Improved), f2(row.Max)})
+	}
+	table(w, fmt.Sprintf("Ablation: slice synchronization disciplines (%s, speedup)", res.Name()),
+		[]string{"workers", "simple", "improved", "max-concurrency"}, out)
+	return rows, nil
+}
+
+// AblationDSMRow compares DSM task-placement policies.
+type AblationDSMRow struct {
+	Workers     int
+	Naive       float64 // speedup over the 4-processor cluster, no locality
+	LocalQueues float64 // §7.2's per-cluster queues + stealing
+}
+
+// AblationDSM quantifies the paper's §7.2 proposal: per-processor task
+// queues with GOPs placed round-robin in cluster memories and stealing
+// for balance, versus the no-locality dynamic assignment.
+func (r *Runner) AblationDSM(w io.Writer) ([]AblationDSMRow, error) {
+	res := r.localityRes()
+	tasks, err := r.GOPTasks(res, 13)
+	if err != nil {
+		return nil, err
+	}
+	cfg := simsched.DSMConfig{ClusterSize: 4, RemoteFactor: 0.3}
+	naiveBase := simsched.SimulateGOPDSM(tasks, 4, cfg, 1.0).Makespan
+	smartBase := simsched.SimulateGOPDSMQueues(tasks, 4, cfg).Makespan
+	var rows []AblationDSMRow
+	var out [][]string
+	for _, p := range []int{8, 16, 32} {
+		row := AblationDSMRow{
+			Workers:     p,
+			Naive:       float64(naiveBase) / float64(simsched.SimulateGOPDSM(tasks, p, cfg, 1.0).Makespan),
+			LocalQueues: float64(smartBase) / float64(simsched.SimulateGOPDSMQueues(tasks, p, cfg).Makespan),
+		}
+		rows = append(rows, row)
+		out = append(out, []string{fmt.Sprintf("%d", p), f2(row.Naive), f2(row.LocalQueues)})
+	}
+	table(w, fmt.Sprintf("Ablation: DSM GOP placement (%s, speedup over 4 procs)", res.Name()),
+		[]string{"procs", "no locality", "local queues + stealing"}, out)
+	return rows, nil
+}
+
+// AblationGranRow is one slice-granularity measurement.
+type AblationGranRow struct {
+	SlicesPerRow int
+	Slices       int // per picture
+	Simple14     float64
+	Improved14   float64
+}
+
+// AblationGranularity sweeps the task granularity the paper's §4 weighs
+// (slices vs macroblocks): splitting each macroblock row into more slices
+// moves the simple version's ⌈slices/P⌉ knee out at the cost of per-task
+// overhead, approaching macroblock-level scheduling in the limit.
+func (r *Runner) AblationGranularity(w io.Writer) ([]AblationGranRow, error) {
+	res := r.localityRes()
+	var rows []AblationGranRow
+	var out [][]string
+	p := r.cfg.MaxWorkers
+	for _, spr := range []int{1, 2, 4} {
+		s, err := encoder.EncodeSequence(encoder.Config{
+			Width: res.W, Height: res.H,
+			Pictures: r.cfg.ProfileGOPs * 13, GOPSize: 13,
+			BitRate: r.cfg.BitRate(res), FrameRate: 30,
+			RepeatSequenceHeader: true, SlicesPerRow: spr,
+		}, frame.NewSynth(res.W, res.H))
+		if err != nil {
+			return nil, err
+		}
+		pics, err := profileSlicePics(s.Data, r.cfg.StreamPictures)
+		if err != nil {
+			return nil, err
+		}
+		base := SimSlices(pics, 1, false).Makespan
+		row := AblationGranRow{
+			SlicesPerRow: spr,
+			Slices:       len(pics[0].SliceCosts),
+			Simple14:     float64(base) / float64(SimSlices(pics, p, false).Makespan),
+			Improved14:   float64(base) / float64(SimSlices(pics, p, true).Makespan),
+		}
+		rows = append(rows, row)
+		out = append(out, []string{fmt.Sprintf("%d", spr), fmt.Sprintf("%d", row.Slices),
+			f2(row.Simple14), f2(row.Improved14)})
+	}
+	table(w, fmt.Sprintf("Ablation: slice granularity (%s, speedup at %d workers)", res.Name(), p),
+		[]string{"slices/row", "slices/picture", "simple", "improved"}, out)
+	return rows, nil
+}

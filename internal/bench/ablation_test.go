@@ -1,0 +1,60 @@
+package bench
+
+import (
+	"io"
+	"testing"
+)
+
+func TestAblationSyncOrdering(t *testing.T) {
+	rows, err := sharedRunner.AblationSync(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rows {
+		if !(row.Simple <= row.Improved+0.01 && row.Improved <= row.Max+0.01) {
+			t.Errorf("%d workers: ordering broken: simple %.2f improved %.2f max %.2f",
+				row.Workers, row.Simple, row.Improved, row.Max)
+		}
+	}
+	// At twice the paper's worker count, max-concurrency must scale far
+	// past the improved version (the barriers are the remaining limiter).
+	last := rows[len(rows)-1]
+	if last.Max < last.Improved*1.5 {
+		t.Errorf("at %d workers max-concurrency %.2f not clearly above improved %.2f",
+			last.Workers, last.Max, last.Improved)
+	}
+}
+
+func TestAblationDSMLocalityWins(t *testing.T) {
+	rows, err := sharedRunner.AblationDSM(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rows {
+		if row.LocalQueues <= row.Naive {
+			t.Errorf("%d procs: local queues %.2f not above naive %.2f",
+				row.Workers, row.LocalQueues, row.Naive)
+		}
+	}
+}
+
+func TestAblationGranularity(t *testing.T) {
+	rows, err := sharedRunner.AblationGranularity(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// Finer slices must improve the simple version's 14-worker speedup
+	// (the knee moves out as slices/picture grows past the worker count).
+	if !(rows[0].Simple14 < rows[1].Simple14 && rows[1].Simple14 < rows[2].Simple14+0.3) {
+		t.Errorf("simple speedup not improving with granularity: %.2f %.2f %.2f",
+			rows[0].Simple14, rows[1].Simple14, rows[2].Simple14)
+	}
+	for _, r := range rows {
+		if r.Improved14 < r.Simple14*0.95 {
+			t.Errorf("spr=%d: improved %.2f below simple %.2f", r.SlicesPerRow, r.Improved14, r.Simple14)
+		}
+	}
+}

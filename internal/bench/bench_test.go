@@ -1,0 +1,404 @@
+package bench
+
+import (
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"mpeg2par/internal/simsched"
+)
+
+// sharedRunner caches streams/profiles across the test file.
+var sharedRunner = NewRunner(SmallConfig())
+
+func TestTable1(t *testing.T) {
+	var sb strings.Builder
+	rows, err := sharedRunner.Table1(&sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(sharedRunner.cfg.Resolutions) {
+		t.Fatalf("%d rows", len(rows))
+	}
+	if rows[0].Pixels != 176*120 || rows[0].Slices != 8 {
+		t.Fatalf("176x120 row wrong: %+v", rows[0])
+	}
+	if rows[1].Slices != 15 {
+		t.Fatalf("352x240 slices %d, want 15", rows[1].Slices)
+	}
+	if !strings.Contains(sb.String(), "Table 1") {
+		t.Fatal("no output")
+	}
+}
+
+func TestTable2ScanFasterThanRealTime(t *testing.T) {
+	rows, err := sharedRunner.Table2(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rows {
+		// The paper's point: the scan is far faster than the 30 pics/s
+		// display rate, so a dedicated scan process keeps ahead.
+		if row.ScanPicsPerS < 100 {
+			t.Errorf("%s: scan rate %.0f pics/s implausibly slow", row.Res.Name(), row.ScanPicsPerS)
+		}
+	}
+}
+
+func TestTable34Ordering(t *testing.T) {
+	rows, err := sharedRunner.Table34(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rows {
+		// Table 4's shape: the simple slice version is clearly slowest;
+		// GOP and improved slice are close (the paper has GOP ahead by
+		// 10-30% thanks to 1997-era task-management overheads in its
+		// slice implementation; our slice engine's per-task overhead is
+		// ~1%, so the two come out within a ±25% band — see
+		// EXPERIMENTS.md).
+		if !(row.GOP >= row.Improved*0.75 && row.Improved >= row.Simple) {
+			t.Errorf("%s: ordering broken: gop %.1f improved %.1f simple %.1f",
+				row.Res.Name(), row.GOP, row.Improved, row.Simple)
+		}
+		if row.Simple >= row.Improved*0.97 {
+			t.Errorf("%s: simple (%.1f) not clearly below improved (%.1f)",
+				row.Res.Name(), row.Simple, row.Improved)
+		}
+		// Smaller pictures decode faster.
+		if row.GOP <= 0 {
+			t.Errorf("%s: zero throughput", row.Res.Name())
+		}
+	}
+	if rows[0].GOP <= rows[1].GOP {
+		t.Errorf("176x120 (%.1f pics/s) should beat 352x240 (%.1f)", rows[0].GOP, rows[1].GOP)
+	}
+}
+
+func TestFig5NearLinear(t *testing.T) {
+	series, err := sharedRunner.Fig5(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != len(sharedRunner.cfg.Resolutions)*len(GOPSizes) {
+		t.Fatalf("%d series", len(series))
+	}
+	for _, s := range series {
+		if s.Speedup[0] < 0.99 || s.Speedup[0] > 1.01 {
+			t.Errorf("%s: speedup(1) = %.2f", s.Label, s.Speedup[0])
+		}
+		// Near-linear at 8 workers (tolerate task-granularity tails).
+		i8 := 7
+		if s.Speedup[i8] < 5.5 {
+			t.Errorf("%s: speedup(8) = %.2f, want near-linear", s.Label, s.Speedup[i8])
+		}
+		// Monotone non-decreasing within rounding.
+		for i := 1; i < len(s.Speedup); i++ {
+			if s.Speedup[i] < s.Speedup[i-1]*0.98 {
+				t.Errorf("%s: speedup drops at %d workers", s.Label, s.Workers[i])
+			}
+		}
+	}
+}
+
+func TestFig6ImbalanceGrowsWithGOPSize(t *testing.T) {
+	rows, err := sharedRunner.Fig6(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// For each resolution, relative imbalance with GOP=31 (few, large
+	// tasks) must exceed GOP=4 (many small tasks).
+	byRes := map[string]map[int]Fig6Row{}
+	for _, row := range rows {
+		if byRes[row.Res.Name()] == nil {
+			byRes[row.Res.Name()] = map[int]Fig6Row{}
+		}
+		byRes[row.Res.Name()][row.GOP] = row
+	}
+	for name, m := range byRes {
+		rel := func(r Fig6Row) float64 { return float64(r.Max-r.Min) / float64(r.Avg) }
+		if rel(m[31]) <= rel(m[4]) {
+			t.Errorf("%s: imbalance gop31 %.3f <= gop4 %.3f", name, rel(m[31]), rel(m[4]))
+		}
+	}
+}
+
+func TestFig7StallShare(t *testing.T) {
+	rows, err := sharedRunner.Fig7(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rows {
+		// The paper measured 10-30% of time in memory stalls; our model
+		// should land in a plausible band (loose: 0-60%).
+		if row.Ratio < 1.0 || row.Ratio > 1.6 {
+			t.Errorf("%s/%d: actual/ideal %.2f out of band", row.Res.Name(), row.Workers, row.Ratio)
+		}
+	}
+}
+
+func TestFig8MemoryGrowth(t *testing.T) {
+	rows, err := sharedRunner.Fig8(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(resName string, gop, workers int) Fig8Row {
+		for _, row := range rows {
+			if row.Res.Name() == resName && row.GOP == gop && row.Workers == workers {
+				return row
+			}
+		}
+		t.Fatalf("missing row %s/%d/%d", resName, gop, workers)
+		return Fig8Row{}
+	}
+	// Growth with workers.
+	if a, b := get("352x240", 13, 1), get("352x240", 13, 14); b.PeakFrames < 2*a.PeakFrames {
+		t.Errorf("peak frames %d (14w) vs %d (1w): growth with workers missing", b.PeakFrames, a.PeakFrames)
+	}
+	// Growth with GOP size.
+	if a, b := get("352x240", 4, 14), get("352x240", 31, 14); b.PeakFrames < 2*a.PeakFrames {
+		t.Errorf("peak frames %d (gop31) vs %d (gop4): growth with GOP size missing", b.PeakFrames, a.PeakFrames)
+	}
+}
+
+func TestFig9CasesOrdered(t *testing.T) {
+	cases, err := sharedRunner.Fig9(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cases) != 3 {
+		t.Fatalf("%d cases", len(cases))
+	}
+	// The big-GOP many-worker case needs the most memory.
+	if !(cases[2].Peak > cases[0].Peak) {
+		t.Errorf("case peaks not ordered: %d vs %d", cases[2].Peak, cases[0].Peak)
+	}
+	for _, c := range cases {
+		if len(c.Series) == 0 {
+			t.Errorf("%s: empty series", c.Label)
+		}
+	}
+}
+
+func TestFig11KneesAndImprovement(t *testing.T) {
+	simple, improved, err := sharedRunner.Fig11(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pick := func(series []SpeedupSeries, prefix string) SpeedupSeries {
+		for _, s := range series {
+			if strings.HasPrefix(s.Label, prefix) {
+				return s
+			}
+		}
+		t.Fatalf("%s series missing", prefix)
+		return SpeedupSeries{}
+	}
+	// 176x120 has 8 slices: from 8 workers up every picture is one issue
+	// round, so the simple version's speedup is *exactly* flat — the
+	// paper's knee in its purest, measurement-noise-free form.
+	s176 := pick(simple, "176x120")
+	if s176.Speedup[13] != s176.Speedup[7] {
+		t.Errorf("176x120 simple should plateau exactly: speedup(8)=%.3f speedup(14)=%.3f",
+			s176.Speedup[7], s176.Speedup[13])
+	}
+	// The improved version keeps gaining past the knee.
+	i176 := pick(improved, "176x120")
+	if i176.Speedup[13] <= s176.Speedup[13]*1.15 {
+		t.Errorf("176x120: improved %.2f not clearly above simple %.2f at 14 workers",
+			i176.Speedup[13], s176.Speedup[13])
+	}
+	s352, i352 := pick(simple, "352x240"), pick(improved, "352x240")
+	if i352.Speedup[13] <= s352.Speedup[13]*1.05 {
+		t.Errorf("352x240: improved %.2f not above simple %.2f at 14 workers",
+			i352.Speedup[13], s352.Speedup[13])
+	}
+	// 352x240 (15 slices) stays in two issue rounds from 8 to 14 workers:
+	// only slice-cost variance gives the simple version anything. The
+	// exact uniform-cost stair-step is asserted in internal/simsched.
+	if gain := s352.Speedup[13] / s352.Speedup[7]; gain > 1.4 {
+		t.Errorf("352x240 simple gained %.2fx from 8\u219214 workers; expected near-plateau", gain)
+	}
+}
+
+func TestFig12SyncRatio(t *testing.T) {
+	series, err := sharedRunner.Fig12(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i+1 < len(series); i += 2 {
+		simple, improved := series[i], series[i+1]
+		// At 14 workers the improved variant must wait less.
+		if improved.Ratio[13] >= simple.Ratio[13] {
+			t.Errorf("%s: improved ratio %.2f >= simple %.2f",
+				improved.Label, improved.Ratio[13], simple.Ratio[13])
+		}
+		// Sync ratio generally grows with workers for the simple variant.
+		if simple.Ratio[13] <= simple.Ratio[1] {
+			t.Errorf("%s: simple sync ratio did not grow with workers", simple.Label)
+		}
+	}
+}
+
+func TestFig13SpatialLocality(t *testing.T) {
+	rows, err := sharedRunner.Fig13(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per resolution: miss rate must fall near-halving with each line
+	// doubling (paper: "the miss rate halves whenever the line size
+	// doubles").
+	byRes := map[string][]Fig13Row{}
+	for _, row := range rows {
+		byRes[row.Res.Name()] = append(byRes[row.Res.Name()], row)
+	}
+	for name, rs := range byRes {
+		for i := 1; i < len(rs); i++ {
+			ratio := rs[i-1].MissRate / rs[i].MissRate
+			if ratio < 1.5 || ratio > 2.6 {
+				t.Errorf("%s: line %d→%d miss ratio %.2f, want ~2",
+					name, rs[i-1].LineSize, rs[i].LineSize, ratio)
+			}
+		}
+	}
+}
+
+func TestFig14WorkingSetSmall(t *testing.T) {
+	rows, err := sharedRunner.Fig14(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With associativity, the miss rate at 32KB should be close to the
+	// 1MB miss rate (the working set fits), while 4KB should be clearly
+	// worse.
+	pick := func(mode, res string, assoc, size int) (Fig14Row, bool) {
+		for _, row := range rows {
+			if row.Mode == mode && row.Res.Name() == res && row.Assoc == assoc && row.Size == size {
+				return row, true
+			}
+		}
+		return Fig14Row{}, false
+	}
+	for _, mode := range []string{"gop", "slice"} {
+		small, ok1 := pick(mode, "352x240", 0, 4<<10)
+		mid, ok2 := pick(mode, "352x240", 0, 32<<10)
+		big, ok3 := pick(mode, "352x240", 2, 32<<10)
+		direct, ok4 := pick(mode, "352x240", 1, 32<<10)
+		if !ok1 || !ok2 || !ok3 || !ok4 {
+			t.Fatalf("%s: rows missing", mode)
+		}
+		// The dramatic drop by 16-32K (the paper's working-set knee).
+		if small.MissRate < mid.MissRate*2 {
+			t.Errorf("%s: 4KB miss rate %.4f not clearly above 32KB %.4f", mode, small.MissRate, mid.MissRate)
+		}
+		// "As long as the caches have some associativity": 2-way at 32K is
+		// at least as good as direct-mapped.
+		if big.MissRate > direct.MissRate*1.05 {
+			t.Errorf("%s: 2-way 32K (%.4f) worse than direct-mapped (%.4f)", mode, big.MissRate, direct.MissRate)
+		}
+	}
+}
+
+func TestFig15CapacityVsCold(t *testing.T) {
+	rows, err := sharedRunner.Fig15(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Capacity/cold falls with cache size and is small once the cache
+	// covers the reference working set (the 1MB point, like the paper's
+	// Challenge L2).
+	byMode := map[string]map[int]float64{}
+	for _, row := range rows {
+		if byMode[row.Mode] == nil {
+			byMode[row.Mode] = map[int]float64{}
+		}
+		byMode[row.Mode][row.Size] = row.Ratio
+	}
+	for mode, m := range byMode {
+		if m[1<<20] > 0.5 {
+			t.Errorf("%s: capacity/cold %.2f at 1MB should be small", mode, m[1<<20])
+		}
+		if m[4<<10] <= m[1<<20] {
+			t.Errorf("%s: ratio should fall with cache size (4K %.2f vs 1M %.2f)", mode, m[4<<10], m[1<<20])
+		}
+	}
+}
+
+func TestDashShape(t *testing.T) {
+	rows, err := sharedRunner.Dash(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, row := range rows {
+		// Within 40% of the paper's numbers and preserving order.
+		lo, hi := row.PaperReference*0.6, row.PaperReference*1.4
+		if row.SpeedupOver4 < lo || row.SpeedupOver4 > hi {
+			t.Errorf("%d procs: model %.2f vs paper %.2f (band %.2f-%.2f)",
+				row.Workers, row.SpeedupOver4, row.PaperReference, lo, hi)
+		}
+	}
+	if !(rows[0].SpeedupOver4 < rows[1].SpeedupOver4 && rows[1].SpeedupOver4 < rows[2].SpeedupOver4) {
+		t.Error("DASH speedups not increasing")
+	}
+}
+
+func TestTiling(t *testing.T) {
+	measured := []simsched.SimPicture{
+		{Ref: true, DisplayIdx: 0, SliceCosts: []time.Duration{1, 2}},
+		{Ref: false, DisplayIdx: 1, SliceCosts: []time.Duration{3}},
+	}
+	tiled := tileSlices(measured, 5)
+	if len(tiled) != 5 {
+		t.Fatalf("len %d", len(tiled))
+	}
+	wantDisp := []int{0, 1, 2, 3, 4}
+	for i, p := range tiled {
+		if p.DisplayIdx != wantDisp[i] {
+			t.Fatalf("tile %d display %d, want %d", i, p.DisplayIdx, wantDisp[i])
+		}
+	}
+	if !tiled[2].Ref || tiled[3].Ref {
+		t.Fatal("tiled kinds wrong")
+	}
+
+	g := tileGOPs([]simsched.GOPTask{{Cost: 5, Pictures: 4}}, 3)
+	if len(g) != 3 || g[2].Cost != 5 {
+		t.Fatal("gop tiling wrong")
+	}
+}
+
+func TestRunnerDispatch(t *testing.T) {
+	if err := sharedRunner.Run("nope", io.Discard); err == nil {
+		t.Fatal("unknown experiment must fail")
+	}
+	if err := sharedRunner.Run("table1", io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	names := Names()
+	if len(names) != len(Experiments) {
+		t.Fatalf("Names() returned %d of %d", len(names), len(Experiments))
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	var sb strings.Builder
+	if err := sharedRunner.RunJSON("table2", &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "ScanPicsPerS") {
+		t.Fatalf("JSON output missing fields: %s", sb.String())
+	}
+	if err := sharedRunner.RunJSON("nope", io.Discard); err == nil {
+		t.Fatal("unknown id must fail")
+	}
+	// Every table-mode experiment id has a JSON counterpart.
+	for id := range Experiments {
+		if _, ok := ResultsJSON[id]; !ok {
+			t.Errorf("experiment %s missing from ResultsJSON", id)
+		}
+	}
+}

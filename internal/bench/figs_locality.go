@@ -1,0 +1,196 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"mpeg2par/internal/cachesim"
+	"mpeg2par/internal/core"
+	"mpeg2par/internal/memtrace"
+)
+
+// cacheGeom keys one simulated cache configuration.
+type cacheGeom struct {
+	size  int
+	line  int
+	assoc int // 0 = fully associative
+}
+
+// traceFor returns (recording on first use) the reconstruction reference
+// trace of a decode, with tasks assigned to processors round-robin by the
+// deterministic trace generator (core.TraceDecode).
+func (r *Runner) traceFor(res Resolution, mode core.Mode, procs int) ([]memtrace.Event, error) {
+	r.mu.Lock()
+	if r.traces == nil {
+		r.traces = make(map[traceKey][]memtrace.Event)
+	}
+	key := traceKey{res, mode, procs}
+	if t, ok := r.traces[key]; ok {
+		r.mu.Unlock()
+		return t, nil
+	}
+	r.mu.Unlock()
+	s, err := r.Stream(res, 13)
+	if err != nil {
+		return nil, err
+	}
+	rec := memtrace.NewRecorder()
+	if err := core.TraceDecode(s.Data, mode, procs, rec); err != nil {
+		return nil, err
+	}
+	evs := rec.Events()
+	r.mu.Lock()
+	r.traces[key] = evs
+	r.mu.Unlock()
+	return evs, nil
+}
+
+type traceKey struct {
+	res   Resolution
+	mode  core.Mode
+	procs int
+}
+
+// traceCache simulates one cache geometry over the GOP-mode trace.
+func (r *Runner) traceCache(res Resolution, procs int, g cacheGeom) (cachesim.Stats, error) {
+	evs, err := r.traceFor(res, core.ModeGOP, procs)
+	if err != nil {
+		return cachesim.Stats{}, err
+	}
+	sim, err := cachesim.New(cachesim.Config{Size: g.size, LineSize: g.line, Assoc: g.assoc, Procs: procs})
+	if err != nil {
+		return cachesim.Stats{}, err
+	}
+	if err := sim.Run(evs); err != nil {
+		return cachesim.Stats{}, err
+	}
+	return sim.Stats(), nil
+}
+
+// Fig13Row is one read-miss-rate-vs-line-size sample.
+type Fig13Row struct {
+	Res      Resolution
+	LineSize int
+	MissRate float64
+}
+
+// Fig13 regenerates the spatial-locality study: read miss rate vs line
+// size for an 8-processor execution with 1 MB fully-associative caches —
+// the rate should roughly halve per line-size doubling.
+func (r *Runner) Fig13(w io.Writer) ([]Fig13Row, error) {
+	var rows []Fig13Row
+	var out [][]string
+	procs := 8
+	for _, res := range []Resolution{r.localityRes()} {
+		evs, err := r.traceFor(res, core.ModeGOP, procs)
+		if err != nil {
+			return nil, err
+		}
+		for _, line := range []int{16, 32, 64, 128, 256} {
+			sim, err := cachesim.New(cachesim.Config{Size: 1 << 20, LineSize: line, Assoc: 0, Procs: procs})
+			if err != nil {
+				return nil, err
+			}
+			if err := sim.Run(evs); err != nil {
+				return nil, err
+			}
+			st := sim.Stats()
+			row := Fig13Row{Res: res, LineSize: line, MissRate: st.ReadMissRate()}
+			rows = append(rows, row)
+			out = append(out, []string{res.Name(), fmt.Sprintf("%d", line), fmt.Sprintf("%.5f", row.MissRate)})
+		}
+	}
+	table(w, "Figure 13: read miss rate vs cache line size (1MB fully assoc, 8 procs)",
+		[]string{"Resolution", "Line bytes", "Read miss rate"}, out)
+	return rows, nil
+}
+
+// Fig14Row is one miss-rate-vs-cache-size sample.
+type Fig14Row struct {
+	Res      Resolution
+	Mode     string // "gop" (1 proc) or "slice" (8 procs)
+	Size     int
+	Assoc    int
+	MissRate float64
+	Stats    cachesim.Stats
+}
+
+var fig14Sizes = []int{4 << 10, 8 << 10, 16 << 10, 32 << 10, 64 << 10, 128 << 10, 256 << 10, 1 << 20}
+
+// Fig14 regenerates the working-set study: miss rate vs per-processor
+// cache size with 64-byte lines, for the GOP version (one worker) and the
+// simple slice version (eight workers), at 1/2/full associativity.
+func (r *Runner) Fig14(w io.Writer) ([]Fig14Row, error) {
+	var rows []Fig14Row
+	var out [][]string
+	type variant struct {
+		name  string
+		mode  core.Mode
+		procs int
+	}
+	for _, v := range []variant{{"gop", core.ModeGOP, 1}, {"slice", core.ModeSliceSimple, 8}} {
+		for _, res := range []Resolution{r.localityRes()} {
+			evs, err := r.traceFor(res, v.mode, v.procs)
+			if err != nil {
+				return nil, err
+			}
+			for _, assoc := range []int{1, 2, 0} {
+				for _, size := range fig14Sizes {
+					sim, err := cachesim.New(cachesim.Config{Size: size, LineSize: 64, Assoc: assoc, Procs: v.procs})
+					if err != nil {
+						return nil, err
+					}
+					if err := sim.Run(evs); err != nil {
+						return nil, err
+					}
+					st := sim.Stats()
+					row := Fig14Row{Res: res, Mode: v.name, Size: size, Assoc: assoc, MissRate: st.ReadMissRate(), Stats: st}
+					rows = append(rows, row)
+					aName := fmt.Sprintf("%d-way", assoc)
+					if assoc == 0 {
+						aName = "full"
+					}
+					out = append(out, []string{v.name, res.Name(), aName,
+						fmt.Sprintf("%dK", size>>10), fmt.Sprintf("%.5f", row.MissRate)})
+				}
+			}
+		}
+	}
+	table(w, "Figure 14: read miss rate vs cache size (64B lines)",
+		[]string{"Version", "Resolution", "Assoc", "Size", "Read miss rate"}, out)
+	return rows, nil
+}
+
+// Fig15Row is one capacity/cold miss ratio sample.
+type Fig15Row struct {
+	Res   Resolution
+	Mode  string
+	Size  int
+	Ratio float64
+}
+
+// Fig15 regenerates the capacity-vs-cold study: beyond the working set,
+// capacity misses become a small fraction of cold misses.
+func (r *Runner) Fig15(w io.Writer) ([]Fig15Row, error) {
+	rows14, err := r.Fig14(io.Discard)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig15Row
+	var out [][]string
+	for _, r14 := range rows14 {
+		if r14.Assoc != 0 { // the paper plots the fully-associative case
+			continue
+		}
+		ratio := 0.0
+		if r14.Stats.Cold > 0 {
+			ratio = float64(r14.Stats.Capacity) / float64(r14.Stats.Cold)
+		}
+		row := Fig15Row{Res: r14.Res, Mode: r14.Mode, Size: r14.Size, Ratio: ratio}
+		rows = append(rows, row)
+		out = append(out, []string{r14.Mode, r14.Res.Name(), fmt.Sprintf("%dK", r14.Size>>10), f2(ratio)})
+	}
+	table(w, "Figure 15: read capacity/cold miss ratio vs cache size (fully assoc)",
+		[]string{"Version", "Resolution", "Size", "capacity/cold"}, out)
+	return rows, nil
+}

@@ -1,0 +1,396 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"mpeg2par/internal/memmodel"
+	"mpeg2par/internal/simsched"
+)
+
+// SpeedupSeries is one speedup-vs-workers curve.
+type SpeedupSeries struct {
+	Label    string
+	Workers  []int
+	Speedup  []float64
+	Makespan []time.Duration
+}
+
+func workerSweep(max int) []int {
+	var ws []int
+	for p := 1; p <= max; p++ {
+		ws = append(ws, p)
+	}
+	return ws
+}
+
+// Fig5 regenerates the GOP-version speedup curves (near-linear for all
+// picture sizes and GOP sizes).
+func (r *Runner) Fig5(w io.Writer) ([]SpeedupSeries, error) {
+	var series []SpeedupSeries
+	workers := workerSweep(r.cfg.MaxWorkers)
+	for _, res := range r.cfg.Resolutions {
+		for _, gop := range GOPSizes {
+			tasks, err := r.GOPTasks(res, gop)
+			if err != nil {
+				return nil, err
+			}
+			base := SimGOP(tasks, 1).Makespan
+			s := SpeedupSeries{Label: fmt.Sprintf("%s gop=%d", res.Name(), gop), Workers: workers}
+			for _, p := range workers {
+				mk := SimGOP(tasks, p).Makespan
+				s.Speedup = append(s.Speedup, float64(base)/float64(mk))
+				s.Makespan = append(s.Makespan, mk)
+			}
+			series = append(series, s)
+		}
+	}
+	printSpeedups(w, "Figure 5: GOP-version speedup vs workers", series)
+	return series, nil
+}
+
+func printSpeedups(w io.Writer, title string, series []SpeedupSeries) {
+	if len(series) == 0 {
+		return
+	}
+	header := []string{"workers"}
+	for _, s := range series {
+		header = append(header, s.Label)
+	}
+	var rows [][]string
+	for i, p := range series[0].Workers {
+		row := []string{fmt.Sprintf("%d", p)}
+		for _, s := range series {
+			row = append(row, f2(s.Speedup[i]))
+		}
+		rows = append(rows, row)
+	}
+	table(w, title, header, rows)
+}
+
+// Fig6Row is one load-imbalance measurement: min/max/avg worker compute
+// time for a GOP size.
+type Fig6Row struct {
+	Res           Resolution
+	GOP           int
+	Min, Max, Avg time.Duration
+}
+
+// Fig6 regenerates the load-imbalance study: with small GOPs all workers
+// compute equally; with large GOPs the discrete task granularity shows.
+func (r *Runner) Fig6(w io.Writer) ([]Fig6Row, error) {
+	var rows []Fig6Row
+	var out [][]string
+	p := r.cfg.MaxWorkers
+	for _, res := range r.cfg.Resolutions {
+		for _, gop := range GOPSizes {
+			tasks, err := r.GOPTasks(res, gop)
+			if err != nil {
+				return nil, err
+			}
+			res2 := SimGOP(tasks, p)
+			row := Fig6Row{Res: res, GOP: gop, Min: res2.MinBusy(), Max: res2.MaxBusy(), Avg: res2.AvgBusy()}
+			rows = append(rows, row)
+			out = append(out, []string{
+				res.Name(), fmt.Sprintf("%d", gop),
+				fmt.Sprintf("%.3fs", row.Min.Seconds()),
+				fmt.Sprintf("%.3fs", row.Avg.Seconds()),
+				fmt.Sprintf("%.3fs", row.Max.Seconds()),
+				f2(float64(row.Max-row.Min) / float64(row.Avg)),
+			})
+		}
+	}
+	table(w, fmt.Sprintf("Figure 6: worker compute-time balance at %d workers", p),
+		[]string{"Resolution", "GOP size", "min", "avg", "max", "(max-min)/avg"}, out)
+	return rows, nil
+}
+
+// Fig7Row is one ideal-vs-actual time estimate. Ideal time follows the
+// pixie model (every instruction one cycle); actual adds memory stalls
+// from the simulated cache's miss counts.
+type Fig7Row struct {
+	Res     Resolution
+	Workers int
+	Ratio   float64 // actual / ideal
+}
+
+// Cycle-model constants: era-typical three instructions per memory
+// reference, and a ~100-cycle read-miss penalty (a memory access on the
+// 150 MHz Challenge costs on the order of a microsecond; write stalls are
+// assumed hidden by write buffers, as in the cache model).
+const (
+	instrPerRef      = 3.0
+	missPenaltyCycle = 100.0
+)
+
+// Fig7 estimates the memory-stall overhead of the GOP decoder: actual =
+// ideal + misses × penalty, with miss counts from the cache simulator at
+// the era cache geometry (1 MB, 2-way, 64 B lines).
+func (r *Runner) Fig7(w io.Writer) ([]Fig7Row, error) {
+	var rows []Fig7Row
+	var out [][]string
+	for _, res := range []Resolution{r.localityRes()} {
+		for _, p := range []int{1, 4, 8, r.cfg.MaxWorkers} {
+			st, err := r.traceCache(res, p, cacheGeom{size: 1 << 20, line: 64, assoc: 2})
+			if err != nil {
+				return nil, err
+			}
+			refs := float64(st.Reads + st.Writes)
+			misses := float64(st.ReadMisses)
+			ideal := refs * instrPerRef
+			actual := ideal + misses*missPenaltyCycle
+			row := Fig7Row{Res: res, Workers: p, Ratio: actual / ideal}
+			rows = append(rows, row)
+			out = append(out, []string{res.Name(), fmt.Sprintf("%d", p), f2(row.Ratio),
+				fmt.Sprintf("%.1f%%", 100*(row.Ratio-1))})
+		}
+	}
+	table(w, "Figure 7: actual/ideal time (memory stall overhead)",
+		[]string{"Resolution", "Workers", "actual/ideal", "stall share"}, out)
+	return rows, nil
+}
+
+// Fig8Row is one memory high-watermark of the GOP decoder.
+type Fig8Row struct {
+	Res        Resolution
+	GOP        int
+	Workers    int
+	PeakFrames int
+	PeakBytes  int64
+}
+
+// Fig8 regenerates the GOP decoder's memory requirements: linear growth
+// with workers and GOP size.
+func (r *Runner) Fig8(w io.Writer) ([]Fig8Row, error) {
+	var rows []Fig8Row
+	var out [][]string
+	for _, res := range r.cfg.Resolutions {
+		for _, gop := range GOPSizes {
+			tasks, err := r.GOPTasks(res, gop)
+			if err != nil {
+				return nil, err
+			}
+			for _, p := range []int{1, 4, 8, r.cfg.MaxWorkers} {
+				sim := SimGOP(tasks, p)
+				row := Fig8Row{
+					Res: res, GOP: gop, Workers: p,
+					PeakFrames: sim.PeakFrames,
+					PeakBytes:  int64(sim.PeakFrames) * res.FrameBytes(),
+				}
+				rows = append(rows, row)
+				out = append(out, []string{
+					res.Name(), fmt.Sprintf("%d", gop), fmt.Sprintf("%d", p),
+					fmt.Sprintf("%d", row.PeakFrames),
+					fmt.Sprintf("%.1fMB", float64(row.PeakBytes)/(1<<20)),
+				})
+			}
+		}
+	}
+	table(w, "Figure 8: GOP-version peak frame memory",
+		[]string{"Resolution", "GOP size", "Workers", "Peak frames", "Peak bytes"}, out)
+	return rows, nil
+}
+
+// Fig9Case is one analytical memory-model scenario.
+type Fig9Case struct {
+	Label    string
+	Peak     int64
+	Feasible bool
+	Series   []memmodel.Point
+}
+
+// Fig9 evaluates the analytical model for the paper's three cases,
+// including the infeasible 1408×960 / 31 pictures / 11 workers run
+// against the Challenge's 500 MB budget.
+// The model runs at era-calibrated rates: this host decodes two orders of
+// magnitude faster than the 150 MHz R4400, which would make the 30 pic/s
+// display the only bottleneck and pile every decoded frame at the display
+// queue — a different phenomenon from the paper's. Scaling the decode
+// rate (and using the paper's measured scan rate) restores the balance of
+// forces the model is about.
+func (r *Runner) Fig9(w io.Writer) ([]Fig9Case, error) {
+	const budget = 500 << 20
+	const eraSlowdown = 200       // ≈ this host vs 150 MHz R4400 on this code
+	const eraScanPicsPerSec = 200 // Table 2's measured scan rate
+	mk := func(res Resolution, gop, workers int) (memmodel.Params, error) {
+		tasks, err := r.GOPTasks(res, gop)
+		if err != nil {
+			return memmodel.Params{}, err
+		}
+		var avg time.Duration
+		for _, t := range tasks {
+			avg += t.Cost
+		}
+		avg /= time.Duration(len(tasks))
+		m, err := r.Map(res, gop)
+		if err != nil {
+			return memmodel.Params{}, err
+		}
+		s, err := r.Stream(res, gop)
+		if err != nil {
+			return memmodel.Params{}, err
+		}
+		return memmodel.Params{
+			Workers:           workers,
+			GOPs:              len(tasks),
+			PicturesPerGOP:    gop,
+			FrameBytes:        res.FrameBytes(),
+			BytesPerGOP:       int64(len(s.Data)) / int64(len(m.GOPs)),
+			ScanGOPsPerSec:    eraScanPicsPerSec / float64(gop),
+			DecodeGOPsPerSec:  1 / avg.Seconds() / eraSlowdown,
+			DisplayPicsPerSec: 30,
+		}, nil
+	}
+	cases := []struct {
+		res     Resolution
+		gop     int
+		workers int
+	}{
+		{r.cfg.Resolutions[0], 13, 4},
+		{r.cfg.Resolutions[len(r.cfg.Resolutions)-1], 13, 4},
+		{r.cfg.Resolutions[len(r.cfg.Resolutions)-1], 31, 11},
+	}
+	var out [][]string
+	var results []Fig9Case
+	for _, c := range cases {
+		params, err := mk(c.res, c.gop, c.workers)
+		if err != nil {
+			return nil, err
+		}
+		peak, err := params.Peak()
+		if err != nil {
+			return nil, err
+		}
+		series, err := params.Series(24)
+		if err != nil {
+			return nil, err
+		}
+		fc := Fig9Case{
+			Label:    fmt.Sprintf("%s gop=%d workers=%d", c.res.Name(), c.gop, c.workers),
+			Peak:     peak,
+			Feasible: peak <= budget,
+			Series:   series,
+		}
+		results = append(results, fc)
+		out = append(out, []string{fc.Label, fmt.Sprintf("%.1fMB", float64(peak)/(1<<20)),
+			fmt.Sprintf("%v", fc.Feasible)})
+	}
+	table(w, "Figure 9: predicted memory requirements (budget 500MB)",
+		[]string{"Case", "Peak mem(x)", "fits"}, out)
+	return results, nil
+}
+
+// Fig11 regenerates the slice-version speedups: the simple variant's
+// knees at ceil(slices/P) steps, and the improved variant's recovery.
+func (r *Runner) Fig11(w io.Writer) (simple, improved []SpeedupSeries, err error) {
+	workers := workerSweep(r.cfg.MaxWorkers)
+	for _, res := range r.cfg.Resolutions {
+		pics, err := r.SlicePics(res, 13)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, variant := range []bool{false, true} {
+			base := SimSlices(pics, 1, variant).Makespan
+			name := "simple"
+			if variant {
+				name = "improved"
+			}
+			s := SpeedupSeries{Label: fmt.Sprintf("%s %s", res.Name(), name), Workers: workers}
+			for _, p := range workers {
+				mk := SimSlices(pics, p, variant).Makespan
+				s.Speedup = append(s.Speedup, float64(base)/float64(mk))
+				s.Makespan = append(s.Makespan, mk)
+			}
+			if variant {
+				improved = append(improved, s)
+			} else {
+				simple = append(simple, s)
+			}
+		}
+	}
+	printSpeedups(w, "Figure 11: slice-version speedups (simple)", simple)
+	printSpeedups(w, "Figure 11: slice-version speedups (improved)", improved)
+	return simple, improved, nil
+}
+
+// Fig12Series is the sync/exec ratio curve of one variant.
+type Fig12Series struct {
+	Label   string
+	Workers []int
+	Ratio   []float64
+}
+
+// Fig12 regenerates the synchronization-overhead study.
+func (r *Runner) Fig12(w io.Writer) ([]Fig12Series, error) {
+	var series []Fig12Series
+	workers := workerSweep(r.cfg.MaxWorkers)
+	for _, res := range r.cfg.Resolutions {
+		pics, err := r.SlicePics(res, 13)
+		if err != nil {
+			return nil, err
+		}
+		for _, variant := range []bool{false, true} {
+			name := "simple"
+			if variant {
+				name = "improved"
+			}
+			s := Fig12Series{Label: fmt.Sprintf("%s %s", res.Name(), name), Workers: workers}
+			for _, p := range workers {
+				s.Ratio = append(s.Ratio, SimSlices(pics, p, variant).SyncRatio())
+			}
+			series = append(series, s)
+		}
+	}
+	header := []string{"workers"}
+	for _, s := range series {
+		header = append(header, s.Label)
+	}
+	var rows [][]string
+	for i, p := range workers {
+		row := []string{fmt.Sprintf("%d", p)}
+		for _, s := range series {
+			row = append(row, f2(s.Ratio[i]))
+		}
+		rows = append(rows, row)
+	}
+	table(w, "Figure 12: avg sync-time/exec-time per worker", header, rows)
+	return series, nil
+}
+
+// DashRow compares DSM scaling against the paper's §7.2 DASH numbers.
+type DashRow struct {
+	Workers        int
+	SpeedupOver4   float64
+	PaperReference float64
+}
+
+// Dash reproduces the §7.2 distributed-shared-memory observations:
+// improved-slice speedups over one 4-processor cluster of 1.8/3.4/5.2 at
+// 8/16/32 processors, limited by remote-miss latency.
+func (r *Runner) Dash(w io.Writer) ([]DashRow, error) {
+	res := r.cfg.Resolutions[len(r.cfg.Resolutions)-1]
+	for _, cand := range r.cfg.Resolutions {
+		if cand == Res704 {
+			res = cand // the paper quotes 704×480
+		}
+	}
+	pics, err := r.SlicePics(res, 13)
+	if err != nil {
+		return nil, err
+	}
+	cfg := simsched.DSMConfig{ClusterSize: 4, RemoteFactor: 0.3}
+	base := simsched.SimulateSlicesDSM(pics, 4, true, cfg).Makespan
+	paper := map[int]float64{8: 1.8, 16: 3.4, 32: 5.2}
+	var rows []DashRow
+	var out [][]string
+	for _, p := range []int{8, 16, 32} {
+		mk := simsched.SimulateSlicesDSM(pics, p, true, cfg).Makespan
+		row := DashRow{Workers: p, SpeedupOver4: float64(base) / float64(mk), PaperReference: paper[p]}
+		rows = append(rows, row)
+		out = append(out, []string{fmt.Sprintf("%d", p), f2(row.SpeedupOver4), f2(row.PaperReference)})
+	}
+	table(w, fmt.Sprintf("§7.2 DASH model (%s, improved slice, speedup over 4 procs)", res.Name()),
+		[]string{"procs", "model", "paper"}, out)
+	return rows, nil
+}

@@ -1,0 +1,135 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+)
+
+// Table1Row describes one test-stream family (the paper's Table 1).
+type Table1Row struct {
+	Res          Resolution
+	GOPSizes     []int
+	Pixels       int   // luminance pixels per picture ("picture size")
+	FrameBytes   int64 // decoded 4:2:0 bytes
+	AvgCodedBits int   // measured coded bits per picture at the default rate
+	Slices       int
+}
+
+// Table1 regenerates the test-stream inventory.
+func (r *Runner) Table1(w io.Writer) ([]Table1Row, error) {
+	var rows []Table1Row
+	var out [][]string
+	for _, res := range r.cfg.Resolutions {
+		s, err := r.Stream(res, 13)
+		if err != nil {
+			return nil, err
+		}
+		bits := 0
+		for _, p := range s.Pictures {
+			bits += p.Bits
+		}
+		bits /= len(s.Pictures)
+		row := Table1Row{
+			Res:          res,
+			GOPSizes:     GOPSizes,
+			Pixels:       res.W * res.H,
+			FrameBytes:   res.FrameBytes(),
+			AvgCodedBits: bits,
+			Slices:       res.Slices(),
+		}
+		rows = append(rows, row)
+		out = append(out, []string{
+			res.Name(),
+			"4,13,16,31",
+			fmt.Sprintf("%.1fK", float64(row.Pixels)/1000),
+			fmt.Sprintf("%d", row.Slices),
+			fmt.Sprintf("%.1fKb", float64(row.AvgCodedBits)/1000),
+		})
+	}
+	table(w, "Table 1: test streams", []string{"Resolution", "GOP sizes", "Picture size", "Slices", "Coded bits/pic"}, out)
+	return rows, nil
+}
+
+// Table2Row is one scan-rate measurement (the paper's Table 2).
+type Table2Row struct {
+	Res          Resolution
+	FileBytes    int
+	Pictures     int
+	ScanPicsPerS float64
+}
+
+// Table2 measures the scan process's rate over real streams.
+func (r *Runner) Table2(w io.Writer) ([]Table2Row, error) {
+	var rows []Table2Row
+	var out [][]string
+	for _, res := range r.cfg.Resolutions {
+		m, err := r.Map(res, 13)
+		if err != nil {
+			return nil, err
+		}
+		// Re-scan a few times for a stable rate on small inputs.
+		s, err := r.Stream(res, 13)
+		if err != nil {
+			return nil, err
+		}
+		best := m.ScanRate()
+		for i := 0; i < 5; i++ {
+			m2, err := Scan(s.Data)
+			if err != nil {
+				return nil, err
+			}
+			if rate := m2.ScanRate(); rate > best {
+				best = rate
+			}
+		}
+		row := Table2Row{Res: res, FileBytes: len(s.Data), Pictures: m.TotalPictures, ScanPicsPerS: best}
+		rows = append(rows, row)
+		out = append(out, []string{
+			res.Name(),
+			fmt.Sprintf("%.2fMB", float64(row.FileBytes)/(1<<20)),
+			fmt.Sprintf("%d", row.Pictures),
+			fmt.Sprintf("%.0f", row.ScanPicsPerS),
+		})
+	}
+	table(w, "Table 2: scan process rate", []string{"Resolution", "File size", "Pictures", "Scan rate (pics/s)"}, out)
+	return rows, nil
+}
+
+// Table34Row is one decoder-variant throughput measurement.
+type Table34Row struct {
+	Res      Resolution
+	GOP      float64 // pictures/second, GOP version
+	Simple   float64
+	Improved float64
+}
+
+// Table34 regenerates Tables 3 and 4: maximum pictures per second decoded
+// by each variant with MaxWorkers workers (simulated from measured task
+// costs).
+func (r *Runner) Table34(w io.Writer) ([]Table34Row, error) {
+	var rows []Table34Row
+	var out [][]string
+	pics := float64(r.cfg.StreamPictures)
+	for _, res := range r.cfg.Resolutions {
+		gt, err := r.GOPTasks(res, 13)
+		if err != nil {
+			return nil, err
+		}
+		sp, err := r.SlicePics(res, 13)
+		if err != nil {
+			return nil, err
+		}
+		p := r.cfg.MaxWorkers
+		row := Table34Row{
+			Res:      res,
+			GOP:      pics / SimGOP(gt, p).Makespan.Seconds(),
+			Simple:   pics / SimSlices(sp, p, false).Makespan.Seconds(),
+			Improved: pics / SimSlices(sp, p, true).Makespan.Seconds(),
+		}
+		rows = append(rows, row)
+		out = append(out, []string{res.Name(), f1(row.Simple), f1(row.Improved), f1(row.GOP)})
+	}
+	table(w, fmt.Sprintf("Tables 3+4: max pictures/sec at %d workers", r.cfg.MaxWorkers),
+		[]string{"Resolution", "Simple slice", "Improved slice", "GOP"}, out)
+	return rows, nil
+}

@@ -1,0 +1,346 @@
+package bits
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriterBasic(t *testing.T) {
+	var w Writer
+	w.Put(0b101, 3)
+	w.Put(0b01, 2)
+	w.Put(0b110, 3)
+	got := w.Bytes()
+	want := []byte{0b10101110}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("got %08b want %08b", got, want)
+	}
+	if w.BitsWritten() != 8 {
+		t.Fatalf("BitsWritten = %d, want 8", w.BitsWritten())
+	}
+}
+
+func TestWriterAlign(t *testing.T) {
+	var w Writer
+	w.Put(0b1, 1)
+	w.Align()
+	w.Put(0xAB, 8)
+	got := w.Bytes()
+	want := []byte{0x80, 0xAB}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("got %x want %x", got, want)
+	}
+	// Align when already aligned must be a no-op.
+	w.Align()
+	if w.Len() != 2 {
+		t.Fatalf("Len after redundant Align = %d, want 2", w.Len())
+	}
+}
+
+func TestWriterStartCode(t *testing.T) {
+	var w Writer
+	w.Put(0b11, 2)
+	w.StartCode(0xB3)
+	got := w.Bytes()
+	want := []byte{0xC0, 0x00, 0x00, 0x01, 0xB3}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("got %x want %x", got, want)
+	}
+}
+
+func TestWriterPut64(t *testing.T) {
+	var w Writer
+	w.Put64(0x0123456789ABCDEF, 64)
+	got := w.Bytes()
+	want := []byte{0x01, 0x23, 0x45, 0x67, 0x89, 0xAB, 0xCD, 0xEF}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("got %x want %x", got, want)
+	}
+}
+
+func TestWriterZeroWidth(t *testing.T) {
+	var w Writer
+	w.Put(0xFFFF, 0)
+	w.Put(1, 1)
+	if got := w.Bytes(); !bytes.Equal(got, []byte{0x80}) {
+		t.Fatalf("got %x", got)
+	}
+}
+
+func TestWriterReset(t *testing.T) {
+	var w Writer
+	w.Put(0xFF, 8)
+	w.Reset()
+	if w.Len() != 0 || w.BitsWritten() != 0 {
+		t.Fatal("Reset did not clear state")
+	}
+	w.Put(0x0F, 4)
+	if got := w.Bytes(); !bytes.Equal(got, []byte{0xF0}) {
+		t.Fatalf("got %x", got)
+	}
+}
+
+func TestReaderBasic(t *testing.T) {
+	r := NewReader([]byte{0b10101110, 0xAB})
+	if got := r.Read(3); got != 0b101 {
+		t.Fatalf("Read(3) = %b", got)
+	}
+	if got := r.Peek(5); got != 0b01110 {
+		t.Fatalf("Peek(5) = %05b", got)
+	}
+	if got := r.Read(5); got != 0b01110 {
+		t.Fatalf("Read(5) = %05b", got)
+	}
+	if got := r.Read(8); got != 0xAB {
+		t.Fatalf("Read(8) = %x", got)
+	}
+	if r.Err() != nil {
+		t.Fatalf("unexpected err: %v", r.Err())
+	}
+}
+
+func TestReaderUnderflow(t *testing.T) {
+	r := NewReader([]byte{0xFF})
+	r.Read(8)
+	if r.Err() != nil {
+		t.Fatal("err too early")
+	}
+	if got := r.Read(4); got != 0 {
+		t.Fatalf("underflow read = %x, want 0", got)
+	}
+	if r.Err() == nil {
+		t.Fatal("expected sticky underflow error")
+	}
+	// Error stays sticky.
+	r.Read(8)
+	if r.Err() == nil {
+		t.Fatal("error lost")
+	}
+}
+
+func TestReaderPeekPastEnd(t *testing.T) {
+	r := NewReader([]byte{0x80})
+	r.Read(7)
+	if got := r.Peek(16); got != 0 {
+		t.Fatalf("Peek past end = %x, want 0 bits beyond buffer", got)
+	}
+	if r.Err() != nil {
+		t.Fatal("Peek must not set error")
+	}
+}
+
+func TestReaderSeekAlign(t *testing.T) {
+	r := NewReader([]byte{0xDE, 0xAD, 0xBE, 0xEF})
+	r.Read(3)
+	r.AlignByte()
+	if r.BitPos() != 8 {
+		t.Fatalf("pos = %d", r.BitPos())
+	}
+	if got := r.Read(8); got != 0xAD {
+		t.Fatalf("got %x", got)
+	}
+	r.SeekBit(0)
+	if got := r.Read(8); got != 0xDE {
+		t.Fatalf("got %x", got)
+	}
+	r.SeekBit(99)
+	if r.Err() == nil {
+		t.Fatal("expected seek error")
+	}
+}
+
+func TestReaderRead64(t *testing.T) {
+	data := []byte{0x01, 0x23, 0x45, 0x67, 0x89, 0xAB, 0xCD, 0xEF}
+	r := NewReader(data)
+	if got := r.Read64(64); got != 0x0123456789ABCDEF {
+		t.Fatalf("got %x", got)
+	}
+}
+
+func TestFindStartCode(t *testing.T) {
+	cases := []struct {
+		data []byte
+		from int
+		want int
+	}{
+		{[]byte{0, 0, 1, 0xB3}, 0, 0},
+		{[]byte{0xFF, 0, 0, 1, 0xB3}, 0, 1},
+		{[]byte{0, 0, 0, 1, 0xB3}, 0, 1},
+		{[]byte{0, 1, 1, 0, 0, 1, 0x42}, 0, 3},
+		{[]byte{0, 0, 1}, 0, -1}, // no code byte
+		{[]byte{0, 0, 2, 0, 0, 1, 7}, 0, 3},
+		{[]byte{0, 0, 1, 0xB3, 0, 0, 1, 0x00}, 1, 4},
+		{nil, 0, -1},
+		{[]byte{0, 0, 1, 5}, -3, 0},
+	}
+	for i, c := range cases {
+		if got := FindStartCode(c.data, c.from); got != c.want {
+			t.Errorf("case %d: FindStartCode(%v, %d) = %d, want %d", i, c.data, c.from, got, c.want)
+		}
+	}
+}
+
+func TestFindStartCodeExhaustiveSmall(t *testing.T) {
+	// Brute-force oracle over all 4-byte buffers drawn from {0,1,2}.
+	oracle := func(d []byte, from int) int {
+		for i := from; i+3 < len(d); i++ {
+			if d[i] == 0 && d[i+1] == 0 && d[i+2] == 1 {
+				return i
+			}
+		}
+		return -1
+	}
+	vals := []byte{0, 1, 2}
+	d := make([]byte, 6)
+	var rec func(k int)
+	rec = func(k int) {
+		if k == len(d) {
+			if got, want := FindStartCode(d, 0), oracle(d, 0); got != want {
+				t.Fatalf("FindStartCode(%v) = %d, want %d", d, got, want)
+			}
+			return
+		}
+		for _, v := range vals {
+			d[k] = v
+			rec(k + 1)
+		}
+	}
+	rec(0)
+}
+
+func TestNextStartCode(t *testing.T) {
+	data := []byte{0xAA, 0x00, 0x00, 0x01, 0xB8, 0xFF, 0x00, 0x00, 0x01, 0x00}
+	r := NewReader(data)
+	code, err := r.NextStartCode()
+	if err != nil || code != 0xB8 {
+		t.Fatalf("code=%x err=%v", code, err)
+	}
+	// Position should be at the prefix, so ReadStartCode consumes it.
+	code, err = r.ReadStartCode()
+	if err != nil || code != 0xB8 {
+		t.Fatalf("ReadStartCode=%x err=%v", code, err)
+	}
+	code, err = r.NextStartCode()
+	if err != nil || code != 0x00 {
+		t.Fatalf("second code=%x err=%v", code, err)
+	}
+	r.Skip(32)
+	if _, err := r.NextStartCode(); err == nil {
+		t.Fatal("expected error at end of stream")
+	}
+}
+
+func TestReadStartCodeBad(t *testing.T) {
+	r := NewReader([]byte{0x12, 0x34, 0x56, 0x78})
+	if _, err := r.ReadStartCode(); err == nil {
+		t.Fatal("expected prefix error")
+	}
+}
+
+// TestRoundTripQuick checks Writer→Reader round-trips for random field
+// sequences, the core invariant everything above the bit layer depends on.
+func TestRoundTripQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(200)
+		widths := make([]uint, n)
+		vals := make([]uint32, n)
+		var w Writer
+		for i := range widths {
+			widths[i] = uint(1 + rng.Intn(32))
+			vals[i] = rng.Uint32() & widthMask32(widths[i])
+			w.Put(vals[i], widths[i])
+		}
+		r := NewReader(w.Bytes())
+		for i := range widths {
+			if got := r.Read(widths[i]); got != vals[i] {
+				t.Logf("seed %d field %d: got %x want %x", seed, i, got, vals[i])
+				return false
+			}
+		}
+		return r.Err() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPeekMatchesRead verifies Peek is a pure prefix of Read at random
+// positions and widths.
+func TestPeekMatchesRead(t *testing.T) {
+	f := func(data []byte, pos uint16, width uint8) bool {
+		if len(data) == 0 {
+			return true
+		}
+		n := uint(width%32) + 1
+		p := int64(pos) % (int64(len(data)) * 8)
+		r1 := NewReader(data)
+		r1.SeekBit(p)
+		r2 := NewReader(data)
+		r2.SeekBit(p)
+		return r1.Peek(n) == r2.Read(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReaderHighBitWidths(t *testing.T) {
+	// A full 32-bit read crossing byte boundaries at every phase.
+	data := []byte{0xDE, 0xAD, 0xBE, 0xEF, 0xCA, 0xFE, 0xBA, 0xBE}
+	for phase := uint(0); phase < 8; phase++ {
+		r := NewReader(data)
+		r.Skip(phase)
+		got := r.Read(32)
+		r2 := NewReader(data)
+		r2.Skip(phase)
+		var want uint32
+		for i := 0; i < 32; i++ {
+			want = want<<1 | r2.Read(1)
+		}
+		if got != want {
+			t.Fatalf("phase %d: got %08x want %08x", phase, got, want)
+		}
+	}
+}
+
+func BenchmarkWriterPut(b *testing.B) {
+	var w Writer
+	for i := 0; i < b.N; i++ {
+		if w.Len() > 1<<20 {
+			w.Reset()
+		}
+		w.Put(uint32(i), uint(i%17)+1)
+	}
+}
+
+func BenchmarkReaderRead(b *testing.B) {
+	data := make([]byte, 1<<16)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	r := NewReader(data)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r.Remaining() < 64 {
+			r.SeekBit(0)
+		}
+		r.Read(uint(i%17) + 1)
+	}
+}
+
+func BenchmarkFindStartCode(b *testing.B) {
+	data := make([]byte, 1<<20)
+	for i := range data {
+		data[i] = byte(i*31 + 7)
+	}
+	copy(data[len(data)-4:], []byte{0, 0, 1, 0xB3})
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		if FindStartCode(data, 0) < 0 {
+			b.Fatal("missed")
+		}
+	}
+}

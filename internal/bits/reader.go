@@ -1,0 +1,181 @@
+package bits
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrUnderflow is reported when a read runs past the end of the buffer.
+var ErrUnderflow = errors.New("bits: read past end of stream")
+
+// Reader consumes bits MSB-first from a byte slice.
+//
+// Reads past the end of the buffer set a sticky error (checked with Err) and
+// return zeros, so straight-line parsing code can defer its error check to a
+// syntactically convenient point. This mirrors how hardened bitstream
+// decoders avoid a check per field without risking an out-of-range panic.
+type Reader struct {
+	data []byte
+	pos  int64 // bit position
+	err  error
+}
+
+// NewReader returns a Reader over data. The Reader does not copy data.
+func NewReader(data []byte) *Reader {
+	return &Reader{data: data}
+}
+
+// Err returns the sticky error, if any read has gone past the end.
+func (r *Reader) Err() error { return r.err }
+
+// BitPos returns the current position in bits from the start of the buffer.
+func (r *Reader) BitPos() int64 { return r.pos }
+
+// BytePos returns the current position in whole bytes (rounded down).
+func (r *Reader) BytePos() int64 { return r.pos >> 3 }
+
+// Remaining returns the number of unread bits.
+func (r *Reader) Remaining() int64 { return int64(len(r.data))*8 - r.pos }
+
+// SeekBit moves the read position to absolute bit offset p.
+func (r *Reader) SeekBit(p int64) {
+	if p < 0 || p > int64(len(r.data))*8 {
+		r.err = fmt.Errorf("bits: seek to %d out of range: %w", p, ErrUnderflow)
+		return
+	}
+	r.pos = p
+}
+
+// Read consumes and returns the next n bits (n in [0,32]), MSB first.
+func (r *Reader) Read(n uint) uint32 {
+	v := r.Peek(n)
+	r.pos += int64(n)
+	if r.pos > int64(len(r.data))*8 {
+		r.pos = int64(len(r.data)) * 8
+		if r.err == nil {
+			r.err = ErrUnderflow
+		}
+	}
+	return v
+}
+
+// Read64 consumes and returns the next n bits (n in [0,64]), MSB first.
+func (r *Reader) Read64(n uint) uint64 {
+	if n > 32 {
+		hi := uint64(r.Read(n - 32))
+		return hi<<32 | uint64(r.Read(32))
+	}
+	return uint64(r.Read(n))
+}
+
+// ReadBit consumes a single bit.
+func (r *Reader) ReadBit() bool { return r.Read(1) != 0 }
+
+// Peek returns the next n bits (n in [0,32]) without consuming them.
+// Bits past the end of the buffer read as zero (and do not set the error;
+// only consuming them via Read does).
+func (r *Reader) Peek(n uint) uint32 {
+	if n == 0 {
+		return 0
+	}
+	if n > 32 {
+		panic("bits: Peek width > 32")
+	}
+	byteIdx := int(r.pos >> 3)
+	bitOff := uint(r.pos & 7)
+	// Gather up to 8 bytes so that bitOff + n <= 64 always fits.
+	var acc uint64
+	for i := 0; i < 5; i++ {
+		var b byte
+		if byteIdx+i < len(r.data) {
+			b = r.data[byteIdx+i]
+		}
+		acc = acc<<8 | uint64(b)
+	}
+	// acc holds 40 bits starting at byteIdx; drop bitOff leading bits.
+	acc <<= 24 + bitOff // left-justify in 64
+	return uint32(acc >> (64 - n))
+}
+
+// Skip consumes n bits.
+func (r *Reader) Skip(n uint) {
+	r.pos += int64(n)
+	if r.pos > int64(len(r.data))*8 {
+		r.pos = int64(len(r.data)) * 8
+		if r.err == nil {
+			r.err = ErrUnderflow
+		}
+	}
+}
+
+// ByteAligned reports whether the position is at a byte boundary.
+func (r *Reader) ByteAligned() bool { return r.pos&7 == 0 }
+
+// AlignByte advances to the next byte boundary (no-op if already aligned).
+func (r *Reader) AlignByte() {
+	r.pos = (r.pos + 7) &^ 7
+	if r.pos > int64(len(r.data))*8 {
+		r.pos = int64(len(r.data)) * 8
+	}
+}
+
+// NextStartCode aligns to a byte boundary and advances until the reader is
+// positioned at the first byte of a 0x000001 startcode prefix. It returns
+// the startcode value (the byte following the prefix) without consuming the
+// code, or an error if no startcode remains.
+func (r *Reader) NextStartCode() (byte, error) {
+	r.AlignByte()
+	i := int(r.pos >> 3)
+	j := FindStartCode(r.data, i)
+	if j < 0 {
+		r.pos = int64(len(r.data)) * 8
+		return 0, ErrUnderflow
+	}
+	r.pos = int64(j) * 8
+	return r.data[j+3], nil
+}
+
+// ReadStartCode consumes a byte-aligned startcode and returns its code byte.
+// It fails if the next 24 bits are not the 0x000001 prefix.
+func (r *Reader) ReadStartCode() (byte, error) {
+	r.AlignByte()
+	if r.Remaining() < 32 {
+		r.err = ErrUnderflow
+		return 0, r.err
+	}
+	if prefix := r.Read(24); prefix != 0x000001 {
+		err := fmt.Errorf("bits: expected startcode prefix at byte %d, got %06x", r.BytePos()-3, prefix)
+		if r.err == nil {
+			r.err = err
+		}
+		return 0, err
+	}
+	return byte(r.Read(8)), nil
+}
+
+// FindStartCode returns the byte index of the first startcode prefix
+// (0x00 0x00 0x01) at or after index from, or -1 if none. The index points
+// at the first 0x00 byte; the code byte is at index+3.
+func FindStartCode(data []byte, from int) int {
+	if from < 0 {
+		from = 0
+	}
+	// Classic two-zero scan: look at every position where data[i+2] could
+	// complete a prefix, stepping on mismatches by the distance the failed
+	// byte tells us is safe.
+	for i := from; i+3 < len(data); {
+		if data[i+2] > 1 {
+			i += 3
+			continue
+		}
+		if data[i+2] == 1 {
+			if data[i] == 0 && data[i+1] == 0 {
+				return i
+			}
+			i += 3
+			continue
+		}
+		i++
+	}
+	return -1
+}

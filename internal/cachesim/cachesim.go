@@ -1,0 +1,357 @@
+// Package cachesim simulates per-processor caches with write-invalidate
+// coherence over the decoder's memory-reference trace, classifying misses
+// as cold, capacity, conflict or sharing — the TangoLite-substitute behind
+// the paper's locality study (Figures 13–15).
+package cachesim
+
+import (
+	"fmt"
+
+	"mpeg2par/internal/memtrace"
+)
+
+// Config describes the simulated memory system: one cache per processor,
+// kept coherent by write-invalidation.
+type Config struct {
+	Size     int // per-processor cache size in bytes
+	LineSize int // cache line size in bytes (power of two)
+	Assoc    int // ways per set; 0 means fully associative
+	Procs    int // number of processors (and caches)
+
+	// WriteAllocate installs lines on write misses. The default (false)
+	// matches the paper's read-oriented TangoLite methodology: writes are
+	// counted and invalidate other caches, but do not allocate locally —
+	// write latency is assumed hidden by write buffers, and a later read
+	// of self-written data is a (cold) read miss.
+	WriteAllocate bool
+}
+
+func (c Config) validate() error {
+	if c.Size <= 0 || c.LineSize <= 0 || c.Size%c.LineSize != 0 {
+		return fmt.Errorf("cachesim: bad geometry %d/%d", c.Size, c.LineSize)
+	}
+	if c.LineSize&(c.LineSize-1) != 0 {
+		return fmt.Errorf("cachesim: line size %d not a power of two", c.LineSize)
+	}
+	lines := c.Size / c.LineSize
+	if c.Assoc < 0 || (c.Assoc > 0 && lines%c.Assoc != 0) {
+		return fmt.Errorf("cachesim: associativity %d does not divide %d lines", c.Assoc, lines)
+	}
+	if c.Procs < 1 {
+		return fmt.Errorf("cachesim: need at least one processor")
+	}
+	return nil
+}
+
+// Stats accumulates reference and miss counts. References are counted at
+// 4-byte word granularity, the era-typical load/store width, so miss
+// rates are per memory reference like the paper's.
+type Stats struct {
+	Reads, Writes           int64
+	ReadMisses, WriteMisses int64
+
+	// Read-miss classification.
+	Cold     int64 // first touch of the line by this processor
+	Sharing  int64 // line was invalidated by another processor's write
+	TrueShr  int64 // sharing misses where the read overlaps the written bytes
+	Capacity int64 // would also miss in a fully-associative cache
+	Conflict int64 // hits fully-associative, misses set-associative
+}
+
+// ReadMissRate returns read misses per read reference.
+func (s Stats) ReadMissRate() float64 {
+	if s.Reads == 0 {
+		return 0
+	}
+	return float64(s.ReadMisses) / float64(s.Reads)
+}
+
+// MissRate returns total misses per reference.
+func (s Stats) MissRate() float64 {
+	t := s.Reads + s.Writes
+	if t == 0 {
+		return 0
+	}
+	return float64(s.ReadMisses+s.WriteMisses) / float64(t)
+}
+
+// Add accumulates o into s.
+func (s *Stats) Add(o Stats) {
+	s.Reads += o.Reads
+	s.Writes += o.Writes
+	s.ReadMisses += o.ReadMisses
+	s.WriteMisses += o.WriteMisses
+	s.Cold += o.Cold
+	s.Sharing += o.Sharing
+	s.TrueShr += o.TrueShr
+	s.Capacity += o.Capacity
+	s.Conflict += o.Conflict
+}
+
+// lru is one set: a bounded LRU of line tags.
+type lru struct {
+	ways int
+	m    map[uint64]*node
+	head *node // most recent
+	tail *node // least recent
+}
+
+type node struct {
+	tag        uint64
+	prev, next *node
+}
+
+func newLRU(ways int) *lru { return &lru{ways: ways, m: make(map[uint64]*node, ways)} }
+
+func (l *lru) touch(n *node) {
+	if l.head == n {
+		return
+	}
+	// unlink
+	if n.prev != nil {
+		n.prev.next = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	}
+	if l.tail == n {
+		l.tail = n.prev
+	}
+	// push front
+	n.prev = nil
+	n.next = l.head
+	if l.head != nil {
+		l.head.prev = n
+	}
+	l.head = n
+	if l.tail == nil {
+		l.tail = n
+	}
+}
+
+// access looks up tag, inserting on miss (evicting LRU if full). It
+// returns hit and the evicted tag (valid only when evicted is true).
+func (l *lru) access(tag uint64) (hit bool, evictedTag uint64, evicted bool) {
+	if n, ok := l.m[tag]; ok {
+		l.touch(n)
+		return true, 0, false
+	}
+	var n *node
+	if len(l.m) >= l.ways {
+		n = l.tail
+		delete(l.m, n.tag)
+		evictedTag, evicted = n.tag, true
+		n.tag = tag
+	} else {
+		n = &node{tag: tag}
+	}
+	l.m[tag] = n
+	l.touch(n)
+	return false, evictedTag, evicted
+}
+
+// remove drops tag if present (invalidation).
+func (l *lru) remove(tag uint64) bool {
+	n, ok := l.m[tag]
+	if !ok {
+		return false
+	}
+	delete(l.m, tag)
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		l.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		l.tail = n.prev
+	}
+	return true
+}
+
+// procCache is one processor's cache plus classification state.
+type procCache struct {
+	sets   []*lru
+	shadow *lru // fully-associative same-capacity shadow (nil if main is FA)
+	seen   map[uint64]bool
+	inval  map[uint64]invalInfo // lines invalidated away by another processor
+}
+
+type invalInfo struct {
+	addr uint64
+	size int32
+}
+
+// Simulator runs a trace through the configured memory system.
+type Simulator struct {
+	cfg       Config
+	lineShift uint
+	setMask   uint64
+	procs     []*procCache
+	stats     []Stats
+	// sharers tracks which processors currently cache each line.
+	sharers map[uint64]uint64 // line -> bitmask of procs (procs <= 64)
+}
+
+// New builds a simulator for the configuration.
+func New(cfg Config) (*Simulator, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Procs > 64 {
+		return nil, fmt.Errorf("cachesim: at most 64 processors")
+	}
+	lines := cfg.Size / cfg.LineSize
+	ways := cfg.Assoc
+	if ways == 0 || ways > lines {
+		ways = lines
+	}
+	nsets := lines / ways
+	shift := uint(0)
+	for 1<<shift < cfg.LineSize {
+		shift++
+	}
+	s := &Simulator{
+		cfg:       cfg,
+		lineShift: shift,
+		setMask:   uint64(nsets - 1),
+		procs:     make([]*procCache, cfg.Procs),
+		stats:     make([]Stats, cfg.Procs),
+		sharers:   make(map[uint64]uint64),
+	}
+	for p := range s.procs {
+		pc := &procCache{
+			sets:  make([]*lru, nsets),
+			seen:  make(map[uint64]bool),
+			inval: make(map[uint64]invalInfo),
+		}
+		for i := range pc.sets {
+			pc.sets[i] = newLRU(ways)
+		}
+		if nsets > 1 {
+			pc.shadow = newLRU(lines)
+		}
+		s.procs[p] = pc
+	}
+	return s, nil
+}
+
+// Run feeds trace events through the memory system.
+func (s *Simulator) Run(events []memtrace.Event) error {
+	for _, e := range events {
+		if int(e.Proc) < 0 || int(e.Proc) >= s.cfg.Procs {
+			return fmt.Errorf("cachesim: event for processor %d outside %d-processor system", e.Proc, s.cfg.Procs)
+		}
+		s.extent(int(e.Proc), e.Addr, int(e.Size), e.Write)
+	}
+	return nil
+}
+
+// extent splits a contiguous access into per-line word references.
+func (s *Simulator) extent(p int, addr uint64, size int, write bool) {
+	end := addr + uint64(size)
+	for a := addr; a < end; {
+		lineEnd := (a>>s.lineShift + 1) << s.lineShift
+		if lineEnd > end {
+			lineEnd = end
+		}
+		words := int64((lineEnd - a + 3) / 4)
+		s.accessLine(p, a>>s.lineShift, words, write, a, int32(lineEnd-a))
+		a = lineEnd
+	}
+}
+
+func (s *Simulator) accessLine(p int, line uint64, words int64, write bool, addr uint64, size int32) {
+	pc := s.procs[p]
+	st := &s.stats[p]
+	if write {
+		st.Writes += words
+	} else {
+		st.Reads += words
+	}
+	set := pc.sets[line&s.setMask]
+	if write && !s.cfg.WriteAllocate {
+		// Write-no-allocate: look up without installing.
+		if _, present := set.m[line]; !present {
+			st.WriteMisses++
+		}
+	} else {
+		hit, _, _ := set.access(line)
+		shadowHit := hit
+		if pc.shadow != nil {
+			shadowHit, _, _ = pc.shadow.access(line)
+		}
+		if !hit {
+			if write {
+				st.WriteMisses++
+			} else {
+				st.ReadMisses++
+				switch {
+				case !pc.seen[line]:
+					st.Cold++
+				case s.classifySharing(pc, line, addr, size, st):
+					// counted inside
+				case !shadowHit:
+					st.Capacity++
+				default:
+					st.Conflict++
+				}
+			}
+			pc.seen[line] = true
+			delete(pc.inval, line)
+			s.sharers[line] |= 1 << uint(p)
+		}
+	}
+	if write {
+		// Invalidate all other copies.
+		mask := s.sharers[line]
+		for q := 0; mask != 0; q++ {
+			bit := uint64(1) << uint(q)
+			if q != p && mask&bit != 0 {
+				if s.procs[q].sets[line&s.setMask].remove(line) {
+					s.procs[q].inval[line] = invalInfo{addr: addr, size: size}
+				}
+				if s.procs[q].shadow != nil {
+					s.procs[q].shadow.remove(line)
+				}
+			}
+			mask &^= bit
+		}
+		if s.cfg.WriteAllocate {
+			s.sharers[line] = 1 << uint(p)
+		} else {
+			// The writer does not keep a copy; its own set entry (if the
+			// line was previously read) stays valid locally.
+			s.sharers[line] &= 1 << uint(p)
+		}
+	}
+}
+
+// classifySharing checks whether the read miss was caused by an
+// invalidation, counting it if so.
+func (s *Simulator) classifySharing(pc *procCache, line uint64, addr uint64, size int32, st *Stats) bool {
+	info, ok := pc.inval[line]
+	if !ok {
+		return false
+	}
+	st.Sharing++
+	// True sharing: the bytes now read overlap the bytes that were
+	// written by the invalidating store.
+	if addr < info.addr+uint64(info.size) && info.addr < addr+uint64(size) {
+		st.TrueShr++
+	}
+	return true
+}
+
+// Stats returns the aggregate over all processors.
+func (s *Simulator) Stats() Stats {
+	var total Stats
+	for p := range s.stats {
+		total.Add(s.stats[p])
+	}
+	return total
+}
+
+// ProcStats returns one processor's counters.
+func (s *Simulator) ProcStats(p int) Stats { return s.stats[p] }

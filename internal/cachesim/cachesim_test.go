@@ -1,0 +1,228 @@
+package cachesim
+
+import (
+	"testing"
+
+	"mpeg2par/internal/memtrace"
+)
+
+func ev(proc int, addr uint64, size int, write bool) memtrace.Event {
+	return memtrace.Event{Proc: int32(proc), Addr: addr, Size: int32(size), Write: write}
+}
+
+func run(t *testing.T, cfg Config, events []memtrace.Event) *Simulator {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(events); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Size: 0, LineSize: 64, Procs: 1},
+		{Size: 100, LineSize: 64, Procs: 1},
+		{Size: 128, LineSize: 48, Procs: 1},
+		{Size: 1024, LineSize: 64, Assoc: 3, Procs: 1},
+		{Size: 1024, LineSize: 64, Procs: 0},
+		{Size: 1024, LineSize: 64, Procs: 65},
+	}
+	for i, c := range bad {
+		if _, err := New(c); err == nil {
+			t.Errorf("config %d should be rejected: %+v", i, c)
+		}
+	}
+}
+
+func TestColdThenHit(t *testing.T) {
+	s := run(t, Config{Size: 1024, LineSize: 64, Assoc: 0, Procs: 1}, []memtrace.Event{
+		ev(0, 0, 64, false),
+		ev(0, 0, 64, false),
+	})
+	st := s.Stats()
+	if st.Reads != 32 { // 2 × 16 word references
+		t.Fatalf("reads %d", st.Reads)
+	}
+	if st.ReadMisses != 1 || st.Cold != 1 {
+		t.Fatalf("misses %d cold %d", st.ReadMisses, st.Cold)
+	}
+}
+
+func TestSpatialLocalityLineSize(t *testing.T) {
+	// Streaming reads: miss rate must halve when the line size doubles
+	// (Figure 13's property).
+	stream := []memtrace.Event{}
+	for a := uint64(0); a < 1<<16; a += 16 {
+		stream = append(stream, ev(0, a, 16, false))
+	}
+	var prev float64
+	for i, line := range []int{16, 32, 64, 128, 256} {
+		s := run(t, Config{Size: 1 << 20, LineSize: line, Assoc: 0, Procs: 1}, stream)
+		mr := s.Stats().ReadMissRate()
+		if i > 0 {
+			ratio := prev / mr
+			if ratio < 1.9 || ratio > 2.1 {
+				t.Fatalf("line %d: miss rate %f, prev/mr = %f, want ~2", line, mr, ratio)
+			}
+		}
+		prev = mr
+	}
+}
+
+func TestCapacityMisses(t *testing.T) {
+	// Working set of 128 lines cycled through a 64-line FA cache: every
+	// access misses, classified capacity after the cold pass.
+	var evs []memtrace.Event
+	for pass := 0; pass < 3; pass++ {
+		for i := uint64(0); i < 128; i++ {
+			evs = append(evs, ev(0, i*64, 4, false))
+		}
+	}
+	s := run(t, Config{Size: 64 * 64, LineSize: 64, Assoc: 0, Procs: 1}, evs)
+	st := s.Stats()
+	if st.Cold != 128 {
+		t.Fatalf("cold %d, want 128", st.Cold)
+	}
+	if st.Capacity != 256 || st.Conflict != 0 {
+		t.Fatalf("capacity %d conflict %d, want 256/0", st.Capacity, st.Conflict)
+	}
+}
+
+func TestConflictMisses(t *testing.T) {
+	// Two lines mapping to the same set of a direct-mapped cache,
+	// alternating: conflict misses (they fit in the FA shadow).
+	cfg := Config{Size: 1024, LineSize: 64, Assoc: 1, Procs: 1} // 16 sets
+	var evs []memtrace.Event
+	for i := 0; i < 10; i++ {
+		evs = append(evs, ev(0, 0, 4, false), ev(0, 1024, 4, false)) // same set 0
+	}
+	s := run(t, cfg, evs)
+	st := s.Stats()
+	if st.Cold != 2 {
+		t.Fatalf("cold %d", st.Cold)
+	}
+	if st.Conflict != 18 || st.Capacity != 0 {
+		t.Fatalf("conflict %d capacity %d, want 18/0", st.Conflict, st.Capacity)
+	}
+	// The same pattern in a 2-way cache has no conflicts.
+	s2 := run(t, Config{Size: 1024, LineSize: 64, Assoc: 2, Procs: 1}, evs)
+	if st2 := s2.Stats(); st2.ReadMisses != 2 {
+		t.Fatalf("2-way misses %d, want 2", st2.ReadMisses)
+	}
+}
+
+func TestLRUOrder(t *testing.T) {
+	// 2-way set: touch A, B, A, then C evicts B (LRU), so B misses next.
+	cfg := Config{Size: 2 * 64, LineSize: 64, Assoc: 2, Procs: 1} // one set
+	a, b, c := uint64(0), uint64(64), uint64(128)
+	s := run(t, cfg, []memtrace.Event{
+		ev(0, a, 4, false), ev(0, b, 4, false), ev(0, a, 4, false),
+		ev(0, c, 4, false), // evicts b
+		ev(0, a, 4, false), // hit
+		ev(0, b, 4, false), // miss (capacity: FA shadow is the same size here)
+	})
+	st := s.Stats()
+	if st.ReadMisses != 4 {
+		t.Fatalf("misses %d, want 4", st.ReadMisses)
+	}
+}
+
+func TestSharingMisses(t *testing.T) {
+	cfg := Config{Size: 1024, LineSize: 64, Assoc: 0, Procs: 2}
+	s := run(t, cfg, []memtrace.Event{
+		ev(0, 0, 64, false), // P0 cold
+		ev(1, 0, 64, false), // P1 cold
+		ev(1, 0, 8, true),   // P1 writes bytes 0..8 → invalidates P0
+		ev(0, 0, 8, false),  // P0 true-sharing miss (overlap)
+		ev(1, 32, 8, true),  // P1 writes bytes 32..40 → invalidates P0 again
+		ev(0, 0, 8, false),  // P0 false-sharing miss (no overlap)
+	})
+	st := s.ProcStats(0)
+	if st.Sharing != 2 {
+		t.Fatalf("sharing misses %d, want 2", st.Sharing)
+	}
+	if st.TrueShr != 1 {
+		t.Fatalf("true sharing %d, want 1", st.TrueShr)
+	}
+}
+
+func TestWriteMissesCounted(t *testing.T) {
+	// Default (write-no-allocate): writes never install, so both miss.
+	s := run(t, Config{Size: 1024, LineSize: 64, Assoc: 0, Procs: 1}, []memtrace.Event{
+		ev(0, 0, 64, true),
+		ev(0, 0, 64, true),
+	})
+	st := s.Stats()
+	if st.Writes != 32 || st.WriteMisses != 2 {
+		t.Fatalf("no-allocate: writes %d misses %d", st.Writes, st.WriteMisses)
+	}
+	// With write-allocate the second write hits.
+	s = run(t, Config{Size: 1024, LineSize: 64, Assoc: 0, Procs: 1, WriteAllocate: true}, []memtrace.Event{
+		ev(0, 0, 64, true),
+		ev(0, 0, 64, true),
+	})
+	st = s.Stats()
+	if st.WriteMisses != 1 {
+		t.Fatalf("write-allocate: misses %d, want 1", st.WriteMisses)
+	}
+	if st.MissRate() <= 0 {
+		t.Fatal("miss rate zero")
+	}
+}
+
+func TestWriteNoAllocateMakesRereadCold(t *testing.T) {
+	// The methodology behind the locality figures: data written then read
+	// back is a *cold* read miss because writes do not install lines.
+	s := run(t, Config{Size: 1 << 20, LineSize: 64, Assoc: 0, Procs: 1}, []memtrace.Event{
+		ev(0, 0, 64, true),
+		ev(0, 0, 64, false),
+		ev(0, 0, 64, false),
+	})
+	st := s.Stats()
+	if st.ReadMisses != 1 || st.Cold != 1 {
+		t.Fatalf("misses %d cold %d, want 1/1", st.ReadMisses, st.Cold)
+	}
+}
+
+func TestExtentSplitsAcrossLines(t *testing.T) {
+	// A 16-byte access straddling a line boundary touches two lines.
+	s := run(t, Config{Size: 1024, LineSize: 64, Assoc: 0, Procs: 1}, []memtrace.Event{
+		ev(0, 56, 16, false),
+	})
+	st := s.Stats()
+	if st.ReadMisses != 2 {
+		t.Fatalf("misses %d, want 2 (straddle)", st.ReadMisses)
+	}
+	if st.Reads != 4 { // 8 bytes in each line = 2+2 words
+		t.Fatalf("reads %d, want 4", st.Reads)
+	}
+}
+
+func TestBadProcessorRejected(t *testing.T) {
+	s, err := New(Config{Size: 1024, LineSize: 64, Procs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run([]memtrace.Event{ev(3, 0, 4, false)}); err == nil {
+		t.Fatal("out-of-range processor must fail")
+	}
+}
+
+func TestInvalidationRemovesFromShadow(t *testing.T) {
+	// After invalidation, the re-read must be a sharing miss, not a
+	// shadow-classified conflict.
+	cfg := Config{Size: 256, LineSize: 64, Assoc: 1, Procs: 2}
+	s := run(t, cfg, []memtrace.Event{
+		ev(0, 0, 4, false),
+		ev(1, 0, 4, true),
+		ev(0, 0, 4, false),
+	})
+	st := s.ProcStats(0)
+	if st.Sharing != 1 || st.Conflict != 0 {
+		t.Fatalf("sharing %d conflict %d", st.Sharing, st.Conflict)
+	}
+}

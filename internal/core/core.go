@@ -1,0 +1,158 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"mpeg2par/internal/decoder"
+	"mpeg2par/internal/frame"
+	"mpeg2par/internal/memtrace"
+)
+
+// Mode selects the parallelization strategy.
+type Mode int
+
+// The decoder variants the paper evaluates.
+const (
+	// ModeGOP is the coarse-grained decoder: one task per group of
+	// pictures (§5.1).
+	ModeGOP Mode = iota
+	// ModeSliceSimple is the fine-grained decoder with a barrier after
+	// every picture (§5.2, "simple slice version").
+	ModeSliceSimple
+	// ModeSliceImproved synchronizes only at the end of reference (I/P)
+	// pictures, letting B pictures and the next reference overlap (§5.2,
+	// "improved slice version").
+	ModeSliceImproved
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeGOP:
+		return "gop"
+	case ModeSliceSimple:
+		return "slice-simple"
+	case ModeSliceImproved:
+		return "slice-improved"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// Options configures a parallel decode.
+type Options struct {
+	Mode    Mode
+	Workers int // number of worker processes (paper's P); >= 1
+
+	// Sink receives every frame in display order, from the display
+	// process. The frame is only valid during the call (it returns to
+	// the pool afterwards). Nil discards output.
+	Sink func(*frame.Frame)
+
+	// Tracer, when non-nil, receives the reconstruction memory-reference
+	// stream tagged with worker ids.
+	Tracer memtrace.Tracer
+
+	// Profile, when true, records per-task costs (single-worker runs are
+	// the meaningful profile source for the deterministic simulator).
+	Profile bool
+
+	// Conceal makes damaged slices non-fatal: their macroblocks are
+	// filled by zero-vector temporal concealment and decoding continues.
+	Conceal bool
+}
+
+// WorkerStats describes one worker process's time breakdown.
+type WorkerStats struct {
+	Busy  time.Duration // decoding
+	Wait  time.Duration // blocked on the task queue / picture barrier
+	Tasks int
+}
+
+// TaskCost is a profiled task duration.
+type TaskCost struct {
+	Cost time.Duration
+	Work decoder.WorkStats
+}
+
+// PicProfile is the per-picture slice cost profile used by the simulator.
+type PicProfile struct {
+	Ref        bool // reference (I or P) picture
+	Type       byte
+	SliceCosts []time.Duration
+	HeaderCost time.Duration // per-picture overhead (header parse, open)
+	DisplayIdx int
+}
+
+// Stats reports a parallel decode run.
+type Stats struct {
+	Mode      Mode
+	Workers   int
+	Pictures  int
+	Displayed int
+	Wall      time.Duration // decode wall time (excluding scan)
+	ScanTime  time.Duration
+	ScanRate  float64 // pictures/second in the scan process
+
+	WorkerStats []WorkerStats
+	Work        decoder.WorkStats
+
+	// Concealed counts macroblocks recovered by error concealment.
+	Concealed int
+
+	// PeakFrameBytes is the high watermark of decoded-picture memory —
+	// the quantity Figures 8 and 9 study.
+	PeakFrameBytes int64
+	// FramesAllocated is the cumulative number of distinct frame buffers.
+	FramesAllocated int64
+
+	// Profiles (only with Options.Profile).
+	GOPCosts  []TaskCost
+	SliceProf []PicProfile
+}
+
+// PicturesPerSecond returns decoded pictures per wall second.
+func (s *Stats) PicturesPerSecond() float64 {
+	if s.Wall <= 0 {
+		return 0
+	}
+	return float64(s.Pictures) / s.Wall.Seconds()
+}
+
+// Decode runs the parallel decoder over a complete elementary stream.
+func Decode(data []byte, opt Options) (*Stats, error) {
+	if opt.Workers < 1 {
+		return nil, fmt.Errorf("core: need at least one worker")
+	}
+	m, err := Scan(data)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeScanned(data, m, opt)
+}
+
+// DecodeScanned runs the parallel decoder over a pre-scanned stream
+// (callers sweeping worker counts scan once).
+func DecodeScanned(data []byte, m *StreamMap, opt Options) (*Stats, error) {
+	if opt.Workers < 1 {
+		return nil, fmt.Errorf("core: need at least one worker")
+	}
+	st := &Stats{
+		Mode:     opt.Mode,
+		Workers:  opt.Workers,
+		ScanTime: m.ScanTime,
+		ScanRate: m.ScanRate(),
+	}
+	var err error
+	switch opt.Mode {
+	case ModeGOP:
+		err = decodeGOPMode(data, m, opt, st)
+	case ModeSliceSimple, ModeSliceImproved:
+		err = decodeSliceMode(data, m, opt, st)
+	default:
+		err = fmt.Errorf("core: unknown mode %d", int(opt.Mode))
+	}
+	if err != nil {
+		return nil, err
+	}
+	return st, nil
+}

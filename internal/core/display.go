@@ -1,0 +1,99 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"mpeg2par/internal/frame"
+)
+
+// displayProc is the display process: decoded pictures arrive in
+// completion order and wait in the reorder buffer until their display
+// turn, then go to the sink and back to the frame pool. (Dithering is
+// omitted, as in the paper's measurements.)
+//
+// The reorder buffer drains synchronously inside push: on a single-CPU
+// host a dedicated goroutine would starve during decode bursts and
+// overstate the queue depth, while the paper's dedicated display
+// processor drains continuously. The memory behaviour — out-of-order GOP
+// completions pile up until the in-order GOP finishes — is preserved
+// exactly.
+type displayProc struct {
+	mu        sync.Mutex
+	pending   map[int]*frame.Frame
+	next      int
+	pool      *frame.Pool
+	sink      func(*frame.Frame)
+	displayed int
+	err       error
+}
+
+func newDisplay(pool *frame.Pool, sink func(*frame.Frame)) *displayProc {
+	return &displayProc{pending: make(map[int]*frame.Frame), pool: pool, sink: sink}
+}
+
+// push hands one decoded picture (with its absolute display index) to the
+// display process and drains everything that is now in order.
+func (d *displayProc) push(f *frame.Frame, idx int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if idx < d.next || d.pending[idx] != nil {
+		if d.err == nil {
+			d.err = fmt.Errorf("core: duplicate display index %d", idx)
+		}
+		return
+	}
+	d.pending[idx] = f
+	for {
+		g, ok := d.pending[d.next]
+		if !ok {
+			return
+		}
+		delete(d.pending, d.next)
+		g.DisplayIndex = d.next
+		if d.sink != nil {
+			d.sink(g)
+		}
+		if g.Release() {
+			d.pool.Put(g)
+		}
+		d.displayed++
+		d.next++
+	}
+}
+
+// finish checks that every picture was displayed.
+func (d *displayProc) finish() (int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.err != nil {
+		return d.displayed, d.err
+	}
+	if len(d.pending) != 0 {
+		return d.displayed, fmt.Errorf("core: %d pictures never displayed (gap at %d)", len(d.pending), d.next)
+	}
+	return d.displayed, nil
+}
+
+// firstErr latches the first error reported by any process.
+type firstErr struct {
+	mu  sync.Mutex
+	err error
+}
+
+func (e *firstErr) set(err error) {
+	if err == nil {
+		return
+	}
+	e.mu.Lock()
+	if e.err == nil {
+		e.err = err
+	}
+	e.mu.Unlock()
+}
+
+func (e *firstErr) get() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.err
+}

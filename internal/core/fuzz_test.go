@@ -1,0 +1,42 @@
+package core
+
+import (
+	"testing"
+
+	"mpeg2par/internal/encoder"
+	"mpeg2par/internal/frame"
+)
+
+// FuzzScan drives the scan process over arbitrary bytes: it must never
+// panic, and any successful scan must be internally consistent. Run long
+// with: go test -fuzz=FuzzScan ./internal/core
+func FuzzScan(f *testing.F) {
+	res, err := encoder.EncodeSequence(encoder.Config{Width: 48, Height: 32, Pictures: 2, GOPSize: 2},
+		frame.NewSynth(48, 32))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(res.Data)
+	f.Add([]byte{0, 0, 1, 0x00, 0, 0, 1, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Scan(data)
+		if err != nil {
+			return
+		}
+		for _, g := range m.GOPs {
+			if g.End < g.Offset {
+				t.Fatalf("GOP range inverted: %+v", g)
+			}
+			for _, p := range g.Pictures {
+				if p.End < p.Offset {
+					t.Fatalf("picture range inverted: %+v", p)
+				}
+				for _, sl := range p.Slices {
+					if sl.End < sl.Offset || sl.Offset < p.Offset || sl.End > p.End {
+						t.Fatalf("slice range outside picture: %+v in %+v", sl, p)
+					}
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"mpeg2par/internal/bits"
+	"mpeg2par/internal/decoder"
+	"mpeg2par/internal/frame"
+	"mpeg2par/internal/mpeg2"
+)
+
+// decodeGOPMode runs the coarse-grained decoder: the scan result feeds a
+// task queue of whole GOPs; each worker decodes its GOP start to finish
+// and ships pictures to the display process.
+func decodeGOPMode(data []byte, m *StreamMap, opt Options, st *Stats) error {
+	pool := frame.NewPool(m.Seq.Width, m.Seq.Height)
+	disp := newDisplay(pool, opt.Sink)
+
+	tasks := make(chan int, len(m.GOPs))
+	for g := range m.GOPs {
+		tasks <- g
+	}
+	close(tasks)
+
+	var errs firstErr
+	st.WorkerStats = make([]WorkerStats, opt.Workers)
+	if opt.Profile {
+		st.GOPCosts = make([]TaskCost, len(m.GOPs))
+	}
+	var workMu sync.Mutex
+
+	wallStart := time.Now()
+	var wg sync.WaitGroup
+	for wi := 0; wi < opt.Workers; wi++ {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			ws := &st.WorkerStats[wi]
+			for {
+				t0 := time.Now()
+				g, ok := <-tasks
+				ws.Wait += time.Since(t0)
+				if !ok {
+					return
+				}
+				if errs.get() != nil {
+					continue // drain remaining tasks after a failure
+				}
+				t1 := time.Now()
+				work, concealed, err := decodeOneGOP(data, m, g, pool, opt, wi, disp)
+				cost := time.Since(t1)
+				ws.Busy += cost
+				ws.Tasks++
+				if err != nil {
+					errs.set(fmt.Errorf("core: GOP %d: %w", g, err))
+					continue
+				}
+				workMu.Lock()
+				st.Work.Add(work)
+				st.Concealed += concealed
+				if opt.Profile {
+					st.GOPCosts[g] = TaskCost{Cost: cost, Work: work}
+				}
+				workMu.Unlock()
+			}
+		}(wi)
+	}
+	wg.Wait()
+	displayed, dispErr := disp.finish()
+	st.Wall = time.Since(wallStart)
+
+	if err := errs.get(); err != nil {
+		return err
+	}
+	if dispErr != nil {
+		return dispErr
+	}
+	st.Pictures = m.TotalPictures
+	st.Displayed = displayed
+	ps := pool.Stats()
+	st.PeakFrameBytes = ps.PeakBytes
+	st.FramesAllocated = ps.AllocBytes
+	if displayed != m.TotalPictures {
+		return fmt.Errorf("core: displayed %d of %d pictures", displayed, m.TotalPictures)
+	}
+	return nil
+}
+
+// decodeOneGOP decodes GOP g completely (the unit of work of one task).
+func decodeOneGOP(data []byte, m *StreamMap, g int, pool *frame.Pool, opt Options, wi int, disp *displayProc) (decoder.WorkStats, int, error) {
+	gop := &m.GOPs[g]
+	seq := m.Seq // copy: workers must not share mutable header state
+	pd := decoder.PictureDecoder{
+		Seq:     &seq,
+		Tracer:  opt.Tracer,
+		Proc:    wi,
+		Conceal: opt.Conceal,
+		Alloc: func() *frame.Frame {
+			f := pool.Get()
+			f.Retain(1) // the display process's reference
+			return f
+		},
+		OnRelease: func(f *frame.Frame) {
+			if f.Release() {
+				pool.Put(f)
+			}
+		},
+	}
+	r := bits.NewReader(data[:gop.End])
+	r.SeekBit(int64(gop.Offset) * 8)
+
+	pi := 0
+	for {
+		code, err := r.NextStartCode()
+		if err != nil {
+			break
+		}
+		r.Skip(32)
+		switch {
+		case code == mpeg2.PictureStartCode:
+			if pi >= len(gop.Pictures) {
+				return pd.Work, pd.Concealed, fmt.Errorf("more pictures than scanned")
+			}
+			pi++
+			out, err := pd.DecodePicture(r)
+			if err != nil {
+				return pd.Work, pd.Concealed, err
+			}
+			for _, f := range out {
+				disp.push(f, gop.FirstDisplay+f.TemporalRef)
+			}
+		case code == mpeg2.SequenceHeaderCode:
+			if _, err := mpeg2.ParseSequenceHeader(r); err != nil {
+				return pd.Work, pd.Concealed, err
+			}
+		case code == mpeg2.GroupStartCode:
+			if _, err := mpeg2.ParseGOPHeader(r); err != nil {
+				return pd.Work, pd.Concealed, err
+			}
+		default:
+			// extension/user data: skip
+		}
+	}
+	if pi != len(gop.Pictures) {
+		return pd.Work, pd.Concealed, fmt.Errorf("decoded %d of %d pictures", pi, len(gop.Pictures))
+	}
+	if f := pd.Flush(); f != nil {
+		disp.push(f, gop.FirstDisplay+f.TemporalRef)
+	}
+	pd.Reset() // release reference retains
+	return pd.Work, pd.Concealed, nil
+}

@@ -1,0 +1,190 @@
+// Package core implements the paper's parallel MPEG-2 decoder: a scan
+// process that indexes the stream by startcodes, a pool of worker
+// processes consuming either GOP-level tasks (coarse grain) or slice-level
+// tasks from a 2-D picture/slice queue (fine grain, in simple and improved
+// variants), and a display process that reorders decoded pictures into
+// display order.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"mpeg2par/internal/bits"
+	"mpeg2par/internal/mpeg2"
+	"mpeg2par/internal/vlc"
+)
+
+// SliceRange locates one slice's bytes within the stream.
+type SliceRange struct {
+	Row    int
+	Offset int // byte offset of the slice startcode
+	End    int // byte offset one past the slice data
+}
+
+// PictureRange locates one picture and its slices.
+type PictureRange struct {
+	Offset      int // byte offset of the picture startcode
+	End         int
+	Type        vlc.PictureCoding
+	TemporalRef int
+	Slices      []SliceRange
+}
+
+// GOPRange locates one group of pictures. The range starts at the
+// repeated sequence header if one precedes the GOP header.
+type GOPRange struct {
+	Offset       int
+	End          int
+	FirstDisplay int // display index of the GOP's first picture
+	Closed       bool
+	Pictures     []PictureRange
+}
+
+// StreamMap is the product of the scan process: the structural index that
+// makes task-level parallel decode possible without decoding.
+type StreamMap struct {
+	Seq           mpeg2.SequenceHeader
+	GOPs          []GOPRange
+	TotalPictures int
+	ScanTime      time.Duration
+	Bytes         int
+}
+
+// ScanRate returns the scan throughput in pictures per second.
+func (m *StreamMap) ScanRate() float64 {
+	if m.ScanTime <= 0 {
+		return 0
+	}
+	return float64(m.TotalPictures) / m.ScanTime.Seconds()
+}
+
+// Scan indexes the stream: it finds every startcode, parses the sequence
+// header and the cheap picture-header prefix (temporal reference and
+// type), and groups pictures and slices into GOPs. This is exactly the
+// work the paper's dedicated scan process performs.
+func Scan(data []byte) (*StreamMap, error) {
+	start := time.Now()
+	m := &StreamMap{Bytes: len(data)}
+	seqSeen := false
+
+	var curGOP *GOPRange
+	var curPic *PictureRange
+	pendingSeqOffset := -1 // offset of a seq header not yet claimed by a GOP
+
+	closePic := func(end int) {
+		if curPic == nil {
+			return
+		}
+		curPic.End = end
+		if n := len(curPic.Slices); n > 0 {
+			curPic.Slices[n-1].End = end
+		}
+		curGOP.Pictures = append(curGOP.Pictures, *curPic)
+		curPic = nil
+	}
+	closeGOP := func(end int) {
+		closePic(end)
+		if curGOP == nil {
+			return
+		}
+		curGOP.End = end
+		m.GOPs = append(m.GOPs, *curGOP)
+		m.TotalPictures += len(curGOP.Pictures)
+		curGOP = nil
+	}
+
+	pos := 0
+	for {
+		i := bits.FindStartCode(data, pos)
+		if i < 0 {
+			break
+		}
+		code := data[i+3]
+		pos = i + 4
+		switch {
+		case code == mpeg2.SequenceHeaderCode:
+			closeGOP(i)
+			r := bits.NewReader(data[pos:])
+			seq, err := mpeg2.ParseSequenceHeader(r)
+			if err != nil {
+				return nil, fmt.Errorf("core: scan: %w", err)
+			}
+			if seqSeen && (seq.Width != m.Seq.Width || seq.Height != m.Seq.Height) {
+				return nil, fmt.Errorf("core: scan: sequence size changes mid-stream")
+			}
+			m.Seq = seq
+			seqSeen = true
+			pendingSeqOffset = i
+		case code == mpeg2.GroupStartCode:
+			closeGOP(i)
+			off := i
+			if pendingSeqOffset >= 0 {
+				off = pendingSeqOffset
+			}
+			r := bits.NewReader(data[pos:])
+			gh, err := mpeg2.ParseGOPHeader(r)
+			if err != nil {
+				return nil, fmt.Errorf("core: scan: %w", err)
+			}
+			curGOP = &GOPRange{Offset: off, FirstDisplay: -1, Closed: gh.Closed}
+			pendingSeqOffset = -1
+		case code == mpeg2.PictureStartCode:
+			if curGOP == nil {
+				// GOP headers are optional in MPEG-2: synthesize one.
+				off := i
+				if pendingSeqOffset >= 0 {
+					off = pendingSeqOffset
+				}
+				curGOP = &GOPRange{Offset: off, FirstDisplay: -1, Closed: true}
+				pendingSeqOffset = -1
+			}
+			closePic(i)
+			if i+5 >= len(data) {
+				return nil, fmt.Errorf("core: scan: truncated picture header at %d", i)
+			}
+			// temporal_reference: 10 bits; picture_coding_type: 3 bits.
+			b0, b1 := int(data[i+4]), int(data[i+5])
+			tref := b0<<2 | b1>>6
+			ptype := vlc.PictureCoding(b1 >> 3 & 7)
+			if ptype < vlc.CodingI || ptype > vlc.CodingB {
+				return nil, fmt.Errorf("core: scan: bad picture type %d at %d", int(ptype), i)
+			}
+			curPic = &PictureRange{Offset: i, Type: ptype, TemporalRef: tref}
+		case code >= mpeg2.SliceStartMin && code <= mpeg2.SliceStartMax:
+			if curPic == nil {
+				return nil, fmt.Errorf("core: scan: slice startcode outside picture at %d", i)
+			}
+			if n := len(curPic.Slices); n > 0 {
+				curPic.Slices[n-1].End = i
+			}
+			curPic.Slices = append(curPic.Slices, SliceRange{Row: int(code) - 1, Offset: i})
+		case code == mpeg2.SequenceEndCode:
+			closeGOP(i)
+		default:
+			// Extension/user data: belongs to the current unit; nothing
+			// to index.
+		}
+	}
+	closeGOP(len(data))
+
+	if !seqSeen {
+		return nil, fmt.Errorf("core: scan: no sequence header")
+	}
+	// Assign display indices: each GOP's pictures display contiguously.
+	display := 0
+	for g := range m.GOPs {
+		m.GOPs[g].FirstDisplay = display
+		display += len(m.GOPs[g].Pictures)
+	}
+	if m.TotalPictures == 0 {
+		return nil, fmt.Errorf("core: scan: no pictures")
+	}
+	m.ScanTime = time.Since(start)
+	return m, nil
+}
+
+// DisplayIndex returns the absolute display position of picture p of GOP g.
+func (m *StreamMap) DisplayIndex(g int, p *PictureRange) int {
+	return m.GOPs[g].FirstDisplay + p.TemporalRef
+}

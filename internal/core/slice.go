@@ -1,0 +1,389 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"mpeg2par/internal/bits"
+	"mpeg2par/internal/decoder"
+	"mpeg2par/internal/frame"
+	"mpeg2par/internal/mpeg2"
+	"mpeg2par/internal/vlc"
+)
+
+// picState is one picture in the 2-D task queue (first level: pictures in
+// decode order; second level: that picture's slices).
+type picState struct {
+	rng        *PictureRange
+	hdr        mpeg2.PictureHeader
+	params     mpeg2.PictureParams
+	displayIdx int
+
+	fwd, bwd int // decode-order indices of reference pictures, -1 if none
+	lastRef  int // most recent reference picture before this one, -1
+	isRef    bool
+	deps     int32 // number of later pictures that reference this one
+
+	frame     *frame.Frame
+	nextSlice int    // next slice to hand out
+	remaining int    // slices not yet completed
+	covered   []bool // macroblocks actually reconstructed
+	nCovered  int
+	complete  bool
+}
+
+// sliceQueue is the shared 2-D task queue plus the synchronization the
+// two slice variants differ in.
+type sliceQueue struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	pics     []*picState
+	pool     *frame.Pool
+	issueIdx int // first picture whose slices are not fully handed out
+	improved bool
+	// depth bounds how far the pipeline may run ahead of the oldest
+	// incomplete picture. Without it a single straggling slice lets the
+	// improved variant buffer an unbounded number of decoded pictures —
+	// flow control the paper's fixed-speed processors never needed.
+	depth  int
+	failed bool
+}
+
+// open reports whether the picture at issueIdx may start issuing slices.
+func (q *sliceQueue) open(i int) bool {
+	p := q.pics[i]
+	if q.depth > 0 && i >= q.depth && !q.pics[i-q.depth].complete {
+		return false // pipeline-depth flow control
+	}
+	if q.improved {
+		// Improved version: wait only for the last reference picture.
+		return p.lastRef < 0 || q.pics[p.lastRef].complete
+	}
+	// Simple version: barrier after every picture.
+	return i == 0 || q.pics[i-1].complete
+}
+
+// take blocks until a slice task is available (returning picture and
+// slice index) or the queue is exhausted/failed (ok=false). The caller
+// receives the time spent waiting.
+func (q *sliceQueue) take() (p *picState, slice int, wait time.Duration, ok bool) {
+	t0 := time.Now()
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if q.failed {
+			return nil, 0, time.Since(t0), false
+		}
+		// Skip over fully-issued pictures.
+		for q.issueIdx < len(q.pics) && q.pics[q.issueIdx].nextSlice >= len(q.pics[q.issueIdx].rng.Slices) {
+			q.issueIdx++
+		}
+		if q.issueIdx >= len(q.pics) {
+			return nil, 0, time.Since(t0), false
+		}
+		if q.open(q.issueIdx) {
+			p = q.pics[q.issueIdx]
+			if p.frame == nil {
+				// Lazy allocation keeps live frames to the in-flight
+				// pictures plus references — the memory property the
+				// slice approach exists for. Retains: 1 for display plus
+				// one per picture that will reference this one.
+				p.frame = q.pool.Get()
+				p.frame.Retain(1 + p.deps)
+				p.frame.PictureType = "?IPB"[int(p.hdr.Type)]
+				p.frame.TemporalRef = p.hdr.TemporalReference
+			}
+			slice = p.nextSlice
+			p.nextSlice++
+			return p, slice, time.Since(t0), true
+		}
+		q.cond.Wait()
+	}
+}
+
+func (q *sliceQueue) fail() {
+	q.mu.Lock()
+	q.failed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+// finish marks one slice of p complete, recording which macroblocks it
+// reconstructed, and reports whether the picture just completed.
+func (q *sliceQueue) finish(p *picState, addrs []int) bool {
+	q.mu.Lock()
+	if p.covered == nil {
+		p.covered = make([]bool, p.params.MBWidth*p.params.MBHeight)
+	}
+	for _, a := range addrs {
+		if a >= 0 && a < len(p.covered) && !p.covered[a] {
+			p.covered[a] = true
+			p.nCovered++
+		}
+	}
+	p.remaining--
+	done := p.remaining == 0
+	if done {
+		p.complete = true
+		q.cond.Broadcast()
+	}
+	q.mu.Unlock()
+	return done
+}
+
+// missing returns the addresses of macroblocks never reconstructed (call
+// only after the picture completed).
+func (q *sliceQueue) missing(p *picState) []int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	total := p.params.MBWidth * p.params.MBHeight
+	if p.nCovered == total {
+		return nil
+	}
+	var out []int
+	for a := 0; a < total; a++ {
+		if p.covered == nil || !p.covered[a] {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// buildPicStates flattens the scanned stream into decode-order pictures
+// with resolved reference indices, parsing each picture header (the scan
+// process's job in the paper's design).
+func buildPicStates(data []byte, m *StreamMap) ([]*picState, error) {
+	var pics []*picState
+	refOld, refNew := -1, -1
+	lastRef := -1 // most recent reference picture across the whole stream:
+	// the improved version synchronizes at the end of every I/P picture
+	// even across GOP boundaries, exactly like the paper's scheme.
+	for g := range m.GOPs {
+		gop := &m.GOPs[g]
+		if gop.Closed {
+			refOld, refNew = -1, -1
+		}
+		for pi := range gop.Pictures {
+			pr := &gop.Pictures[pi]
+			r := bits.NewReader(data[:pr.End])
+			r.SeekBit(int64(pr.Offset+4) * 8)
+			hdr, err := mpeg2.ParsePictureHeader(r)
+			if err != nil {
+				return nil, fmt.Errorf("core: picture %d of GOP %d: %w", pi, g, err)
+			}
+			if len(pr.Slices) == 0 {
+				return nil, fmt.Errorf("core: picture %d of GOP %d has no slices", pi, g)
+			}
+			ps := &picState{
+				rng:        pr,
+				hdr:        hdr,
+				displayIdx: gop.FirstDisplay + pr.TemporalRef,
+				fwd:        -1,
+				bwd:        -1,
+				lastRef:    lastRef,
+				isRef:      hdr.Type != vlc.CodingB,
+				remaining:  len(pr.Slices),
+			}
+			ps.params = decoder.PictureParams(&m.Seq, &ps.hdr)
+			switch hdr.Type {
+			case vlc.CodingP:
+				if refNew < 0 {
+					return nil, fmt.Errorf("core: P picture without reference")
+				}
+				ps.fwd = refNew
+			case vlc.CodingB:
+				if refOld < 0 || refNew < 0 {
+					return nil, fmt.Errorf("core: B picture without two references")
+				}
+				ps.fwd, ps.bwd = refOld, refNew
+			}
+			idx := len(pics)
+			pics = append(pics, ps)
+			for _, ri := range []int{ps.fwd, ps.bwd} {
+				if ri >= 0 {
+					pics[ri].deps++
+				}
+			}
+			if ps.isRef {
+				refOld, refNew = refNew, idx
+				lastRef = idx
+			}
+		}
+	}
+	return pics, nil
+}
+
+// decodeSliceMode runs the fine-grained decoder (simple or improved).
+func decodeSliceMode(data []byte, m *StreamMap, opt Options, st *Stats) error {
+	pics, err := buildPicStates(data, m)
+	if err != nil {
+		return err
+	}
+	pool := frame.NewPool(m.Seq.Width, m.Seq.Height)
+	disp := newDisplay(pool, opt.Sink)
+
+	q := &sliceQueue{
+		pics:     pics,
+		improved: opt.Mode == ModeSliceImproved,
+		pool:     pool,
+		depth:    opt.Workers + 4,
+	}
+	q.cond = sync.NewCond(&q.mu)
+
+	var errs firstErr
+	st.WorkerStats = make([]WorkerStats, opt.Workers)
+	if opt.Profile {
+		st.SliceProf = make([]PicProfile, len(pics))
+		for i, p := range pics {
+			st.SliceProf[i] = PicProfile{
+				Ref:        p.isRef,
+				Type:       "?IPB"[int(p.hdr.Type)],
+				SliceCosts: make([]time.Duration, len(p.rng.Slices)),
+				DisplayIdx: p.displayIdx,
+			}
+		}
+	}
+	var workMu sync.Mutex
+
+	release := func(f *frame.Frame) {
+		if f.Release() {
+			pool.Put(f)
+		}
+	}
+
+	wallStart := time.Now()
+	var wg sync.WaitGroup
+	for wi := 0; wi < opt.Workers; wi++ {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			ws := &st.WorkerStats[wi]
+			for {
+				p, si, wait, ok := q.take()
+				ws.Wait += wait
+				if !ok {
+					return
+				}
+				t0 := time.Now()
+				work, addrs, err := decodeOneSlice(data, m, pics, p, si, wi, opt)
+				cost := time.Since(t0)
+				ws.Busy += cost
+				ws.Tasks++
+				if err != nil && !opt.Conceal {
+					errs.set(err)
+					q.fail()
+					return
+				}
+				workMu.Lock()
+				st.Work.Add(work)
+				if opt.Profile {
+					st.SliceProf[pindex(pics, p)].SliceCosts[si] = cost
+				}
+				workMu.Unlock()
+				if q.finish(p, addrs) {
+					// Picture complete: conceal anything the damaged
+					// slices left unwritten, release the frames it
+					// referenced, and ship it to the display process.
+					if miss := q.missing(p); len(miss) > 0 {
+						if !opt.Conceal {
+							errs.set(fmt.Errorf("core: picture at display %d covered %d of %d macroblocks",
+								p.displayIdx, p.params.MBWidth*p.params.MBHeight-len(miss),
+								p.params.MBWidth*p.params.MBHeight))
+							q.fail()
+							return
+						}
+						concealMBs(pics, p, miss)
+						workMu.Lock()
+						st.Concealed += len(miss)
+						workMu.Unlock()
+					}
+					for _, ri := range []int{p.fwd, p.bwd} {
+						if ri >= 0 {
+							release(pics[ri].frame)
+						}
+					}
+					disp.push(p.frame, p.displayIdx)
+				}
+			}
+		}(wi)
+	}
+	wg.Wait()
+	displayed, dispErr := disp.finish()
+	st.Wall = time.Since(wallStart)
+
+	if err := errs.get(); err != nil {
+		return err
+	}
+	if dispErr != nil {
+		return dispErr
+	}
+	st.Pictures = len(pics)
+	st.Displayed = displayed
+	ps := pool.Stats()
+	st.PeakFrameBytes = ps.PeakBytes
+	st.FramesAllocated = ps.AllocBytes
+	if displayed != len(pics) {
+		return fmt.Errorf("core: displayed %d of %d pictures", displayed, len(pics))
+	}
+	return nil
+}
+
+// concealMBs fills the listed macroblock addresses of p's frame by
+// temporal concealment.
+func concealMBs(pics []*picState, p *picState, addrs []int) {
+	var ref *frame.Frame
+	if p.fwd >= 0 {
+		ref = pics[p.fwd].frame
+	} else if p.bwd >= 0 {
+		ref = pics[p.bwd].frame
+	}
+	mbw := p.params.MBWidth
+	for _, a := range addrs {
+		decoder.ConcealMB(p.frame, ref, a%mbw, a/mbw)
+	}
+}
+
+func pindex(pics []*picState, p *picState) int {
+	// Pictures are few; displayIdx is unique but not decode-ordered, so
+	// search by identity.
+	for i := range pics {
+		if pics[i] == p {
+			return i
+		}
+	}
+	return -1
+}
+
+// decodeOneSlice parses and reconstructs a single slice — the unit of
+// work of the fine-grained decoder. It returns the addresses of the
+// macroblocks it reconstructed, for picture-coverage accounting.
+func decodeOneSlice(data []byte, m *StreamMap, pics []*picState, p *picState, si, wi int, opt Options) (decoder.WorkStats, []int, error) {
+	sr := p.rng.Slices[si]
+	r := bits.NewReader(data[:sr.End])
+	r.SeekBit(int64(sr.Offset) * 8)
+	code, err := r.ReadStartCode()
+	if err != nil {
+		return decoder.WorkStats{}, nil, err
+	}
+	ds, err := mpeg2.DecodeSlice(r, &p.params, int(code)-1)
+	if err != nil {
+		return decoder.WorkStats{}, nil, fmt.Errorf("core: slice row %d: %w", int(code)-1, err)
+	}
+	refs := decoder.Refs{}
+	if p.fwd >= 0 {
+		refs.Fwd = pics[p.fwd].frame
+	}
+	if p.bwd >= 0 {
+		refs.Bwd = pics[p.bwd].frame
+	}
+	work, err := decoder.ReconSlice(&m.Seq, &p.hdr, refs, p.frame, &ds, wi, opt.Tracer)
+	if err != nil {
+		return work, nil, err
+	}
+	addrs := make([]int, len(ds.MBs))
+	for i := range ds.MBs {
+		addrs[i] = ds.MBs[i].Addr
+	}
+	return work, addrs, nil
+}

@@ -1,0 +1,86 @@
+package dct
+
+import (
+	"math"
+	"testing"
+)
+
+// TestBasisVectors runs every unit impulse through the fast IDCT and
+// compares against the double-precision reference — full coverage of the
+// transform's 64 basis functions.
+func TestBasisVectors(t *testing.T) {
+	for k := 0; k < 64; k++ {
+		for _, amp := range []int32{1, 16, 255, -255, 1024, -1024} {
+			var fast, ref [64]int32
+			fast[k], ref[k] = amp, amp
+			Inverse(&fast)
+			InverseRef(&ref)
+			for i := range ref {
+				r := ref[i]
+				if r > 255 {
+					r = 255
+				}
+				if r < -256 {
+					r = -256
+				}
+				d := fast[i] - r
+				if d < 0 {
+					d = -d
+				}
+				if d > 1 {
+					t.Fatalf("basis %d amp %d pixel %d: fast %d ref %d", k, amp, i, fast[i], r)
+				}
+			}
+		}
+	}
+}
+
+// TestParseval: the DCT is orthonormal, so energy is preserved by the
+// reference transform (within rounding).
+func TestParseval(t *testing.T) {
+	var b [64]int32
+	for i := range b {
+		b[i] = int32((i*37)%256 - 128)
+	}
+	var spatial float64
+	for _, v := range b {
+		spatial += float64(v) * float64(v)
+	}
+	ForwardRef(&b)
+	var freq float64
+	for _, v := range b {
+		freq += float64(v) * float64(v)
+	}
+	if ratio := freq / spatial; math.Abs(ratio-1) > 0.01 {
+		t.Fatalf("energy ratio %f, want ~1", ratio)
+	}
+}
+
+// TestForwardRefNyquist: the alternating checkerboard maps to the highest
+// frequency coefficient.
+func TestForwardRefNyquist(t *testing.T) {
+	var b [64]int32
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 8; x++ {
+			v := int32(100)
+			if (x+y)%2 == 1 {
+				v = -100
+			}
+			b[y*8+x] = v
+		}
+	}
+	ForwardRef(&b)
+	// Highest-magnitude coefficient must be (7,7).
+	maxIdx, maxAbs := 0, int32(0)
+	for i, v := range b {
+		if v < 0 {
+			v = -v
+		}
+		if v > maxAbs {
+			maxIdx, maxAbs = i, v
+		}
+	}
+	if maxIdx != 63 {
+		t.Fatalf("checkerboard peaked at coefficient %d, want 63", maxIdx)
+	}
+}

@@ -1,0 +1,81 @@
+package decoder
+
+import (
+	"mpeg2par/internal/frame"
+	"mpeg2par/internal/mpeg2"
+)
+
+// ConcealMB fills the macroblock at (mbx, mby) of dst when its coded data
+// was lost: from the co-located macroblock of ref when a reference is
+// available (zero-vector temporal concealment, the classic slice-loss
+// strategy), or with mid-grey otherwise.
+func ConcealMB(dst, ref *frame.Frame, mbx, mby int) {
+	if ref != nil && ref.CodedW == dst.CodedW && ref.CodedH == dst.CodedH {
+		for y := 0; y < 16; y++ {
+			off := (mby*16+y)*dst.CodedW + mbx*16
+			copy(dst.Y[off:off+16], ref.Y[off:off+16])
+		}
+		cw := dst.CodedW / 2
+		for y := 0; y < 8; y++ {
+			off := (mby*8+y)*cw + mbx*8
+			copy(dst.Cb[off:off+8], ref.Cb[off:off+8])
+			copy(dst.Cr[off:off+8], ref.Cr[off:off+8])
+		}
+		return
+	}
+	for y := 0; y < 16; y++ {
+		off := (mby*16+y)*dst.CodedW + mbx*16
+		for x := 0; x < 16; x++ {
+			dst.Y[off+x] = 128
+		}
+	}
+	cw := dst.CodedW / 2
+	for y := 0; y < 8; y++ {
+		off := (mby*8+y)*cw + mbx*8
+		for x := 0; x < 8; x++ {
+			dst.Cb[off+x] = 128
+			dst.Cr[off+x] = 128
+		}
+	}
+}
+
+// coverage tracks which macroblocks of a picture were reconstructed, so
+// losses can be concealed at macroblock granularity.
+type coverage struct {
+	mbw  int
+	done []bool
+	n    int
+}
+
+func newCoverage(mbw, mbh int) *coverage {
+	return &coverage{mbw: mbw, done: make([]bool, mbw*mbh)}
+}
+
+func (c *coverage) markSlice(ds *mpeg2.DecodedSlice) {
+	for i := range ds.MBs {
+		addr := ds.MBs[i].Addr
+		if addr >= 0 && addr < len(c.done) && !c.done[addr] {
+			c.done[addr] = true
+			c.n++
+		}
+	}
+}
+
+// concealMissing fills every unreconstructed macroblock and returns how
+// many were concealed. For B pictures the forward (past) reference is
+// the concealment source; for I pictures, whichever reference exists.
+func (c *coverage) concealMissing(dst *frame.Frame, refs Refs) int {
+	ref := refs.Fwd
+	if ref == nil {
+		ref = refs.Bwd
+	}
+	concealed := 0
+	for addr, ok := range c.done {
+		if ok {
+			continue
+		}
+		ConcealMB(dst, ref, addr%c.mbw, addr/c.mbw)
+		concealed++
+	}
+	return concealed
+}

@@ -1,0 +1,127 @@
+package decoder
+
+import (
+	"testing"
+
+	"mpeg2par/internal/encoder"
+	"mpeg2par/internal/frame"
+)
+
+// corruptSlice flips bytes inside the body of the given slice of the
+// given picture (indices in scan order: we locate slices via startcodes).
+func corruptSlice(t *testing.T, data []byte, pictureIdx, sliceIdx int) []byte {
+	t.Helper()
+	mut := append([]byte(nil), data...)
+	pics, slices := -1, -1
+	for i := 0; i+4 < len(mut); i++ {
+		if mut[i] != 0 || mut[i+1] != 0 || mut[i+2] != 1 {
+			continue
+		}
+		code := mut[i+3]
+		if code == 0x00 {
+			pics++
+			slices = -1
+		}
+		if code >= 0x01 && code <= 0xAF && pics == pictureIdx {
+			slices++
+			if slices == sliceIdx {
+				// Zeroing slice bytes makes the VLD either hit an invalid
+				// code or see a premature end-of-slice marker — both the
+				// "damaged slice" cases concealment must handle.
+				for j := i + 6; j < i+14 && j < len(mut); j++ {
+					mut[j] = 0x00
+				}
+				return mut
+			}
+		}
+	}
+	t.Fatalf("slice %d of picture %d not found", sliceIdx, pictureIdx)
+	return nil
+}
+
+func TestConcealCorruptSlice(t *testing.T) {
+	res := testStream(t, encoder.Config{Width: 96, Height: 64, Pictures: 7, GOPSize: 7})
+	// Corrupt a middle slice of the P picture (decode order index 1).
+	mut := corruptSlice(t, res.Data, 1, 2)
+
+	// Without concealment: hard error.
+	d, err := New(mut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.All(); err == nil {
+		t.Fatal("corruption must fail without concealment")
+	}
+
+	// With concealment: the stream decodes fully.
+	d2, err := New(mut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2.Conceal = true
+	frames, err := d2.All()
+	if err != nil {
+		t.Fatalf("concealed decode failed: %v", err)
+	}
+	if len(frames) != 7 {
+		t.Fatalf("decoded %d frames, want 7", len(frames))
+	}
+	if d2.Concealed == 0 {
+		t.Fatal("no macroblocks reported concealed")
+	}
+	// Quality: concealed output should still resemble the source (the
+	// concealed row comes from the previous picture of a slow pan).
+	src := frame.NewSynth(96, 64)
+	for i, f := range frames {
+		if p := frame.PSNR(src.Frame(i), f); p < 15 {
+			t.Errorf("frame %d PSNR %.1f dB — concealment destroyed the picture", i, p)
+		}
+	}
+}
+
+func TestConcealFirstIntraWithoutReference(t *testing.T) {
+	res := testStream(t, encoder.Config{Width: 64, Height: 48, Pictures: 4, GOPSize: 4})
+	// Corrupt a slice of the very first I picture: no reference exists,
+	// so concealment falls back to grey and decode still completes.
+	mut := corruptSlice(t, res.Data, 0, 1)
+	d, err := New(mut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Conceal = true
+	frames, err := d.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 4 {
+		t.Fatalf("decoded %d frames", len(frames))
+	}
+	if d.Concealed == 0 {
+		t.Fatal("nothing concealed")
+	}
+}
+
+func TestConcealMBGreyFallback(t *testing.T) {
+	dst := frame.New(32, 32)
+	ConcealMB(dst, nil, 1, 1)
+	if dst.Y[17*dst.CodedW+17] != 128 || dst.Cb[9*dst.CodedW/2+9] != 128 {
+		t.Fatal("grey fallback not applied")
+	}
+	// Mismatched reference geometry also falls back to grey.
+	ConcealMB(dst, frame.New(64, 64), 0, 0)
+	if dst.Y[0] != 128 {
+		t.Fatal("geometry mismatch should fall back to grey")
+	}
+}
+
+func TestConcealMBCopiesReference(t *testing.T) {
+	ref := frame.New(32, 32)
+	for i := range ref.Y {
+		ref.Y[i] = 77
+	}
+	dst := frame.New(32, 32)
+	ConcealMB(dst, ref, 1, 0)
+	if dst.Y[16] != 77 || dst.Y[0] != 0 {
+		t.Fatalf("copy wrong: %d %d", dst.Y[16], dst.Y[0])
+	}
+}

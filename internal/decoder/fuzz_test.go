@@ -1,0 +1,44 @@
+package decoder
+
+import (
+	"testing"
+
+	"mpeg2par/internal/encoder"
+	"mpeg2par/internal/frame"
+)
+
+// FuzzDecode drives the sequential decoder (with and without concealment)
+// over mutated streams: it must never panic or hang, only return errors.
+// The seed corpus contains real encoded streams so mutations explore deep
+// syntax paths. Run long with: go test -fuzz=FuzzDecode ./internal/decoder
+func FuzzDecode(f *testing.F) {
+	for _, cfg := range []encoder.Config{
+		{Width: 48, Height: 32, Pictures: 4, GOPSize: 4},
+		{Width: 48, Height: 32, Pictures: 4, GOPSize: 4, Interlaced: true},
+		{Width: 32, Height: 32, Pictures: 2, GOPSize: 2, IntraVLCFormat: true, AlternateScan: true},
+	} {
+		res, err := encoder.EncodeSequence(cfg, frame.NewSynth(cfg.Width, cfg.Height))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(res.Data)
+	}
+	f.Add([]byte{0, 0, 1, 0xB3, 0x02, 0x00, 0x20, 0x14, 0xFF, 0xFF, 0xE0, 0xA0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			return
+		}
+		for _, conceal := range []bool{false, true} {
+			d, err := New(data)
+			if err != nil {
+				continue
+			}
+			d.Conceal = conceal
+			for i := 0; i < 64; i++ {
+				if _, err := d.Next(); err != nil {
+					break
+				}
+			}
+		}
+	})
+}

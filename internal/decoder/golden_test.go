@@ -1,0 +1,140 @@
+package decoder
+
+import (
+	"testing"
+
+	"mpeg2par/internal/bits"
+	"mpeg2par/internal/encoder"
+	"mpeg2par/internal/frame"
+	"mpeg2par/internal/mpeg2"
+	"mpeg2par/internal/vlc"
+)
+
+// TestGoldenHandcraftedStream builds a one-picture stream from the syntax
+// primitives directly — a 16×16 I picture whose single macroblock has a
+// known flat DC — and checks the decoder produces the exact pixel values
+// the standard's arithmetic dictates.
+func TestGoldenHandcraftedStream(t *testing.T) {
+	var w bits.Writer
+	seq := mpeg2.SequenceHeader{Width: 16, Height: 16}
+	seq.Write(&w)
+	(&mpeg2.GOPHeader{Closed: true}).Write(&w)
+	ph := mpeg2.PictureHeader{
+		Type:              vlc.CodingI,
+		PictureStructure:  mpeg2.FramePicture,
+		FramePredFrameDCT: true,
+		ProgressiveFrame:  true,
+		FCode:             [2][2]int{{15, 15}, {15, 15}},
+	}
+	ph.Write(&w)
+
+	params := PictureParams(&seq, &ph)
+	mb := mpeg2.MB{Addr: 0, QScaleCode: 2, Type: vlc.MBType{Intra: true}}
+	// Quantized DC 200 with intra_dc_precision 0 dequantizes to
+	// 200*8 = 1600; the IDCT of a DC-only block is 1600/8 = 200 flat.
+	for b := 0; b < 6; b++ {
+		mb.Blocks[b][0] = 200
+	}
+	if err := mpeg2.EncodeSlice(&w, &params, 0, 2, []mpeg2.MB{mb}); err != nil {
+		t.Fatal(err)
+	}
+	w.StartCode(mpeg2.SequenceEndCode)
+
+	d, err := New(w.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames, err := d.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 1 {
+		t.Fatalf("%d frames", len(frames))
+	}
+	f := frames[0]
+	for i, v := range f.Y {
+		if v != 200 {
+			t.Fatalf("Y[%d] = %d, want 200", i, v)
+		}
+	}
+	for i := range f.Cb {
+		if f.Cb[i] != 200 || f.Cr[i] != 200 {
+			t.Fatalf("chroma[%d] = %d/%d, want 200", i, f.Cb[i], f.Cr[i])
+		}
+	}
+}
+
+// TestGoldenPPictureZeroResidual: a P picture whose only macroblock is
+// skipped... cannot be (first MB can't skip), so it carries a zero vector
+// and no residual: the output must equal the reference exactly.
+func TestGoldenPPictureZeroResidual(t *testing.T) {
+	var w bits.Writer
+	seq := mpeg2.SequenceHeader{Width: 16, Height: 16}
+	seq.Write(&w)
+	(&mpeg2.GOPHeader{Closed: true}).Write(&w)
+
+	iph := mpeg2.PictureHeader{
+		Type: vlc.CodingI, PictureStructure: mpeg2.FramePicture,
+		FramePredFrameDCT: true, ProgressiveFrame: true,
+		FCode: [2][2]int{{15, 15}, {15, 15}},
+	}
+	iph.Write(&w)
+	iparams := PictureParams(&seq, &iph)
+	imb := mpeg2.MB{Addr: 0, QScaleCode: 2, Type: vlc.MBType{Intra: true}}
+	for b := 0; b < 6; b++ {
+		imb.Blocks[b][0] = 128 + int32(b)
+	}
+	if err := mpeg2.EncodeSlice(&w, &iparams, 0, 2, []mpeg2.MB{imb}); err != nil {
+		t.Fatal(err)
+	}
+
+	pph := mpeg2.PictureHeader{
+		Type: vlc.CodingP, TemporalReference: 1,
+		PictureStructure: mpeg2.FramePicture, FramePredFrameDCT: true,
+		ProgressiveFrame: true, FCode: [2][2]int{{1, 1}, {15, 15}},
+	}
+	pph.Write(&w)
+	pparams := PictureParams(&seq, &pph)
+	pmb := mpeg2.MB{Addr: 0, QScaleCode: 2, Type: vlc.MBType{MotionForward: true}}
+	if err := mpeg2.EncodeSlice(&w, &pparams, 0, 2, []mpeg2.MB{pmb}); err != nil {
+		t.Fatal(err)
+	}
+	w.StartCode(mpeg2.SequenceEndCode)
+
+	d, err := New(w.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames, err := d.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 2 {
+		t.Fatalf("%d frames", len(frames))
+	}
+	if !frames[0].Equal(frames[1]) {
+		t.Fatal("zero-vector zero-residual P picture must replicate the reference")
+	}
+}
+
+// TestEncoderDeterminism: the same configuration and source must produce
+// byte-identical streams (the whole experiment pipeline depends on it).
+func TestEncoderDeterminism(t *testing.T) {
+	cfg := encoder.Config{Width: 112, Height: 80, Pictures: 7, GOPSize: 7, BitRate: 2_000_000}
+	a, err := encoder.EncodeSequence(cfg, frame.NewSynth(112, 80))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := encoder.EncodeSequence(cfg, frame.NewSynth(112, 80))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Data) != len(b.Data) {
+		t.Fatalf("lengths differ: %d vs %d", len(a.Data), len(b.Data))
+	}
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatalf("streams differ at byte %d", i)
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package decoder
+
+import (
+	"fmt"
+
+	"mpeg2par/internal/bits"
+	"mpeg2par/internal/frame"
+	"mpeg2par/internal/memtrace"
+	"mpeg2par/internal/mpeg2"
+	"mpeg2par/internal/vlc"
+)
+
+// PictureDecoder decodes a run of pictures (e.g. one closed GOP) given an
+// externally supplied sequence header, managing reference frames and
+// display reordering. It is the building block the GOP-level parallel
+// decoder gives each worker.
+type PictureDecoder struct {
+	Seq    *mpeg2.SequenceHeader
+	Tracer memtrace.Tracer
+	Proc   int
+	// Conceal makes slice errors non-fatal: damaged or missing slices
+	// are skipped and their macroblocks filled by zero-vector temporal
+	// concealment (grey when no reference exists).
+	Conceal bool
+	// Alloc provides destination frames; nil means frame.New. The GOP
+	// workers pass a counting pool allocator here.
+	Alloc func() *frame.Frame
+	// OnRelease, when non-nil, is called exactly once per reference frame
+	// when the decoder stops holding it for prediction (the frame may
+	// still be queued for display — callers refcount across consumers).
+	OnRelease func(*frame.Frame)
+
+	refOld, refNew *frame.Frame
+	held           *frame.Frame
+
+	Work     WorkStats
+	Pictures int
+	// Concealed counts macroblocks recovered by concealment.
+	Concealed int
+}
+
+// Reset clears reference state (for reuse across independent GOPs),
+// invoking OnRelease for the references being dropped. It returns any
+// still-held reference so the caller can route it to display.
+func (pd *PictureDecoder) Reset() *frame.Frame {
+	h := pd.held
+	if pd.OnRelease != nil {
+		if pd.refOld != nil {
+			pd.OnRelease(pd.refOld)
+		}
+		if pd.refNew != nil {
+			pd.OnRelease(pd.refNew)
+		}
+	}
+	pd.refOld, pd.refNew, pd.held = nil, nil, nil
+	return h
+}
+
+// References returns the frames currently retained as references or held
+// for display, for lifetime accounting.
+func (pd *PictureDecoder) References() []*frame.Frame {
+	var fs []*frame.Frame
+	for _, f := range []*frame.Frame{pd.refOld, pd.refNew, pd.held} {
+		if f != nil {
+			fs = append(fs, f)
+		}
+	}
+	return fs
+}
+
+func (pd *PictureDecoder) newFrame() *frame.Frame {
+	if pd.Alloc != nil {
+		return pd.Alloc()
+	}
+	return frame.New(pd.Seq.Width, pd.Seq.Height)
+}
+
+// DecodePicture parses and reconstructs one picture; the reader must be
+// positioned just after the picture startcode. It returns the frames that
+// became displayable (in display order): zero or one reference frames
+// released by reordering, and/or the B frame itself.
+func (pd *PictureDecoder) DecodePicture(r *bits.Reader) ([]*frame.Frame, error) {
+	ph, err := mpeg2.ParsePictureHeader(r)
+	if err != nil {
+		return nil, err
+	}
+	dst := pd.newFrame()
+	dst.PictureType = "?IPB"[int(ph.Type)]
+	dst.TemporalRef = ph.TemporalReference
+	if ph.Type != vlc.CodingB && pd.OnRelease != nil {
+		// Reference frames carry one extra retain for the decoder's own
+		// prediction use; OnRelease signals the matching release.
+		dst.Retain(1)
+	}
+
+	refs := Refs{}
+	switch ph.Type {
+	case vlc.CodingP:
+		refs.Fwd = pd.refNew
+	case vlc.CodingB:
+		refs.Fwd, refs.Bwd = pd.refOld, pd.refNew
+	}
+	params := PictureParams(pd.Seq, &ph)
+	cov := newCoverage(params.MBWidth, params.MBHeight)
+	for {
+		code, err := r.NextStartCode()
+		if err != nil {
+			break
+		}
+		if code < mpeg2.SliceStartMin || code > mpeg2.SliceStartMax {
+			break
+		}
+		r.Skip(32)
+		ds, err := mpeg2.DecodeSlice(r, &params, int(code)-1)
+		if err == nil {
+			var w WorkStats
+			w, err = ReconSlice(pd.Seq, &ph, refs, dst, &ds, pd.Proc, pd.Tracer)
+			pd.Work.Add(w)
+			if err == nil {
+				cov.markSlice(&ds)
+			}
+		}
+		if err != nil {
+			if !pd.Conceal {
+				return nil, err
+			}
+			// Resynchronize at the next startcode; the damaged slice's
+			// macroblocks are concealed after the slice loop.
+		}
+	}
+	if cov.n < params.MBWidth*params.MBHeight {
+		if !pd.Conceal {
+			return nil, fmt.Errorf("decoder: %s picture %d covered %d of %d macroblocks",
+				ph.Type, ph.TemporalReference, cov.n, params.MBWidth*params.MBHeight)
+		}
+		pd.Concealed += cov.concealMissing(dst, refs)
+	}
+	pd.Pictures++
+
+	if ph.Type == vlc.CodingB {
+		return []*frame.Frame{dst}, nil
+	}
+	var out []*frame.Frame
+	if pd.held != nil {
+		out = append(out, pd.held)
+	}
+	pd.held = dst
+	if pd.refOld != nil && pd.OnRelease != nil {
+		pd.OnRelease(pd.refOld) // displaced: no future picture references it
+	}
+	pd.refOld, pd.refNew = pd.refNew, dst
+	return out, nil
+}
+
+// Flush returns the final held reference frame, if any.
+func (pd *PictureDecoder) Flush() *frame.Frame {
+	f := pd.held
+	pd.held = nil
+	return f
+}

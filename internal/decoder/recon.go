@@ -1,0 +1,383 @@
+// Package decoder implements MPEG-2 video picture reconstruction and a
+// sequential elementary-stream decoder.
+//
+// The slice reconstruction entry point (ReconSlice) is deliberately free
+// of decoder state: it takes the picture parameters, the two reference
+// frames and a destination frame, so the parallel implementations in
+// internal/core can call it concurrently from many workers — slices of one
+// picture touch disjoint destination rows, and reference frames are
+// read-only by construction.
+package decoder
+
+import (
+	"fmt"
+
+	"mpeg2par/internal/dct"
+	"mpeg2par/internal/frame"
+	"mpeg2par/internal/memtrace"
+	"mpeg2par/internal/motion"
+	"mpeg2par/internal/mpeg2"
+	"mpeg2par/internal/quant"
+	"mpeg2par/internal/vlc"
+)
+
+// Refs holds the reference frames for prediction. For P pictures only Fwd
+// is used (the most recent reference); for B pictures Fwd is the past and
+// Bwd the future reference.
+type Refs struct {
+	Fwd, Bwd *frame.Frame
+}
+
+// WorkStats counts the work a reconstruction performed; the deterministic
+// scheduler uses these as its pixie-style "ideal time" work units.
+type WorkStats struct {
+	MBs         int // macroblocks reconstructed
+	IntraBlocks int // intra-coded blocks (full IDCT path)
+	CodedBlocks int // non-intra coded blocks (IDCT + add)
+	Coefs       int // non-zero coefficients dequantized
+	PredMBs     int // motion-compensated macroblocks
+	BidirMBs    int // macroblocks averaged from two predictions
+}
+
+// Add accumulates other into s.
+func (s *WorkStats) Add(other WorkStats) {
+	s.MBs += other.MBs
+	s.IntraBlocks += other.IntraBlocks
+	s.CodedBlocks += other.CodedBlocks
+	s.Coefs += other.Coefs
+	s.PredMBs += other.PredMBs
+	s.BidirMBs += other.BidirMBs
+}
+
+// PictureParams derives the slice-layer parameters from the headers.
+func PictureParams(seq *mpeg2.SequenceHeader, ph *mpeg2.PictureHeader) mpeg2.PictureParams {
+	return mpeg2.PictureParams{
+		MBWidth:           seq.MBWidth(),
+		MBHeight:          seq.MBHeight(),
+		Type:              ph.Type,
+		FCode:             ph.FCode,
+		IntraDCPrecision:  ph.IntraDCPrecision,
+		QScaleType:        ph.QScaleType,
+		IntraVLCFormat:    ph.IntraVLCFormat,
+		AlternateScan:     ph.AlternateScan,
+		FramePredFrameDCT: ph.FramePredFrameDCT,
+	}
+}
+
+// ReconSlice reconstructs every macroblock of ds into dst. proc and tr are
+// the tracing hooks (tr may be nil). It returns the work performed.
+func ReconSlice(seq *mpeg2.SequenceHeader, ph *mpeg2.PictureHeader, refs Refs, dst *frame.Frame, ds *mpeg2.DecodedSlice, proc int, tr memtrace.Tracer) (WorkStats, error) {
+	var st WorkStats
+	if ph.Type != vlc.CodingI && refs.Fwd == nil {
+		return st, fmt.Errorf("decoder: %s picture without forward reference", ph.Type)
+	}
+	if ph.Type == vlc.CodingB && refs.Bwd == nil {
+		return st, fmt.Errorf("decoder: B picture without backward reference")
+	}
+	mbw := seq.MBWidth()
+	var pred, pred2 motion.MBPred
+	for i := range ds.MBs {
+		mb := &ds.MBs[i]
+		mbx, mby := mb.Addr%mbw, mb.Addr/mbw
+		if err := reconMB(seq, ph, refs, dst, mb, mbx, mby, &pred, &pred2, &st, proc, tr); err != nil {
+			return st, fmt.Errorf("decoder: macroblock %d: %w", mb.Addr, err)
+		}
+		st.MBs++
+	}
+	return st, nil
+}
+
+func reconMB(seq *mpeg2.SequenceHeader, ph *mpeg2.PictureHeader, refs Refs, dst *frame.Frame, mb *mpeg2.MB, mbx, mby int, pred, pred2 *motion.MBPred, st *WorkStats, proc int, tr memtrace.Tracer) error {
+	scale := quant.Scale(mb.QScaleCode, ph.QScaleType)
+	if mb.Type.Intra {
+		p := quant.Params{Matrix: &seq.IntraMatrix, Scale: scale, Intra: true, DCPrecision: ph.IntraDCPrecision}
+		for b := 0; b < 6; b++ {
+			blk := mb.Blocks[b]
+			nz := countNonZero(&blk)
+			st.Coefs += nz
+			quant.Inverse(&blk, p)
+			dct.Inverse(&blk)
+			storeIntraBlock(dst, &blk, mbx, mby, b, mb.FieldDCT)
+			st.IntraBlocks++
+			traceBlock(proc, true, nz, tr)
+		}
+		traceMBWrite(dst, mbx, mby, proc, tr)
+		return nil
+	}
+
+	// Build the prediction. With FieldMotion each direction carries two
+	// field vectors (field-unit verticals); trace extents approximate the
+	// field reads with the frame-scaled first vector.
+	predFwd := func(dst *motion.MBPred) {
+		if mb.FieldMotion {
+			motion.PredictMBField(dst, refs.Fwd, mbx, mby, mb.FieldSelFwd, mb.MVFwd, mb.MVFwd2)
+			traceMCRead(refs.Fwd, mbx, mby, motion.MV{X: mb.MVFwd.X, Y: 2 * mb.MVFwd.Y}, proc, tr)
+			return
+		}
+		motion.PredictMB(dst, refs.Fwd, mbx, mby, mb.MVFwd)
+		traceMCRead(refs.Fwd, mbx, mby, mb.MVFwd, proc, tr)
+	}
+	predBwd := func(dst *motion.MBPred) {
+		if mb.FieldMotion {
+			motion.PredictMBField(dst, refs.Bwd, mbx, mby, mb.FieldSelBwd, mb.MVBwd, mb.MVBwd2)
+			traceMCRead(refs.Bwd, mbx, mby, motion.MV{X: mb.MVBwd.X, Y: 2 * mb.MVBwd.Y}, proc, tr)
+			return
+		}
+		motion.PredictMB(dst, refs.Bwd, mbx, mby, mb.MVBwd)
+		traceMCRead(refs.Bwd, mbx, mby, mb.MVBwd, proc, tr)
+	}
+	switch ph.Type {
+	case vlc.CodingP:
+		// A P macroblock without a forward vector predicts with the zero
+		// vector (mb.MVFwd is zero in that case by construction).
+		predFwd(pred)
+		st.PredMBs++
+	case vlc.CodingB:
+		switch {
+		case mb.Type.MotionForward && mb.Type.MotionBackward:
+			predFwd(pred)
+			predBwd(pred2)
+			motion.AverageMB(pred, pred, pred2)
+			st.PredMBs++
+			st.BidirMBs++
+		case mb.Type.MotionBackward:
+			predBwd(pred)
+			st.PredMBs++
+		case mb.Type.MotionForward:
+			predFwd(pred)
+			st.PredMBs++
+		default:
+			return fmt.Errorf("B macroblock with no prediction direction")
+		}
+	default:
+		return fmt.Errorf("non-intra macroblock in I picture")
+	}
+
+	// Add residuals for coded blocks; copy prediction elsewhere.
+	p := quant.Params{Matrix: &seq.NonIntraMatrix, Scale: scale, Intra: false}
+	tracePred(proc, tr)
+	for b := 0; b < 6; b++ {
+		coded := mb.CBP&(1<<uint(5-b)) != 0
+		if coded {
+			blk := mb.Blocks[b]
+			nz := countNonZero(&blk)
+			st.Coefs += nz
+			quant.Inverse(&blk, p)
+			dct.Inverse(&blk)
+			storePredBlock(dst, pred, &blk, mbx, mby, b, mb.FieldDCT)
+			st.CodedBlocks++
+			traceBlock(proc, false, nz, tr)
+		} else {
+			storePredBlock(dst, pred, nil, mbx, mby, b, mb.FieldDCT)
+		}
+	}
+	traceMBWrite(dst, mbx, mby, proc, tr)
+	return nil
+}
+
+func countNonZero(blk *[64]int32) int {
+	n := 0
+	for _, v := range blk {
+		if v != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// blockGeometry returns the destination plane, top-left pixel position,
+// stride and row step of block b of the macroblock at (mbx, mby). Under
+// field DCT the four luma blocks hold one field each: blocks 0/1 the even
+// lines, 2/3 the odd lines, stepping two frame lines per block row.
+// Chroma blocks are always frame-organized in 4:2:0.
+func blockGeometry(dst *frame.Frame, mbx, mby, b int, fieldDCT bool) (plane []uint8, x, y, stride, rowStep int) {
+	if b < 4 {
+		x = mbx*16 + (b&1)*8
+		if fieldDCT {
+			return dst.Y, x, mby*16 + (b >> 1), dst.CodedW, 2
+		}
+		return dst.Y, x, mby*16 + (b>>1)*8, dst.CodedW, 1
+	}
+	if b == 4 {
+		return dst.Cb, mbx * 8, mby * 8, dst.CodedW / 2, 1
+	}
+	return dst.Cr, mbx * 8, mby * 8, dst.CodedW / 2, 1
+}
+
+func storeIntraBlock(dst *frame.Frame, blk *[64]int32, mbx, mby, b int, fieldDCT bool) {
+	plane, x, y, stride, step := blockGeometry(dst, mbx, mby, b, fieldDCT)
+	for r := 0; r < 8; r++ {
+		row := plane[(y+r*step)*stride+x:]
+		for c := 0; c < 8; c++ {
+			row[c] = clampPixel(blk[r*8+c])
+		}
+	}
+}
+
+// predBlockView returns the prediction-buffer origin and strides matching
+// block b's geometry (field or frame organized for luma).
+func predBlockView(pred *motion.MBPred, b int, fieldDCT bool) (psrc []uint8, pstride int) {
+	switch {
+	case b < 4:
+		if fieldDCT {
+			return pred.Y[(b>>1)*16+(b&1)*8:], 32
+		}
+		return pred.Y[(b>>1)*8*16+(b&1)*8:], 16
+	case b == 4:
+		return pred.Cb[:], 8
+	default:
+		return pred.Cr[:], 8
+	}
+}
+
+// storePredBlock writes prediction+residual (or prediction alone when blk
+// is nil) for block b.
+func storePredBlock(dst *frame.Frame, pred *motion.MBPred, blk *[64]int32, mbx, mby, b int, fieldDCT bool) {
+	plane, x, y, stride, step := blockGeometry(dst, mbx, mby, b, fieldDCT)
+	psrc, pstride := predBlockView(pred, b, fieldDCT)
+	for r := 0; r < 8; r++ {
+		row := plane[(y+r*step)*stride+x:]
+		prow := psrc[r*pstride:]
+		if blk == nil {
+			copy(row[:8], prow[:8])
+			continue
+		}
+		for c := 0; c < 8; c++ {
+			row[c] = clampPixel(int32(prow[c]) + blk[r*8+c])
+		}
+	}
+}
+
+func clampPixel(v int32) uint8 {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return uint8(v)
+}
+
+// --- tracing ---------------------------------------------------------------
+
+// Per-processor scratch regions (coefficient block, prediction buffer,
+// VLD state) and the shared read-only tables (quantization matrices, VLC
+// lookup tables). These small, hot structures are what forms the
+// program's working set — the frame planes mostly stream through the
+// cache — so the locality figures need them in the trace.
+var (
+	scratchKeys [64]byte
+	tablesKey   byte
+)
+
+const (
+	scratchBytes  = 4096
+	tablesBytes   = 8192
+	scratchCoef   = 0    // 256B coefficient block
+	scratchPred   = 512  // 384B prediction buffer
+	tabQuantIntra = 0    // 64B
+	tabQuantInter = 64   // 64B
+	tabVLC        = 1024 // VLC lookup region
+)
+
+func scratchBase(tr memtrace.Tracer, proc int) uint64 {
+	return tr.Base(&scratchKeys[proc&63], scratchBytes)
+}
+
+// traceBlock records the hot-structure traffic of decoding one 8×8 block:
+// VLC table lookups during VLD, the quantization matrix read, and the
+// dequant + two IDCT passes over the coefficient buffer.
+func traceBlock(proc int, intra bool, coefs int, tr memtrace.Tracer) {
+	if tr == nil {
+		return
+	}
+	sb := scratchBase(tr, proc)
+	tb := tr.Base(&tablesKey, tablesBytes)
+	// VLD: one table probe per coded coefficient, spread over the VLC
+	// lookup region (positions vary with the code bits).
+	for i := 0; i < coefs; i++ {
+		tr.Access(proc, tb+tabVLC+uint64(i*37%4096), 4, false)
+	}
+	// Dequantization reads the weight matrix and scans the block.
+	q := uint64(tabQuantInter)
+	if intra {
+		q = tabQuantIntra
+	}
+	tr.Access(proc, tb+q, 64, false)
+	// Dequant pass + IDCT row and column passes over the 256B block.
+	for pass := 0; pass < 3; pass++ {
+		tr.Access(proc, sb+scratchCoef, 256, false)
+		tr.Access(proc, sb+scratchCoef, 256, true)
+	}
+}
+
+// tracePred records the prediction buffer traffic of one predicted
+// macroblock: motion compensation writes it, reconstruction reads it.
+func tracePred(proc int, tr memtrace.Tracer) {
+	if tr == nil {
+		return
+	}
+	sb := scratchBase(tr, proc)
+	tr.Access(proc, sb+scratchPred, 384, true)
+	tr.Access(proc, sb+scratchPred, 384, false)
+}
+
+// traceMBWrite records the destination extents of one reconstructed
+// macroblock: 16 luma rows of 16 bytes and 8+8 chroma rows of 8 bytes.
+func traceMBWrite(dst *frame.Frame, mbx, mby, proc int, tr memtrace.Tracer) {
+	if tr == nil {
+		return
+	}
+	yBase := tr.Base(&dst.Y[0], len(dst.Y))
+	for r := 0; r < 16; r++ {
+		tr.Access(proc, yBase+uint64((mby*16+r)*dst.CodedW+mbx*16), 16, true)
+	}
+	cw := dst.CodedW / 2
+	cbBase := tr.Base(&dst.Cb[0], len(dst.Cb))
+	crBase := tr.Base(&dst.Cr[0], len(dst.Cr))
+	for r := 0; r < 8; r++ {
+		off := uint64((mby*8+r)*cw + mbx*8)
+		tr.Access(proc, cbBase+off, 8, true)
+		tr.Access(proc, crBase+off, 8, true)
+	}
+}
+
+// traceMCRead records the reference extents read by motion compensation:
+// a (16+hx)×(16+hy) luma region and two half-size chroma regions.
+func traceMCRead(ref *frame.Frame, mbx, mby int, mv motion.MV, proc int, tr memtrace.Tracer) {
+	if tr == nil {
+		return
+	}
+	yBase := tr.Base(&ref.Y[0], len(ref.Y))
+	ix := clampInt(mbx*16+(mv.X>>1), 0, ref.CodedW-17)
+	iy := clampInt(mby*16+(mv.Y>>1), 0, ref.CodedH-17)
+	w := 16 + mv.X&1
+	for r := 0; r < 16+mv.Y&1; r++ {
+		tr.Access(proc, yBase+uint64((iy+r)*ref.CodedW+ix), w, false)
+	}
+	c := mv.ChromaMV()
+	cw, chH := ref.CodedW/2, ref.CodedH/2
+	cx := clampInt(mbx*8+(c.X>>1), 0, cw-9)
+	cy := clampInt(mby*8+(c.Y>>1), 0, chH-9)
+	cbBase := tr.Base(&ref.Cb[0], len(ref.Cb))
+	crBase := tr.Base(&ref.Cr[0], len(ref.Cr))
+	cwd := 8 + c.X&1
+	for r := 0; r < 8+c.Y&1; r++ {
+		off := uint64((cy+r)*cw + cx)
+		tr.Access(proc, cbBase+off, cwd, false)
+		tr.Access(proc, crBase+off, cwd, false)
+	}
+}
+
+func clampInt(v, lo, hi int) int {
+	if hi < lo {
+		hi = lo
+	}
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,261 @@
+// Package encoder implements an MPEG-2 video encoder sufficient to
+// regenerate the paper's test streams: I/P/B frame pictures, closed GOPs,
+// one slice per macroblock row (matching the MPEG Software Simulation
+// Group encoder the authors used), half-pel motion estimation, and a
+// simple feedback rate controller.
+package encoder
+
+import (
+	"fmt"
+
+	"mpeg2par/internal/bits"
+	"mpeg2par/internal/frame"
+	"mpeg2par/internal/mpeg2"
+	"mpeg2par/internal/vlc"
+)
+
+// Source supplies original pictures in display order.
+type Source interface {
+	Frame(n int) *frame.Frame
+}
+
+// Config selects the stream parameters.
+type Config struct {
+	Width, Height int
+	Pictures      int // total pictures to encode
+	GOPSize       int // pictures per GOP (display order), e.g. 4, 13, 16, 31
+	IPDistance    int // M: distance between reference pictures (default 3)
+
+	FrameRate float64 // display rate (default 30)
+	BitRate   int     // target bits/s; 0 disables rate control
+
+	QScaleI, QScaleP, QScaleB int  // base quantiser scale codes (defaults 8/10/12)
+	IntraVLCFormat            bool // use coefficient table one for intra blocks
+	AlternateScan             bool
+	QScaleType                bool // non-linear quantiser scale
+	RepeatSequenceHeader      bool // emit the sequence header before every GOP
+	IntraDCPrecision          int  // 0..2 (8..10 bits)
+
+	// SlicesPerRow splits each macroblock row into this many slices
+	// (default 1, the paper's streams). More slices per row refine the
+	// fine-grained decoder's task granularity — the load-balance knob the
+	// paper's §4 discusses between slice and macroblock tasks.
+	SlicesPerRow int
+
+	// IntraMatrix / NonIntraMatrix, when non-nil, replace the default
+	// quantization matrices (transmitted in the sequence header).
+	IntraMatrix    *[64]uint8
+	NonIntraMatrix *[64]uint8
+
+	// Interlaced encodes the source as interlaced video: pictures carry
+	// progressive_frame=0 and frame_pred_frame_dct=0, and macroblocks may
+	// use field prediction and field DCT — the MPEG-2 extension the paper
+	// names as its primary future work. Sources should have temporally
+	// offset fields (see frame.NewInterlacedSynth).
+	Interlaced bool
+
+	// OmitGOPHeaders drops the group_of_pictures headers: the GOP layer
+	// is optional in MPEG-2 (the paper's footnote 9 — the sequence layer
+	// can serve in the same capacity). Picture grouping is then implied
+	// by the I pictures; the scan process synthesizes the groups.
+	// Requires RepeatSequenceHeader so each group keeps a random-access
+	// point.
+	OmitGOPHeaders bool
+}
+
+func (c *Config) normalize() error {
+	if c.Width < 16 || c.Height < 16 {
+		return fmt.Errorf("encoder: picture size %dx%d too small", c.Width, c.Height)
+	}
+	if c.Pictures < 1 {
+		return fmt.Errorf("encoder: need at least one picture")
+	}
+	if c.GOPSize < 1 {
+		c.GOPSize = 13
+	}
+	if c.IPDistance < 1 {
+		c.IPDistance = 3
+	}
+	if c.FrameRate == 0 {
+		c.FrameRate = 30
+	}
+	if c.QScaleI == 0 {
+		c.QScaleI = 8
+	}
+	if c.QScaleP == 0 {
+		c.QScaleP = 10
+	}
+	if c.QScaleB == 0 {
+		c.QScaleB = 12
+	}
+	if c.IntraDCPrecision < 0 || c.IntraDCPrecision > 2 {
+		return fmt.Errorf("encoder: intra DC precision %d unsupported", c.IntraDCPrecision)
+	}
+	if c.MBHeight() > mpeg2.SliceStartMax {
+		return fmt.Errorf("encoder: %d macroblock rows exceed slice addressing", c.MBHeight())
+	}
+	if c.SlicesPerRow < 0 || c.SlicesPerRow > c.MBWidth() {
+		return fmt.Errorf("encoder: %d slices per row impossible with %d macroblock columns",
+			c.SlicesPerRow, c.MBWidth())
+	}
+	for _, m := range []*[64]uint8{c.IntraMatrix, c.NonIntraMatrix} {
+		if m == nil {
+			continue
+		}
+		for i, v := range m {
+			if v == 0 {
+				return fmt.Errorf("encoder: quantization matrix weight %d is zero", i)
+			}
+		}
+	}
+	if c.IntraMatrix != nil && c.IntraMatrix[0] != 8 {
+		return fmt.Errorf("encoder: intra matrix weight [0] must be 8 (the DC weight is fixed)")
+	}
+	return nil
+}
+
+// MBWidth returns the width in macroblocks.
+func (c *Config) MBWidth() int { return (c.Width + 15) / 16 }
+
+// MBHeight returns the height in macroblocks.
+func (c *Config) MBHeight() int { return (c.Height + 15) / 16 }
+
+// PictureInfo describes one encoded picture in decode (stream) order.
+type PictureInfo struct {
+	DisplayIndex int // position in display order
+	TemporalRef  int // display position within its GOP
+	Type         byte
+	Offset       int // byte offset of the picture startcode
+	Bits         int // coded size in bits
+	QScale       int // base quantiser scale code used
+}
+
+// GOPInfo describes one encoded GOP.
+type GOPInfo struct {
+	Offset       int // byte offset of the first startcode of the GOP unit
+	Pictures     int
+	FirstDisplay int
+}
+
+// Result is an encoded stream plus its structural metadata.
+type Result struct {
+	Data     []byte
+	Seq      mpeg2.SequenceHeader
+	Pictures []PictureInfo
+	GOPs     []GOPInfo
+}
+
+// BitsPerSecond returns the achieved bitrate at the configured frame rate.
+func (r *Result) BitsPerSecond(fps float64) float64 {
+	if len(r.Pictures) == 0 {
+		return 0
+	}
+	return float64(len(r.Data)) * 8 * fps / float64(len(r.Pictures))
+}
+
+// gopPlan lists the display offsets of the reference pictures of one GOP.
+func gopPlan(gopSize, m int) []int {
+	refs := []int{0}
+	for p := m; p < gopSize; p += m {
+		refs = append(refs, p)
+	}
+	if last := refs[len(refs)-1]; last != gopSize-1 {
+		refs = append(refs, gopSize-1)
+	}
+	return refs
+}
+
+// EncodeSequence encodes cfg.Pictures frames from src into an MPEG-2
+// elementary stream.
+func EncodeSequence(cfg Config, src Source) (*Result, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	e, err := newSeqEncoder(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for gopStart := 0; gopStart < cfg.Pictures; gopStart += cfg.GOPSize {
+		gopLen := cfg.GOPSize
+		if gopStart+gopLen > cfg.Pictures {
+			gopLen = cfg.Pictures - gopStart
+		}
+		if err := e.encodeGOP(src, gopStart, gopLen); err != nil {
+			return nil, err
+		}
+	}
+	e.w.StartCode(mpeg2.SequenceEndCode)
+	e.res.Data = e.w.Bytes()
+	return e.res, nil
+}
+
+// seqEncoder carries the cross-picture encoder state.
+type seqEncoder struct {
+	cfg Config
+	w   *bits.Writer
+	res *Result
+
+	refOld, refNew *frame.Frame // reconstructed reference pictures
+	mvField        []mvEntry    // co-located vectors of the previous P encode
+	rate           rateCtl
+}
+
+func newSeqEncoder(cfg Config) (*seqEncoder, error) {
+	seq := mpeg2.SequenceHeader{
+		Width:       cfg.Width,
+		Height:      cfg.Height,
+		FrameRate:   mpeg2.FrameRateCode(cfg.FrameRate),
+		BitRate:     (cfg.BitRate + 399) / 400,
+		Progressive: !cfg.Interlaced,
+	}
+	if cfg.IntraMatrix != nil {
+		seq.LoadIntraMatrix = true
+		seq.IntraMatrix = *cfg.IntraMatrix
+	}
+	if cfg.NonIntraMatrix != nil {
+		seq.LoadNonIntraMatrix = true
+		seq.NonIntraMatrix = *cfg.NonIntraMatrix
+	}
+	seq.Normalize()
+	e := &seqEncoder{
+		cfg: cfg,
+		w:   bits.NewWriter(1 << 20),
+		res: &Result{Seq: seq},
+	}
+	e.mvField = make([]mvEntry, cfg.MBWidth()*cfg.MBHeight())
+	e.rate = newRateCtl(cfg)
+	seq.Write(e.w) // leading sequence header even when not repeating
+	return e, nil
+}
+
+func (e *seqEncoder) encodeGOP(src Source, gopStart, gopLen int) error {
+	gopByteOffset := e.w.Len()
+	if (e.cfg.RepeatSequenceHeader || e.cfg.OmitGOPHeaders) && gopStart > 0 {
+		e.res.Seq.Write(e.w)
+	}
+	if !e.cfg.OmitGOPHeaders {
+		gh := mpeg2.GOPHeader{Closed: true}
+		gh.Write(e.w)
+	}
+	e.res.GOPs = append(e.res.GOPs, GOPInfo{Offset: gopByteOffset, Pictures: gopLen, FirstDisplay: gopStart})
+
+	// Closed GOP: references never cross the GOP boundary.
+	e.refOld, e.refNew = nil, nil
+
+	refs := gopPlan(gopLen, e.cfg.IPDistance)
+	// Decode order: I, then each P followed by the B pictures it encloses.
+	if err := e.encodePicture(src, gopStart, 0, vlc.CodingI); err != nil {
+		return err
+	}
+	for k := 1; k < len(refs); k++ {
+		if err := e.encodePicture(src, gopStart, refs[k], vlc.CodingP); err != nil {
+			return err
+		}
+		for b := refs[k-1] + 1; b < refs[k]; b++ {
+			if err := e.encodePicture(src, gopStart, b, vlc.CodingB); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,409 @@
+package encoder
+
+import (
+	"testing"
+
+	"mpeg2par/internal/core"
+	"mpeg2par/internal/decoder"
+	"mpeg2par/internal/frame"
+	"mpeg2par/internal/mpeg2"
+)
+
+func encodeTestStream(t *testing.T, cfg Config) *Result {
+	t.Helper()
+	res, err := EncodeSequence(cfg, frame.NewSynth(cfg.Width, cfg.Height))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestGOPPlan(t *testing.T) {
+	cases := []struct {
+		n, m int
+		want []int
+	}{
+		{4, 3, []int{0, 3}},
+		{13, 3, []int{0, 3, 6, 9, 12}},
+		{16, 3, []int{0, 3, 6, 9, 12, 15}},
+		{31, 3, []int{0, 3, 6, 9, 12, 15, 18, 21, 24, 27, 30}},
+		{1, 3, []int{0}},
+		{2, 3, []int{0, 1}},
+		{5, 3, []int{0, 3, 4}},
+	}
+	for _, c := range cases {
+		got := gopPlan(c.n, c.m)
+		if len(got) != len(c.want) {
+			t.Fatalf("gopPlan(%d,%d) = %v, want %v", c.n, c.m, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("gopPlan(%d,%d) = %v, want %v", c.n, c.m, got, c.want)
+			}
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := EncodeSequence(Config{Width: 8, Height: 8, Pictures: 1}, frame.NewSynth(8, 8)); err == nil {
+		t.Fatal("tiny size must fail")
+	}
+	if _, err := EncodeSequence(Config{Width: 64, Height: 64, Pictures: 0}, frame.NewSynth(64, 64)); err == nil {
+		t.Fatal("zero pictures must fail")
+	}
+	if _, err := EncodeSequence(Config{Width: 64, Height: 16 * 200, Pictures: 1}, nil); err == nil {
+		t.Fatal("too many rows must fail")
+	}
+}
+
+func TestEncodeDecodeIntraOnly(t *testing.T) {
+	cfg := Config{Width: 96, Height: 64, Pictures: 3, GOPSize: 1, QScaleI: 4}
+	res := encodeTestStream(t, cfg)
+	d, err := decoder.New(res.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames, err := d.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 3 {
+		t.Fatalf("decoded %d frames, want 3", len(frames))
+	}
+	src := frame.NewSynth(96, 64)
+	for i, f := range frames {
+		orig := src.Frame(i)
+		p := frame.PSNR(orig, f)
+		if p < 30 {
+			t.Errorf("frame %d PSNR %.1f dB < 30", i, p)
+		}
+		if f.PictureType != 'I' {
+			t.Errorf("frame %d type %c, want I", i, f.PictureType)
+		}
+	}
+}
+
+func TestEncodeDecodeIPB(t *testing.T) {
+	cfg := Config{Width: 112, Height: 80, Pictures: 13, GOPSize: 13, QScaleI: 6, QScaleP: 8, QScaleB: 10}
+	res := encodeTestStream(t, cfg)
+	d, err := decoder.New(res.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames, err := d.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 13 {
+		t.Fatalf("decoded %d frames, want 13", len(frames))
+	}
+	src := frame.NewSynth(112, 80)
+	wantTypes := "IBBPBBPBBPBBP"
+	for i, f := range frames {
+		if f.PictureType != wantTypes[i] {
+			t.Errorf("frame %d type %c, want %c", i, f.PictureType, wantTypes[i])
+		}
+		p := frame.PSNR(src.Frame(i), f)
+		if p < 25 {
+			t.Errorf("frame %d (%c) PSNR %.1f dB < 25", i, f.PictureType, p)
+		}
+	}
+}
+
+func TestEncodeMultipleGOPs(t *testing.T) {
+	cfg := Config{Width: 80, Height: 48, Pictures: 12, GOPSize: 4, RepeatSequenceHeader: true}
+	res := encodeTestStream(t, cfg)
+	if len(res.GOPs) != 3 {
+		t.Fatalf("%d GOPs, want 3", len(res.GOPs))
+	}
+	if len(res.Pictures) != 12 {
+		t.Fatalf("%d pictures, want 12", len(res.Pictures))
+	}
+	d, err := decoder.New(res.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames, err := d.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 12 {
+		t.Fatalf("decoded %d frames", len(frames))
+	}
+	// Display order must be monotone with source order: frame i matches
+	// synth picture i best.
+	src := frame.NewSynth(80, 48)
+	for i, f := range frames {
+		self := frame.PSNR(src.Frame(i), f)
+		other := frame.PSNR(src.Frame((i+6)%12), f)
+		if self <= other {
+			t.Errorf("frame %d: PSNR vs own source %.1f <= vs other %.1f — display order broken", i, self, other)
+		}
+	}
+	// Each GOP must start with a sequence header (repeat enabled) and be
+	// independently decodable.
+	for g, gi := range res.GOPs[1:] {
+		sub := res.Data[gi.Offset:]
+		d2, err := decoder.New(sub)
+		if err != nil {
+			t.Fatalf("GOP %d not independently decodable: %v", g+1, err)
+		}
+		fs, err := d2.All()
+		if err != nil {
+			t.Fatalf("GOP %d decode: %v", g+1, err)
+		}
+		// Decoding from a GOP offset continues to the end of the stream.
+		if want := 12 - gi.FirstDisplay; len(fs) != want {
+			t.Fatalf("GOP %d decoded %d pictures, want %d", g+1, len(fs), want)
+		}
+	}
+}
+
+func TestEncodedStreamStructure(t *testing.T) {
+	cfg := Config{Width: 80, Height: 48, Pictures: 4, GOPSize: 4}
+	res := encodeTestStream(t, cfg)
+	// Decode-order types: I P B B (display I B B P).
+	want := []byte{'I', 'P', 'B', 'B'}
+	for i, pi := range res.Pictures {
+		if pi.Type != want[i] {
+			t.Errorf("picture %d type %c, want %c", i, pi.Type, want[i])
+		}
+		if pi.Bits <= 0 {
+			t.Errorf("picture %d has %d bits", i, pi.Bits)
+		}
+	}
+	wantTref := []int{0, 3, 1, 2}
+	wantDisp := []int{0, 3, 1, 2}
+	for i, pi := range res.Pictures {
+		if pi.TemporalRef != wantTref[i] || pi.DisplayIndex != wantDisp[i] {
+			t.Errorf("picture %d tref=%d disp=%d, want %d/%d", i, pi.TemporalRef, pi.DisplayIndex, wantTref[i], wantDisp[i])
+		}
+	}
+	// I pictures should be the largest.
+	if res.Pictures[0].Bits < res.Pictures[2].Bits {
+		t.Errorf("I picture (%d bits) smaller than B picture (%d bits)", res.Pictures[0].Bits, res.Pictures[2].Bits)
+	}
+}
+
+func TestBPicturesCompressBetter(t *testing.T) {
+	cfg := Config{Width: 176, Height: 120, Pictures: 7, GOPSize: 7}
+	res := encodeTestStream(t, cfg)
+	var iBits, pBits, bBits, nP, nB int
+	for _, pi := range res.Pictures {
+		switch pi.Type {
+		case 'I':
+			iBits += pi.Bits
+		case 'P':
+			pBits += pi.Bits
+			nP++
+		case 'B':
+			bBits += pi.Bits
+			nB++
+		}
+	}
+	if nP == 0 || nB == 0 {
+		t.Fatal("expected P and B pictures")
+	}
+	if bBits/nB >= iBits {
+		t.Errorf("avg B (%d) not smaller than I (%d)", bBits/nB, iBits)
+	}
+	if pBits/nP >= iBits {
+		t.Errorf("avg P (%d) not smaller than I (%d)", pBits/nP, iBits)
+	}
+}
+
+func TestRateControlSteersBitrate(t *testing.T) {
+	target := 300_000
+	cfg := Config{
+		Width: 176, Height: 120, Pictures: 26, GOPSize: 13,
+		BitRate: target, FrameRate: 30,
+	}
+	res := encodeTestStream(t, cfg)
+	got := res.BitsPerSecond(30)
+	if got < float64(target)*0.3 || got > float64(target)*3 {
+		t.Errorf("achieved %.0f b/s, target %d — rate control inert", got, target)
+	}
+	// Against a much smaller budget the controller must shrink the stream.
+	cfg2 := cfg
+	cfg2.BitRate = target / 4
+	res2 := encodeTestStream(t, cfg2)
+	if len(res2.Data) >= len(res.Data) {
+		t.Errorf("quarter-rate stream (%d B) not smaller than full-rate (%d B)", len(res2.Data), len(res.Data))
+	}
+}
+
+func TestIntraVLCFormatRoundTrip(t *testing.T) {
+	cfg := Config{Width: 96, Height: 64, Pictures: 4, GOPSize: 4, IntraVLCFormat: true, AlternateScan: true, QScaleType: true}
+	res := encodeTestStream(t, cfg)
+	d, err := decoder.New(res.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames, err := d.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 4 {
+		t.Fatalf("decoded %d frames", len(frames))
+	}
+	src := frame.NewSynth(96, 64)
+	for i, f := range frames {
+		if p := frame.PSNR(src.Frame(i), f); p < 25 {
+			t.Errorf("frame %d PSNR %.1f", i, p)
+		}
+	}
+}
+
+func TestOddDimensions(t *testing.T) {
+	// 176x120: 120 is not a multiple of 16 (the paper's smallest size).
+	cfg := Config{Width: 176, Height: 120, Pictures: 4, GOPSize: 4}
+	res := encodeTestStream(t, cfg)
+	d, err := decoder.New(res.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames, err := d.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 4 {
+		t.Fatalf("decoded %d frames", len(frames))
+	}
+	if frames[0].Height != 120 || frames[0].CodedH != 128 {
+		t.Fatalf("geometry %d/%d", frames[0].Height, frames[0].CodedH)
+	}
+}
+
+func TestSequenceEndsWithEndCode(t *testing.T) {
+	res := encodeTestStream(t, Config{Width: 64, Height: 48, Pictures: 1, GOPSize: 1})
+	n := len(res.Data)
+	if n < 4 || res.Data[n-1] != mpeg2.SequenceEndCode || res.Data[n-2] != 1 {
+		t.Fatalf("stream does not end with sequence_end_code: % x", res.Data[n-4:])
+	}
+}
+
+func BenchmarkEncodeP352(b *testing.B) {
+	cfg := Config{Width: 352, Height: 240, Pictures: 2, GOPSize: 2, IPDistance: 1}
+	src := frame.NewSynth(352, 240)
+	for i := 0; i < b.N; i++ {
+		if _, err := EncodeSequence(cfg, src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestCustomQuantMatrices(t *testing.T) {
+	var intra, nonIntra [64]uint8
+	for i := range intra {
+		intra[i] = uint8(16 + i) // steeper than default
+		nonIntra[i] = 24
+	}
+	intra[0] = 8
+	cfg := Config{
+		Width: 96, Height: 64, Pictures: 4, GOPSize: 4,
+		IntraMatrix: &intra, NonIntraMatrix: &nonIntra,
+	}
+	res := encodeTestStream(t, cfg)
+	d, err := decoder.New(res.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Seq.LoadIntraMatrix || d.Seq.IntraMatrix != intra {
+		t.Fatal("custom intra matrix not transmitted")
+	}
+	if !d.Seq.LoadNonIntraMatrix || d.Seq.NonIntraMatrix != nonIntra {
+		t.Fatal("custom non-intra matrix not transmitted")
+	}
+	frames, err := d.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := frame.NewSynth(96, 64)
+	for i, f := range frames {
+		if p := frame.PSNR(src.Frame(i), f); p < 22 {
+			t.Errorf("frame %d PSNR %.1f with steep matrices", i, p)
+		}
+	}
+	// Steeper matrices must shrink the stream vs defaults at equal scale.
+	def := encodeTestStream(t, Config{Width: 96, Height: 64, Pictures: 4, GOPSize: 4})
+	if len(res.Data) >= len(def.Data) {
+		t.Errorf("steep matrices (%dB) not smaller than defaults (%dB)", len(res.Data), len(def.Data))
+	}
+}
+
+func TestCustomMatrixValidation(t *testing.T) {
+	var bad [64]uint8 // zeros
+	if _, err := EncodeSequence(Config{Width: 64, Height: 48, Pictures: 1, IntraMatrix: &bad},
+		frame.NewSynth(64, 48)); err == nil {
+		t.Fatal("zero weights must be rejected")
+	}
+	var wrongDC [64]uint8
+	for i := range wrongDC {
+		wrongDC[i] = 16
+	}
+	if _, err := EncodeSequence(Config{Width: 64, Height: 48, Pictures: 1, IntraMatrix: &wrongDC},
+		frame.NewSynth(64, 48)); err == nil {
+		t.Fatal("intra DC weight != 8 must be rejected")
+	}
+}
+
+func TestSlicesPerRow(t *testing.T) {
+	for _, spr := range []int{2, 4} {
+		cfg := Config{Width: 112, Height: 64, Pictures: 7, GOPSize: 7, SlicesPerRow: spr}
+		res := encodeTestStream(t, cfg)
+		m, err := core.Scan(res.Data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// 64px → 4 MB rows, each split into spr slices.
+		want := 4 * spr
+		for pi, p := range m.GOPs[0].Pictures {
+			if len(p.Slices) != want {
+				t.Fatalf("spr=%d: picture %d has %d slices, want %d", spr, pi, len(p.Slices), want)
+			}
+		}
+		// Identical pixels to the single-slice-per-row stream.
+		base := encodeTestStream(t, Config{Width: 112, Height: 64, Pictures: 7, GOPSize: 7})
+		fa, err := decoder.New(res.Data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fsA, err := fa.All()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fb, err := decoder.New(base.Data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fsB, err := fb.All()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range fsA {
+			if !fsA[i].Equal(fsB[i]) {
+				t.Fatalf("spr=%d: frame %d differs from single-slice stream", spr, i)
+			}
+		}
+		// Parallel modes stay bit-exact on multi-slice rows.
+		for _, mode := range []core.Mode{core.ModeGOP, core.ModeSliceSimple, core.ModeSliceImproved} {
+			var got []*frame.Frame
+			if _, err := core.Decode(res.Data, core.Options{Mode: mode, Workers: 3,
+				Sink: func(f *frame.Frame) { got = append(got, f.Clone()) }}); err != nil {
+				t.Fatalf("spr=%d %v: %v", spr, mode, err)
+			}
+			for i := range fsA {
+				if !got[i].Equal(fsA[i]) {
+					t.Fatalf("spr=%d %v: frame %d differs", spr, mode, i)
+				}
+			}
+		}
+	}
+}
+
+func TestSlicesPerRowValidation(t *testing.T) {
+	if _, err := EncodeSequence(Config{Width: 64, Height: 48, Pictures: 1, SlicesPerRow: 99},
+		frame.NewSynth(64, 48)); err == nil {
+		t.Fatal("more slices than columns must fail")
+	}
+}

@@ -1,0 +1,80 @@
+package encoder
+
+import (
+	"testing"
+
+	"mpeg2par/internal/bits"
+	"mpeg2par/internal/decoder"
+	"mpeg2par/internal/frame"
+	"mpeg2par/internal/mpeg2"
+)
+
+// TestOmitGOPHeaders covers the MPEG-2 option the paper's footnote 9
+// describes: the GOP layer is optional and the sequence layer serves as
+// the random-access grouping.
+func TestOmitGOPHeaders(t *testing.T) {
+	cfg := Config{
+		Width: 96, Height: 64, Pictures: 8, GOPSize: 4,
+		OmitGOPHeaders: true,
+	}
+	res := encodeTestStream(t, cfg)
+
+	// No group_start_code anywhere in the stream.
+	data := res.Data
+	for i := 0; i+3 < len(data); i++ {
+		if data[i] == 0 && data[i+1] == 0 && data[i+2] == 1 && data[i+3] == mpeg2.GroupStartCode {
+			t.Fatalf("group_start_code found at %d", i)
+		}
+	}
+	// A sequence header precedes each group (random access points).
+	count := 0
+	for i := 0; ; {
+		j := bits.FindStartCode(data, i)
+		if j < 0 {
+			break
+		}
+		if data[j+3] == mpeg2.SequenceHeaderCode {
+			count++
+		}
+		i = j + 4
+	}
+	if count != 2 {
+		t.Fatalf("%d sequence headers, want 2 (one per group)", count)
+	}
+
+	// Decodes identically to the GOP-header version.
+	withGOPs := encodeTestStream(t, Config{
+		Width: 96, Height: 64, Pictures: 8, GOPSize: 4, RepeatSequenceHeader: true,
+	})
+	d1, err := decoder.New(res.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1, err := d1.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := decoder.New(withGOPs.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := d2.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f1) != 8 || len(f2) != 8 {
+		t.Fatalf("decoded %d/%d frames", len(f1), len(f2))
+	}
+	for i := range f1 {
+		if !f1[i].Equal(f2[i]) {
+			t.Fatalf("frame %d differs between GOP-header and headerless streams", i)
+		}
+	}
+	// And the synthetic source is well reconstructed.
+	src := frame.NewSynth(96, 64)
+	for i, f := range f1 {
+		if p := frame.PSNR(src.Frame(i), f); p < 25 {
+			t.Errorf("frame %d PSNR %.1f", i, p)
+		}
+	}
+}

@@ -1,0 +1,568 @@
+package encoder
+
+import (
+	"fmt"
+
+	"mpeg2par/internal/dct"
+	"mpeg2par/internal/frame"
+	"mpeg2par/internal/motion"
+	"mpeg2par/internal/mpeg2"
+	"mpeg2par/internal/quant"
+	"mpeg2par/internal/vlc"
+)
+
+// mvEntry remembers the vectors used at a macroblock position, seeding the
+// next picture's search.
+type mvEntry struct {
+	fwd, bwd       motion.MV
+	hasFwd, hasBwd bool
+}
+
+func (e *seqEncoder) encodePicture(src Source, gopStart, tref int, typ vlc.PictureCoding) error {
+	cfg := &e.cfg
+	display := gopStart + tref
+	cur := src.Frame(display)
+	if cur == nil || cur.Width != cfg.Width || cur.Height != cfg.Height {
+		return fmt.Errorf("encoder: source picture %d missing or wrong size", display)
+	}
+	cur.Pad()
+
+	// Reference distances decide the f_code: motion grows with both the
+	// picture scale and the reference distance.
+	vs := float64(cfg.Height) / 240
+	if vs < 1 {
+		vs = 1
+	}
+	needHalf := int(10*vs)*cfg.IPDistance + 16
+	fcode := mpeg2.FCodeFor(needHalf)
+	est := motion.NewEstimator(mpeg2.MVRangeHalf(fcode) - 1)
+
+	ph := mpeg2.PictureHeader{
+		TemporalReference: tref,
+		Type:              typ,
+		VBVDelay:          0xFFFF,
+		FCode:             [2][2]int{{15, 15}, {15, 15}},
+		IntraDCPrecision:  cfg.IntraDCPrecision,
+		PictureStructure:  mpeg2.FramePicture,
+		TopFieldFirst:     true,
+		FramePredFrameDCT: !cfg.Interlaced,
+		QScaleType:        cfg.QScaleType,
+		IntraVLCFormat:    cfg.IntraVLCFormat,
+		AlternateScan:     cfg.AlternateScan,
+		ProgressiveFrame:  !cfg.Interlaced,
+	}
+	if typ == vlc.CodingP || typ == vlc.CodingB {
+		ph.FCode[0] = [2]int{fcode, fcode}
+	}
+	if typ == vlc.CodingB {
+		ph.FCode[1] = [2]int{fcode, fcode}
+	}
+
+	offset := e.w.Len()
+	startBits := e.w.BitsWritten()
+	ph.Write(e.w)
+
+	params := mpeg2.PictureParams{
+		MBWidth:           cfg.MBWidth(),
+		MBHeight:          cfg.MBHeight(),
+		Type:              typ,
+		FCode:             ph.FCode,
+		IntraDCPrecision:  ph.IntraDCPrecision,
+		QScaleType:        ph.QScaleType,
+		IntraVLCFormat:    ph.IntraVLCFormat,
+		AlternateScan:     ph.AlternateScan,
+		FramePredFrameDCT: ph.FramePredFrameDCT,
+	}
+	qscale := e.rate.qFor(typ)
+
+	var rec *frame.Frame
+	if typ != vlc.CodingB {
+		rec = frame.New(cfg.Width, cfg.Height)
+	}
+	pe := &picEncoder{
+		interlaced: cfg.Interlaced,
+		e:          e, cfg: cfg, cur: cur, rec: rec, typ: typ,
+		params: &params, est: est, qscale: qscale,
+		seq: &e.res.Seq, ph: &ph,
+	}
+	switch typ {
+	case vlc.CodingP:
+		pe.fwdRef = e.refNew
+	case vlc.CodingB:
+		pe.fwdRef, pe.bwdRef = e.refOld, e.refNew
+	}
+	if (typ == vlc.CodingP && pe.fwdRef == nil) || (typ == vlc.CodingB && (pe.fwdRef == nil || pe.bwdRef == nil)) {
+		return fmt.Errorf("encoder: missing reference for %s picture %d", typ, display)
+	}
+
+	slicesPerRow := cfg.SlicesPerRow
+	if slicesPerRow < 1 {
+		slicesPerRow = 1
+	}
+	for row := 0; row < cfg.MBHeight(); row++ {
+		mbs, err := pe.encodeRow(row, slicesPerRow)
+		if err != nil {
+			return err
+		}
+		// Emit the row as one or more slices (all share the row's
+		// startcode; the first macroblock's address increment encodes
+		// each slice's starting column).
+		per := (len(mbs) + slicesPerRow - 1) / slicesPerRow
+		for off := 0; off < len(mbs); off += per {
+			end := off + per
+			if end > len(mbs) {
+				end = len(mbs)
+			}
+			if err := mpeg2.EncodeSlice(e.w, &params, row, qscale, mbs[off:end]); err != nil {
+				return err
+			}
+		}
+	}
+
+	bits := int(e.w.BitsWritten() - startBits)
+	e.res.Pictures = append(e.res.Pictures, PictureInfo{
+		DisplayIndex: display,
+		TemporalRef:  tref,
+		Type:         "?IPB"[int(typ)],
+		Offset:       offset,
+		Bits:         bits,
+		QScale:       qscale,
+	})
+	e.rate.update(bits)
+
+	if typ != vlc.CodingB {
+		e.refOld, e.refNew = e.refNew, rec
+		copy(e.mvField, pe.newField)
+	}
+	return nil
+}
+
+// picEncoder carries the state of one picture's encode.
+type picEncoder struct {
+	interlaced     bool
+	e              *seqEncoder
+	cfg            *Config
+	seq            *mpeg2.SequenceHeader
+	ph             *mpeg2.PictureHeader
+	params         *mpeg2.PictureParams
+	cur, rec       *frame.Frame
+	fwdRef, bwdRef *frame.Frame
+	typ            vlc.PictureCoding
+	est            *motion.Estimator
+	qscale         int
+	newField       []mvEntry
+}
+
+func (pe *picEncoder) encodeRow(row, slicesPerRow int) ([]mpeg2.MB, error) {
+	mbw := pe.cfg.MBWidth()
+	if pe.newField == nil {
+		pe.newField = make([]mvEntry, mbw*pe.cfg.MBHeight())
+	}
+	per := (mbw + slicesPerRow - 1) / slicesPerRow
+	mbs := make([]mpeg2.MB, 0, mbw)
+	var prev *mpeg2.MB
+	for col := 0; col < mbw; col++ {
+		addr := row*mbw + col
+		// First/last macroblocks of each slice chunk cannot be skipped,
+		// and the slice boundary resets prediction state: treat chunk
+		// edges like row edges.
+		within := col % per
+		edge := within == 0 || within == per-1 || col == mbw-1
+		if within == 0 {
+			prev = nil // slice boundary: B-skip chaining cannot cross it
+		}
+		mb, err := pe.encodeMB(row, col, addr, prev, edge)
+		if err != nil {
+			return nil, err
+		}
+		mbs = append(mbs, mb)
+		if !mb.Skipped {
+			prev = &mbs[len(mbs)-1]
+		}
+	}
+	return mbs, nil
+}
+
+func (pe *picEncoder) encodeMB(row, col, addr int, prev *mpeg2.MB, edge bool) (mpeg2.MB, error) {
+	switch pe.typ {
+	case vlc.CodingI:
+		return pe.encodeIntraMB(row, col, addr), nil
+	case vlc.CodingP:
+		return pe.encodePMB(row, col, addr, edge), nil
+	default:
+		return pe.encodeBMB(row, col, addr, prev, edge), nil
+	}
+}
+
+// extractBlock copies an 8×8 source block into b (step = frame lines per
+// block row: 2 under field DCT).
+func extractBlock(plane []uint8, stride, x, y, step int, b *[64]int32) {
+	for r := 0; r < 8; r++ {
+		src := plane[(y+r*step)*stride+x:]
+		for c := 0; c < 8; c++ {
+			b[r*8+c] = int32(src[c])
+		}
+	}
+}
+
+func (pe *picEncoder) encodeIntraMB(row, col, addr int) mpeg2.MB {
+	mb := mpeg2.MB{Addr: addr, QScaleCode: pe.qscale, Type: vlc.MBType{Intra: true}}
+	if pe.interlaced {
+		mb.FieldDCT = fieldDCTBetter(func(x, y int) int32 {
+			return int32(pe.cur.Y[(row*16+y)*pe.cur.CodedW+col*16+x])
+		})
+	}
+	p := quant.Params{Matrix: &pe.seq.IntraMatrix, Scale: pe.params.QScale(pe.qscale),
+		Intra: true, DCPrecision: pe.ph.IntraDCPrecision}
+	for b := 0; b < 6; b++ {
+		var blk [64]int32
+		plane, x, y, stride, step := blockGeometry(pe.cur, col, row, b, mb.FieldDCT)
+		extractBlock(plane, stride, x, y, step, &blk)
+		dct.ForwardRef(&blk)
+		quant.Forward(&blk, p)
+		mb.Blocks[b] = blk
+		if pe.rec != nil {
+			quant.Inverse(&blk, p)
+			dct.Inverse(&blk)
+			storeClamped(pe.rec, &blk, col, row, b, nil, mb.FieldDCT)
+		}
+	}
+	pe.noteField(addr, mvEntry{})
+	return mb
+}
+
+// interCost couples a candidate prediction with its SAD.
+func (pe *picEncoder) intraActivity(row, col int) int {
+	px, py := col*16, row*16
+	var sum int
+	for y := 0; y < 16; y++ {
+		r := pe.cur.Y[(py+y)*pe.cur.CodedW+px:]
+		for x := 0; x < 16; x++ {
+			sum += int(r[x])
+		}
+	}
+	mean := sum / 256
+	var act int
+	for y := 0; y < 16; y++ {
+		r := pe.cur.Y[(py+y)*pe.cur.CodedW+px:]
+		for x := 0; x < 16; x++ {
+			d := int(r[x]) - mean
+			if d < 0 {
+				d = -d
+			}
+			act += d
+		}
+	}
+	return act
+}
+
+func (pe *picEncoder) seeds(addr, col int, bwd bool) []motion.MV {
+	var cands []motion.MV
+	if col > 0 {
+		if e := pe.newField[addr-1]; bwd && e.hasBwd {
+			cands = append(cands, e.bwd)
+		} else if !bwd && e.hasFwd {
+			cands = append(cands, e.fwd)
+		}
+	}
+	if e := pe.e.mvField[addr]; bwd && e.hasBwd {
+		cands = append(cands, e.bwd)
+	} else if !bwd && e.hasFwd {
+		cands = append(cands, e.fwd)
+	}
+	return cands
+}
+
+func (pe *picEncoder) noteField(addr int, e mvEntry) {
+	pe.newField[addr] = e
+}
+
+// fieldBias is the SAD advantage field prediction must show to justify
+// its extra side information (two field selects and a second vector).
+const fieldBias = 80
+
+// tryFieldPred searches both macroblock fields against ref, seeded from
+// the frame vector, and returns the field prediction if it beats the
+// frame SAD by the bias.
+func (pe *picEncoder) tryFieldPred(ref *frame.Frame, col, row int, frameMV motion.MV, frameSAD int) (mv1, mv2 motion.MV, sel [2]bool, ok bool) {
+	cand := motion.MV{X: frameMV.X, Y: halfTrunc(frameMV.Y)}
+	v0, s0, sad0 := motion.SearchField(pe.cur, ref, col, row, 0, pe.est.RangeHalf, cand)
+	v1, s1, sad1 := motion.SearchField(pe.cur, ref, col, row, 1, pe.est.RangeHalf, cand)
+	if sad0+sad1+fieldBias < frameSAD {
+		return v0, v1, [2]bool{s0, s1}, true
+	}
+	return mv1, mv2, sel, false
+}
+
+func halfTrunc(v int) int {
+	if v < 0 {
+		return -(-v / 2)
+	}
+	return v / 2
+}
+
+func (pe *picEncoder) encodePMB(row, col, addr int, edge bool) mpeg2.MB {
+	mv, sad := pe.est.Search(pe.cur, pe.fwdRef, col, row, pe.seeds(addr, col, false)...)
+	if act := pe.intraActivity(row, col); act+64 < sad {
+		mb := pe.encodeIntraMB(row, col, addr)
+		return mb
+	}
+	pe.noteField(addr, mvEntry{fwd: mv, hasFwd: true})
+
+	mb := mpeg2.MB{Addr: addr, QScaleCode: pe.qscale, Type: vlc.MBType{MotionForward: true}, MVFwd: mv}
+	var pred motion.MBPred
+	if pe.interlaced {
+		if v0, v1, sel, ok := pe.tryFieldPred(pe.fwdRef, col, row, mv, sad); ok {
+			mb.FieldMotion = true
+			mb.MVFwd, mb.MVFwd2, mb.FieldSelFwd = v0, v1, sel
+		}
+	}
+	if mb.FieldMotion {
+		motion.PredictMBField(&pred, pe.fwdRef, col, row, mb.FieldSelFwd, mb.MVFwd, mb.MVFwd2)
+	} else {
+		motion.PredictMB(&pred, pe.fwdRef, col, row, mv)
+	}
+	cbp := pe.codeResidual(&mb, &pred, col, row)
+	switch {
+	case cbp == 0 && !mb.FieldMotion && mv == motion.Zero && !edge:
+		mb.Skipped = true
+		mb.Type = vlc.MBType{MotionForward: true}
+	case cbp != 0:
+		mb.Type.Pattern = true
+	}
+	if pe.rec != nil {
+		pe.reconInter(&mb, &pred, col, row, cbp)
+	}
+	return mb
+}
+
+func (pe *picEncoder) encodeBMB(row, col, addr int, prev *mpeg2.MB, edge bool) mpeg2.MB {
+	fwd, sadF := pe.est.Search(pe.cur, pe.fwdRef, col, row, pe.seeds(addr, col, false)...)
+	bwd, sadB := pe.est.Search(pe.cur, pe.bwdRef, col, row, pe.seeds(addr, col, true)...)
+
+	var predF, predB, predI motion.MBPred
+	motion.PredictMB(&predF, pe.fwdRef, col, row, fwd)
+	motion.PredictMB(&predB, pe.bwdRef, col, row, bwd)
+	motion.AverageMB(&predI, &predF, &predB)
+	sadI := sadMB(pe.cur, &predI, col, row)
+
+	typ := vlc.MBType{MotionForward: true, MotionBackward: true}
+	pred := &predI
+	best := sadI
+	if sadF < best {
+		typ = vlc.MBType{MotionForward: true}
+		pred = &predF
+		best = sadF
+	}
+	if sadB < best {
+		typ = vlc.MBType{MotionBackward: true}
+		pred = &predB
+		best = sadB
+	}
+	if act := pe.intraActivity(row, col); act+64 < best {
+		return pe.encodeIntraMB(row, col, addr)
+	}
+
+	mb := mpeg2.MB{Addr: addr, QScaleCode: pe.qscale, Type: typ}
+	if typ.MotionForward {
+		mb.MVFwd = fwd
+	}
+	if typ.MotionBackward {
+		mb.MVBwd = bwd
+	}
+	pe.noteField(addr, mvEntry{fwd: fwd, bwd: bwd, hasFwd: true, hasBwd: true})
+
+	// Interlaced: try field prediction for the chosen direction mode (a
+	// macroblock is either all-frame or all-field predicted).
+	if pe.interlaced && !typ.MotionBackward {
+		if v0, v1, sel, ok := pe.tryFieldPred(pe.fwdRef, col, row, fwd, best); ok {
+			mb.FieldMotion = true
+			mb.MVFwd, mb.MVFwd2, mb.FieldSelFwd = v0, v1, sel
+			motion.PredictMBField(&predF, pe.fwdRef, col, row, sel, v0, v1)
+			pred = &predF
+		}
+	} else if pe.interlaced && !typ.MotionForward {
+		if v0, v1, sel, ok := pe.tryFieldPred(pe.bwdRef, col, row, bwd, best); ok {
+			mb.FieldMotion = true
+			mb.MVBwd, mb.MVBwd2, mb.FieldSelBwd = v0, v1, sel
+			motion.PredictMBField(&predB, pe.bwdRef, col, row, sel, v0, v1)
+			pred = &predB
+		}
+	}
+
+	cbp := pe.codeResidual(&mb, pred, col, row)
+	if cbp != 0 {
+		mb.Type.Pattern = true
+		return mb
+	}
+	// Skip if this macroblock exactly repeats the previous one with
+	// frame prediction (field-predicted macroblocks cannot skip: a skip
+	// always means frame prediction from the first PMVs).
+	if !edge && prev != nil && !prev.Type.Intra &&
+		!mb.FieldMotion && !prev.FieldMotion &&
+		prev.Type.MotionForward == typ.MotionForward &&
+		prev.Type.MotionBackward == typ.MotionBackward &&
+		(!typ.MotionForward || prev.MVFwd == mb.MVFwd) &&
+		(!typ.MotionBackward || prev.MVBwd == mb.MVBwd) {
+		mb.Skipped = true
+		mb.Type.Pattern = false
+	}
+	return mb
+}
+
+// codeResidual transforms and quantizes cur−pred into mb.Blocks (honoring
+// mb.FieldDCT, which it decides first when interlaced), returning the
+// coded block pattern.
+func (pe *picEncoder) codeResidual(mb *mpeg2.MB, pred *motion.MBPred, col, row int) int {
+	if pe.interlaced {
+		mb.FieldDCT = fieldDCTBetter(func(x, y int) int32 {
+			return int32(pe.cur.Y[(row*16+y)*pe.cur.CodedW+col*16+x]) - int32(pred.Y[y*16+x])
+		})
+	}
+	p := quant.Params{Matrix: &pe.seq.NonIntraMatrix, Scale: pe.params.QScale(pe.qscale)}
+	cbp := 0
+	for b := 0; b < 6; b++ {
+		var blk [64]int32
+		plane, x, y, stride, step := blockGeometry(pe.cur, col, row, b, mb.FieldDCT)
+		psrc, pstride := predBlock(pred, b, mb.FieldDCT)
+		for r := 0; r < 8; r++ {
+			src := plane[(y+r*step)*stride+x:]
+			pr := psrc[r*pstride:]
+			for c := 0; c < 8; c++ {
+				blk[r*8+c] = int32(src[c]) - int32(pr[c])
+			}
+		}
+		dct.ForwardRef(&blk)
+		quant.Forward(&blk, p)
+		nz := false
+		for _, v := range blk {
+			if v != 0 {
+				nz = true
+				break
+			}
+		}
+		if nz {
+			cbp |= 1 << uint(5-b)
+			mb.Blocks[b] = blk
+		}
+	}
+	if cbp == 0 {
+		mb.FieldDCT = false // dct_type is only coded for coded macroblocks
+	}
+	return cbp
+}
+
+// reconInter reconstructs an inter macroblock exactly as the decoder will.
+func (pe *picEncoder) reconInter(mb *mpeg2.MB, pred *motion.MBPred, col, row, cbp int) {
+	p := quant.Params{Matrix: &pe.seq.NonIntraMatrix, Scale: pe.params.QScale(mb.QScaleCode)}
+	for b := 0; b < 6; b++ {
+		if cbp&(1<<uint(5-b)) != 0 {
+			blk := mb.Blocks[b]
+			quant.Inverse(&blk, p)
+			dct.Inverse(&blk)
+			storeClamped(pe.rec, &blk, col, row, b, pred, mb.FieldDCT)
+		} else {
+			storeClamped(pe.rec, nil, col, row, b, pred, mb.FieldDCT)
+		}
+	}
+}
+
+// blockGeometry mirrors the decoder's block layout, including the field
+// DCT organization (luma blocks hold one field each, stepping two lines).
+func blockGeometry(f *frame.Frame, mbx, mby, b int, fieldDCT bool) (plane []uint8, x, y, stride, step int) {
+	if b < 4 {
+		x = mbx*16 + (b&1)*8
+		if fieldDCT {
+			return f.Y, x, mby*16 + (b >> 1), f.CodedW, 2
+		}
+		return f.Y, x, mby*16 + (b>>1)*8, f.CodedW, 1
+	}
+	if b == 4 {
+		return f.Cb, mbx * 8, mby * 8, f.CodedW / 2, 1
+	}
+	return f.Cr, mbx * 8, mby * 8, f.CodedW / 2, 1
+}
+
+func predBlock(pred *motion.MBPred, b int, fieldDCT bool) ([]uint8, int) {
+	switch {
+	case b < 4:
+		if fieldDCT {
+			return pred.Y[(b>>1)*16+(b&1)*8:], 32
+		}
+		return pred.Y[(b>>1)*8*16+(b&1)*8:], 16
+	case b == 4:
+		return pred.Cb[:], 8
+	default:
+		return pred.Cr[:], 8
+	}
+}
+
+// fieldDCTBetter reports whether the macroblock's 16×16 luma samples (or
+// residual) correlate better within fields than across adjacent lines —
+// the standard interlace-detection heuristic for dct_type.
+func fieldDCTBetter(get func(x, y int) int32) bool {
+	var frameScore, fieldScore int64
+	for y := 0; y < 14; y++ {
+		for x := 0; x < 16; x++ {
+			v := get(x, y)
+			d1 := int64(v - get(x, y+1))
+			d2 := int64(v - get(x, y+2))
+			if d1 < 0 {
+				d1 = -d1
+			}
+			if d2 < 0 {
+				d2 = -d2
+			}
+			frameScore += d1
+			fieldScore += d2
+		}
+	}
+	return fieldScore < frameScore
+}
+
+// storeClamped writes blk (+ prediction when pred != nil) into f, clamping
+// to pixel range — identical arithmetic to the decoder's reconstruction.
+func storeClamped(f *frame.Frame, blk *[64]int32, mbx, mby, b int, pred *motion.MBPred, fieldDCT bool) {
+	plane, x, y, stride, step := blockGeometry(f, mbx, mby, b, fieldDCT)
+	var psrc []uint8
+	pstride := 0
+	if pred != nil {
+		psrc, pstride = predBlock(pred, b, fieldDCT)
+	}
+	for r := 0; r < 8; r++ {
+		row := plane[(y+r*step)*stride+x:]
+		for c := 0; c < 8; c++ {
+			var v int32
+			if blk != nil {
+				v = blk[r*8+c]
+			}
+			if pred != nil {
+				v += int32(psrc[r*pstride+c])
+			}
+			if v < 0 {
+				v = 0
+			}
+			if v > 255 {
+				v = 255
+			}
+			row[c] = uint8(v)
+		}
+	}
+}
+
+func sadMB(cur *frame.Frame, pred *motion.MBPred, mbx, mby int) int {
+	px, py := mbx*16, mby*16
+	sad := 0
+	for y := 0; y < 16; y++ {
+		c := cur.Y[(py+y)*cur.CodedW+px:]
+		p := pred.Y[y*16:]
+		for x := 0; x < 16; x++ {
+			d := int(c[x]) - int(p[x])
+			if d < 0 {
+				d = -d
+			}
+			sad += d
+		}
+	}
+	return sad
+}

@@ -1,0 +1,64 @@
+package encoder
+
+import "mpeg2par/internal/vlc"
+
+// rateCtl is a minimal feedback rate controller: it tracks the cumulative
+// difference between produced and budgeted bits and nudges the quantiser
+// scale to steer the stream toward the configured bitrate. With BitRate=0
+// the encoder runs constant-quality at the configured scale codes.
+type rateCtl struct {
+	enabled      bool
+	targetPerPic float64
+	debt         float64
+	adjust       int
+	qI, qP, qB   int
+}
+
+func newRateCtl(cfg Config) rateCtl {
+	r := rateCtl{qI: cfg.QScaleI, qP: cfg.QScaleP, qB: cfg.QScaleB}
+	if cfg.BitRate > 0 {
+		r.enabled = true
+		r.targetPerPic = float64(cfg.BitRate) / cfg.FrameRate
+	}
+	return r
+}
+
+func (r *rateCtl) qFor(typ vlc.PictureCoding) int {
+	q := r.qB
+	switch typ {
+	case vlc.CodingI:
+		q = r.qI
+	case vlc.CodingP:
+		q = r.qP
+	}
+	q += r.adjust
+	if q < 1 {
+		q = 1
+	}
+	if q > 31 {
+		q = 31
+	}
+	return q
+}
+
+func (r *rateCtl) update(bits int) {
+	if !r.enabled {
+		return
+	}
+	r.debt += float64(bits) - r.targetPerPic
+	// Proportional control with a dead zone of two pictures' budget.
+	switch {
+	case r.debt > 2*r.targetPerPic:
+		r.adjust = int(r.debt / (4 * r.targetPerPic))
+	case r.debt < -2*r.targetPerPic:
+		r.adjust = int(r.debt / (8 * r.targetPerPic))
+	default:
+		r.adjust = 0
+	}
+	if r.adjust > 20 {
+		r.adjust = 20
+	}
+	if r.adjust < -6 {
+		r.adjust = -6
+	}
+}

@@ -1,0 +1,202 @@
+// Package frame provides YCbCr 4:2:0 picture buffers, a counting frame
+// pool (the memory-requirements experiments need byte-level accounting),
+// PSNR measurement, scaling, and a deterministic synthetic video source
+// standing in for the paper's flower-garden test clip.
+package frame
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+)
+
+// Frame is one decoded or source picture in planar YCbCr 4:2:0.
+//
+// The coded dimensions are the display dimensions rounded up to whole
+// macroblocks (16×16); planes are allocated at coded size so slice and
+// motion-compensation code never needs edge special cases for the last
+// macroblock row/column. Chroma planes are coded-size/2 in each dimension.
+type Frame struct {
+	Width, Height  int // display size in pixels
+	CodedW, CodedH int // coded size, multiples of 16
+	Y, Cb, Cr      []uint8
+	TemporalRef    int // display order within its GOP
+	DisplayIndex   int // absolute display order within the sequence
+	PictureType    byte
+
+	rc int32 // reference count (used by the parallel decoders' pools)
+}
+
+// Retain adds n to the frame's reference count. The count starts at zero;
+// owners that share a frame between consumers (display queue, prediction
+// references) retain once per consumer and Release when done.
+func (f *Frame) Retain(n int32) { atomic.AddInt32(&f.rc, n) }
+
+// Release decrements the reference count and reports whether it reached
+// zero (the frame may then be recycled).
+func (f *Frame) Release() bool { return atomic.AddInt32(&f.rc, -1) <= 0 }
+
+// RefCount returns the current reference count (for tests and accounting).
+func (f *Frame) RefCount() int32 { return atomic.LoadInt32(&f.rc) }
+
+// Coded rounds n up to a multiple of 16.
+func Coded(n int) int { return (n + 15) &^ 15 }
+
+// New allocates a frame for a width×height picture.
+func New(width, height int) *Frame {
+	if width <= 0 || height <= 0 {
+		panic(fmt.Sprintf("frame: invalid size %dx%d", width, height))
+	}
+	cw, ch := Coded(width), Coded(height)
+	return &Frame{
+		Width:  width,
+		Height: height,
+		CodedW: cw,
+		CodedH: ch,
+		Y:      make([]uint8, cw*ch),
+		Cb:     make([]uint8, cw/2*ch/2),
+		Cr:     make([]uint8, cw/2*ch/2),
+	}
+}
+
+// Bytes returns the total plane storage of the frame in bytes.
+func (f *Frame) Bytes() int { return len(f.Y) + len(f.Cb) + len(f.Cr) }
+
+// Clone returns a deep copy of the frame with a zero reference count.
+// Fields are copied individually — a whole-struct copy would race with
+// concurrent atomic Retain/Release on the reference count.
+func (f *Frame) Clone() *Frame {
+	return &Frame{
+		Width:        f.Width,
+		Height:       f.Height,
+		CodedW:       f.CodedW,
+		CodedH:       f.CodedH,
+		TemporalRef:  f.TemporalRef,
+		DisplayIndex: f.DisplayIndex,
+		PictureType:  f.PictureType,
+		Y:            append([]uint8(nil), f.Y...),
+		Cb:           append([]uint8(nil), f.Cb...),
+		Cr:           append([]uint8(nil), f.Cr...),
+	}
+}
+
+// Equal reports whether two frames have identical display dimensions and
+// pixel data over the coded area.
+func (f *Frame) Equal(g *Frame) bool {
+	if f.Width != g.Width || f.Height != g.Height {
+		return false
+	}
+	return sliceEqual(f.Y, g.Y) && sliceEqual(f.Cb, g.Cb) && sliceEqual(f.Cr, g.Cr)
+}
+
+func sliceEqual(a, b []uint8) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// PSNR returns the luma peak signal-to-noise ratio between two frames of
+// identical display size, in dB. Identical frames return +Inf.
+func PSNR(a, b *Frame) float64 {
+	if a.Width != b.Width || a.Height != b.Height {
+		return 0
+	}
+	var se float64
+	for y := 0; y < a.Height; y++ {
+		ra := a.Y[y*a.CodedW : y*a.CodedW+a.Width]
+		rb := b.Y[y*b.CodedW : y*b.CodedW+b.Width]
+		for x := range ra {
+			d := float64(int(ra[x]) - int(rb[x]))
+			se += d * d
+		}
+	}
+	if se == 0 {
+		return math.Inf(1)
+	}
+	mse := se / float64(a.Width*a.Height)
+	return 10 * math.Log10(255*255/mse)
+}
+
+// Scale returns the frame bilinearly resampled to dstW×dstH (the paper
+// built its larger test streams by interpolating the base clip the same
+// way).
+func (f *Frame) Scale(dstW, dstH int) *Frame {
+	g := New(dstW, dstH)
+	scalePlane(f.Y, f.CodedW, f.Width, f.Height, g.Y, g.CodedW, g.Width, g.Height)
+	scalePlane(f.Cb, f.CodedW/2, f.Width/2, f.Height/2, g.Cb, g.CodedW/2, g.Width/2, g.Height/2)
+	scalePlane(f.Cr, f.CodedW/2, f.Width/2, f.Height/2, g.Cr, g.CodedW/2, g.Width/2, g.Height/2)
+	g.padEdges()
+	return g
+}
+
+func scalePlane(src []uint8, srcStride, srcW, srcH int, dst []uint8, dstStride, dstW, dstH int) {
+	if srcW < 1 || srcH < 1 {
+		return
+	}
+	for y := 0; y < dstH; y++ {
+		sy := float64(y) * float64(srcH-1) / float64(max(dstH-1, 1))
+		y0 := int(sy)
+		fy := sy - float64(y0)
+		y1 := min(y0+1, srcH-1)
+		for x := 0; x < dstW; x++ {
+			sx := float64(x) * float64(srcW-1) / float64(max(dstW-1, 1))
+			x0 := int(sx)
+			fx := sx - float64(x0)
+			x1 := min(x0+1, srcW-1)
+			p00 := float64(src[y0*srcStride+x0])
+			p01 := float64(src[y0*srcStride+x1])
+			p10 := float64(src[y1*srcStride+x0])
+			p11 := float64(src[y1*srcStride+x1])
+			v := p00*(1-fy)*(1-fx) + p01*(1-fy)*fx + p10*fy*(1-fx) + p11*fy*fx
+			dst[y*dstStride+x] = uint8(v + 0.5)
+		}
+	}
+}
+
+// Pad replicates the last display row/column into the coded margin so
+// that motion search and DCT over partial macroblocks see sensible data.
+// It is idempotent.
+func (f *Frame) Pad() { f.padEdges() }
+
+// padEdges replicates the last display row/column into the coded margin so
+// that motion search and DCT over partial macroblocks see sensible data.
+func (f *Frame) padEdges() {
+	padPlane(f.Y, f.CodedW, f.Width, f.Height, f.CodedH)
+	padPlane(f.Cb, f.CodedW/2, f.Width/2, f.Height/2, f.CodedH/2)
+	padPlane(f.Cr, f.CodedW/2, f.Width/2, f.Height/2, f.CodedH/2)
+}
+
+func padPlane(p []uint8, stride, w, h, codedH int) {
+	if w < 1 || h < 1 {
+		return
+	}
+	for y := 0; y < h; y++ {
+		row := p[y*stride:]
+		for x := w; x < stride; x++ {
+			row[x] = row[w-1]
+		}
+	}
+	for y := h; y < codedH; y++ {
+		copy(p[y*stride:(y+1)*stride], p[(h-1)*stride:h*stride])
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

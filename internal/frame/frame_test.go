@@ -1,0 +1,263 @@
+package frame
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCoded(t *testing.T) {
+	cases := map[int]int{1: 16, 16: 16, 17: 32, 120: 128, 240: 240, 352: 352, 1408: 1408, 960: 960}
+	for in, want := range cases {
+		if got := Coded(in); got != want {
+			t.Errorf("Coded(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestNewGeometry(t *testing.T) {
+	f := New(176, 120)
+	if f.CodedW != 176 || f.CodedH != 128 {
+		t.Fatalf("coded = %dx%d, want 176x128", f.CodedW, f.CodedH)
+	}
+	if len(f.Y) != 176*128 || len(f.Cb) != 88*64 || len(f.Cr) != 88*64 {
+		t.Fatalf("plane sizes wrong: %d %d %d", len(f.Y), len(f.Cb), len(f.Cr))
+	}
+	if f.Bytes() != 176*128+2*88*64 {
+		t.Fatalf("Bytes = %d", f.Bytes())
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero size")
+		}
+	}()
+	New(0, 10)
+}
+
+func TestCloneAndEqual(t *testing.T) {
+	f := NewSynth(64, 48).Frame(0)
+	g := f.Clone()
+	if !f.Equal(g) {
+		t.Fatal("clone not equal")
+	}
+	g.Y[0] ^= 0xFF
+	if f.Equal(g) {
+		t.Fatal("mutated clone still equal")
+	}
+	h := New(64, 32)
+	if f.Equal(h) {
+		t.Fatal("different sizes equal")
+	}
+}
+
+func TestPSNR(t *testing.T) {
+	f := NewSynth(64, 48).Frame(0)
+	if p := PSNR(f, f); !math.IsInf(p, 1) {
+		t.Fatalf("identical frames PSNR = %f", p)
+	}
+	g := f.Clone()
+	for i := range g.Y {
+		g.Y[i] = uint8(int(g.Y[i]) ^ 4)
+	}
+	p := PSNR(f, g)
+	if p < 30 || p > 45 {
+		t.Fatalf("small-noise PSNR = %f, expected ~36", p)
+	}
+	// Mismatched sizes.
+	if PSNR(f, New(32, 32)) != 0 {
+		t.Fatal("mismatched sizes should give 0")
+	}
+}
+
+func TestScaleFlat(t *testing.T) {
+	f := New(32, 32)
+	for i := range f.Y {
+		f.Y[i] = 77
+	}
+	for i := range f.Cb {
+		f.Cb[i] = 100
+		f.Cr[i] = 200
+	}
+	g := f.Scale(64, 48)
+	for y := 0; y < 48; y++ {
+		for x := 0; x < 64; x++ {
+			if g.Y[y*g.CodedW+x] != 77 {
+				t.Fatalf("flat scale broke at %d,%d: %d", x, y, g.Y[y*g.CodedW+x])
+			}
+		}
+	}
+	if g.Cb[0] != 100 || g.Cr[0] != 200 {
+		t.Fatal("chroma scale broke")
+	}
+}
+
+func TestScalePreservesGradient(t *testing.T) {
+	f := New(64, 64)
+	for y := 0; y < 64; y++ {
+		for x := 0; x < 64; x++ {
+			f.Y[y*f.CodedW+x] = uint8(4 * x)
+		}
+	}
+	g := f.Scale(128, 128)
+	// Gradient must remain monotone along x.
+	for x := 1; x < 128; x++ {
+		if g.Y[64*g.CodedW+x] < g.Y[64*g.CodedW+x-1] {
+			t.Fatalf("gradient not monotone at %d", x)
+		}
+	}
+}
+
+func TestPadEdges(t *testing.T) {
+	f := New(20, 20) // coded 32x32
+	for y := 0; y < 20; y++ {
+		for x := 0; x < 20; x++ {
+			f.Y[y*f.CodedW+x] = 9
+		}
+	}
+	f.padEdges()
+	if f.Y[19*f.CodedW+31] != 9 || f.Y[31*f.CodedW+31] != 9 {
+		t.Fatal("edge padding missing")
+	}
+}
+
+func TestSynthDeterministic(t *testing.T) {
+	a := NewSynth(96, 64).Frame(7)
+	b := NewSynth(96, 64).Frame(7)
+	if !a.Equal(b) {
+		t.Fatal("synth not deterministic")
+	}
+	c := NewSynth(96, 64).Frame(8)
+	if a.Equal(c) {
+		t.Fatal("consecutive frames identical — no motion?")
+	}
+}
+
+func TestSynthHasTextureAndMotion(t *testing.T) {
+	s := NewSynth(176, 120)
+	f0 := s.Frame(0)
+	f1 := s.Frame(1)
+	// Texture: luma variance must be substantial.
+	var sum, sumSq float64
+	for _, v := range f0.Y {
+		sum += float64(v)
+		sumSq += float64(v) * float64(v)
+	}
+	n := float64(len(f0.Y))
+	variance := sumSq/n - (sum/n)*(sum/n)
+	if variance < 100 {
+		t.Fatalf("luma variance %f too low — texture missing", variance)
+	}
+	// Motion: consecutive frames differ meaningfully but not totally.
+	p := PSNR(f0, f1)
+	if p > 40 {
+		t.Fatalf("frame-to-frame PSNR %f too high — motion too small", p)
+	}
+	if p < 8 {
+		t.Fatalf("frame-to-frame PSNR %f too low — scene incoherent", p)
+	}
+}
+
+func TestSynthParallax(t *testing.T) {
+	// The foreground band must move faster than the sky band: compare
+	// horizontal autocorrelation shifts. Row from band 0 (top) should
+	// match the next frame at a smaller shift than a bottom row.
+	s := NewSynth(352, 240)
+	f0, f1 := s.Frame(0), s.Frame(4)
+	shift := func(row int) int {
+		best, bestSAD := 0, 1<<30
+		for d := 0; d < 40; d++ {
+			sad := 0
+			for x := 0; x < 200; x++ {
+				a := int(f0.Y[row*f0.CodedW+x+d])
+				b := int(f1.Y[row*f1.CodedW+x])
+				if a > b {
+					sad += a - b
+				} else {
+					sad += b - a
+				}
+			}
+			if sad < bestSAD {
+				best, bestSAD = d, sad
+			}
+		}
+		return best
+	}
+	skyShift := shift(20)
+	fgShift := shift(230)
+	if fgShift <= skyShift {
+		t.Fatalf("no parallax: sky shift %d, foreground shift %d", skyShift, fgShift)
+	}
+}
+
+func TestPoolAccounting(t *testing.T) {
+	p := NewPool(64, 48)
+	f1 := p.Get()
+	f2 := p.Get()
+	st := p.Stats()
+	if st.InUseBytes != int64(f1.Bytes()+f2.Bytes()) {
+		t.Fatalf("in-use %d", st.InUseBytes)
+	}
+	if st.PeakBytes != st.InUseBytes {
+		t.Fatalf("peak %d", st.PeakBytes)
+	}
+	p.Put(f1)
+	st = p.Stats()
+	if st.InUseBytes != int64(f2.Bytes()) || st.FreeFrames != 1 {
+		t.Fatalf("after put: %+v", st)
+	}
+	// Recycling must not allocate.
+	f3 := p.Get()
+	st = p.Stats()
+	if st.AllocBytes != int64(2*f3.Bytes()) {
+		t.Fatalf("recycling allocated: %+v", st)
+	}
+	if st.PeakBytes != int64(2*f3.Bytes()) {
+		t.Fatalf("peak moved: %+v", st)
+	}
+	// Foreign frames are rejected.
+	p.Put(New(32, 32))
+	if p.Stats().FreeFrames != 0 {
+		t.Fatal("foreign frame accepted")
+	}
+	p.Put(nil) // must not panic
+}
+
+func TestPoolGetResetsMetadata(t *testing.T) {
+	p := NewPool(32, 32)
+	f := p.Get()
+	f.TemporalRef, f.DisplayIndex, f.PictureType = 5, 9, 'I'
+	p.Put(f)
+	g := p.Get()
+	if g.TemporalRef != 0 || g.DisplayIndex != 0 || g.PictureType != 0 {
+		t.Fatal("metadata not reset on reuse")
+	}
+}
+
+func TestPSNRQuickSymmetry(t *testing.T) {
+	f := func(seed uint8) bool {
+		a := NewSynth(48, 32).Frame(int(seed))
+		b := NewSynth(48, 32).Frame(int(seed) + 1)
+		return math.Abs(PSNR(a, b)-PSNR(b, a)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSynthFrame352(b *testing.B) {
+	s := NewSynth(352, 240)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Frame(i)
+	}
+}
+
+func BenchmarkScale352to704(b *testing.B) {
+	f := NewSynth(352, 240).Frame(0)
+	for i := 0; i < b.N; i++ {
+		f.Scale(704, 480)
+	}
+}

@@ -1,0 +1,58 @@
+package frame
+
+// InterlacedSynth renders the synthetic scene as interlaced video: the
+// two fields of each frame are sampled at different instants (top field
+// at time 2n, bottom at 2n+1 for top-field-first material), so moving
+// content shows the comb artifacts interlaced coding tools exist for.
+type InterlacedSynth struct {
+	s *Synth
+}
+
+// NewInterlacedSynth returns an interlaced source of width×height frames.
+func NewInterlacedSynth(width, height int) *InterlacedSynth {
+	return &InterlacedSynth{s: NewSynth(width, height)}
+}
+
+// Frame renders interlaced picture n: even lines from field time 2n, odd
+// lines from 2n+1. Rendering is pure and deterministic.
+func (is *InterlacedSynth) Frame(n int) *Frame {
+	s := is.s
+	f := New(s.Width, s.Height)
+	f.DisplayIndex = n
+	vs := float64(s.Height) / 240.0
+	for y := 0; y < f.CodedH; y++ {
+		yy := y
+		if yy >= s.Height {
+			yy = s.Height - 1
+		}
+		t := float64(2*n + yy&1) // field time, in field periods
+		b := bandAt(float64(yy) / float64(s.Height))
+		v := float64(yy) / vs
+		row := f.Y[y*f.CodedW:]
+		for x := 0; x < f.CodedW; x++ {
+			// Velocity is per frame period; a field period is half.
+			u := float64(x)/vs + t*b.velocity/2
+			row[x] = clampU8(b.baseY + b.amp*s.texture(u*b.freq, v*b.freq, 0))
+		}
+	}
+	cw, ch := f.CodedW/2, f.CodedH/2
+	for y := 0; y < ch; y++ {
+		yy := y * 2
+		if yy >= s.Height {
+			yy = s.Height - 1
+		}
+		// 4:2:0 chroma is vertically subsampled across the two fields;
+		// sample it at the frame instant like a co-sited camera would.
+		b := bandAt(float64(yy) / float64(s.Height))
+		v := float64(yy) / vs
+		cbRow := f.Cb[y*cw:]
+		crRow := f.Cr[y*cw:]
+		for x := 0; x < cw; x++ {
+			u := float64(x*2)/vs + float64(2*n)*b.velocity/2
+			t := s.texture(u*b.freq/2, v*b.freq/2, 1)
+			cbRow[x] = clampU8(b.cb + 14*t)
+			crRow[x] = clampU8(b.cr + 14*t)
+		}
+	}
+	return f
+}

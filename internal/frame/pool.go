@@ -1,0 +1,81 @@
+package frame
+
+import "sync"
+
+// Pool recycles equally-sized frames and accounts for allocation, which
+// the paper's memory-requirement experiments (Figures 8 and 9) measure:
+// the GOP-level decoder's footprint grows with workers × GOP size while
+// the slice-level decoder's does not.
+type Pool struct {
+	mu     sync.Mutex
+	free   []*Frame
+	width  int
+	height int
+
+	inUseBytes int64
+	peakBytes  int64
+	totalAlloc int64 // cumulative bytes ever allocated (not recycled)
+}
+
+// NewPool returns a pool producing width×height frames.
+func NewPool(width, height int) *Pool {
+	return &Pool{width: width, height: height}
+}
+
+// Get returns a zeroed-or-recycled frame. Recycled frames keep stale pixel
+// data; decoders overwrite every pixel they output, so the pool does not
+// pay to clear planes.
+func (p *Pool) Get() *Frame {
+	p.mu.Lock()
+	var f *Frame
+	if n := len(p.free); n > 0 {
+		f = p.free[n-1]
+		p.free = p.free[:n-1]
+	}
+	if f == nil {
+		f = New(p.width, p.height)
+		p.totalAlloc += int64(f.Bytes())
+	}
+	p.inUseBytes += int64(f.Bytes())
+	if p.inUseBytes > p.peakBytes {
+		p.peakBytes = p.inUseBytes
+	}
+	p.mu.Unlock()
+	f.TemporalRef = 0
+	f.DisplayIndex = 0
+	f.PictureType = 0
+	f.rc = 0
+	return f
+}
+
+// Put returns a frame to the pool. Put of a frame not obtained from Get
+// (wrong geometry) is rejected silently to keep accounting consistent.
+func (p *Pool) Put(f *Frame) {
+	if f == nil || f.Width != p.width || f.Height != p.height {
+		return
+	}
+	p.mu.Lock()
+	p.inUseBytes -= int64(f.Bytes())
+	p.free = append(p.free, f)
+	p.mu.Unlock()
+}
+
+// Stats is a snapshot of pool accounting.
+type Stats struct {
+	InUseBytes int64 // bytes currently handed out
+	PeakBytes  int64 // high watermark of InUseBytes
+	AllocBytes int64 // cumulative fresh allocations
+	FreeFrames int   // frames currently idle in the pool
+}
+
+// Stats returns a snapshot of the pool counters.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return Stats{
+		InUseBytes: p.inUseBytes,
+		PeakBytes:  p.peakBytes,
+		AllocBytes: p.totalAlloc,
+		FreeFrames: len(p.free),
+	}
+}

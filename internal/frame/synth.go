@@ -1,0 +1,134 @@
+package frame
+
+import "math"
+
+// Synth deterministically renders a panning, textured scene — the stand-in
+// for the paper's flower-garden source clip (a camera pan with strong
+// texture and layered parallax). Band velocities and spatial frequencies
+// are expressed in a virtual 240-line coordinate space, so rendering the
+// same scene at a higher resolution behaves like the paper's interpolated
+// upscaling of one base clip: content scales, per-picture motion scales,
+// and high-frequency energy does not explode with resolution.
+type Synth struct {
+	Width, Height int
+	seed          uint64
+}
+
+// NewSynth returns a generator for width×height pictures.
+func NewSynth(width, height int) *Synth {
+	return &Synth{Width: width, Height: height, seed: 0x9E3779B97F4A7C15}
+}
+
+// band describes one parallax layer of the scene.
+type band struct {
+	top, bottom float64 // fraction of picture height
+	velocity    float64 // virtual pixels per frame (positive = pan left)
+	baseY       float64
+	amp         float64 // texture amplitude
+	freq        float64 // texture spatial frequency multiplier
+	cb, cr      float64
+}
+
+// Sky, distant trees, flower bed, foreground — coarse echo of the real
+// flower-garden layout, with the foreground panning fastest.
+var bands = []band{
+	{0.00, 0.30, 0.6, 170, 40, 1.5, 120, 130},
+	{0.30, 0.45, 1.2, 95, 46, 1.7, 115, 125},
+	{0.45, 0.75, 2.4, 120, 50, 1.9, 105, 145},
+	{0.75, 1.00, 3.6, 100, 55, 2.4, 110, 150},
+}
+
+// Frame renders picture n (display order). Rendering is pure: the same
+// (generator geometry, n) always produces identical pixels.
+func (s *Synth) Frame(n int) *Frame {
+	f := New(s.Width, s.Height)
+	f.DisplayIndex = n
+	// Virtual scale: how many display pixels per virtual pixel.
+	vs := float64(s.Height) / 240.0
+	for y := 0; y < f.CodedH; y++ {
+		yy := y
+		if yy >= s.Height {
+			yy = s.Height - 1
+		}
+		b := bandAt(float64(yy) / float64(s.Height))
+		v := float64(yy) / vs
+		row := f.Y[y*f.CodedW:]
+		for x := 0; x < f.CodedW; x++ {
+			u := float64(x)/vs + float64(n)*b.velocity
+			row[x] = clampU8(b.baseY + b.amp*s.texture(u*b.freq, v*b.freq, 0))
+		}
+	}
+	cw, ch := f.CodedW/2, f.CodedH/2
+	for y := 0; y < ch; y++ {
+		yy := y * 2
+		if yy >= s.Height {
+			yy = s.Height - 1
+		}
+		b := bandAt(float64(yy) / float64(s.Height))
+		v := float64(yy) / vs
+		cbRow := f.Cb[y*cw:]
+		crRow := f.Cr[y*cw:]
+		for x := 0; x < cw; x++ {
+			u := float64(x*2)/vs + float64(n)*b.velocity
+			t := s.texture(u*b.freq/2, v*b.freq/2, 1)
+			cbRow[x] = clampU8(b.cb + 14*t)
+			crRow[x] = clampU8(b.cr + 14*t)
+		}
+	}
+	return f
+}
+
+func bandAt(fy float64) band {
+	for _, b := range bands {
+		if fy < b.bottom {
+			return b
+		}
+	}
+	return bands[len(bands)-1]
+}
+
+// texture combines two octaves of smooth value noise and a sinusoid,
+// returning a value roughly in [-1, 1].
+func (s *Synth) texture(u, v float64, channel uint64) float64 {
+	n1 := s.valueNoise(u/5, v/5, channel)
+	n2 := s.valueNoise(u/17, v/13, channel+2)
+	w := math.Sin(u/7.3) * math.Cos(v/9.1)
+	return 0.45*n1 + 0.35*n2 + 0.20*w
+}
+
+// valueNoise is bilinear interpolation of a hash on the integer lattice,
+// in [-1, 1]. Being a pure function of position, it translates exactly
+// with the pan, so motion compensation can predict it.
+func (s *Synth) valueNoise(u, v float64, channel uint64) float64 {
+	u0, v0 := math.Floor(u), math.Floor(v)
+	fu, fv := u-u0, v-v0
+	// Smoothstep fade for C1 continuity.
+	fu = fu * fu * (3 - 2*fu)
+	fv = fv * fv * (3 - 2*fv)
+	iu, iv := int64(u0), int64(v0)
+	h00 := s.lattice(iu, iv, channel)
+	h01 := s.lattice(iu+1, iv, channel)
+	h10 := s.lattice(iu, iv+1, channel)
+	h11 := s.lattice(iu+1, iv+1, channel)
+	top := h00*(1-fu) + h01*fu
+	bot := h10*(1-fu) + h11*fu
+	return top*(1-fv) + bot*fv
+}
+
+func (s *Synth) lattice(u, v int64, channel uint64) float64 {
+	h := s.seed ^ uint64(u)*0xBF58476D1CE4E5B9 ^ uint64(v)*0x94D049BB133111EB ^ channel*0xD6E8FEB86659FD93
+	h ^= h >> 31
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 29
+	return float64(int32(h)) / float64(1<<31) // [-1, 1)
+}
+
+func clampU8(v float64) uint8 {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return uint8(v)
+}

@@ -1,0 +1,215 @@
+// Package memmodel is the analytical memory-requirements model of the
+// GOP-level decoder (the paper's Figure 9): memory over execution time
+// decomposed as mem(x) = scan(x) + frames(x), driven by the scan rate,
+// the per-worker decode rate and the display rate.
+//
+// The model reproduces the paper's headline conclusion: the coarse-grained
+// decoder's frame memory grows with workers × GOP size × picture size, and
+// the (1408×960, 31 pictures/GOP, 11 workers) configuration does not fit
+// the machine's 500 MB.
+package memmodel
+
+import (
+	"fmt"
+	"time"
+)
+
+// Params describe one GOP-mode decoding run.
+type Params struct {
+	Workers        int
+	GOPs           int
+	PicturesPerGOP int
+	FrameBytes     int64 // decoded picture size (1.5 bytes/pixel for 4:2:0)
+	BytesPerGOP    int64 // coded input bytes per GOP
+
+	ScanGOPsPerSec    float64 // scan process feed rate
+	DecodeGOPsPerSec  float64 // one worker's decode rate
+	DisplayPicsPerSec float64 // display drain rate (30 for real time)
+}
+
+func (p Params) validate() error {
+	if p.Workers < 1 || p.GOPs < 1 || p.PicturesPerGOP < 1 {
+		return fmt.Errorf("memmodel: bad shape %d/%d/%d", p.Workers, p.GOPs, p.PicturesPerGOP)
+	}
+	if p.FrameBytes <= 0 || p.DecodeGOPsPerSec <= 0 {
+		return fmt.Errorf("memmodel: need positive frame size and decode rate")
+	}
+	return nil
+}
+
+// Point is the modeled memory at one instant: Total = Scan + Frames.
+type Point struct {
+	T      time.Duration
+	Scan   int64 // scanned-but-undecoded input bytes
+	Frames int64 // decoded picture buffers
+	Total  int64
+}
+
+// schedule computes per-GOP start/end times (greedy P-worker queue) and
+// per-picture display times.
+type schedule struct {
+	start, end  []float64 // seconds, per GOP
+	displayable []float64 // per GOP: all earlier GOPs done too
+	dispTime    []float64 // per display-ordered picture
+	makespan    float64
+	p           Params
+}
+
+func (p Params) build() schedule {
+	n := p.GOPs
+	s := schedule{
+		start:       make([]float64, n),
+		end:         make([]float64, n),
+		displayable: make([]float64, n),
+		p:           p,
+	}
+	decT := 1 / p.DecodeGOPsPerSec
+	free := make([]float64, p.Workers)
+	for i := 0; i < n; i++ {
+		w := 0
+		for j := 1; j < p.Workers; j++ {
+			if free[j] < free[w] {
+				w = j
+			}
+		}
+		avail := 0.0
+		if p.ScanGOPsPerSec > 0 {
+			avail = float64(i+1) / p.ScanGOPsPerSec
+		}
+		st := free[w]
+		if avail > st {
+			st = avail
+		}
+		s.start[i] = st
+		s.end[i] = st + decT
+		free[w] = s.end[i]
+		if s.end[i] > s.makespan {
+			s.makespan = s.end[i]
+		}
+	}
+	hi := 0.0
+	for i := 0; i < n; i++ {
+		if s.end[i] > hi {
+			hi = s.end[i]
+		}
+		s.displayable[i] = hi
+	}
+	// Display times: pictures of GOP i become available at displayable[i]
+	// and drain at the display rate.
+	total := n * p.PicturesPerGOP
+	s.dispTime = make([]float64, total)
+	prev := 0.0
+	per := 0.0
+	if p.DisplayPicsPerSec > 0 {
+		per = 1 / p.DisplayPicsPerSec
+	}
+	for j := 0; j < total; j++ {
+		avail := s.displayable[j/p.PicturesPerGOP]
+		t := prev + per
+		if avail > t {
+			t = avail
+		}
+		s.dispTime[j] = t
+		prev = t
+		if t > s.makespan {
+			s.makespan = t
+		}
+	}
+	return s
+}
+
+// eval returns the modeled memory at time t (seconds).
+func (s *schedule) eval(t float64) Point {
+	p := s.p
+	// Scanned GOPs.
+	scanned := p.GOPs
+	if p.ScanGOPsPerSec > 0 {
+		scanned = int(t * p.ScanGOPsPerSec)
+		if scanned > p.GOPs {
+			scanned = p.GOPs
+		}
+	}
+	var scanBytes int64
+	var frames float64
+	for i := 0; i < p.GOPs; i++ {
+		// Input bytes held from scan until decode completes.
+		if i < scanned && t < s.end[i] {
+			scanBytes += p.BytesPerGOP
+		}
+		switch {
+		case t < s.start[i]:
+		case t < s.end[i]:
+			frames += float64(p.PicturesPerGOP) * (t - s.start[i]) / (s.end[i] - s.start[i])
+		default:
+			frames += float64(p.PicturesPerGOP)
+		}
+	}
+	// Subtract displayed pictures.
+	displayed := 0
+	for _, dt := range s.dispTime {
+		if dt <= t {
+			displayed++
+		}
+	}
+	frames -= float64(displayed)
+	if frames < 0 {
+		frames = 0
+	}
+	pt := Point{
+		T:      time.Duration(t * float64(time.Second)),
+		Scan:   scanBytes,
+		Frames: int64(frames * float64(p.FrameBytes)),
+	}
+	pt.Total = pt.Scan + pt.Frames
+	return pt
+}
+
+// Series evaluates the model at `steps` uniform instants across the run.
+func (p Params) Series(steps int) ([]Point, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	if steps < 2 {
+		steps = 2
+	}
+	s := p.build()
+	pts := make([]Point, steps)
+	for i := range pts {
+		t := s.makespan * float64(i) / float64(steps-1)
+		pts[i] = s.eval(t)
+	}
+	return pts, nil
+}
+
+// Peak returns the maximum modeled memory, sampling at every schedule
+// event.
+func (p Params) Peak() (int64, error) {
+	if err := p.validate(); err != nil {
+		return 0, err
+	}
+	s := p.build()
+	peak := int64(0)
+	consider := func(t float64) {
+		if pt := s.eval(t); pt.Total > peak {
+			peak = pt.Total
+		}
+	}
+	for i := range s.end {
+		consider(s.start[i])
+		consider(s.end[i])
+		consider(s.displayable[i])
+	}
+	for _, t := range s.dispTime {
+		consider(t)
+	}
+	return peak, nil
+}
+
+// Feasible reports whether the run fits within the memory budget.
+func (p Params) Feasible(budget int64) (bool, error) {
+	peak, err := p.Peak()
+	if err != nil {
+		return false, err
+	}
+	return peak <= budget, nil
+}

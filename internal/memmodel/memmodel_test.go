@@ -1,0 +1,160 @@
+package memmodel
+
+import "testing"
+
+// frame1408 is the decoded size of a 1408×960 4:2:0 picture.
+const frame1408 = int64(1408 * 960 * 3 / 2)
+
+func baseParams() Params {
+	return Params{
+		Workers:           4,
+		GOPs:              40,
+		PicturesPerGOP:    13,
+		FrameBytes:        352 * 240 * 3 / 2,
+		BytesPerGOP:       25 << 20 / 86, // ~25MB / #GOPs as in Table 2
+		ScanGOPsPerSec:    15,
+		DecodeGOPsPerSec:  0.5,
+		DisplayPicsPerSec: 30,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := baseParams()
+	bad.Workers = 0
+	if _, err := bad.Series(10); err == nil {
+		t.Fatal("workers=0 must fail")
+	}
+	bad = baseParams()
+	bad.DecodeGOPsPerSec = 0
+	if _, err := bad.Peak(); err == nil {
+		t.Fatal("zero decode rate must fail")
+	}
+}
+
+func TestSeriesShape(t *testing.T) {
+	pts, err := baseParams().Series(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 50 {
+		t.Fatalf("%d points", len(pts))
+	}
+	if pts[0].Total != 0 {
+		t.Fatalf("t=0 memory %d, want 0", pts[0].Total)
+	}
+	for _, p := range pts {
+		if p.Total != p.Scan+p.Frames {
+			t.Fatalf("decomposition broken: %+v", p)
+		}
+		if p.Scan < 0 || p.Frames < 0 {
+			t.Fatalf("negative component: %+v", p)
+		}
+	}
+	// Memory must rise then fall back near zero at the end of display.
+	var peak int64
+	for _, p := range pts {
+		if p.Total > peak {
+			peak = p.Total
+		}
+	}
+	if peak <= 0 {
+		t.Fatal("no memory ever used")
+	}
+	if last := pts[len(pts)-1].Frames; last > peak/4 {
+		t.Fatalf("frames do not drain: last %d, peak %d", last, peak)
+	}
+}
+
+func TestPeakGrowsWithWorkers(t *testing.T) {
+	p := baseParams()
+	p.Workers = 1
+	p1, err := p.Peak()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Workers = 11
+	p11, err := p.Peak()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p11 <= p1 {
+		t.Fatalf("peak did not grow with workers: %d -> %d", p1, p11)
+	}
+}
+
+func TestPeakGrowsWithGOPSize(t *testing.T) {
+	// Isolate the frames component (the one that scales with GOP size);
+	// coded input bytes per GOP would otherwise skew the comparison.
+	p := baseParams()
+	p.BytesPerGOP = 0
+	p.PicturesPerGOP = 4
+	p.GOPs = 130
+	small, err := p.Peak()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.PicturesPerGOP = 31
+	p.GOPs = 17
+	p.DecodeGOPsPerSec = 0.5 * 4 / 31 // same per-picture rate
+	big, err := p.Peak()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big <= small {
+		t.Fatalf("peak did not grow with GOP size: %d -> %d", small, big)
+	}
+}
+
+// TestPaperInfeasibleCase reproduces the paper's observation that the
+// (1408×960, 31 pictures/GOP, 11 workers) run exceeds the Challenge's
+// 500 MB of usable memory while smaller configurations fit.
+func TestPaperInfeasibleCase(t *testing.T) {
+	const budget = 500 << 20
+	big := Params{
+		Workers:           11,
+		GOPs:              36, // 1120 pictures / 31
+		PicturesPerGOP:    31,
+		FrameBytes:        frame1408,
+		BytesPerGOP:       45 << 20 / 36,
+		ScanGOPsPerSec:    3, // ~90 pics/s scan (Table 2)
+		DecodeGOPsPerSec:  0.66 / 31,
+		DisplayPicsPerSec: 30,
+	}
+	ok, err := big.Feasible(budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		peak, _ := big.Peak()
+		t.Fatalf("1408x960/31/11 should exceed 500MB, peak %d MB", peak>>20)
+	}
+	// The same machine with 352×240 pictures fits easily.
+	small := big
+	small.FrameBytes = 352 * 240 * 3 / 2
+	small.BytesPerGOP = 25 << 20 / 36
+	small.DecodeGOPsPerSec = 5.0 / 31
+	ok, err = small.Feasible(budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		peak, _ := small.Peak()
+		t.Fatalf("352x240 should fit in 500MB, peak %d MB", peak>>20)
+	}
+}
+
+func TestScanComponentBounded(t *testing.T) {
+	// Scan memory can never exceed the whole file.
+	p := baseParams()
+	p.ScanGOPsPerSec = 1e6 // scan instantly
+	pts, err := p.Series(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := p.BytesPerGOP * int64(p.GOPs)
+	for _, pt := range pts {
+		if pt.Scan > total {
+			t.Fatalf("scan bytes %d exceed file %d", pt.Scan, total)
+		}
+	}
+}

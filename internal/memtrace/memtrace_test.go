@@ -1,0 +1,79 @@
+package memtrace
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestBaseStableAndAligned(t *testing.T) {
+	r := NewRecorder()
+	var a, b byte
+	ba := r.Base(&a, 100)
+	bb := r.Base(&b, 5000)
+	if ba == bb {
+		t.Fatal("distinct buffers share a base")
+	}
+	if r.Base(&a, 100) != ba {
+		t.Fatal("base not stable")
+	}
+	if ba%4096 != 0 || bb%4096 != 0 {
+		t.Fatalf("bases not page aligned: %d %d", ba, bb)
+	}
+	// Regions must not overlap: second base is at least size-rounded past
+	// the first.
+	lo, hi := ba, bb
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if hi-lo < 100 {
+		t.Fatal("regions overlap")
+	}
+}
+
+func TestAccessRecording(t *testing.T) {
+	r := NewRecorder()
+	r.Access(2, 4096, 16, true)
+	r.Access(0, 8192, 8, false)
+	r.Access(0, 8192, 0, false) // zero-size: dropped
+	evs := r.Events()
+	if len(evs) != 2 {
+		t.Fatalf("%d events", len(evs))
+	}
+	if evs[0].Proc != 2 || !evs[0].Write || evs[0].Size != 16 || evs[0].Addr != 4096 {
+		t.Fatalf("event 0: %+v", evs[0])
+	}
+	if r.Len() != 2 {
+		t.Fatalf("Len %d", r.Len())
+	}
+	r.Reset()
+	if r.Len() != 0 {
+		t.Fatal("Reset did not clear")
+	}
+	// Bases survive Reset.
+	var k byte
+	b1 := r.Base(&k, 64)
+	r.Reset()
+	if r.Base(&k, 64) != b1 {
+		t.Fatal("base lost across Reset")
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := NewRecorder()
+	var wg sync.WaitGroup
+	keys := make([]byte, 8)
+	for p := 0; p < 8; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			base := r.Base(&keys[p], 4096)
+			for i := 0; i < 100; i++ {
+				r.Access(p, base+uint64(i), 4, i%2 == 0)
+			}
+		}(p)
+	}
+	wg.Wait()
+	if r.Len() != 800 {
+		t.Fatalf("%d events, want 800", r.Len())
+	}
+}

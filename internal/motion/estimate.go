@@ -1,0 +1,124 @@
+package motion
+
+import "mpeg2par/internal/frame"
+
+// SAD16 returns the sum of absolute differences between the 16×16 block of
+// cur at (px, py) and the prediction from ref with half-pel vector mv,
+// stopping early once the running sum exceeds limit.
+func SAD16(cur, ref *frame.Frame, px, py int, mv MV, limit int) int {
+	if mv.X&1 == 0 && mv.Y&1 == 0 {
+		// Fast path: integer displacement, no interpolation.
+		ix := clamp(px+(mv.X>>1), 0, ref.CodedW-16)
+		iy := clamp(py+(mv.Y>>1), 0, ref.CodedH-16)
+		sad := 0
+		for y := 0; y < 16; y++ {
+			c := cur.Y[(py+y)*cur.CodedW+px:]
+			r := ref.Y[(iy+y)*ref.CodedW+ix:]
+			for x := 0; x < 16; x++ {
+				d := int(c[x]) - int(r[x])
+				if d < 0 {
+					d = -d
+				}
+				sad += d
+			}
+			if sad > limit {
+				return sad
+			}
+		}
+		return sad
+	}
+	var pred [256]uint8
+	PredictBlock(pred[:], 16, ref.Y, ref.CodedW, ref.CodedW, ref.CodedH,
+		px, py, mv.X, mv.Y, 16, 16)
+	sad := 0
+	for y := 0; y < 16; y++ {
+		c := cur.Y[(py+y)*cur.CodedW+px:]
+		p := pred[y*16:]
+		for x := 0; x < 16; x++ {
+			d := int(c[x]) - int(p[x])
+			if d < 0 {
+				d = -d
+			}
+			sad += d
+		}
+		if sad > limit {
+			return sad
+		}
+	}
+	return sad
+}
+
+// Estimator performs predictive diamond-search motion estimation. The
+// zero value is not usable; construct with NewEstimator.
+type Estimator struct {
+	// RangeHalf bounds |mv| component magnitude in half-pel units; it must
+	// match the f_code the encoder writes.
+	RangeHalf int
+}
+
+// NewEstimator returns an estimator with the given half-pel search range.
+func NewEstimator(rangeHalf int) *Estimator {
+	if rangeHalf < 2 {
+		rangeHalf = 2
+	}
+	return &Estimator{RangeHalf: rangeHalf}
+}
+
+var largeDiamond = []MV{{0, -4}, {-2, -2}, {2, -2}, {-4, 0}, {4, 0}, {-2, 2}, {2, 2}, {0, 4}}
+var smallDiamond = []MV{{0, -2}, {-2, 0}, {2, 0}, {0, 2}}
+var halfNeighbors = []MV{{-1, -1}, {0, -1}, {1, -1}, {-1, 0}, {1, 0}, {-1, 1}, {0, 1}, {1, 1}}
+
+// Search finds a motion vector for the macroblock at (mbx, mby) of cur
+// predicted from ref. candidates seeds the search (zero vector is always
+// tried). It returns the best half-pel vector and its SAD.
+func (e *Estimator) Search(cur, ref *frame.Frame, mbx, mby int, candidates ...MV) (MV, int) {
+	px, py := mbx*16, mby*16
+	best := Zero
+	bestSAD := SAD16(cur, ref, px, py, Zero, 1<<30)
+	try := func(mv MV) {
+		if mv == best {
+			return
+		}
+		if !e.inRange(mv, px, py, ref) {
+			return
+		}
+		if sad := SAD16(cur, ref, px, py, mv, bestSAD); sad < bestSAD {
+			best, bestSAD = mv, sad
+		}
+	}
+	for _, c := range candidates {
+		try(MV{c.X &^ 1, c.Y &^ 1}) // full-pel version of each candidate
+	}
+	// Large diamond until the center is best.
+	for steps := 0; steps < 64; steps++ {
+		center := best
+		for _, d := range largeDiamond {
+			try(MV{center.X + d.X, center.Y + d.Y})
+		}
+		if best == center {
+			break
+		}
+	}
+	// Small diamond.
+	center := best
+	for _, d := range smallDiamond {
+		try(MV{center.X + d.X, center.Y + d.Y})
+	}
+	// Half-pel refinement.
+	center = best
+	for _, d := range halfNeighbors {
+		try(MV{center.X + d.X, center.Y + d.Y})
+	}
+	return best, bestSAD
+}
+
+// inRange reports whether mv is within the coded range and predicts
+// entirely from inside the reference picture.
+func (e *Estimator) inRange(mv MV, px, py int, ref *frame.Frame) bool {
+	if mv.X > e.RangeHalf || mv.X < -e.RangeHalf || mv.Y > e.RangeHalf || mv.Y < -e.RangeHalf {
+		return false
+	}
+	ix, iy := px+(mv.X>>1), py+(mv.Y>>1)
+	hx, hy := mv.X&1, mv.Y&1
+	return ix >= 0 && iy >= 0 && ix+16+hx <= ref.CodedW && iy+16+hy <= ref.CodedH
+}

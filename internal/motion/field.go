@@ -1,0 +1,104 @@
+package motion
+
+import "mpeg2par/internal/frame"
+
+// Field prediction for frame pictures (§7.6.3.1, frame_motion_type =
+// "Field-based"): each field of the macroblock — its even (top) or odd
+// (bottom) lines — is predicted separately as a 16×8 block from a chosen
+// field of the reference frame, with the vector's vertical component in
+// *field* units (one field line = two frame lines).
+
+// fieldView returns the slice, stride and dimensions that present one
+// field of a plane as a contiguous-looking picture: same width, half the
+// height, double the stride.
+func fieldView(plane []uint8, stride, codedH int, bottom bool) ([]uint8, int, int, int) {
+	off := 0
+	if bottom {
+		off = stride
+	}
+	return plane[off:], 2 * stride, stride, codedH / 2
+}
+
+// PredictMBFieldDir fills the rv-th field lines of pred (rv 0 = top) from
+// the sel field of ref using the field-unit half-pel vector mv.
+func PredictMBFieldDir(pred *MBPred, ref *frame.Frame, mbx, mby, rv int, sel bool, mv MV) {
+	// Luma: a 16×8 block in field coordinates; the macroblock starts at
+	// field line mby*8.
+	src, srcStride, w, h := fieldView(ref.Y, ref.CodedW, ref.CodedH, sel)
+	PredictBlock(pred.Y[rv*16:], 32, src, srcStride, w, h, mbx*16, mby*8, mv.X, mv.Y, 16, 8)
+
+	// Chroma: 8×4 per field, vector scaled by two (truncating toward
+	// zero) like every 4:2:0 chroma vector.
+	c := mv.ChromaMV()
+	cw, ch := ref.CodedW/2, ref.CodedH/2
+	srcCb, cStride, cwv, chv := fieldView(ref.Cb, cw, ch, sel)
+	PredictBlock(pred.Cb[rv*8:], 16, srcCb, cStride, cwv, chv, mbx*8, mby*4, c.X, c.Y, 8, 4)
+	srcCr, _, _, _ := fieldView(ref.Cr, cw, ch, sel)
+	PredictBlock(pred.Cr[rv*8:], 16, srcCr, cStride, cwv, chv, mbx*8, mby*4, c.X, c.Y, 8, 4)
+}
+
+// PredictMBField fills pred with a full field-predicted macroblock: the
+// top field from (sel[0], mv1) and the bottom field from (sel[1], mv2).
+func PredictMBField(pred *MBPred, ref *frame.Frame, mbx, mby int, sel [2]bool, mv1, mv2 MV) {
+	PredictMBFieldDir(pred, ref, mbx, mby, 0, sel[0], mv1)
+	PredictMBFieldDir(pred, ref, mbx, mby, 1, sel[1], mv2)
+}
+
+// SADField returns the sum of absolute differences between the rv-th
+// field lines of cur's macroblock (mbx, mby) and the prediction from the
+// sel field of ref with field-unit vector mv, stopping early past limit.
+func SADField(cur, ref *frame.Frame, mbx, mby, rv int, sel bool, mv MV, limit int) int {
+	var tmp [16 * 8]uint8
+	src, srcStride, w, h := fieldView(ref.Y, ref.CodedW, ref.CodedH, sel)
+	PredictBlock(tmp[:], 16, src, srcStride, w, h, mbx*16, mby*8, mv.X, mv.Y, 16, 8)
+	sad := 0
+	for y := 0; y < 8; y++ {
+		c := cur.Y[(mby*16+rv+2*y)*cur.CodedW+mbx*16:]
+		p := tmp[y*16:]
+		for x := 0; x < 16; x++ {
+			d := int(c[x]) - int(p[x])
+			if d < 0 {
+				d = -d
+			}
+			sad += d
+		}
+		if sad > limit {
+			return sad
+		}
+	}
+	return sad
+}
+
+// SearchField finds a field vector for the rv-th field of the macroblock
+// by refining candidate vectors (field units) over both reference fields.
+// It returns the best vector, field select and SAD.
+func SearchField(cur, ref *frame.Frame, mbx, mby, rv, rangeHalf int, cands ...MV) (MV, bool, int) {
+	best := MV{}
+	bestSel := false
+	bestSAD := 1 << 30
+	try := func(mv MV, sel bool) {
+		if mv.X > rangeHalf || mv.X < -rangeHalf || mv.Y > rangeHalf || mv.Y < -rangeHalf {
+			return
+		}
+		// Stay inside the reference field.
+		ix, iy := mbx*16+(mv.X>>1), mby*8+(mv.Y>>1)
+		if ix < 0 || iy < 0 || ix+16+(mv.X&1) > ref.CodedW || iy+8+(mv.Y&1) > ref.CodedH/2 {
+			return
+		}
+		if sad := SADField(cur, ref, mbx, mby, rv, sel, mv, bestSAD); sad < bestSAD {
+			best, bestSel, bestSAD = mv, sel, sad
+		}
+	}
+	for _, sel := range []bool{false, true} {
+		try(MV{}, sel)
+		for _, c := range cands {
+			base := MV{c.X &^ 1, c.Y &^ 1}
+			for dy := -2; dy <= 2; dy++ {
+				for dx := -2; dx <= 2; dx++ {
+					try(MV{base.X + dx, base.Y + dy}, sel)
+				}
+			}
+		}
+	}
+	return best, bestSel, bestSAD
+}

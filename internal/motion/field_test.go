@@ -1,0 +1,127 @@
+package motion
+
+import (
+	"testing"
+
+	"mpeg2par/internal/frame"
+)
+
+// fieldsFrame builds a frame whose top field is all a and bottom field
+// all b.
+func fieldsFrame(w, h int, a, b uint8) *frame.Frame {
+	f := frame.New(w, h)
+	for y := 0; y < f.CodedH; y++ {
+		v := a
+		if y&1 == 1 {
+			v = b
+		}
+		for x := 0; x < f.CodedW; x++ {
+			f.Y[y*f.CodedW+x] = v
+		}
+	}
+	for y := 0; y < f.CodedH/2; y++ {
+		v := a
+		if y&1 == 1 {
+			v = b
+		}
+		for x := 0; x < f.CodedW/2; x++ {
+			f.Cb[y*f.CodedW/2+x] = v
+			f.Cr[y*f.CodedW/2+x] = v
+		}
+	}
+	return f
+}
+
+func TestPredictMBFieldSelects(t *testing.T) {
+	ref := fieldsFrame(64, 64, 50, 200)
+	var p MBPred
+	// Top MB field from the bottom reference field, bottom MB field from
+	// the top reference field: the prediction's lines swap values.
+	PredictMBField(&p, ref, 1, 1, [2]bool{true, false}, Zero, Zero)
+	for y := 0; y < 16; y++ {
+		want := uint8(200)
+		if y&1 == 1 {
+			want = 50
+		}
+		for x := 0; x < 16; x++ {
+			if p.Y[y*16+x] != want {
+				t.Fatalf("luma line %d: got %d want %d", y, p.Y[y*16+x], want)
+			}
+		}
+	}
+	for y := 0; y < 8; y++ {
+		want := uint8(200)
+		if y&1 == 1 {
+			want = 50
+		}
+		if p.Cb[y*8] != want || p.Cr[y*8] != want {
+			t.Fatalf("chroma line %d: got %d/%d want %d", y, p.Cb[y*8], p.Cr[y*8], want)
+		}
+	}
+}
+
+func TestPredictMBFieldMatchesFrameOnStatic(t *testing.T) {
+	// On a frame whose fields are identical, same-parity field prediction
+	// with zero vectors equals frame prediction with a zero vector.
+	ref := gradFrame(64, 64)
+	for y := 0; y < 64; y += 2 { // make fields identical
+		copy(ref.Y[(y+1)*ref.CodedW:(y+2)*ref.CodedW], ref.Y[y*ref.CodedW:(y+1)*ref.CodedW])
+	}
+	for y := 0; y < 32; y += 2 {
+		cw := ref.CodedW / 2
+		copy(ref.Cb[(y+1)*cw:(y+2)*cw], ref.Cb[y*cw:(y+1)*cw])
+		copy(ref.Cr[(y+1)*cw:(y+2)*cw], ref.Cr[y*cw:(y+1)*cw])
+	}
+	var fp, pp MBPred
+	PredictMBField(&fp, ref, 1, 1, [2]bool{false, true}, Zero, Zero)
+	PredictMB(&pp, ref, 1, 1, Zero)
+	if fp != pp {
+		t.Fatal("field prediction differs from frame prediction on field-identical content")
+	}
+}
+
+func TestSADFieldZeroOnMatch(t *testing.T) {
+	ref := fieldsFrame(64, 64, 30, 90)
+	cur := ref.Clone()
+	if sad := SADField(cur, ref, 1, 1, 0, false, Zero, 1<<30); sad != 0 {
+		t.Fatalf("top field SAD %d", sad)
+	}
+	if sad := SADField(cur, ref, 1, 1, 1, true, Zero, 1<<30); sad != 0 {
+		t.Fatalf("bottom field SAD %d", sad)
+	}
+	// Cross-parity with different field values must mismatch.
+	if sad := SADField(cur, ref, 1, 1, 0, true, Zero, 1<<30); sad == 0 {
+		t.Fatal("cross-field SAD unexpectedly zero")
+	}
+}
+
+func TestSearchFieldFindsShift(t *testing.T) {
+	// cur's top field is ref's top field shifted right 4 pixels.
+	ref := smoothFrame(96, 96)
+	cur := frame.New(96, 96)
+	for y := 0; y < 96; y++ {
+		for x := 0; x < 96; x++ {
+			sx := x
+			if y&1 == 0 {
+				sx = x - 4
+				if sx < 0 {
+					sx = 0
+				}
+			}
+			cur.Y[y*cur.CodedW+x] = ref.Y[y*ref.CodedW+sx]
+		}
+	}
+	mv, sel, sad := SearchField(cur, ref, 2, 2, 0, 64, MV{X: -8, Y: 0})
+	if sad != 0 || sel != false || mv != (MV{X: -8, Y: 0}) {
+		t.Fatalf("got mv=%v sel=%v sad=%d, want (-8,0)/top/0", mv, sel, sad)
+	}
+}
+
+func TestSearchFieldRespectsRange(t *testing.T) {
+	ref := smoothFrame(96, 96)
+	cur := smoothFrame(96, 96)
+	mv, _, _ := SearchField(cur, ref, 1, 1, 0, 4, MV{X: 100, Y: 100})
+	if mv.X > 4 || mv.X < -4 || mv.Y > 4 || mv.Y < -4 {
+		t.Fatalf("vector %v outside range", mv)
+	}
+}

@@ -1,0 +1,118 @@
+// Package motion implements MPEG-2 frame-picture motion compensation with
+// half-pel interpolation (ISO/IEC 13818-2 §7.6) and the encoder-side
+// motion estimation (predictive diamond search with half-pel refinement).
+package motion
+
+import "mpeg2par/internal/frame"
+
+// MV is a motion vector in half-pel units (luma scale).
+type MV struct {
+	X, Y int
+}
+
+// Zero is the zero motion vector.
+var Zero = MV{}
+
+// ChromaMV returns the vector applied to 4:2:0 chroma: the luma vector
+// divided by two, truncating toward zero (§7.6.3.7).
+func (v MV) ChromaMV() MV {
+	return MV{X: divTrunc2(v.X), Y: divTrunc2(v.Y)}
+}
+
+func divTrunc2(v int) int {
+	if v < 0 {
+		return -(-v / 2)
+	}
+	return v / 2
+}
+
+// MBPred holds the prediction samples for one macroblock: a 16×16 luma
+// block and two 8×8 chroma blocks.
+type MBPred struct {
+	Y      [256]uint8
+	Cb, Cr [64]uint8
+}
+
+// PredictBlock fills a w×h destination block (dst with stride dstStride)
+// from the reference plane, sampling at pixel position (px, py) displaced
+// by the half-pel vector (mvx, mvy). Out-of-range displacements are
+// clamped to the plane; conforming encoders never produce them, so this
+// only defends against corrupt input.
+func PredictBlock(dst []uint8, dstStride int, ref []uint8, refStride, refW, refH int, px, py, mvx, mvy, w, h int) {
+	ix := px + (mvx >> 1)
+	iy := py + (mvy >> 1)
+	hx := mvx & 1
+	hy := mvy & 1
+	// Clamp so that ix..ix+w-1+hx and iy..iy+h-1+hy stay inside the plane.
+	ix = clamp(ix, 0, refW-w-hx)
+	iy = clamp(iy, 0, refH-h-hy)
+	src := iy*refStride + ix
+	switch {
+	case hx == 0 && hy == 0:
+		for y := 0; y < h; y++ {
+			copy(dst[y*dstStride:y*dstStride+w], ref[src+y*refStride:])
+		}
+	case hx == 1 && hy == 0:
+		for y := 0; y < h; y++ {
+			r := ref[src+y*refStride:]
+			d := dst[y*dstStride:]
+			for x := 0; x < w; x++ {
+				d[x] = uint8((int(r[x]) + int(r[x+1]) + 1) >> 1)
+			}
+		}
+	case hx == 0 && hy == 1:
+		for y := 0; y < h; y++ {
+			r0 := ref[src+y*refStride:]
+			r1 := ref[src+(y+1)*refStride:]
+			d := dst[y*dstStride:]
+			for x := 0; x < w; x++ {
+				d[x] = uint8((int(r0[x]) + int(r1[x]) + 1) >> 1)
+			}
+		}
+	default:
+		for y := 0; y < h; y++ {
+			r0 := ref[src+y*refStride:]
+			r1 := ref[src+(y+1)*refStride:]
+			d := dst[y*dstStride:]
+			for x := 0; x < w; x++ {
+				d[x] = uint8((int(r0[x]) + int(r0[x+1]) + int(r1[x]) + int(r1[x+1]) + 2) >> 2)
+			}
+		}
+	}
+}
+
+// PredictMB fills pred from ref for the macroblock at (mbx, mby)
+// (macroblock coordinates) using the half-pel luma vector mv.
+func PredictMB(pred *MBPred, ref *frame.Frame, mbx, mby int, mv MV) {
+	PredictBlock(pred.Y[:], 16, ref.Y, ref.CodedW, ref.CodedW, ref.CodedH,
+		mbx*16, mby*16, mv.X, mv.Y, 16, 16)
+	c := mv.ChromaMV()
+	cw, ch := ref.CodedW/2, ref.CodedH/2
+	PredictBlock(pred.Cb[:], 8, ref.Cb, cw, cw, ch, mbx*8, mby*8, c.X, c.Y, 8, 8)
+	PredictBlock(pred.Cr[:], 8, ref.Cr, cw, cw, ch, mbx*8, mby*8, c.X, c.Y, 8, 8)
+}
+
+// AverageMB sets dst to the rounded average of a and b — bidirectional
+// prediction (§7.6.7.1).
+func AverageMB(dst, a, b *MBPred) {
+	for i := range dst.Y {
+		dst.Y[i] = uint8((int(a.Y[i]) + int(b.Y[i]) + 1) >> 1)
+	}
+	for i := range dst.Cb {
+		dst.Cb[i] = uint8((int(a.Cb[i]) + int(b.Cb[i]) + 1) >> 1)
+		dst.Cr[i] = uint8((int(a.Cr[i]) + int(b.Cr[i]) + 1) >> 1)
+	}
+}
+
+func clamp(v, lo, hi int) int {
+	if hi < lo {
+		hi = lo
+	}
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

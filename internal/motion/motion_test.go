@@ -1,0 +1,312 @@
+package motion
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mpeg2par/internal/frame"
+)
+
+func TestChromaMV(t *testing.T) {
+	cases := []struct{ in, want MV }{
+		{MV{0, 0}, MV{0, 0}},
+		{MV{2, 4}, MV{1, 2}},
+		{MV{3, 5}, MV{1, 2}},
+		{MV{-3, -5}, MV{-1, -2}},
+		{MV{-2, -4}, MV{-1, -2}},
+		{MV{1, -1}, MV{0, 0}},
+	}
+	for _, c := range cases {
+		if got := c.in.ChromaMV(); got != c.want {
+			t.Errorf("ChromaMV(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+// gradFrame builds a frame whose luma is a known function of position, so
+// predictions can be checked analytically.
+func gradFrame(w, h int) *frame.Frame {
+	f := frame.New(w, h)
+	for y := 0; y < f.CodedH; y++ {
+		for x := 0; x < f.CodedW; x++ {
+			f.Y[y*f.CodedW+x] = uint8((x*3 + y*7) % 251)
+		}
+	}
+	for y := 0; y < f.CodedH/2; y++ {
+		for x := 0; x < f.CodedW/2; x++ {
+			f.Cb[y*f.CodedW/2+x] = uint8((x + 2*y) % 251)
+			f.Cr[y*f.CodedW/2+x] = uint8((2*x + y) % 251)
+		}
+	}
+	return f
+}
+
+func TestPredictBlockIntegerCopy(t *testing.T) {
+	ref := gradFrame(64, 64)
+	var dst [256]uint8
+	// Full-pel vector (+4, +6) in half-pel units is (8, 12).
+	PredictBlock(dst[:], 16, ref.Y, ref.CodedW, ref.CodedW, ref.CodedH, 16, 16, 8, 12, 16, 16)
+	for y := 0; y < 16; y++ {
+		for x := 0; x < 16; x++ {
+			want := ref.Y[(16+6+y)*ref.CodedW+16+4+x]
+			if dst[y*16+x] != want {
+				t.Fatalf("at %d,%d: got %d want %d", x, y, dst[y*16+x], want)
+			}
+		}
+	}
+}
+
+func TestPredictBlockHalfPel(t *testing.T) {
+	ref := gradFrame(64, 64)
+	var dst [256]uint8
+	// Horizontal half-pel.
+	PredictBlock(dst[:], 16, ref.Y, ref.CodedW, ref.CodedW, ref.CodedH, 16, 16, 1, 0, 16, 16)
+	for y := 0; y < 16; y++ {
+		for x := 0; x < 16; x++ {
+			a := int(ref.Y[(16+y)*ref.CodedW+16+x])
+			b := int(ref.Y[(16+y)*ref.CodedW+17+x])
+			want := uint8((a + b + 1) >> 1)
+			if dst[y*16+x] != want {
+				t.Fatalf("hx at %d,%d: got %d want %d", x, y, dst[y*16+x], want)
+			}
+		}
+	}
+	// Diagonal half-pel.
+	PredictBlock(dst[:], 16, ref.Y, ref.CodedW, ref.CodedW, ref.CodedH, 16, 16, 1, 1, 16, 16)
+	for y := 0; y < 16; y++ {
+		for x := 0; x < 16; x++ {
+			s := int(ref.Y[(16+y)*ref.CodedW+16+x]) + int(ref.Y[(16+y)*ref.CodedW+17+x]) +
+				int(ref.Y[(17+y)*ref.CodedW+16+x]) + int(ref.Y[(17+y)*ref.CodedW+17+x])
+			want := uint8((s + 2) >> 2)
+			if dst[y*16+x] != want {
+				t.Fatalf("hxy at %d,%d: got %d want %d", x, y, dst[y*16+x], want)
+			}
+		}
+	}
+}
+
+func TestPredictBlockClampsAtEdges(t *testing.T) {
+	ref := gradFrame(32, 32)
+	var dst [256]uint8
+	// A wildly out-of-range vector must not panic and must read inside.
+	PredictBlock(dst[:], 16, ref.Y, ref.CodedW, ref.CodedW, ref.CodedH, 16, 16, -2000, 4000, 16, 16)
+	PredictBlock(dst[:], 16, ref.Y, ref.CodedW, ref.CodedW, ref.CodedH, 0, 0, 4001, -4001, 16, 16)
+}
+
+func TestPredictMBMatchesPlanes(t *testing.T) {
+	ref := gradFrame(64, 64)
+	var p MBPred
+	PredictMB(&p, ref, 1, 1, MV{4, 8}) // full-pel (2,4)
+	for y := 0; y < 16; y++ {
+		for x := 0; x < 16; x++ {
+			want := ref.Y[(16+4+y)*ref.CodedW+16+2+x]
+			if p.Y[y*16+x] != want {
+				t.Fatalf("luma %d,%d: got %d want %d", x, y, p.Y[y*16+x], want)
+			}
+		}
+	}
+	// Chroma vector is (1, 2) full-pel.
+	cw := ref.CodedW / 2
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 8; x++ {
+			want := ref.Cb[(8+2+y)*cw+8+1+x]
+			if p.Cb[y*8+x] != want {
+				t.Fatalf("cb %d,%d: got %d want %d", x, y, p.Cb[y*8+x], want)
+			}
+		}
+	}
+}
+
+func TestAverageMB(t *testing.T) {
+	var a, b, d MBPred
+	for i := range a.Y {
+		a.Y[i] = 10
+		b.Y[i] = 13
+	}
+	for i := range a.Cb {
+		a.Cb[i], b.Cb[i] = 0, 255
+		a.Cr[i], b.Cr[i] = 4, 4
+	}
+	AverageMB(&d, &a, &b)
+	if d.Y[0] != 12 { // (10+13+1)>>1
+		t.Fatalf("avg luma = %d, want 12", d.Y[0])
+	}
+	if d.Cb[0] != 128 || d.Cr[0] != 4 {
+		t.Fatalf("avg chroma = %d/%d", d.Cb[0], d.Cr[0])
+	}
+}
+
+func TestSADZeroOnPerfectMatch(t *testing.T) {
+	ref := gradFrame(64, 64)
+	cur := ref.Clone()
+	if sad := SAD16(cur, ref, 16, 16, Zero, 1<<30); sad != 0 {
+		t.Fatalf("SAD of identical frames = %d", sad)
+	}
+}
+
+func TestSADEarlyExit(t *testing.T) {
+	ref := gradFrame(64, 64)
+	cur := frame.New(64, 64) // all zeros vs gradient: big SAD
+	sad := SAD16(cur, ref, 16, 16, Zero, 100)
+	if sad <= 100 {
+		t.Fatalf("early exit should return >limit, got %d", sad)
+	}
+}
+
+// noiseFrame builds an aperiodic frame (hash noise) so that a given shift
+// has a unique zero-SAD match, unlike the linear gradient which aliases.
+func noiseFrame(w, h int) *frame.Frame {
+	f := frame.New(w, h)
+	for y := 0; y < f.CodedH; y++ {
+		for x := 0; x < f.CodedW; x++ {
+			v := uint32(x*2654435761) ^ uint32(y*40503)
+			v ^= v >> 13
+			v *= 2246822519
+			f.Y[y*f.CodedW+x] = uint8(v >> 8)
+		}
+	}
+	return f
+}
+
+// smoothFrame is aperiodic but smooth (video-like), so descent-based
+// search converges without seeding.
+func smoothFrame(w, h int) *frame.Frame {
+	base := noiseFrame(w/8+4, h/8+4)
+	return base.Scale(w, h)
+}
+
+func TestSearchFindsKnownShift(t *testing.T) {
+	// cur is ref shifted right by 6 pixels: the search must find (-12, 0)
+	// half-pel (cur(x) = ref(x-6), so the prediction of cur at px samples
+	// ref at px-6 → mv=(-12,0)). Content is smooth-textured (like real
+	// video) so the SAD landscape guides the diamond descent.
+	ref := smoothFrame(96, 96)
+	cur := frame.New(96, 96)
+	for y := 0; y < 96; y++ {
+		for x := 0; x < 96; x++ {
+			sx := x - 6
+			if sx < 0 {
+				sx = 0
+			}
+			cur.Y[y*cur.CodedW+x] = ref.Y[y*ref.CodedW+sx]
+		}
+	}
+	e := NewEstimator(32)
+	mv, sad := e.Search(cur, ref, 2, 2)
+	if mv != (MV{-12, 0}) || sad != 0 {
+		t.Fatalf("got mv=%v sad=%d, want (-12,0)/0", mv, sad)
+	}
+}
+
+func TestSearchHalfPel(t *testing.T) {
+	// cur is the half-pel interpolation of ref shifted by 2.5 pixels: the
+	// best vector should be (-5, 0) with SAD 0.
+	ref := noiseFrame(96, 96)
+	cur := frame.New(96, 96)
+	for y := 0; y < 96; y++ {
+		for x := 0; x < 96; x++ {
+			sx := x - 3
+			if sx < 0 {
+				sx = 0
+			}
+			a := int(ref.Y[y*ref.CodedW+sx])
+			b := int(ref.Y[y*ref.CodedW+sx+1])
+			cur.Y[y*cur.CodedW+x] = uint8((a + b + 1) >> 1)
+		}
+	}
+	e := NewEstimator(32)
+	mv, sad := e.Search(cur, ref, 2, 2)
+	if sad != 0 {
+		t.Fatalf("got mv=%v sad=%d, want sad 0", mv, sad)
+	}
+	if mv.X&1 == 0 {
+		t.Fatalf("expected a half-pel horizontal component, got %v", mv)
+	}
+}
+
+func TestSearchRespectsRange(t *testing.T) {
+	ref := noiseFrame(128, 64)
+	cur := frame.New(128, 64)
+	for y := 0; y < 64; y++ {
+		for x := 0; x < 128; x++ {
+			sx := x - 30 // shift way beyond the range
+			if sx < 0 {
+				sx = 0
+			}
+			cur.Y[y*cur.CodedW+x] = ref.Y[y*ref.CodedW+sx]
+		}
+	}
+	e := NewEstimator(16) // ±8 full-pel
+	mv, _ := e.Search(cur, ref, 4, 1)
+	if mv.X < -16 || mv.X > 16 || mv.Y < -16 || mv.Y > 16 {
+		t.Fatalf("vector %v outside range", mv)
+	}
+}
+
+func TestSearchCandidateSeeding(t *testing.T) {
+	// With a candidate seeded at the true displacement, even a tiny range
+	// around it works when the diamond alone might wander.
+	ref := noiseFrame(128, 128)
+	cur := frame.New(128, 128)
+	const shift = 20
+	for y := 0; y < 128; y++ {
+		for x := 0; x < 128; x++ {
+			sx := x - shift
+			if sx < 0 {
+				sx = 0
+			}
+			cur.Y[y*cur.CodedW+x] = ref.Y[y*ref.CodedW+sx]
+		}
+	}
+	e := NewEstimator(64)
+	mv, sad := e.Search(cur, ref, 3, 3, MV{-2 * shift, 0})
+	if sad != 0 || mv != (MV{-2 * shift, 0}) {
+		t.Fatalf("seeded search got mv=%v sad=%d", mv, sad)
+	}
+}
+
+// TestPredictQuickNoPanic: random vectors and positions never read out of
+// bounds (the clamp logic is load-bearing for corrupt-stream safety).
+func TestPredictQuickNoPanic(t *testing.T) {
+	ref := gradFrame(48, 48)
+	f := func(px, py int16, mvx, mvy int16) bool {
+		var dst [256]uint8
+		PredictBlock(dst[:], 16, ref.Y, ref.CodedW, ref.CodedW, ref.CodedH,
+			int(px%48), int(py%48), int(mvx), int(mvy), 16, 16)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSAD16(b *testing.B) {
+	ref := gradFrame(352, 240)
+	cur := ref.Clone()
+	for i := 0; i < b.N; i++ {
+		SAD16(cur, ref, 160, 112, MV{2, 2}, 1<<30)
+	}
+}
+
+func BenchmarkSearch(b *testing.B) {
+	rng := rand.New(rand.NewSource(10))
+	s := frame.NewSynth(352, 240)
+	ref := s.Frame(0)
+	cur := s.Frame(3)
+	e := NewEstimator(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mbx := rng.Intn(ref.CodedW/16 - 1)
+		mby := rng.Intn(ref.CodedH/16 - 1)
+		e.Search(cur, ref, mbx, mby)
+	}
+}
+
+func BenchmarkPredictMBHalfPel(b *testing.B) {
+	ref := gradFrame(352, 240)
+	var p MBPred
+	for i := 0; i < b.N; i++ {
+		PredictMB(&p, ref, 5, 5, MV{3, 3})
+	}
+}

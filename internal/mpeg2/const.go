@@ -1,0 +1,94 @@
+// Package mpeg2 implements the MPEG-2 video bitstream syntax (ISO/IEC
+// 13818-2): sequence, GOP, picture and slice headers, and the macroblock/
+// block layer as a pure syntax transform between a structured macroblock
+// representation and bits.
+//
+// The scope is the Main Profile subset the paper exercises: progressive
+// frame pictures, 4:2:0, I/P/B with frame prediction and half-pel motion,
+// frame_pred_frame_dct=1. Pixel reconstruction and coefficient production
+// live in the decoder and encoder packages; this package owns all
+// bitstream state (DC predictors, motion vector predictors, quantiser
+// scale, skipped-macroblock semantics).
+package mpeg2
+
+// Startcode values (the byte following the 0x000001 prefix), §6.2.1.
+const (
+	PictureStartCode   = 0x00
+	SliceStartMin      = 0x01
+	SliceStartMax      = 0xAF
+	UserDataStartCode  = 0xB2
+	SequenceHeaderCode = 0xB3
+	SequenceErrorCode  = 0xB4
+	ExtensionStartCode = 0xB5
+	SequenceEndCode    = 0xB7
+	GroupStartCode     = 0xB8
+)
+
+// Extension identifiers (§6.3.3).
+const (
+	SequenceExtensionID      = 1
+	SequenceDisplayExtID     = 2
+	QuantMatrixExtensionID   = 3
+	PictureCodingExtensionID = 8
+)
+
+// Picture structure codes (§6.3.10).
+const (
+	TopField     = 1
+	BottomField  = 2
+	FramePicture = 3
+)
+
+// Chroma formats (§6.3.5).
+const (
+	Chroma420 = 1
+	Chroma422 = 2
+	Chroma444 = 3
+)
+
+// FrameRates maps frame_rate_code to frames per second (Table 6-4).
+var FrameRates = [16]float64{
+	0, 24000.0 / 1001, 24, 25, 30000.0 / 1001, 30, 50, 60000.0 / 1001, 60,
+}
+
+// FrameRateCode returns the code whose rate is closest to fps.
+func FrameRateCode(fps float64) int {
+	best, bestDiff := 5, 1e18
+	for code := 1; code <= 8; code++ {
+		d := FrameRates[code] - fps
+		if d < 0 {
+			d = -d
+		}
+		if d < bestDiff {
+			best, bestDiff = code, d
+		}
+	}
+	return best
+}
+
+// ProfileLevel codes (profile_and_level_indication) for streams we write.
+// The paper's streams are "main profile at high level".
+const (
+	MainProfileMainLevel = 0x48
+	MainProfileHighLevel = 0x44
+)
+
+// MVRangeHalf returns the half-pel motion vector range limit for an
+// f_code: vectors must lie in [-16<<(f-1), 16<<(f-1) - 1].
+func MVRangeHalf(fcode int) int {
+	if fcode < 1 {
+		fcode = 1
+	}
+	return 16 << uint(fcode-1)
+}
+
+// FCodeFor returns the smallest legal f_code that can represent half-pel
+// vector components of magnitude up to maxHalf.
+func FCodeFor(maxHalf int) int {
+	for f := 1; f <= 9; f++ {
+		if MVRangeHalf(f) > maxHalf {
+			return f
+		}
+	}
+	return 9
+}

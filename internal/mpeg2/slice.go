@@ -1,0 +1,317 @@
+package mpeg2
+
+import (
+	"fmt"
+
+	"mpeg2par/internal/bits"
+	"mpeg2par/internal/motion"
+	"mpeg2par/internal/quant"
+	"mpeg2par/internal/scan"
+	"mpeg2par/internal/vlc"
+)
+
+func zig(pos int) int { return scan.Zigzag[pos] }
+
+// MB is the structured form of one macroblock. The slice codec translates
+// between MB values and bits, absorbing all predictive bitstream state
+// (DC predictors, motion vector predictors, quantiser scale, skip rules):
+// MVFwd/MVBwd are actual vectors, Blocks[i][0] of an intra block is the
+// actual quantized DC value, and QScaleCode is the scale in effect at the
+// macroblock.
+type MB struct {
+	Addr       int // macroblock address: row*mbWidth + column
+	Type       vlc.MBType
+	QScaleCode int
+	MVFwd      motion.MV // half-pel, luma scale
+	MVBwd      motion.MV
+	CBP        int // derived from Blocks on encode when Type.Pattern
+	Skipped    bool
+	Blocks     [6][64]int32 // quantized coefficients, raster order
+
+	// Interlaced coding fields (frame pictures with frame_pred_frame_dct
+	// = 0). With FieldMotion set, MVFwd/MVBwd are the first (top-field)
+	// vectors and MVFwd2/MVBwd2 the second (bottom-field) vectors, all
+	// with *field-unit* vertical components; FieldSelFwd/FieldSelBwd give
+	// each vector's motion_vertical_field_select.
+	FieldMotion bool
+	FieldDCT    bool // dct_type: field-organized DCT blocks
+	MVFwd2      motion.MV
+	MVBwd2      motion.MV
+	FieldSelFwd [2]bool
+	FieldSelBwd [2]bool
+}
+
+// PictureParams bundles everything the slice layer needs about the
+// enclosing picture.
+type PictureParams struct {
+	MBWidth, MBHeight int
+	Type              vlc.PictureCoding
+	FCode             [2][2]int
+	IntraDCPrecision  int
+	QScaleType        bool
+	IntraVLCFormat    bool
+	AlternateScan     bool
+	// FramePredFrameDCT mirrors the picture coding extension flag: when
+	// false (interlaced coding), macroblocks carry frame_motion_type and
+	// dct_type fields and may use field prediction / field DCT.
+	FramePredFrameDCT bool
+}
+
+func (p *PictureParams) validate() error {
+	if p.MBWidth < 1 || p.MBHeight < 1 {
+		return fmt.Errorf("mpeg2: bad picture geometry %dx%d MBs", p.MBWidth, p.MBHeight)
+	}
+	if p.Type < vlc.CodingI || p.Type > vlc.CodingB {
+		return fmt.Errorf("mpeg2: bad picture type %d", int(p.Type))
+	}
+	return nil
+}
+
+// sliceState is the predictive state shared by encode and decode.
+type sliceState struct {
+	p      *PictureParams
+	dcPred [3]int32
+	// pmv[r][s][t]: r first/second vector, s 0=fwd 1=bwd, t 0=x 1=y.
+	// Vertical components are stored at frame scale; field vectors halve
+	// the prediction on use and double the result on update (§7.6.3.1).
+	pmv    [2][2][2]int
+	qscale int // current quantiser_scale_code
+}
+
+func newSliceState(p *PictureParams, qscale int) *sliceState {
+	s := &sliceState{p: p, qscale: qscale}
+	s.resetDC()
+	s.resetPMV()
+	return s
+}
+
+func (s *sliceState) resetDC() {
+	reset := int32(1) << uint(s.p.IntraDCPrecision+7)
+	s.dcPred[0], s.dcPred[1], s.dcPred[2] = reset, reset, reset
+}
+
+func (s *sliceState) resetPMV() {
+	s.pmv = [2][2][2]int{}
+}
+
+// --- motion vector delta coding (§7.6.3) ---------------------------------
+
+// encodeVector writes motion vector rv (first/second) for direction dir.
+// With field set, the vertical component is in field units: its
+// prediction is the halved PMV and the PMV update stores the doubled
+// value.
+func (s *sliceState) encodeVector(w *bits.Writer, rv, dir int, mv motion.MV, field bool) error {
+	comps := [2]int{mv.X, mv.Y}
+	for t := 0; t < 2; t++ {
+		fcode := s.p.FCode[dir][t]
+		if fcode < 1 || fcode > 9 {
+			return fmt.Errorf("mpeg2: invalid f_code %d", fcode)
+		}
+		f := 1 << uint(fcode-1)
+		high := 16*f - 1
+		low := -16 * f
+		rng := 32 * f
+		if comps[t] > high || comps[t] < low {
+			return fmt.Errorf("mpeg2: motion component %d outside f_code %d range", comps[t], fcode)
+		}
+		pred := s.pmv[rv][dir][t]
+		if field && t == 1 {
+			pred >>= 1
+		}
+		delta := comps[t] - pred
+		if delta > high {
+			delta -= rng
+		}
+		if delta < low {
+			delta += rng
+		}
+		if delta == 0 {
+			if err := vlc.EncodeMotionCode(w, 0); err != nil {
+				return err
+			}
+		} else {
+			mag := delta
+			if mag < 0 {
+				mag = -mag
+			}
+			code := (mag-1)/f + 1
+			residual := (mag - 1) % f
+			if delta < 0 {
+				code = -code
+			}
+			if err := vlc.EncodeMotionCode(w, code); err != nil {
+				return err
+			}
+			if f > 1 {
+				w.Put(uint32(residual), uint(fcode-1))
+			}
+		}
+		upd := comps[t]
+		if field && t == 1 {
+			upd = comps[t] * 2
+		}
+		s.pmv[rv][dir][t] = upd
+	}
+	return nil
+}
+
+// encodeMV writes a frame-prediction motion vector for direction dir
+// (vector 0, duplicated into PMV slot 1 per §7.6.3.1).
+func (s *sliceState) encodeMV(w *bits.Writer, dir int, mv motion.MV) error {
+	if err := s.encodeVector(w, 0, dir, mv, false); err != nil {
+		return err
+	}
+	s.pmv[1][dir] = s.pmv[0][dir]
+	return nil
+}
+
+// decodeVector reads motion vector rv for direction dir (field semantics
+// as in encodeVector).
+func (s *sliceState) decodeVector(r *bits.Reader, rv, dir int, field bool) (motion.MV, error) {
+	var comps [2]int
+	for t := 0; t < 2; t++ {
+		fcode := s.p.FCode[dir][t]
+		if fcode < 1 || fcode > 9 {
+			return motion.MV{}, fmt.Errorf("mpeg2: invalid f_code %d in stream", fcode)
+		}
+		f := 1 << uint(fcode-1)
+		high := 16*f - 1
+		low := -16 * f
+		rng := 32 * f
+		code, err := vlc.DecodeMotionCode(r)
+		if err != nil {
+			return motion.MV{}, err
+		}
+		delta := 0
+		if code != 0 {
+			mag := code
+			if mag < 0 {
+				mag = -mag
+			}
+			residual := 0
+			if f > 1 {
+				residual = int(r.Read(uint(fcode - 1)))
+			}
+			delta = (mag-1)*f + residual + 1
+			if code < 0 {
+				delta = -delta
+			}
+		}
+		pred := s.pmv[rv][dir][t]
+		if field && t == 1 {
+			pred >>= 1
+		}
+		v := pred + delta
+		if v > high {
+			v -= rng
+		}
+		if v < low {
+			v += rng
+		}
+		upd := v
+		if field && t == 1 {
+			upd = v * 2
+		}
+		s.pmv[rv][dir][t] = upd
+		comps[t] = v
+	}
+	return motion.MV{X: comps[0], Y: comps[1]}, r.Err()
+}
+
+// decodeMV reads a frame-prediction motion vector for direction dir.
+func (s *sliceState) decodeMV(r *bits.Reader, dir int) (motion.MV, error) {
+	mv, err := s.decodeVector(r, 0, dir, false)
+	if err != nil {
+		return motion.MV{}, err
+	}
+	s.pmv[1][dir] = s.pmv[0][dir]
+	return mv, nil
+}
+
+// --- block coefficient coding (§7.2) --------------------------------------
+
+// encodeBlock writes one coded block. For intra blocks, blk[0] is the
+// actual quantized DC; cc selects the DC predictor (0 luma, 1 Cb, 2 Cr).
+func (s *sliceState) encodeBlock(w *bits.Writer, blk *[64]int32, intra bool, cc int, luma bool) error {
+	tbl := scan.Table(s.p.AlternateScan)
+	tableOne := intra && s.p.IntraVLCFormat
+	start := 0
+	if intra {
+		diff := blk[0] - s.dcPred[cc]
+		s.dcPred[cc] = blk[0]
+		if err := vlc.EncodeDCDifferential(w, diff, luma); err != nil {
+			return err
+		}
+		start = 1
+	}
+	run := 0
+	first := !intra
+	for pos := start; pos < 64; pos++ {
+		v := blk[tbl[pos]]
+		if v == 0 {
+			run++
+			continue
+		}
+		if err := vlc.EncodeCoef(w, tableOne, first, run, v); err != nil {
+			return err
+		}
+		first = false
+		run = 0
+	}
+	if !intra && first {
+		return fmt.Errorf("mpeg2: non-intra coded block has no coefficients")
+	}
+	vlc.EncodeEOB(w, tableOne)
+	return nil
+}
+
+// decodeBlock reads one coded block into blk (raster order, zero-filled).
+func (s *sliceState) decodeBlock(r *bits.Reader, blk *[64]int32, intra bool, cc int, luma bool) error {
+	for i := range blk {
+		blk[i] = 0
+	}
+	tbl := scan.Table(s.p.AlternateScan)
+	tableOne := intra && s.p.IntraVLCFormat
+	pos := 0
+	if intra {
+		diff, err := vlc.DecodeDCDifferential(r, luma)
+		if err != nil {
+			return err
+		}
+		dc := s.dcPred[cc] + diff
+		maxDC := int32(1)<<uint(s.p.IntraDCPrecision+8) - 1
+		if dc < 0 || dc > maxDC {
+			return fmt.Errorf("mpeg2: intra DC %d out of range", dc)
+		}
+		s.dcPred[cc] = dc
+		blk[0] = dc
+		pos = 1
+	}
+	first := !intra
+	for {
+		run, level, eob, err := vlc.DecodeCoef(r, tableOne, first)
+		if err != nil {
+			return err
+		}
+		if eob {
+			if !intra && first {
+				return fmt.Errorf("mpeg2: empty non-intra block")
+			}
+			return nil
+		}
+		first = false
+		pos += run
+		if pos > 63 {
+			return fmt.Errorf("mpeg2: coefficient run overflows block (pos %d)", pos)
+		}
+		blk[tbl[pos]] = level
+		pos++
+		if pos > 64 {
+			return fmt.Errorf("mpeg2: too many coefficients in block")
+		}
+	}
+}
+
+// QScale returns the quantiser scale value for a scale code under the
+// picture's q_scale_type.
+func (p *PictureParams) QScale(code int) int32 { return quant.Scale(code, p.QScaleType) }

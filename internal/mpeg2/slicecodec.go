@@ -1,0 +1,440 @@
+package mpeg2
+
+import (
+	"fmt"
+
+	"mpeg2par/internal/bits"
+	"mpeg2par/internal/motion"
+	"mpeg2par/internal/vlc"
+)
+
+// cbpBit returns the coded_block_pattern mask bit for block i (0..5).
+func cbpBit(i int) int { return 1 << uint(5-i) }
+
+// deriveCBP computes the coded block pattern from non-zero blocks.
+func deriveCBP(blocks *[6][64]int32) int {
+	cbp := 0
+	for i := 0; i < 6; i++ {
+		for _, v := range blocks[i] {
+			if v != 0 {
+				cbp |= cbpBit(i)
+				break
+			}
+		}
+	}
+	return cbp
+}
+
+// EncodeSlice writes one slice: the slice startcode for row, the slice
+// header with qscaleCode, and the given macroblocks. mbs must be sorted by
+// Addr, all within row, with the first and last not skipped. Macroblocks
+// marked Skipped are encoded as address gaps; the caller must have built
+// them to satisfy the skip semantics (validated here).
+func EncodeSlice(w *bits.Writer, p *PictureParams, row, qscaleCode int, mbs []MB) error {
+	if err := p.validate(); err != nil {
+		return err
+	}
+	if row < 0 || row >= p.MBHeight || row+1 > SliceStartMax {
+		return fmt.Errorf("mpeg2: slice row %d not encodable", row)
+	}
+	if len(mbs) == 0 {
+		return fmt.Errorf("mpeg2: empty slice at row %d", row)
+	}
+	if qscaleCode < 1 || qscaleCode > 31 {
+		return fmt.Errorf("mpeg2: slice quantiser_scale_code %d out of range", qscaleCode)
+	}
+	if mbs[0].Skipped || mbs[len(mbs)-1].Skipped {
+		return fmt.Errorf("mpeg2: first/last macroblock of a slice cannot be skipped")
+	}
+
+	w.StartCode(byte(row + 1))
+	w.Put(uint32(qscaleCode), 5)
+	w.Put(0, 1) // extra_bit_slice
+
+	st := newSliceState(p, qscaleCode)
+	prevAddr := row*p.MBWidth - 1
+	prevDir := vlc.MBType{}
+	for i := range mbs {
+		mb := &mbs[i]
+		if mb.Addr/p.MBWidth != row {
+			return fmt.Errorf("mpeg2: macroblock %d outside slice row %d", mb.Addr, row)
+		}
+		if mb.Addr <= prevAddr {
+			return fmt.Errorf("mpeg2: macroblock addresses not increasing at %d", mb.Addr)
+		}
+		if mb.Skipped {
+			if err := validateSkip(p, st, prevDir, mb); err != nil {
+				return err
+			}
+			// Decoder-visible state for a skipped macroblock.
+			st.resetDC()
+			if p.Type == vlc.CodingP {
+				st.resetPMV()
+			}
+			continue
+		}
+		if err := vlc.EncodeMBAddrInc(w, mb.Addr-prevAddr); err != nil {
+			return err
+		}
+		prevAddr = mb.Addr
+		if err := encodeMB(w, p, st, mb); err != nil {
+			return fmt.Errorf("mpeg2: macroblock %d: %w", mb.Addr, err)
+		}
+		prevDir = vlc.MBType{MotionForward: mb.Type.MotionForward, MotionBackward: mb.Type.MotionBackward}
+	}
+	return nil
+}
+
+func validateSkip(p *PictureParams, st *sliceState, prevDir vlc.MBType, mb *MB) error {
+	if mb.FieldMotion || mb.FieldDCT {
+		return fmt.Errorf("mpeg2: skipped macroblocks always use frame prediction and carry no DCT")
+	}
+	switch p.Type {
+	case vlc.CodingI:
+		return fmt.Errorf("mpeg2: skipped macroblock in I picture")
+	case vlc.CodingP:
+		if mb.MVFwd != motion.Zero || mb.Type.Intra || mb.Type.Pattern {
+			return fmt.Errorf("mpeg2: P-picture skip requires zero vector and no residual")
+		}
+	case vlc.CodingB:
+		if mb.Type.Intra || mb.Type.Pattern {
+			return fmt.Errorf("mpeg2: B-picture skip cannot carry residual")
+		}
+		if !prevDir.MotionForward && !prevDir.MotionBackward {
+			return fmt.Errorf("mpeg2: B-picture skip after non-predicted macroblock")
+		}
+		if mb.Type.MotionForward != prevDir.MotionForward || mb.Type.MotionBackward != prevDir.MotionBackward {
+			return fmt.Errorf("mpeg2: B-picture skip must repeat previous prediction mode")
+		}
+		if prevDir.MotionForward && mb.MVFwd != (motion.MV{X: st.pmv[0][0][0], Y: st.pmv[0][0][1]}) {
+			return fmt.Errorf("mpeg2: B-picture skip must repeat forward vector")
+		}
+		if prevDir.MotionBackward && mb.MVBwd != (motion.MV{X: st.pmv[0][1][0], Y: st.pmv[0][1][1]}) {
+			return fmt.Errorf("mpeg2: B-picture skip must repeat backward vector")
+		}
+	}
+	return nil
+}
+
+func encodeMB(w *bits.Writer, p *PictureParams, st *sliceState, mb *MB) error {
+	t := mb.Type
+	cbp := 0
+	if t.Pattern {
+		cbp = deriveCBP(&mb.Blocks)
+		if cbp == 0 {
+			return fmt.Errorf("mpeg2: pattern flag set but no coded blocks")
+		}
+	}
+	t.Quant = mb.QScaleCode != st.qscale
+	if err := vlc.EncodeMBType(w, p.Type, t); err != nil {
+		return err
+	}
+	// Macroblock modes (§6.3.17.1). With frame_pred_frame_dct=1 there is
+	// no motion_type or dct_type field: frame prediction and frame DCT
+	// are implied.
+	hasMotion := t.MotionForward || t.MotionBackward
+	if !p.FramePredFrameDCT {
+		if hasMotion {
+			if mb.FieldMotion {
+				w.Put(0b01, 2) // frame_motion_type: field-based
+			} else {
+				w.Put(0b10, 2) // frame_motion_type: frame-based
+			}
+		}
+		if t.Intra || t.Pattern {
+			putFlag(w, mb.FieldDCT)
+		}
+	} else if mb.FieldMotion || mb.FieldDCT {
+		return fmt.Errorf("mpeg2: field coding requires frame_pred_frame_dct=0")
+	}
+	if t.Quant {
+		if mb.QScaleCode < 1 || mb.QScaleCode > 31 {
+			return fmt.Errorf("mpeg2: quantiser_scale_code %d out of range", mb.QScaleCode)
+		}
+		w.Put(uint32(mb.QScaleCode), 5)
+		st.qscale = mb.QScaleCode
+	}
+	writeVectors := func(dir int, mv1, mv2 motion.MV, sel [2]bool) error {
+		if !mb.FieldMotion {
+			return st.encodeMV(w, dir, mv1)
+		}
+		for rv, v := range [2]motion.MV{mv1, mv2} {
+			putFlag(w, sel[rv])
+			if err := st.encodeVector(w, rv, dir, v, true); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if t.MotionForward {
+		if err := writeVectors(0, mb.MVFwd, mb.MVFwd2, mb.FieldSelFwd); err != nil {
+			return err
+		}
+	}
+	if t.MotionBackward {
+		if err := writeVectors(1, mb.MVBwd, mb.MVBwd2, mb.FieldSelBwd); err != nil {
+			return err
+		}
+	}
+	if t.Pattern {
+		if err := vlc.EncodeCBP(w, cbp); err != nil {
+			return err
+		}
+	}
+
+	// State side effects mirrored from the decoder.
+	if !t.Intra {
+		st.resetDC()
+	}
+	if t.Intra {
+		st.resetPMV()
+	} else if p.Type == vlc.CodingP && !t.MotionForward {
+		if mb.MVFwd != motion.Zero {
+			return fmt.Errorf("mpeg2: P macroblock without forward vector must carry zero vector")
+		}
+		st.resetPMV()
+	}
+
+	if t.Intra {
+		for i := 0; i < 6; i++ {
+			cc, luma := blockComponent(i)
+			if err := st.encodeBlock(w, &mb.Blocks[i], true, cc, luma); err != nil {
+				return err
+			}
+		}
+	} else if t.Pattern {
+		for i := 0; i < 6; i++ {
+			if cbp&cbpBit(i) == 0 {
+				continue
+			}
+			cc, luma := blockComponent(i)
+			if err := st.encodeBlock(w, &mb.Blocks[i], false, cc, luma); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// blockComponent maps block index to DC-predictor component and luma flag.
+func blockComponent(i int) (cc int, luma bool) {
+	switch {
+	case i < 4:
+		return 0, true
+	case i == 4:
+		return 1, false
+	default:
+		return 2, false
+	}
+}
+
+// DecodedSlice is the result of decoding one slice.
+type DecodedSlice struct {
+	Row        int
+	QScaleCode int  // slice header value
+	MBs        []MB // includes synthesized entries for skipped macroblocks
+}
+
+// DecodeSlice parses one slice. The reader must be positioned just after
+// the slice startcode; row is derived from that startcode (value-1).
+// Skipped macroblocks are materialized in the result with their resolved
+// prediction semantics so the reconstruction layer needs no bitstream
+// state.
+func DecodeSlice(r *bits.Reader, p *PictureParams, row int) (DecodedSlice, error) {
+	ds := DecodedSlice{Row: row}
+	if err := p.validate(); err != nil {
+		return ds, err
+	}
+	if row < 0 || row >= p.MBHeight {
+		return ds, fmt.Errorf("mpeg2: slice row %d outside picture", row)
+	}
+	qs := int(r.Read(5))
+	if qs == 0 {
+		return ds, fmt.Errorf("mpeg2: slice quantiser_scale_code 0 is forbidden")
+	}
+	ds.QScaleCode = qs
+	for r.ReadBit() { // extra_information_slice
+		r.Skip(8)
+	}
+	st := newSliceState(p, qs)
+	prevAddr := row*p.MBWidth - 1
+	firstMB := true
+	prevDir := vlc.MBType{}
+	maxAddr := p.MBWidth*p.MBHeight - 1
+	for {
+		inc, err := vlc.DecodeMBAddrInc(r)
+		if err != nil {
+			return ds, err
+		}
+		if !firstMB && inc > 1 {
+			// Materialize skipped macroblocks.
+			for k := 1; k < inc; k++ {
+				addr := prevAddr + k
+				if addr > maxAddr {
+					return ds, fmt.Errorf("mpeg2: skipped macroblock address %d overflows picture", addr)
+				}
+				skip, err := synthesizeSkip(p, st, prevDir, addr)
+				if err != nil {
+					return ds, err
+				}
+				ds.MBs = append(ds.MBs, skip)
+			}
+			st.resetDC()
+			if p.Type == vlc.CodingP {
+				st.resetPMV()
+			}
+		}
+		addr := prevAddr + inc
+		if addr > maxAddr || addr/p.MBWidth != row {
+			return ds, fmt.Errorf("mpeg2: macroblock address %d outside slice row %d", addr, row)
+		}
+		mb := MB{Addr: addr, QScaleCode: st.qscale}
+		if err := decodeMB(r, p, st, &mb); err != nil {
+			return ds, fmt.Errorf("mpeg2: macroblock %d: %w", addr, err)
+		}
+		ds.MBs = append(ds.MBs, mb)
+		prevAddr = addr
+		firstMB = false
+		prevDir = vlc.MBType{MotionForward: mb.Type.MotionForward, MotionBackward: mb.Type.MotionBackward}
+		if err := r.Err(); err != nil {
+			return ds, err
+		}
+		// End of slice: 23 zero bits signal byte stuffing + the next
+		// startcode prefix (§6.2.4).
+		if r.Peek(23) == 0 || r.Remaining() == 0 {
+			return ds, nil
+		}
+	}
+}
+
+func synthesizeSkip(p *PictureParams, st *sliceState, prevDir vlc.MBType, addr int) (MB, error) {
+	mb := MB{Addr: addr, QScaleCode: st.qscale, Skipped: true}
+	switch p.Type {
+	case vlc.CodingP:
+		mb.Type = vlc.MBType{MotionForward: true}
+		mb.MVFwd = motion.Zero
+	case vlc.CodingB:
+		if !prevDir.MotionForward && !prevDir.MotionBackward {
+			return mb, fmt.Errorf("mpeg2: B skip at %d follows unpredicted macroblock", addr)
+		}
+		// A skipped B macroblock predicts frame-based from the first
+		// PMVs regardless of how the previous macroblock was coded.
+		mb.Type = prevDir
+		if prevDir.MotionForward {
+			mb.MVFwd = motion.MV{X: st.pmv[0][0][0], Y: st.pmv[0][0][1]}
+		}
+		if prevDir.MotionBackward {
+			mb.MVBwd = motion.MV{X: st.pmv[0][1][0], Y: st.pmv[0][1][1]}
+		}
+	default:
+		return mb, fmt.Errorf("mpeg2: skipped macroblock at %d in I picture", addr)
+	}
+	return mb, nil
+}
+
+func decodeMB(r *bits.Reader, p *PictureParams, st *sliceState, mb *MB) error {
+	t, err := vlc.DecodeMBType(r, p.Type)
+	if err != nil {
+		return err
+	}
+	mb.Type = t
+	hasMotion := t.MotionForward || t.MotionBackward
+	if !p.FramePredFrameDCT {
+		if hasMotion {
+			switch r.Read(2) {
+			case 0b10:
+				// frame-based
+			case 0b01:
+				mb.FieldMotion = true
+			case 0b11:
+				return fmt.Errorf("mpeg2: dual-prime prediction not supported")
+			default:
+				return fmt.Errorf("mpeg2: reserved frame_motion_type")
+			}
+		}
+		if t.Intra || t.Pattern {
+			mb.FieldDCT = r.ReadBit()
+		}
+	}
+	if t.Quant {
+		qs := int(r.Read(5))
+		if qs == 0 {
+			return fmt.Errorf("mpeg2: macroblock quantiser_scale_code 0")
+		}
+		st.qscale = qs
+	}
+	mb.QScaleCode = st.qscale
+	readVectors := func(dir int) (mv1, mv2 motion.MV, sel [2]bool, err error) {
+		if !mb.FieldMotion {
+			mv1, err = st.decodeMV(r, dir)
+			return mv1, mv2, sel, err
+		}
+		for rv := 0; rv < 2; rv++ {
+			sel[rv] = r.ReadBit()
+			var v motion.MV
+			v, err = st.decodeVector(r, rv, dir, true)
+			if err != nil {
+				return mv1, mv2, sel, err
+			}
+			if rv == 0 {
+				mv1 = v
+			} else {
+				mv2 = v
+			}
+		}
+		return mv1, mv2, sel, nil
+	}
+	if t.MotionForward {
+		mb.MVFwd, mb.MVFwd2, mb.FieldSelFwd, err = readVectors(0)
+		if err != nil {
+			return err
+		}
+	}
+	if t.MotionBackward {
+		mb.MVBwd, mb.MVBwd2, mb.FieldSelBwd, err = readVectors(1)
+		if err != nil {
+			return err
+		}
+	}
+	cbp := 0
+	if t.Pattern {
+		cbp, err = vlc.DecodeCBP(r)
+		if err != nil {
+			return err
+		}
+		if cbp == 0 {
+			return fmt.Errorf("mpeg2: coded_block_pattern 0 in 4:2:0")
+		}
+	}
+	mb.CBP = cbp
+
+	if !t.Intra {
+		st.resetDC()
+	}
+	if t.Intra {
+		st.resetPMV()
+	} else if p.Type == vlc.CodingP && !t.MotionForward {
+		st.resetPMV()
+	}
+
+	if t.Intra {
+		for i := 0; i < 6; i++ {
+			cc, luma := blockComponent(i)
+			if err := st.decodeBlock(r, &mb.Blocks[i], true, cc, luma); err != nil {
+				return err
+			}
+		}
+		mb.CBP = 0x3F
+	} else if t.Pattern {
+		for i := 0; i < 6; i++ {
+			if cbp&cbpBit(i) == 0 {
+				continue
+			}
+			cc, luma := blockComponent(i)
+			if err := st.decodeBlock(r, &mb.Blocks[i], false, cc, luma); err != nil {
+				return err
+			}
+		}
+	}
+	return r.Err()
+}

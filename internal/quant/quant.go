@@ -1,0 +1,192 @@
+// Package quant implements MPEG-2 quantization and inverse quantization
+// (ISO/IEC 13818-2 §7.4), including the default quantization matrices, the
+// linear and non-linear quantiser_scale mappings, coefficient saturation
+// and mismatch control.
+package quant
+
+// DefaultIntraMatrix is the default intra quantization matrix in raster
+// order (§6.3.11).
+var DefaultIntraMatrix = [64]uint8{
+	8, 16, 19, 22, 26, 27, 29, 34,
+	16, 16, 22, 24, 27, 29, 34, 37,
+	19, 22, 26, 27, 29, 34, 34, 38,
+	22, 24, 27, 29, 32, 35, 38, 40,
+	26, 27, 29, 32, 35, 40, 43, 46,
+	27, 29, 34, 34, 40, 46, 46, 56,
+	29, 34, 34, 37, 40, 48, 56, 69,
+	34, 37, 38, 40, 48, 58, 69, 83,
+}
+
+// DefaultNonIntraMatrix is the default non-intra quantization matrix: a
+// flat 16 (§6.3.11).
+var DefaultNonIntraMatrix = [64]uint8{
+	16, 16, 16, 16, 16, 16, 16, 16,
+	16, 16, 16, 16, 16, 16, 16, 16,
+	16, 16, 16, 16, 16, 16, 16, 16,
+	16, 16, 16, 16, 16, 16, 16, 16,
+	16, 16, 16, 16, 16, 16, 16, 16,
+	16, 16, 16, 16, 16, 16, 16, 16,
+	16, 16, 16, 16, 16, 16, 16, 16,
+	16, 16, 16, 16, 16, 16, 16, 16,
+}
+
+// nonLinearScale is the q_scale_type=1 mapping from quantiser_scale_code
+// (1..31) to quantiser_scale (Table 7-6). Index 0 is unused.
+var nonLinearScale = [32]int32{
+	0, 1, 2, 3, 4, 5, 6, 7, 8,
+	10, 12, 14, 16, 18, 20, 22,
+	24, 28, 32, 36, 40, 44, 48,
+	52, 56, 64, 72, 80, 88, 96, 104, 112,
+}
+
+// Scale returns quantiser_scale for a quantiser_scale_code under the given
+// q_scale_type (picture coding extension flag).
+func Scale(code int, nonLinear bool) int32 {
+	if code < 1 || code > 31 {
+		code = 1
+	}
+	if nonLinear {
+		return nonLinearScale[code]
+	}
+	return int32(code) * 2
+}
+
+// ScaleCode returns the quantiser_scale_code whose Scale is closest to
+// (and not above, where possible) the requested scale. Used by the encoder.
+func ScaleCode(scale int32, nonLinear bool) int {
+	best, bestDiff := 1, int32(1<<30)
+	for code := 1; code <= 31; code++ {
+		s := Scale(code, nonLinear)
+		d := s - scale
+		if d < 0 {
+			d = -d
+		}
+		if d < bestDiff {
+			best, bestDiff = code, d
+		}
+	}
+	return best
+}
+
+// IntraDCMult returns the intra DC multiplier for intra_dc_precision
+// (0..3 coding 8..11 bits): 8, 4, 2, 1.
+func IntraDCMult(precision int) int32 {
+	switch precision {
+	case 0:
+		return 8
+	case 1:
+		return 4
+	case 2:
+		return 2
+	default:
+		return 1
+	}
+}
+
+// Params bundles everything inverse quantization needs for one block.
+type Params struct {
+	Matrix      *[64]uint8 // weight matrix W, raster order
+	Scale       int32      // quantiser_scale
+	Intra       bool
+	DCPrecision int // intra_dc_precision code 0..3 (intra blocks only)
+}
+
+// Inverse dequantizes the block of quantized coefficients QF (raster order)
+// in place, applying saturation to [-2048, 2047] and mismatch control
+// (§7.4.4). For intra blocks, block[0] must hold the differential-decoded
+// DC value (dc_dct_pred applied); it is scaled by the intra DC multiplier.
+func Inverse(block *[64]int32, p Params) {
+	var sum int32
+	start := 0
+	if p.Intra {
+		block[0] *= IntraDCMult(p.DCPrecision)
+		block[0] = saturate(block[0])
+		sum = block[0]
+		start = 1
+	}
+	for i := start; i < 64; i++ {
+		qf := block[i]
+		if qf == 0 && !p.Intra {
+			continue
+		}
+		var f int32
+		if p.Intra {
+			f = (2 * qf * p.Scale * int32(p.Matrix[i])) / 32
+		} else {
+			k := int32(0)
+			if qf > 0 {
+				k = 1
+			} else if qf < 0 {
+				k = -1
+			}
+			f = ((2*qf + k) * p.Scale * int32(p.Matrix[i])) / 32
+		}
+		f = saturate(f)
+		block[i] = f
+		sum += f
+	}
+	// Mismatch control: if the coefficient sum is even, toggle the LSB of
+	// the highest-frequency coefficient.
+	if sum&1 == 0 {
+		if block[63]&1 != 0 {
+			block[63]--
+		} else {
+			block[63]++
+		}
+	}
+}
+
+// Forward quantizes the block of DCT coefficients F (raster order) in
+// place, producing quantized levels QF. Intra AC terms round to nearest;
+// non-intra terms truncate toward zero (dead zone), the conventional
+// encoder choice. The intra DC term is divided by the DC multiplier with
+// rounding. Levels are clamped to [-2047, 2047] so they remain codable.
+func Forward(block *[64]int32, p Params) {
+	start := 0
+	if p.Intra {
+		mult := IntraDCMult(p.DCPrecision)
+		block[0] = divRound(block[0], mult)
+		dcMax := int32(1)<<(uint(p.DCPrecision)+8) - 1
+		block[0] = clampTo(block[0], 0, dcMax) // intra DC of a pixel block is non-negative after +1024 bias upstream
+		start = 1
+	}
+	for i := start; i < 64; i++ {
+		f := block[i]
+		d := 2 * p.Scale * int32(p.Matrix[i])
+		if d == 0 {
+			block[i] = 0
+			continue
+		}
+		var qf int32
+		if p.Intra {
+			qf = divRound(32*f, d)
+		} else {
+			// Truncation toward zero.
+			qf = 32 * f / d
+		}
+		block[i] = clampTo(qf, -2047, 2047)
+	}
+}
+
+func saturate(v int32) int32 { return clampTo(v, -2048, 2047) }
+
+func clampTo(v, lo, hi int32) int32 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// divRound divides with rounding to nearest, halves away from zero.
+func divRound(n, d int32) int32 {
+	if d < 0 {
+		n, d = -n, -d
+	}
+	if n >= 0 {
+		return (n + d/2) / d
+	}
+	return -((-n + d/2) / d)
+}

@@ -1,0 +1,231 @@
+package quant
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestScaleLinear(t *testing.T) {
+	for code := 1; code <= 31; code++ {
+		if got := Scale(code, false); got != int32(code*2) {
+			t.Fatalf("Scale(%d, linear) = %d", code, got)
+		}
+	}
+}
+
+func TestScaleNonLinearTable(t *testing.T) {
+	// Spot values from Table 7-6.
+	want := map[int]int32{1: 1, 8: 8, 9: 10, 16: 24, 17: 28, 24: 56, 25: 64, 31: 112}
+	for code, s := range want {
+		if got := Scale(code, true); got != s {
+			t.Errorf("Scale(%d, nonlinear) = %d, want %d", code, got, s)
+		}
+	}
+}
+
+func TestScaleOutOfRange(t *testing.T) {
+	if Scale(0, false) != 2 || Scale(40, false) != 2 {
+		t.Fatal("out-of-range codes must clamp to code 1")
+	}
+}
+
+func TestScaleCodeRoundTrip(t *testing.T) {
+	for _, nl := range []bool{false, true} {
+		for code := 1; code <= 31; code++ {
+			s := Scale(code, nl)
+			back := ScaleCode(s, nl)
+			if Scale(back, nl) != s {
+				t.Fatalf("ScaleCode(Scale(%d)) mismatch (nl=%v)", code, nl)
+			}
+		}
+	}
+}
+
+func TestIntraDCMult(t *testing.T) {
+	want := []int32{8, 4, 2, 1}
+	for p, m := range want {
+		if got := IntraDCMult(p); got != m {
+			t.Errorf("IntraDCMult(%d) = %d, want %d", p, got, m)
+		}
+	}
+}
+
+func TestDefaultMatrices(t *testing.T) {
+	if DefaultIntraMatrix[0] != 8 || DefaultIntraMatrix[63] != 83 {
+		t.Fatal("intra matrix corners wrong")
+	}
+	for i, v := range DefaultNonIntraMatrix {
+		if v != 16 {
+			t.Fatalf("non-intra[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestInverseIntraDC(t *testing.T) {
+	var b [64]int32
+	b[0] = 128 // quantized DC
+	Inverse(&b, Params{Matrix: &DefaultIntraMatrix, Scale: 16, Intra: true, DCPrecision: 0})
+	if b[0] != 1024 {
+		t.Fatalf("DC dequant = %d, want 1024", b[0])
+	}
+}
+
+func TestInverseNonIntraZeroStaysZero(t *testing.T) {
+	var b [64]int32
+	Inverse(&b, Params{Matrix: &DefaultNonIntraMatrix, Scale: 4, Intra: false})
+	// Mismatch control toggles block[63] because the sum (0) is even.
+	for i := 0; i < 63; i++ {
+		if b[i] != 0 {
+			t.Fatalf("b[%d] = %d", i, b[i])
+		}
+	}
+	if b[63] != 1 {
+		t.Fatalf("mismatch control should set b[63]=1, got %d", b[63])
+	}
+}
+
+func TestMismatchControlOddSum(t *testing.T) {
+	var b [64]int32
+	b[0] = 1 // after intra scaling with mult 8 -> 8: even, so toggle happens
+	Inverse(&b, Params{Matrix: &DefaultIntraMatrix, Scale: 2, Intra: true, DCPrecision: 0})
+	sum := int32(0)
+	for _, v := range b {
+		sum += v
+	}
+	if sum&1 == 0 {
+		t.Fatalf("post-mismatch sum must be odd, got %d", sum)
+	}
+}
+
+func TestMismatchControlTogglesDown(t *testing.T) {
+	var b [64]int32
+	b[63] = 1 // non-intra: f = (2+1)*2*16/32 = 3 -> sum 3 odd, no toggle
+	Inverse(&b, Params{Matrix: &DefaultNonIntraMatrix, Scale: 2, Intra: false})
+	if b[63] != 3 {
+		t.Fatalf("b[63] = %d, want 3 (odd sum, untouched)", b[63])
+	}
+	var c [64]int32
+	c[62], c[63] = 1, 1 // both become 3, sum 6 even -> b[63] toggles to 2
+	Inverse(&c, Params{Matrix: &DefaultNonIntraMatrix, Scale: 2, Intra: false})
+	if c[63] != 2 {
+		t.Fatalf("c[63] = %d, want 2 after downward toggle", c[63])
+	}
+}
+
+func TestInverseSaturation(t *testing.T) {
+	var b [64]int32
+	b[1] = 2047
+	Inverse(&b, Params{Matrix: &DefaultIntraMatrix, Scale: 112, Intra: true, DCPrecision: 3})
+	if b[1] != 2047 {
+		t.Fatalf("saturation failed: %d", b[1])
+	}
+	var c [64]int32
+	c[1] = -2047
+	Inverse(&c, Params{Matrix: &DefaultIntraMatrix, Scale: 112, Intra: true, DCPrecision: 3})
+	if c[1] != -2048 {
+		t.Fatalf("negative saturation failed: %d", c[1])
+	}
+}
+
+// TestRoundTripAccuracy: quantize then dequantize must reconstruct within
+// one quantization step for every coefficient.
+func TestRoundTripAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, intra := range []bool{true, false} {
+		m := &DefaultNonIntraMatrix
+		if intra {
+			m = &DefaultIntraMatrix
+		}
+		for trial := 0; trial < 300; trial++ {
+			scaleCode := 1 + rng.Intn(31)
+			p := Params{Matrix: m, Scale: Scale(scaleCode, false), Intra: intra, DCPrecision: 0}
+			var orig [64]int32
+			if intra {
+				orig[0] = int32(rng.Intn(2040)) // biased DC, non-negative
+			} else {
+				orig[0] = int32(rng.Intn(2000) - 1000)
+			}
+			for i := 1; i < 64; i++ {
+				orig[i] = int32(rng.Intn(2000) - 1000)
+			}
+			b := orig
+			Forward(&b, p)
+			Inverse(&b, p)
+			for i := range b {
+				step := 2 * p.Scale * int32(m[i]) / 32
+				if intra && i == 0 {
+					step = IntraDCMult(p.DCPrecision)
+				}
+				if step < 1 {
+					step = 1
+				}
+				d := b[i] - orig[i]
+				if d < 0 {
+					d = -d
+				}
+				// Mismatch control can add 1 to coefficient 63.
+				slack := step + 1
+				if d > slack {
+					t.Fatalf("intra=%v trial %d coef %d: orig %d got %d (step %d)",
+						intra, trial, i, orig[i], b[i], step)
+				}
+			}
+		}
+	}
+}
+
+// TestForwardQuick: quantized levels are always codable.
+func TestForwardQuick(t *testing.T) {
+	f := func(raw [64]int16, scaleCode uint8, intra bool) bool {
+		var b [64]int32
+		for i := range raw {
+			b[i] = int32(raw[i]) % 2048
+		}
+		if intra && b[0] < 0 {
+			b[0] = -b[0]
+		}
+		m := &DefaultNonIntraMatrix
+		if intra {
+			m = &DefaultIntraMatrix
+		}
+		p := Params{Matrix: m, Scale: Scale(int(scaleCode%31)+1, false), Intra: intra}
+		Forward(&b, p)
+		for i, v := range b {
+			if v < -2047 || v > 2047 {
+				return false
+			}
+			if intra && i == 0 && v < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDivRound(t *testing.T) {
+	cases := []struct{ n, d, want int32 }{
+		{7, 2, 4}, {-7, 2, -4}, {6, 4, 2}, {-6, 4, -2}, {5, 10, 1}, {-5, 10, -1}, {4, 10, 0},
+	}
+	for _, c := range cases {
+		if got := divRound(c.n, c.d); got != c.want {
+			t.Errorf("divRound(%d,%d) = %d, want %d", c.n, c.d, got, c.want)
+		}
+	}
+}
+
+func BenchmarkInverse(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	var blk [64]int32
+	for i := range blk {
+		blk[i] = int32(rng.Intn(64) - 32)
+	}
+	p := Params{Matrix: &DefaultIntraMatrix, Scale: 16, Intra: true}
+	for i := 0; i < b.N; i++ {
+		tmp := blk
+		Inverse(&tmp, p)
+	}
+}

@@ -1,0 +1,66 @@
+// Package scan defines the MPEG-2 coefficient scan orders (ISO/IEC 13818-2
+// Figures 7-2 and 7-3).
+//
+// A scan order maps the position of a coefficient in the coded (run-length)
+// stream to its index in the 8×8 block in raster order. Zigzag is the
+// classic MPEG-1/JPEG order; Alternate was added in MPEG-2 for interlaced
+// material but is legal for any picture.
+package scan
+
+// Zigzag maps scan position -> raster block index (Figure 7-2).
+var Zigzag = [64]int{
+	0, 1, 8, 16, 9, 2, 3, 10,
+	17, 24, 32, 25, 18, 11, 4, 5,
+	12, 19, 26, 33, 40, 48, 41, 34,
+	27, 20, 13, 6, 7, 14, 21, 28,
+	35, 42, 49, 56, 57, 50, 43, 36,
+	29, 22, 15, 23, 30, 37, 44, 51,
+	58, 59, 52, 45, 38, 31, 39, 46,
+	53, 60, 61, 54, 47, 55, 62, 63,
+}
+
+// Alternate maps scan position -> raster block index (Figure 7-3).
+var Alternate = [64]int{
+	0, 8, 16, 24, 1, 9, 2, 10,
+	17, 25, 32, 40, 48, 56, 57, 49,
+	41, 33, 26, 18, 3, 11, 4, 12,
+	19, 27, 34, 42, 50, 58, 35, 43,
+	51, 59, 20, 28, 5, 13, 6, 14,
+	21, 29, 36, 44, 52, 60, 37, 45,
+	53, 61, 22, 30, 7, 15, 23, 31,
+	38, 46, 54, 62, 39, 47, 55, 63,
+}
+
+// Table returns the scan table selected by the alternate_scan picture
+// coding extension flag.
+func Table(alternate bool) *[64]int {
+	if alternate {
+		return &Alternate
+	}
+	return &Zigzag
+}
+
+// Inverse returns the inverse permutation of t: raster index -> scan
+// position.
+func Inverse(t *[64]int) [64]int {
+	var inv [64]int
+	for pos, idx := range t {
+		inv[idx] = pos
+	}
+	return inv
+}
+
+// InverseZigzag and InverseAlternate are the precomputed inverse
+// permutations (raster index -> scan position), used by the encoder.
+var (
+	InverseZigzag    = Inverse(&Zigzag)
+	InverseAlternate = Inverse(&Alternate)
+)
+
+// InverseTable returns the inverse scan table selected by alternate_scan.
+func InverseTable(alternate bool) *[64]int {
+	if alternate {
+		return &InverseAlternate
+	}
+	return &InverseZigzag
+}

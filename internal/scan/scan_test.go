@@ -1,0 +1,98 @@
+package scan
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func isPermutation(t *testing.T, name string, tab *[64]int) {
+	t.Helper()
+	var seen [64]bool
+	for pos, idx := range tab {
+		if idx < 0 || idx > 63 {
+			t.Fatalf("%s[%d] = %d out of range", name, pos, idx)
+		}
+		if seen[idx] {
+			t.Fatalf("%s: duplicate index %d", name, idx)
+		}
+		seen[idx] = true
+	}
+}
+
+func TestPermutations(t *testing.T) {
+	isPermutation(t, "Zigzag", &Zigzag)
+	isPermutation(t, "Alternate", &Alternate)
+}
+
+func TestZigzagKnownEntries(t *testing.T) {
+	// Spot checks against Figure 7-2: first row of the scan and the tail.
+	want := map[int]int{0: 0, 1: 1, 2: 8, 3: 16, 4: 9, 5: 2, 62: 62, 63: 63}
+	for pos, idx := range want {
+		if Zigzag[pos] != idx {
+			t.Errorf("Zigzag[%d] = %d, want %d", pos, Zigzag[pos], idx)
+		}
+	}
+}
+
+func TestZigzagDiagonalProperty(t *testing.T) {
+	// Along the zigzag, consecutive entries differ by a move to an adjacent
+	// anti-diagonal or along one; the sum row+col never decreases by more
+	// than 1 and positions 0..63 cover diagonals in order.
+	prevDiag := 0
+	for pos := 1; pos < 64; pos++ {
+		idx := Zigzag[pos]
+		diag := idx/8 + idx%8
+		if diag < prevDiag-1 || diag > prevDiag+1 {
+			t.Fatalf("pos %d: diagonal jumps from %d to %d", pos, prevDiag, diag)
+		}
+		prevDiag = diag
+	}
+}
+
+func TestAlternateKnownEntries(t *testing.T) {
+	want := map[int]int{0: 0, 1: 8, 2: 16, 3: 24, 4: 1, 13: 56, 63: 63}
+	for pos, idx := range want {
+		if Alternate[pos] != idx {
+			t.Errorf("Alternate[%d] = %d, want %d", pos, Alternate[pos], idx)
+		}
+	}
+}
+
+func TestInverseIsInverse(t *testing.T) {
+	for _, tab := range []*[64]int{&Zigzag, &Alternate} {
+		inv := Inverse(tab)
+		for pos := 0; pos < 64; pos++ {
+			if inv[tab[pos]] != pos {
+				t.Fatalf("inverse broken at pos %d", pos)
+			}
+		}
+	}
+}
+
+func TestTableSelect(t *testing.T) {
+	if Table(false) != &Zigzag || Table(true) != &Alternate {
+		t.Fatal("Table selection wrong")
+	}
+	if InverseTable(false) != &InverseZigzag || InverseTable(true) != &InverseAlternate {
+		t.Fatal("InverseTable selection wrong")
+	}
+}
+
+func TestScanRoundTripQuick(t *testing.T) {
+	// Scanning then inverse-scanning any block is the identity.
+	f := func(block [64]int32, alt bool) bool {
+		tab := Table(alt)
+		inv := InverseTable(alt)
+		var scanned, back [64]int32
+		for pos := 0; pos < 64; pos++ {
+			scanned[pos] = block[tab[pos]]
+		}
+		for idx := 0; idx < 64; idx++ {
+			back[idx] = scanned[inv[idx]]
+		}
+		return back == block
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,95 @@
+package simsched
+
+import (
+	"sort"
+	"time"
+)
+
+// GOPTask is one coarse-grained task for the GOP simulation.
+type GOPTask struct {
+	Cost     time.Duration
+	Avail    time.Duration // when the scan process enqueues it
+	Pictures int           // decoded pictures the GOP produces
+}
+
+// ScanFeed returns availability times for n GOP tasks scanned at the
+// given rate (GOPs per second). Rate <= 0 means everything is available
+// immediately (the paper's assumption once the scan runs ahead).
+func ScanFeed(n int, gopsPerSecond float64) []time.Duration {
+	avail := make([]time.Duration, n)
+	if gopsPerSecond <= 0 {
+		return avail
+	}
+	per := time.Duration(float64(time.Second) / gopsPerSecond)
+	for i := range avail {
+		avail[i] = time.Duration(i+1) * per
+	}
+	return avail
+}
+
+// SimulateGOP runs the GOP-level decoder under P workers: tasks are taken
+// in order by the earliest-free worker. Memory follows the paper's
+// buffering rules: a GOP's decoded pictures accumulate in the display
+// queue (filling linearly over the decode) and can only leave once every
+// earlier GOP has fully displayed.
+func SimulateGOP(tasks []GOPTask, workers int) Result {
+	ws := newWorkers(workers)
+	starts := make([]time.Duration, len(tasks))
+	ends := make([]time.Duration, len(tasks))
+	var makespan time.Duration
+	for i, t := range tasks {
+		starts[i], ends[i] = ws.run(t.Avail, t.Cost)
+		if ends[i] > makespan {
+			makespan = ends[i]
+		}
+	}
+	r := ws.result(makespan)
+	r.PeakFrames = gopPeakFrames(tasks, starts, ends)
+	return r
+}
+
+// gopPeakFrames evaluates the frame population at every task boundary.
+// GOP g's pictures become displayable at displayable[g] = max(ends[0..g]);
+// before that, pictures accumulate: linearly during (start, end), all of
+// them afterwards.
+func gopPeakFrames(tasks []GOPTask, starts, ends []time.Duration) int {
+	if len(tasks) == 0 {
+		return 0
+	}
+	displayable := make([]time.Duration, len(tasks))
+	var hi time.Duration
+	for g := range tasks {
+		if ends[g] > hi {
+			hi = ends[g]
+		}
+		displayable[g] = hi
+	}
+	var events []time.Duration
+	for g := range tasks {
+		events = append(events, starts[g], ends[g], displayable[g])
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i] < events[j] })
+
+	peak := 0
+	for _, t := range events {
+		live := 0.0
+		for g, task := range tasks {
+			switch {
+			case t < starts[g] || task.Cost == 0:
+				// not started
+			case t > displayable[g]:
+				// displayed (at exactly displayable[g] the pictures are
+				// still resident, capturing the pre-drain peak)
+			case t >= ends[g]:
+				live += float64(task.Pictures)
+			default:
+				frac := float64(t-starts[g]) / float64(task.Cost)
+				live += frac * float64(task.Pictures)
+			}
+		}
+		if n := int(live + 0.5); n > peak {
+			peak = n
+		}
+	}
+	return peak
+}

@@ -1,0 +1,128 @@
+// Package simsched is a deterministic discrete-event simulator of the
+// paper's parallel decoder executions.
+//
+// The host running this reproduction has a single CPU, so wall-clock
+// speedups beyond 1 are unmeasurable — the same reason the paper used the
+// TangoLite simulator alongside its SGI Challenge. The simulator executes
+// the *real* task structure (GOP queue, or the 2-D picture/slice queue
+// with simple/improved barrier semantics) with per-task costs measured
+// from the real single-worker decode, under P identical workers. Speedup,
+// load balance, synchronization time and memory occupancy depend only on
+// task costs and queue structure, which is exactly what is preserved.
+package simsched
+
+import "time"
+
+// Result reports one simulated execution.
+type Result struct {
+	Workers  int
+	Makespan time.Duration
+	Busy     []time.Duration // per-worker computing time
+	Wait     []time.Duration // per-worker idle time (queue + barriers)
+	Tasks    []int           // per-worker task count
+
+	// PeakFrames is the maximum number of simultaneously live decoded
+	// pictures under the engine's buffering rules (Figure 8's quantity,
+	// in pictures; multiply by the frame size for bytes).
+	PeakFrames int
+}
+
+// MinBusy, MaxBusy and AvgBusy summarize worker compute times (Figure 6).
+func (r Result) MinBusy() time.Duration { return minMaxAvg(r.Busy).min }
+
+// MaxBusy returns the maximum per-worker computing time.
+func (r Result) MaxBusy() time.Duration { return minMaxAvg(r.Busy).max }
+
+// AvgBusy returns the mean per-worker computing time.
+func (r Result) AvgBusy() time.Duration { return minMaxAvg(r.Busy).avg }
+
+// SyncRatio returns the mean of per-worker wait/busy — the quantity
+// Figure 12 plots.
+func (r Result) SyncRatio() float64 {
+	if len(r.Busy) == 0 {
+		return 0
+	}
+	var sum float64
+	n := 0
+	for i := range r.Busy {
+		if r.Busy[i] > 0 {
+			sum += float64(r.Wait[i]) / float64(r.Busy[i])
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+type mma struct{ min, max, avg time.Duration }
+
+func minMaxAvg(ds []time.Duration) mma {
+	if len(ds) == 0 {
+		return mma{}
+	}
+	out := mma{min: ds[0], max: ds[0]}
+	var sum time.Duration
+	for _, d := range ds {
+		if d < out.min {
+			out.min = d
+		}
+		if d > out.max {
+			out.max = d
+		}
+		sum += d
+	}
+	out.avg = sum / time.Duration(len(ds))
+	return out
+}
+
+// workerSet is the pool of P identical workers; tasks are handed to the
+// earliest-free worker (FCFS queue semantics).
+type workerSet struct {
+	free []time.Duration
+	busy []time.Duration
+	n    []int
+}
+
+func newWorkers(p int) *workerSet {
+	return &workerSet{
+		free: make([]time.Duration, p),
+		busy: make([]time.Duration, p),
+		n:    make([]int, p),
+	}
+}
+
+// run assigns a task available at avail with the given cost; returns its
+// start and end times.
+func (w *workerSet) run(avail, cost time.Duration) (start, end time.Duration) {
+	wi := 0
+	for i := 1; i < len(w.free); i++ {
+		if w.free[i] < w.free[wi] {
+			wi = i
+		}
+	}
+	start = w.free[wi]
+	if avail > start {
+		start = avail
+	}
+	end = start + cost
+	w.free[wi] = end
+	w.busy[wi] += cost
+	w.n[wi]++
+	return start, end
+}
+
+func (w *workerSet) result(makespan time.Duration) Result {
+	r := Result{
+		Workers:  len(w.free),
+		Makespan: makespan,
+		Busy:     append([]time.Duration(nil), w.busy...),
+		Tasks:    append([]int(nil), w.n...),
+	}
+	r.Wait = make([]time.Duration, len(w.free))
+	for i := range r.Wait {
+		r.Wait[i] = makespan - w.busy[i]
+	}
+	return r
+}

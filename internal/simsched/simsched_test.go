@@ -1,0 +1,275 @@
+package simsched
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func ms(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+
+func uniformGOPs(n, pics int, cost time.Duration) []GOPTask {
+	ts := make([]GOPTask, n)
+	for i := range ts {
+		ts[i] = GOPTask{Cost: cost, Pictures: pics}
+	}
+	return ts
+}
+
+func TestSimulateGOPSingleWorker(t *testing.T) {
+	r := SimulateGOP(uniformGOPs(4, 13, ms(10)), 1)
+	if r.Makespan != ms(40) {
+		t.Fatalf("makespan %v, want 40ms", r.Makespan)
+	}
+	if r.Busy[0] != ms(40) || r.Wait[0] != 0 {
+		t.Fatalf("busy %v wait %v", r.Busy[0], r.Wait[0])
+	}
+	if r.Tasks[0] != 4 {
+		t.Fatalf("tasks %d", r.Tasks[0])
+	}
+}
+
+func TestSimulateGOPPerfectSpeedup(t *testing.T) {
+	// 8 equal GOPs over 4 workers: exactly 2 per worker, speedup 4.
+	r1 := SimulateGOP(uniformGOPs(8, 13, ms(10)), 1)
+	r4 := SimulateGOP(uniformGOPs(8, 13, ms(10)), 4)
+	if got := float64(r1.Makespan) / float64(r4.Makespan); got != 4 {
+		t.Fatalf("speedup %f, want 4", got)
+	}
+}
+
+func TestSimulateGOPTailImbalance(t *testing.T) {
+	// 5 equal GOPs over 4 workers: one worker does 2, makespan 2 units.
+	r := SimulateGOP(uniformGOPs(5, 4, ms(10)), 4)
+	if r.Makespan != ms(20) {
+		t.Fatalf("makespan %v", r.Makespan)
+	}
+	if r.MaxBusy() != ms(20) || r.MinBusy() != ms(10) {
+		t.Fatalf("min/max busy %v/%v", r.MinBusy(), r.MaxBusy())
+	}
+}
+
+func TestSimulateGOPScanFeedLimits(t *testing.T) {
+	// If the scan process is slower than decode, workers starve.
+	tasks := uniformGOPs(10, 4, ms(10))
+	avail := ScanFeed(10, 20) // one GOP every 50ms, decode takes 10ms
+	for i := range tasks {
+		tasks[i].Avail = avail[i]
+	}
+	r := SimulateGOP(tasks, 4)
+	// Last GOP available at 500ms; decode adds 10ms.
+	if r.Makespan != ms(510) {
+		t.Fatalf("makespan %v, want 510ms", r.Makespan)
+	}
+}
+
+func TestGOPMemoryGrowsWithWorkers(t *testing.T) {
+	// Figure 8's core claim: GOP-mode peak frames grow with workers.
+	tasks := uniformGOPs(32, 13, ms(10))
+	p1 := SimulateGOP(tasks, 1).PeakFrames
+	p4 := SimulateGOP(tasks, 4).PeakFrames
+	p14 := SimulateGOP(tasks, 14).PeakFrames
+	if !(p1 < p4 && p4 < p14) {
+		t.Fatalf("peaks %d, %d, %d not increasing", p1, p4, p14)
+	}
+	if p14 < 13*14/2 {
+		t.Fatalf("14-worker peak %d implausibly small", p14)
+	}
+}
+
+func TestGOPMemoryGrowsWithGOPSize(t *testing.T) {
+	p4 := SimulateGOP(uniformGOPs(32, 4, ms(10)), 8).PeakFrames
+	p31 := SimulateGOP(uniformGOPs(32, 31, ms(80)), 8).PeakFrames
+	if p31 < p4*4 {
+		t.Fatalf("peak %d (GOP 31) vs %d (GOP 4): growth missing", p31, p4)
+	}
+}
+
+func uniformPics(n, slices int, cost time.Duration, pattern string) []SimPicture {
+	// pattern like "IPBBPBB" in decode order; display indices follow the
+	// closed-GOP convention (I=0, refs at their temporal position).
+	ps := make([]SimPicture, n)
+	disp := displayOrder(pattern, n)
+	for i := range ps {
+		kind := pattern[i%len(pattern)]
+		ps[i] = SimPicture{Ref: kind != 'B', DisplayIdx: disp[i]}
+		ps[i].SliceCosts = make([]time.Duration, slices)
+		for j := range ps[i].SliceCosts {
+			ps[i].SliceCosts[j] = cost
+		}
+	}
+	return ps
+}
+
+// displayOrder assigns display indices for an IP(BB) decode-order pattern.
+func displayOrder(pattern string, n int) []int {
+	out := make([]int, n)
+	next := 0
+	var pendingRef = -1
+	for i := 0; i < n; i++ {
+		kind := pattern[i%len(pattern)]
+		if kind == 'B' {
+			out[i] = next
+			next++
+		} else {
+			if pendingRef >= 0 {
+				out[pendingRef] = next
+				next++
+			}
+			pendingRef = i
+		}
+	}
+	if pendingRef >= 0 {
+		out[pendingRef] = next
+	}
+	return out
+}
+
+func TestSimulateSlicesSimpleKnee(t *testing.T) {
+	// The paper's knee: 15 slices per picture, barrier every picture.
+	// With 8 workers each picture takes ceil(15/8)=2 rounds; adding
+	// workers up to 14 does not help (still 2 rounds).
+	pics := uniformPics(12, 15, ms(1), "IPP")
+	m8 := SimulateSlices(pics, 8, false).Makespan
+	m14 := SimulateSlices(pics, 14, false).Makespan
+	if m8 != m14 {
+		t.Fatalf("simple version should plateau: 8w=%v 14w=%v", m8, m14)
+	}
+	m15 := SimulateSlices(pics, 15, false).Makespan
+	if m15 >= m8 {
+		t.Fatalf("15 workers (%v) should beat 8 (%v)", m15, m8)
+	}
+}
+
+func TestSimulateSlicesImprovedBeatsSimple(t *testing.T) {
+	pics := uniformPics(26, 15, ms(1), "IPBBPBBPBBPBB")
+	for _, w := range []int{4, 8, 14} {
+		s := SimulateSlices(pics, w, false)
+		im := SimulateSlices(pics, w, true)
+		if im.Makespan > s.Makespan {
+			t.Fatalf("%d workers: improved (%v) slower than simple (%v)", w, im.Makespan, s.Makespan)
+		}
+		// With uniform slice costs the two variants can tie when the
+		// round counts coincide (45 slices/chunk at 8 workers = 6 rounds
+		// either way); at 14 workers the improved version must win.
+		if w == 14 && im.Makespan == s.Makespan {
+			t.Fatalf("%d workers: improved identical to simple", w)
+		}
+	}
+}
+
+func TestSimulateSlicesSyncRatio(t *testing.T) {
+	pics := uniformPics(26, 15, ms(1), "IPBBPBBPBBPBB")
+	s := SimulateSlices(pics, 14, false)
+	im := SimulateSlices(pics, 14, true)
+	if im.SyncRatio() >= s.SyncRatio() {
+		t.Fatalf("improved sync ratio %.3f not below simple %.3f", im.SyncRatio(), s.SyncRatio())
+	}
+}
+
+func TestSimulateSlicesMemoryConstant(t *testing.T) {
+	small := uniformPics(13, 15, ms(1), "IPBBPBBPBBPBB")
+	big := uniformPics(62, 15, ms(1), "IPBBPBBPBBPBB")
+	p1 := SimulateSlices(small, 14, true).PeakFrames
+	p2 := SimulateSlices(big, 14, true).PeakFrames
+	if p2 > p1+2 {
+		t.Fatalf("slice-mode peak grew with stream length: %d -> %d", p1, p2)
+	}
+	if p1 > 8 {
+		t.Fatalf("slice-mode peak %d frames implausibly high", p1)
+	}
+}
+
+func TestSimulateSlicesSingleWorkerEqualsSum(t *testing.T) {
+	pics := uniformPics(13, 15, ms(1), "IPBBPBBPBBPBB")
+	r := SimulateSlices(pics, 1, true)
+	want := ms(13 * 15)
+	if r.Makespan != want || r.Busy[0] != want || r.Wait[0] != 0 {
+		t.Fatalf("1-worker: makespan %v busy %v wait %v", r.Makespan, r.Busy[0], r.Wait[0])
+	}
+}
+
+func TestWorkConservation(t *testing.T) {
+	// Total busy time is invariant across worker counts and variants.
+	f := func(seed int64) bool {
+		if seed < 0 {
+			seed = -(seed + 1)
+		}
+		pics := uniformPics(int(seed%20)+4, int(seed%7)+2, ms(1), "IPBB")
+		base := SimulateSlices(pics, 1, false)
+		var total time.Duration
+		for _, b := range base.Busy {
+			total += b
+		}
+		for _, w := range []int{2, 5, 9} {
+			for _, improved := range []bool{false, true} {
+				r := SimulateSlices(pics, w, improved)
+				var sum time.Duration
+				for _, b := range r.Busy {
+					sum += b
+				}
+				if sum != total {
+					return false
+				}
+				if r.Makespan > total || r.Makespan*time.Duration(w) < total {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDSMSlowdown(t *testing.T) {
+	cfg := DSMConfig{ClusterSize: 4, RemoteFactor: 0.6}
+	if cfg.Clusters(4) != 1 || cfg.Clusters(8) != 2 || cfg.Clusters(32) != 8 {
+		t.Fatal("cluster math wrong")
+	}
+	if cfg.CostMultiplier(4) != 1 {
+		t.Fatalf("one cluster must not inflate: %f", cfg.CostMultiplier(4))
+	}
+	pics := uniformPics(52, 30, ms(1), "IPBBPBBPBBPBB")
+	r4 := SimulateSlicesDSM(pics, 4, true, cfg)
+	r8 := SimulateSlicesDSM(pics, 8, true, cfg)
+	r16 := SimulateSlicesDSM(pics, 16, true, cfg)
+	r32 := SimulateSlicesDSM(pics, 32, true, cfg)
+	s8 := float64(r4.Makespan) / float64(r8.Makespan)
+	s16 := float64(r4.Makespan) / float64(r16.Makespan)
+	s32 := float64(r4.Makespan) / float64(r32.Makespan)
+	// Paper's §7.2: 1.8, 3.4, 5.2 — we require the shape: sublinear and
+	// increasing.
+	if !(s8 > 1.2 && s8 < 2 && s16 > s8 && s16 < 4 && s32 > s16 && s32 < 8) {
+		t.Fatalf("DSM speedups %.2f %.2f %.2f out of shape", s8, s16, s32)
+	}
+}
+
+func TestSimulateDeterminism(t *testing.T) {
+	pics := uniformPics(26, 15, ms(1), "IPBBPBBPBBPBB")
+	a := SimulateSlices(pics, 7, true)
+	b := SimulateSlices(pics, 7, true)
+	if a.Makespan != b.Makespan || a.PeakFrames != b.PeakFrames {
+		t.Fatal("simulation not deterministic")
+	}
+	for i := range a.Busy {
+		if a.Busy[i] != b.Busy[i] {
+			t.Fatal("per-worker results not deterministic")
+		}
+	}
+}
+
+func TestResultSummaries(t *testing.T) {
+	r := Result{
+		Busy: []time.Duration{ms(10), ms(20), ms(30)},
+		Wait: []time.Duration{ms(20), ms(10), 0},
+	}
+	if r.MinBusy() != ms(10) || r.MaxBusy() != ms(30) || r.AvgBusy() != ms(20) {
+		t.Fatal("min/max/avg wrong")
+	}
+	want := (2.0 + 0.5 + 0) / 3
+	if got := r.SyncRatio(); got < want-1e-9 || got > want+1e-9 {
+		t.Fatalf("sync ratio %f, want %f", got, want)
+	}
+}

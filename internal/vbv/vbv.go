@@ -1,0 +1,86 @@
+// Package vbv models the Video Buffering Verifier of ISO/IEC 13818-2
+// Annex C: a hypothetical decoder buffer filled at the channel rate and
+// drained by whole coded pictures at the display rate. A conforming
+// constant-bitrate stream never underflows (a picture's bits must have
+// arrived by its decode time) nor overflows the buffer.
+//
+// The paper fixes its streams at 5–7 Mb/s and notes bitrate barely moves
+// the parallel results; this model is how a stream's claimed rate is
+// actually checked.
+package vbv
+
+import (
+	"fmt"
+	"time"
+)
+
+// Config describes the channel and buffer.
+type Config struct {
+	BitRate    float64 // channel rate, bits/second
+	BufferBits int     // VBV buffer size in bits (vbv_buffer_size × 16384)
+	PictureHz  float64 // picture decode rate (frame rate)
+	// InitialDelay is the startup delay before the first picture is
+	// removed; 0 means "fill to the first picture's needs plus half the
+	// buffer", a common encoder choice.
+	InitialDelay time.Duration
+}
+
+// Result reports a verification run.
+type Result struct {
+	Conforms   bool
+	Underflows int     // pictures whose bits had not arrived in time
+	Overflows  int     // instants the buffer exceeded its size
+	MinBits    float64 // minimum occupancy observed (before any clamp)
+	MaxBits    float64
+	Occupancy  []float64 // occupancy just before each picture's removal
+}
+
+// Verify runs the model over per-picture coded sizes (decode order).
+func Verify(cfg Config, pictureBits []int) (Result, error) {
+	var res Result
+	if cfg.BitRate <= 0 || cfg.PictureHz <= 0 || cfg.BufferBits <= 0 {
+		return res, fmt.Errorf("vbv: need positive rate, picture rate and buffer")
+	}
+	if len(pictureBits) == 0 {
+		return res, fmt.Errorf("vbv: no pictures")
+	}
+	perPicture := cfg.BitRate / cfg.PictureHz
+
+	// Startup: bits accumulated before the first removal.
+	occ := float64(cfg.BufferBits) / 2
+	if cfg.InitialDelay > 0 {
+		occ = cfg.BitRate * cfg.InitialDelay.Seconds()
+	}
+	if occ > float64(cfg.BufferBits) {
+		occ = float64(cfg.BufferBits)
+	}
+	res.MinBits = occ
+	res.MaxBits = occ
+	res.Conforms = true
+	for _, bits := range pictureBits {
+		res.Occupancy = append(res.Occupancy, occ)
+		occ -= float64(bits)
+		if occ < res.MinBits {
+			res.MinBits = occ
+		}
+		if occ < 0 {
+			res.Underflows++
+			res.Conforms = false
+			occ = 0 // the model decoder stalls until the bits arrive
+		}
+		occ += perPicture
+		if occ > res.MaxBits {
+			res.MaxBits = occ
+		}
+		if occ > float64(cfg.BufferBits) {
+			// CBR channels cannot stop sending: overflow is a stream
+			// error (VBR channels simply pause — treat as clamp).
+			res.Overflows++
+			occ = float64(cfg.BufferBits)
+		}
+	}
+	if res.Overflows > 0 {
+		res.Conforms = false
+	}
+	return res, nil
+}

@@ -1,0 +1,93 @@
+package vbv
+
+import (
+	"testing"
+	"time"
+
+	"mpeg2par/internal/encoder"
+	"mpeg2par/internal/frame"
+)
+
+func TestVerifyValidation(t *testing.T) {
+	if _, err := Verify(Config{}, []int{1}); err == nil {
+		t.Fatal("zero config must fail")
+	}
+	if _, err := Verify(Config{BitRate: 1e6, BufferBits: 1 << 20, PictureHz: 30}, nil); err == nil {
+		t.Fatal("no pictures must fail")
+	}
+}
+
+func TestSteadyStateConforms(t *testing.T) {
+	// Pictures exactly at the per-picture budget: occupancy is flat.
+	cfg := Config{BitRate: 3_000_000, BufferBits: 1 << 21, PictureHz: 30}
+	bits := make([]int, 60)
+	for i := range bits {
+		bits[i] = 100_000 // 3M/30
+	}
+	res, err := Verify(cfg, bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Conforms || res.Underflows != 0 || res.Overflows != 0 {
+		t.Fatalf("steady state should conform: %+v", res)
+	}
+	if res.MaxBits-res.MinBits > 100_001 {
+		t.Fatalf("occupancy should be near-flat: min %f max %f", res.MinBits, res.MaxBits)
+	}
+}
+
+func TestUnderflowDetected(t *testing.T) {
+	cfg := Config{BitRate: 1_000_000, BufferBits: 1 << 20, PictureHz: 30, InitialDelay: 10 * time.Millisecond}
+	// One picture needs far more bits than could have arrived.
+	res, err := Verify(cfg, []int{5_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Conforms || res.Underflows != 1 {
+		t.Fatalf("expected underflow: %+v", res)
+	}
+}
+
+func TestOverflowDetected(t *testing.T) {
+	// Tiny pictures at a high channel rate: the buffer fills and
+	// overflows on a CBR channel.
+	cfg := Config{BitRate: 10_000_000, BufferBits: 1 << 18, PictureHz: 30}
+	bits := make([]int, 90)
+	for i := range bits {
+		bits[i] = 100
+	}
+	res, err := Verify(cfg, bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Conforms || res.Overflows == 0 {
+		t.Fatalf("expected overflow: %+v", res)
+	}
+}
+
+// TestEncoderStreamsRoughlyConform: the rate-controlled encoder should
+// produce streams whose VBV excursions stay within a generous buffer at
+// the configured rate (our controller is crude, so the bound is loose:
+// no underflows at 4x the nominal buffer).
+func TestEncoderStreamsRoughlyConform(t *testing.T) {
+	target := 1_000_000
+	res, err := encoder.EncodeSequence(encoder.Config{
+		Width: 176, Height: 120, Pictures: 39, GOPSize: 13,
+		BitRate: target, FrameRate: 30,
+	}, frame.NewSynth(176, 120))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bits []int
+	for _, p := range res.Pictures {
+		bits = append(bits, p.Bits)
+	}
+	achieved := res.BitsPerSecond(30)
+	v, err := Verify(Config{BitRate: achieved, BufferBits: 4 * 1835008, PictureHz: 30}, bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Underflows > 0 {
+		t.Fatalf("encoder stream underflows a 4x main-level buffer at its own rate: %+v", v)
+	}
+}

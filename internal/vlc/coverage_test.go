@@ -1,0 +1,110 @@
+package vlc
+
+import (
+	"testing"
+
+	"mpeg2par/internal/bits"
+)
+
+// TestTableOneExhaustive decodes every coefficient of the intra table-one
+// variant, both signs, plus its EOB — full coverage of the composite
+// table (short B-15 codes plus inherited long codes).
+func TestTableOneExhaustive(t *testing.T) {
+	for sym, code := range dctOne.enc {
+		run, level := int(sym>>12), sym&0xFFF
+		for _, sgn := range []int32{1, -1} {
+			var w bits.Writer
+			code.put(&w)
+			if sgn < 0 {
+				w.Put(1, 1)
+			} else {
+				w.Put(0, 1)
+			}
+			EncodeEOB(&w, true)
+			r := bits.NewReader(w.Bytes())
+			gr, gl, eob, err := DecodeCoef(r, true, false)
+			if err != nil || eob || gr != run || gl != sgn*level {
+				t.Fatalf("(%d,%d) sign %d: got (%d,%d) eob=%v err=%v",
+					run, level, sgn, gr, gl, eob, err)
+			}
+			if _, _, eob, err := DecodeCoef(r, true, false); err != nil || !eob {
+				t.Fatalf("(%d,%d): EOB lost: err=%v", run, level, err)
+			}
+		}
+	}
+}
+
+// TestInvalidPrefixesRejected: for every decode table, the all-zero
+// prefixes that no code claims must produce an error rather than a bogus
+// symbol.
+func TestInvalidPrefixesRejected(t *testing.T) {
+	zeros := []byte{0, 0, 0, 0, 0, 0}
+	if _, err := DecodeCBP(bits.NewReader(zeros)); err == nil {
+		t.Error("all-zero CBP accepted")
+	}
+	if _, err := DecodeMotionCode(bits.NewReader(zeros)); err == nil {
+		t.Error("all-zero motion code accepted")
+	}
+	if _, err := DecodeMBType(bits.NewReader(zeros), CodingP); err == nil {
+		t.Error("all-zero P macroblock type accepted")
+	}
+	if _, err := DecodeMBType(bits.NewReader(zeros), CodingB); err == nil {
+		t.Error("all-zero B macroblock type accepted")
+	}
+	if _, _, _, err := DecodeCoef(bits.NewReader(zeros), true, false); err == nil {
+		t.Error("all-zero table-one coefficient accepted")
+	}
+}
+
+// TestDecodeAtEveryBitOffset: table decoding is position-independent —
+// shifting a valid code stream by stuffing bits in front must decode the
+// same symbols after skipping the stuffing.
+func TestDecodeAtEveryBitOffset(t *testing.T) {
+	for phase := uint(0); phase < 8; phase++ {
+		var w bits.Writer
+		w.Put(0x2A>>(8-phase), phase) // arbitrary stuffing
+		if err := EncodeCBP(&w, 21); err != nil {
+			t.Fatal(err)
+		}
+		if err := EncodeMotionCode(&w, -9); err != nil {
+			t.Fatal(err)
+		}
+		if err := EncodeMBAddrInc(&w, 17); err != nil {
+			t.Fatal(err)
+		}
+		r := bits.NewReader(w.Bytes())
+		r.Skip(phase)
+		if got, err := DecodeCBP(r); err != nil || got != 21 {
+			t.Fatalf("phase %d: cbp %d err %v", phase, got, err)
+		}
+		if got, err := DecodeMotionCode(r); err != nil || got != -9 {
+			t.Fatalf("phase %d: motion %d err %v", phase, got, err)
+		}
+		if got, err := DecodeMBAddrInc(r); err != nil || got != 17 {
+			t.Fatalf("phase %d: mba %d err %v", phase, got, err)
+		}
+	}
+}
+
+// TestDCSizeMaxMagnitude: the widest DC differentials round-trip at both
+// ends of every size class.
+func TestDCSizeMaxMagnitude(t *testing.T) {
+	for _, luma := range []bool{true, false} {
+		for size := 1; size <= 11; size++ {
+			lo := int32(1) << uint(size-1)
+			hi := int32(1)<<uint(size) - 1
+			for _, mag := range []int32{lo, hi} {
+				for _, d := range []int32{mag, -mag} {
+					var w bits.Writer
+					if err := EncodeDCDifferential(&w, d, luma); err != nil {
+						t.Fatal(err)
+					}
+					got, err := DecodeDCDifferential(bits.NewReader(w.Bytes()), luma)
+					if err != nil || got != d {
+						t.Fatalf("luma=%v size=%d d=%d: got %d err %v", luma, size, d, got, err)
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,340 @@
+package vlc
+
+import (
+	"fmt"
+
+	"mpeg2par/internal/bits"
+)
+
+// rl is one (run, level) row of a DCT coefficient table. The code excludes
+// the sign bit, which follows it in the stream (level > 0 always here).
+type rl struct {
+	run   int
+	level int32
+	code  Code
+}
+
+// Table B-14 (DCT coefficients table zero; identical to the MPEG-1 table).
+// The (0,1) pair is special-cased: code '1' as the first coefficient of a
+// non-intra block, '11' otherwise; it is therefore excluded from this list
+// and handled by the table variants below.
+var b14Pairs = []rl{
+	{1, 1, Code{0b011, 3}},
+	{0, 2, Code{0b0100, 4}},
+	{2, 1, Code{0b0101, 4}},
+	{0, 3, Code{0b00101, 5}},
+	{3, 1, Code{0b00111, 5}},
+	{4, 1, Code{0b00110, 5}},
+	{1, 2, Code{0b000110, 6}},
+	{5, 1, Code{0b000111, 6}},
+	{6, 1, Code{0b000101, 6}},
+	{7, 1, Code{0b000100, 6}},
+	{0, 4, Code{0b0000110, 7}},
+	{2, 2, Code{0b0000100, 7}},
+	{8, 1, Code{0b0000111, 7}},
+	{9, 1, Code{0b0000101, 7}},
+	{0, 5, Code{0b00100110, 8}},
+	{0, 6, Code{0b00100001, 8}},
+	{1, 3, Code{0b00100101, 8}},
+	{3, 2, Code{0b00100100, 8}},
+	{10, 1, Code{0b00100111, 8}},
+	{11, 1, Code{0b00100011, 8}},
+	{12, 1, Code{0b00100010, 8}},
+	{13, 1, Code{0b00100000, 8}},
+	{0, 7, Code{0b0000001010, 10}},
+	{1, 4, Code{0b0000001100, 10}},
+	{2, 3, Code{0b0000001011, 10}},
+	{4, 2, Code{0b0000001111, 10}},
+	{5, 2, Code{0b0000001001, 10}},
+	{14, 1, Code{0b0000001110, 10}},
+	{15, 1, Code{0b0000001101, 10}},
+	{16, 1, Code{0b0000001000, 10}},
+	{0, 8, Code{0b000000011101, 12}},
+	{0, 9, Code{0b000000011000, 12}},
+	{0, 10, Code{0b000000010011, 12}},
+	{0, 11, Code{0b000000010000, 12}},
+	{1, 5, Code{0b000000011011, 12}},
+	{2, 4, Code{0b000000010100, 12}},
+	{3, 3, Code{0b000000011100, 12}},
+	{4, 3, Code{0b000000010010, 12}},
+	{6, 2, Code{0b000000011110, 12}},
+	{7, 2, Code{0b000000010101, 12}},
+	{8, 2, Code{0b000000010001, 12}},
+	{17, 1, Code{0b000000011111, 12}},
+	{18, 1, Code{0b000000011010, 12}},
+	{19, 1, Code{0b000000011001, 12}},
+	{20, 1, Code{0b000000010111, 12}},
+	{21, 1, Code{0b000000010110, 12}},
+	{0, 12, Code{0b0000000011010, 13}},
+	{0, 13, Code{0b0000000011001, 13}},
+	{0, 14, Code{0b0000000011000, 13}},
+	{0, 15, Code{0b0000000010111, 13}},
+	{1, 6, Code{0b0000000010110, 13}},
+	{1, 7, Code{0b0000000010101, 13}},
+	{2, 5, Code{0b0000000010100, 13}},
+	{3, 4, Code{0b0000000010011, 13}},
+	{5, 3, Code{0b0000000010010, 13}},
+	{9, 2, Code{0b0000000010001, 13}},
+	{10, 2, Code{0b0000000010000, 13}},
+	{22, 1, Code{0b0000000011111, 13}},
+	{23, 1, Code{0b0000000011110, 13}},
+	{24, 1, Code{0b0000000011101, 13}},
+	{25, 1, Code{0b0000000011100, 13}},
+	{26, 1, Code{0b0000000011011, 13}},
+	{0, 16, Code{0b00000000011111, 14}},
+	{0, 17, Code{0b00000000011110, 14}},
+	{0, 18, Code{0b00000000011101, 14}},
+	{0, 19, Code{0b00000000011100, 14}},
+	{0, 20, Code{0b00000000011011, 14}},
+	{0, 21, Code{0b00000000011010, 14}},
+	{0, 22, Code{0b00000000011001, 14}},
+	{0, 23, Code{0b00000000011000, 14}},
+	{0, 24, Code{0b00000000010111, 14}},
+	{0, 25, Code{0b00000000010110, 14}},
+	{0, 26, Code{0b00000000010101, 14}},
+	{0, 27, Code{0b00000000010100, 14}},
+	{0, 28, Code{0b00000000010011, 14}},
+	{0, 29, Code{0b00000000010010, 14}},
+	{0, 30, Code{0b00000000010001, 14}},
+	{0, 31, Code{0b00000000010000, 14}},
+	{0, 32, Code{0b000000000011000, 15}},
+	{0, 33, Code{0b000000000010111, 15}},
+	{0, 34, Code{0b000000000010110, 15}},
+	{0, 35, Code{0b000000000010101, 15}},
+	{0, 36, Code{0b000000000010100, 15}},
+	{0, 37, Code{0b000000000010011, 15}},
+	{0, 38, Code{0b000000000010010, 15}},
+	{0, 39, Code{0b000000000010001, 15}},
+	{0, 40, Code{0b000000000010000, 15}},
+	{1, 8, Code{0b000000000011111, 15}},
+	{1, 9, Code{0b000000000011110, 15}},
+	{1, 10, Code{0b000000000011101, 15}},
+	{1, 11, Code{0b000000000011100, 15}},
+	{1, 12, Code{0b000000000011011, 15}},
+	{1, 13, Code{0b000000000011010, 15}},
+	{1, 14, Code{0b000000000011001, 15}},
+	{1, 15, Code{0b0000000000010011, 16}},
+	{1, 16, Code{0b0000000000010010, 16}},
+	{1, 17, Code{0b0000000000010001, 16}},
+	{1, 18, Code{0b0000000000010000, 16}},
+	{6, 3, Code{0b0000000000010100, 16}},
+	{11, 2, Code{0b0000000000011010, 16}},
+	{12, 2, Code{0b0000000000011001, 16}},
+	{13, 2, Code{0b0000000000011000, 16}},
+	{14, 2, Code{0b0000000000010111, 16}},
+	{15, 2, Code{0b0000000000010110, 16}},
+	{16, 2, Code{0b0000000000010101, 16}},
+	{27, 1, Code{0b0000000000011111, 16}},
+	{28, 1, Code{0b0000000000011110, 16}},
+	{29, 1, Code{0b0000000000011101, 16}},
+	{30, 1, Code{0b0000000000011100, 16}},
+	{31, 1, Code{0b0000000000011011, 16}},
+}
+
+// b15Short holds the short (≤ 8 bit) codes of Table B-15, including its
+// own (0,1) and (0,2) assignments. Pairs absent here inherit their ≥10-bit
+// table-zero codes (see the package comment for the fidelity caveat).
+var b15Short = []rl{
+	{0, 1, Code{0b10, 2}},
+	{1, 1, Code{0b010, 3}},
+	{0, 2, Code{0b110, 3}},
+	{0, 3, Code{0b0111, 4}},
+	{0, 4, Code{0b11100, 5}},
+	{0, 5, Code{0b11101, 5}},
+	{2, 1, Code{0b00101, 5}},
+	{1, 2, Code{0b00110, 5}},
+	{3, 1, Code{0b00111, 5}},
+	{0, 6, Code{0b000101, 6}},
+	{0, 7, Code{0b000100, 6}},
+	{4, 1, Code{0b000110, 6}},
+	{5, 1, Code{0b000111, 6}},
+	{7, 1, Code{0b0000100, 7}},
+	{8, 1, Code{0b0000101, 7}},
+	{6, 1, Code{0b0000110, 7}},
+	{2, 2, Code{0b0000111, 7}},
+	{0, 8, Code{0b1111011, 7}},
+	{0, 9, Code{0b1111100, 7}},
+	{9, 1, Code{0b1111000, 7}},
+	{1, 3, Code{0b1111001, 7}},
+	{10, 1, Code{0b1111010, 7}},
+	{1, 5, Code{0b00100000, 8}},
+	{11, 1, Code{0b00100001, 8}},
+	{0, 11, Code{0b00100010, 8}},
+	{0, 10, Code{0b00100011, 8}},
+	{13, 1, Code{0b00100100, 8}},
+	{12, 1, Code{0b00100101, 8}},
+	{3, 2, Code{0b00100110, 8}},
+	{1, 4, Code{0b00100111, 8}},
+	{0, 12, Code{0b11111010, 8}},
+	{0, 13, Code{0b11111011, 8}},
+	{2, 3, Code{0b11111100, 8}},
+	{4, 2, Code{0b11111101, 8}},
+	{0, 14, Code{0b11111110, 8}},
+	{0, 15, Code{0b11111111, 8}},
+}
+
+var (
+	eobB14   = Code{0b10, 2}
+	eobB15   = Code{0b0110, 4}
+	escape   = Code{0b000001, 6}
+	firstOne = Code{0b1, 1}  // B-14 (0,1) as first coefficient of a non-intra block
+	nextOne  = Code{0b11, 2} // B-14 (0,1) elsewhere
+)
+
+// Decoded-symbol encoding inside the lookup tables. Levels occupy 12 bits
+// so that escape-range magnitudes (up to 2047) cannot alias a (run, level)
+// pair with a different run.
+const (
+	symEOB    = 1 << 18
+	symEscape = 1 << 19
+)
+
+func pairSym(run int, level int32) int32 { return int32(run)<<12 | level }
+
+// dctTable bundles the decode LUT and the encode map for one coefficient
+// table variant.
+type dctTable struct {
+	dec *table
+	enc map[int32]Code
+}
+
+func buildDCT(name string, pairs []rl, eob Code, hasEOB bool) dctTable {
+	es := make([]entry, 0, len(pairs)+2)
+	enc := make(map[int32]Code, len(pairs))
+	for _, p := range pairs {
+		es = append(es, entry{p.code, pairSym(p.run, p.level)})
+		enc[pairSym(p.run, p.level)] = p.code
+	}
+	if hasEOB {
+		es = append(es, entry{eob, symEOB})
+	}
+	es = append(es, entry{escape, symEscape})
+	return dctTable{dec: buildTable(name, es), enc: enc}
+}
+
+var (
+	// dctZeroFirst decodes the first coefficient of a non-intra block with
+	// table zero: no EOB, and (0,1) is the 1-bit code.
+	dctZeroFirst = buildDCT("dct_table_zero_first",
+		append([]rl{{0, 1, firstOne}}, b14Pairs...), Code{}, false)
+	// dctZeroNext decodes every other table-zero coefficient.
+	dctZeroNext = buildDCT("dct_table_zero",
+		append([]rl{{0, 1, nextOne}}, b14Pairs...), eobB14, true)
+	// dctOne decodes table-one (intra_vlc_format = 1) coefficients.
+	dctOne = buildDCT("dct_table_one", func() []rl {
+		short := make(map[int32]bool, len(b15Short))
+		for _, p := range b15Short {
+			short[pairSym(p.run, p.level)] = true
+		}
+		all := append([]rl{}, b15Short...)
+		for _, p := range b14Pairs {
+			if p.code.Len >= 10 && !short[pairSym(p.run, p.level)] {
+				all = append(all, p)
+			}
+		}
+		return all
+	}(), eobB15, true)
+)
+
+func selectDCT(tableOne, first bool) *dctTable {
+	if tableOne {
+		return &dctOne
+	}
+	if first {
+		return &dctZeroFirst
+	}
+	return &dctZeroNext
+}
+
+// EncodeCoef writes one (run, level) DCT coefficient. level must be
+// non-zero and in [-2047, 2047]; run in [0, 63]. Pairs without a VLC are
+// written as the 24-bit MPEG-2 escape (6-bit escape code, 6-bit run,
+// 12-bit two's-complement level). first selects the non-intra
+// first-coefficient convention of table zero.
+func EncodeCoef(w *bits.Writer, tableOne, first bool, run int, level int32) error {
+	if level == 0 || level < -2047 || level > 2047 {
+		return fmt.Errorf("vlc: DCT level %d not codable", level)
+	}
+	if run < 0 || run > 63 {
+		return fmt.Errorf("vlc: DCT run %d out of range", run)
+	}
+	t := selectDCT(tableOne, first)
+	mag := level
+	if mag < 0 {
+		mag = -mag
+	}
+	if c, ok := t.enc[pairSym(run, mag)]; ok {
+		c.put(w)
+		if level < 0 {
+			w.Put(1, 1)
+		} else {
+			w.Put(0, 1)
+		}
+		return nil
+	}
+	escape.put(w)
+	w.Put(uint32(run), 6)
+	w.Put(uint32(level)&0xFFF, 12)
+	return nil
+}
+
+// EncodeEOB writes the end-of-block code for the selected table.
+func EncodeEOB(w *bits.Writer, tableOne bool) {
+	if tableOne {
+		eobB15.put(w)
+	} else {
+		eobB14.put(w)
+	}
+}
+
+// DecodeCoef reads one DCT coefficient. It returns eob=true at end of
+// block (run and level are then meaningless). first selects the non-intra
+// first-coefficient convention of table zero, under which EOB cannot
+// occur.
+func DecodeCoef(r *bits.Reader, tableOne, first bool) (run int, level int32, eob bool, err error) {
+	t := selectDCT(tableOne, first)
+	sym, err := t.dec.decode(r)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	switch sym {
+	case symEOB:
+		return 0, 0, true, nil
+	case symEscape:
+		run = int(r.Read(6))
+		raw := int32(r.Read(12))
+		if raw >= 2048 {
+			raw -= 4096
+		}
+		if err := r.Err(); err != nil {
+			return 0, 0, false, err
+		}
+		if raw == 0 || raw == -2048 {
+			return 0, 0, false, fmt.Errorf("vlc: forbidden escape level %d", raw)
+		}
+		return run, raw, false, nil
+	default:
+		run = int(sym >> 12)
+		level = sym & 0xFFF
+		if r.ReadBit() {
+			level = -level
+		}
+		if err := r.Err(); err != nil {
+			return 0, 0, false, err
+		}
+		return run, level, false, nil
+	}
+}
+
+// MaxVLCLevel returns the largest level with a VLC for the given run in
+// the given table (0 if none) — useful for tests and encoder heuristics.
+func MaxVLCLevel(tableOne bool, run int) int32 {
+	t := selectDCT(tableOne, false)
+	var maxL int32
+	for sym := range t.enc {
+		if int(sym>>12) == run && sym&0xFFF > maxL {
+			maxL = sym & 0xFFF
+		}
+	}
+	return maxL
+}

@@ -1,0 +1,270 @@
+// Package mpeg2par is a software MPEG-2 video decoder parallelized two
+// ways — coarse-grained across groups of pictures and fine-grained across
+// slices — reproducing Bilas, Fritts & Singh, "Real-Time Parallel MPEG-2
+// Decoding in Software" (IPPS 1997).
+//
+// The package bundles everything the paper's evaluation needs:
+//
+//   - a from-scratch MPEG-2 Main Profile codec (encoder + decoder), used
+//     to regenerate the paper's synthetic test streams at any resolution
+//     and GOP size;
+//   - the parallel decoder core: scan process, GOP-level and slice-level
+//     (simple and improved) worker pools, and a reordering display
+//     process;
+//   - a deterministic discrete-event simulator that replays measured task
+//     costs under any number of workers, reproducing the 16-processor
+//     results of the paper on hosts with fewer cores;
+//   - a multiprocessor cache simulator fed by the decoder's memory
+//     reference trace, for the spatial/temporal locality study;
+//   - the analytical memory model of the GOP-level decoder.
+//
+// Quick start:
+//
+//	stream, _ := mpeg2par.GenerateStream(mpeg2par.StreamConfig{
+//		Width: 352, Height: 240, Pictures: 13, GOPSize: 13,
+//	})
+//	stats, _ := mpeg2par.DecodeParallel(stream.Data, mpeg2par.Options{
+//		Mode: mpeg2par.ModeSliceImproved, Workers: 4,
+//	})
+//	fmt.Println(stats.PicturesPerSecond())
+package mpeg2par
+
+import (
+	"mpeg2par/internal/cachesim"
+	"mpeg2par/internal/core"
+	"mpeg2par/internal/decoder"
+	"mpeg2par/internal/encoder"
+	"mpeg2par/internal/frame"
+	"mpeg2par/internal/memmodel"
+	"mpeg2par/internal/memtrace"
+	"mpeg2par/internal/simsched"
+)
+
+// Frame is one decoded picture in planar YCbCr 4:2:0.
+type Frame = frame.Frame
+
+// Synth is the deterministic synthetic video source (the flower-garden
+// stand-in).
+type Synth = frame.Synth
+
+// NewSynth returns a synthetic video source for width×height pictures.
+func NewSynth(width, height int) *Synth { return frame.NewSynth(width, height) }
+
+// InterlacedSynth renders the synthetic scene with temporally offset
+// fields — the source material for the interlaced coding tools.
+type InterlacedSynth = frame.InterlacedSynth
+
+// NewInterlacedSynth returns an interlaced synthetic source.
+func NewInterlacedSynth(width, height int) *InterlacedSynth {
+	return frame.NewInterlacedSynth(width, height)
+}
+
+// PSNR returns the luma peak signal-to-noise ratio between two frames.
+func PSNR(a, b *Frame) float64 { return frame.PSNR(a, b) }
+
+// --- stream generation -----------------------------------------------------
+
+// StreamConfig selects the encoder parameters for a generated test stream.
+type StreamConfig = encoder.Config
+
+// Stream is an encoded MPEG-2 elementary stream plus its metadata.
+type Stream = encoder.Result
+
+// PictureInfo describes one encoded picture.
+type PictureInfo = encoder.PictureInfo
+
+// GenerateStream encodes a synthetic scene with the given configuration,
+// reproducing the paper's methodology of synthesizing test streams at
+// chosen resolutions and GOP sizes.
+func GenerateStream(cfg StreamConfig) (*Stream, error) {
+	return encoder.EncodeSequence(cfg, frame.NewSynth(cfg.Width, cfg.Height))
+}
+
+// EncodeFrames encodes pictures from an arbitrary source (display order).
+func EncodeFrames(cfg StreamConfig, src func(n int) *Frame) (*Stream, error) {
+	return encoder.EncodeSequence(cfg, sourceFunc(src))
+}
+
+type sourceFunc func(n int) *Frame
+
+func (f sourceFunc) Frame(n int) *Frame { return f(n) }
+
+// --- sequential decoding ----------------------------------------------------
+
+// Decoder decodes a stream sequentially, returning frames in display
+// order — the baseline of every speedup measurement.
+type Decoder = decoder.Decoder
+
+// NewDecoder returns a sequential decoder over data.
+func NewDecoder(data []byte) (*Decoder, error) { return decoder.New(data) }
+
+// DecodeAll decodes the whole stream sequentially.
+func DecodeAll(data []byte) ([]*Frame, error) {
+	d, err := decoder.New(data)
+	if err != nil {
+		return nil, err
+	}
+	return d.All()
+}
+
+// --- parallel decoding -------------------------------------------------------
+
+// Mode selects the parallelization strategy.
+type Mode = core.Mode
+
+// The decoder variants the paper evaluates.
+const (
+	ModeGOP           = core.ModeGOP
+	ModeSliceSimple   = core.ModeSliceSimple
+	ModeSliceImproved = core.ModeSliceImproved
+)
+
+// Options configures a parallel decode.
+type Options = core.Options
+
+// Stats reports a parallel decode run.
+type Stats = core.Stats
+
+// WorkerStats is one worker's time breakdown.
+type WorkerStats = core.WorkerStats
+
+// StreamMap is the scan process's structural index of a stream.
+type StreamMap = core.StreamMap
+
+// Scan indexes a stream by startcodes (the scan process's job).
+func Scan(data []byte) (*StreamMap, error) { return core.Scan(data) }
+
+// DecodeParallel runs the parallel decoder.
+func DecodeParallel(data []byte, opt Options) (*Stats, error) {
+	return core.Decode(data, opt)
+}
+
+// --- deterministic simulation -------------------------------------------------
+
+// SimResult is one simulated parallel execution.
+type SimResult = simsched.Result
+
+// SimPicture and GOPTask describe profiled workloads for the simulator.
+type (
+	SimPicture = simsched.SimPicture
+	GOPTask    = simsched.GOPTask
+)
+
+// DSMConfig models a distributed-shared-memory machine (§7.2).
+type DSMConfig = simsched.DSMConfig
+
+// ProfileSlices measures per-slice decode costs with one worker and
+// returns the simulator workload.
+func ProfileSlices(data []byte) ([]SimPicture, error) {
+	st, err := core.Decode(data, core.Options{Mode: core.ModeSliceImproved, Workers: 1, Profile: true})
+	if err != nil {
+		return nil, err
+	}
+	return SliceProfileToSim(st.SliceProf), nil
+}
+
+// SliceProfileToSim converts a core profile into simulator pictures.
+func SliceProfileToSim(prof []core.PicProfile) []SimPicture {
+	pics := make([]SimPicture, len(prof))
+	for i, p := range prof {
+		pics[i] = simsched.SimPicture{
+			Ref:        p.Ref,
+			Intra:      p.Type == 'I',
+			DisplayIdx: p.DisplayIdx,
+			SliceCosts: p.SliceCosts,
+		}
+	}
+	return pics
+}
+
+// ProfileGOPs measures per-GOP decode costs with one worker and returns
+// the simulator workload (tasks available immediately, like the paper's
+// assumption that the scan keeps ahead).
+func ProfileGOPs(data []byte) ([]GOPTask, error) {
+	m, err := core.Scan(data)
+	if err != nil {
+		return nil, err
+	}
+	st, err := core.DecodeScanned(data, m, core.Options{Mode: core.ModeGOP, Workers: 1, Profile: true})
+	if err != nil {
+		return nil, err
+	}
+	tasks := make([]GOPTask, len(st.GOPCosts))
+	for i, c := range st.GOPCosts {
+		tasks[i] = simsched.GOPTask{Cost: c.Cost, Pictures: len(m.GOPs[i].Pictures)}
+	}
+	return tasks, nil
+}
+
+// SimulateGOP replays GOP tasks under P simulated workers.
+func SimulateGOP(tasks []GOPTask, workers int) SimResult {
+	return simsched.SimulateGOP(tasks, workers)
+}
+
+// SimulateSlices replays slice tasks under P simulated workers with the
+// simple (barrier every picture) or improved (barrier after references)
+// discipline.
+func SimulateSlices(pics []SimPicture, workers int, improved bool) SimResult {
+	return simsched.SimulateSlices(pics, workers, improved)
+}
+
+// SimulateSlicesDSM replays slice tasks on the distributed-memory model.
+func SimulateSlicesDSM(pics []SimPicture, workers int, improved bool, cfg DSMConfig) SimResult {
+	return simsched.SimulateSlicesDSM(pics, workers, improved, cfg)
+}
+
+// SimulateSlicesMax replays slice tasks under the maximum-concurrency
+// discipline the paper sketched but did not build: no picture barriers,
+// only slice-level data dependencies (a slice waits for the reference
+// slices within ±vrange rows).
+func SimulateSlicesMax(pics []SimPicture, workers, vrange int) SimResult {
+	return simsched.SimulateSlicesMax(pics, workers, vrange)
+}
+
+// SimulateGOPDSMQueues replays GOP tasks on the distributed-memory model
+// with the paper's §7.2 remedy: per-cluster task queues, round-robin GOP
+// placement, and stealing.
+func SimulateGOPDSMQueues(tasks []GOPTask, workers int, cfg DSMConfig) SimResult {
+	return simsched.SimulateGOPDSMQueues(tasks, workers, cfg)
+}
+
+// --- locality study -------------------------------------------------------------
+
+// TraceEvent is one memory-reference extent from the decoder.
+type TraceEvent = memtrace.Event
+
+// CacheConfig describes the simulated per-processor caches.
+type CacheConfig = cachesim.Config
+
+// CacheStats are the simulated miss counters.
+type CacheStats = cachesim.Stats
+
+// TraceDecode decodes the stream under the given mode and worker count,
+// recording the reconstruction memory-reference stream.
+func TraceDecode(data []byte, mode Mode, workers int) ([]TraceEvent, error) {
+	rec := memtrace.NewRecorder()
+	if _, err := core.Decode(data, core.Options{Mode: mode, Workers: workers, Tracer: rec}); err != nil {
+		return nil, err
+	}
+	return rec.Events(), nil
+}
+
+// SimulateCache runs a trace through the configured memory system.
+func SimulateCache(events []TraceEvent, cfg CacheConfig) (CacheStats, error) {
+	sim, err := cachesim.New(cfg)
+	if err != nil {
+		return CacheStats{}, err
+	}
+	if err := sim.Run(events); err != nil {
+		return CacheStats{}, err
+	}
+	return sim.Stats(), nil
+}
+
+// --- memory model ------------------------------------------------------------------
+
+// MemModel parameterizes the analytical GOP-decoder memory model.
+type MemModel = memmodel.Params
+
+// MemPoint is one instant of the modeled memory usage.
+type MemPoint = memmodel.Point
