@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: verify vet build test race bench perf
+
+verify: vet build race ## full CI gate: vet + build + race tests
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+# Append a perf-trajectory run to the current BENCH_<n>.json.
+perf:
+	$(GO) run ./cmd/mpeg2bench -perf -label $(or $(LABEL),local)

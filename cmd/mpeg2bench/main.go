@@ -10,12 +10,14 @@
 //	mpeg2bench -exp fig11      # one experiment
 //	mpeg2bench -full           # all four paper resolutions incl. 1408x960
 //	mpeg2bench -list           # experiment ids
+//	mpeg2bench -perf -json -label after   # append a perf run to BENCH_<n>.json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -29,10 +31,21 @@ func main() {
 	workers := flag.Int("maxworkers", 14, "largest worker count in sweeps")
 	profileGOPs := flag.Int("profilegops", 2, "GOPs to encode+measure per configuration")
 	jsonOut := flag.Bool("json", false, "emit structured JSON instead of tables")
+	perf := flag.Bool("perf", false, "run the perf-trajectory harness and append to a BENCH_<n>.json")
+	perfOut := flag.String("o", "", "perf output file (default: highest existing BENCH_<n>.json, else BENCH_1.json)")
+	perfLabel := flag.String("label", "", "label recorded with the perf run")
+	perfNew := flag.Bool("new", false, "with -perf: start the next-numbered BENCH_<n>.json instead of appending")
 	flag.Parse()
 
 	if *list {
 		fmt.Println(strings.Join(bench.Names(), "\n"))
+		return
+	}
+	if *perf {
+		if err := runPerf(*perfOut, *perfLabel, *perfNew); err != nil {
+			fmt.Fprintf(os.Stderr, "mpeg2bench: %v\n", err)
+			os.Exit(1)
+		}
 		return
 	}
 
@@ -63,4 +76,52 @@ func main() {
 	if !*jsonOut {
 		fmt.Printf("\ncompleted in %v\n", time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// runPerf executes the perf-trajectory harness and appends the run to the
+// selected BENCH_<n>.json (see internal/bench/perf.go for the schema).
+func runPerf(out, label string, startNew bool) error {
+	if out == "" {
+		out = pickBenchFile(startNew)
+	}
+	if label == "" {
+		label = "run-" + time.Now().UTC().Format("20060102T150405Z")
+	}
+	run, err := bench.PerfTrajectory(bench.PerfConfig{}, label)
+	if err != nil {
+		return err
+	}
+	pf, err := bench.AppendPerfRun(out, run)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: run %q appended (%d runs total)\n", out, label, len(pf.Runs))
+	fmt.Printf("  sequential: %.0f pics/s (%.2f ms/picture)\n",
+		run.SequentialPicsPerSec, run.SequentialMSPerPic)
+	for _, pt := range run.Points {
+		fmt.Printf("  %-15s w=%d  %8.0f pics/s  speedup %.2f  (scan %.1fms busy %.1fms wait %.1fms)\n",
+			pt.Mode, pt.Workers, pt.PicsPerSec, pt.Speedup, pt.ScanMS, pt.WorkerBusyMS, pt.WorkerWaitMS)
+	}
+	return nil
+}
+
+// pickBenchFile returns the BENCH_<n>.json to write: the highest-numbered
+// existing file (this PR's trajectory), or the next free number when
+// startNew is set or none exists yet.
+func pickBenchFile(startNew bool) string {
+	matches, _ := filepath.Glob("BENCH_*.json")
+	max := 0
+	for _, m := range matches {
+		var n int
+		if _, err := fmt.Sscanf(filepath.Base(m), "BENCH_%d.json", &n); err == nil && n > max {
+			max = n
+		}
+	}
+	if max == 0 {
+		return "BENCH_1.json"
+	}
+	if startNew {
+		return fmt.Sprintf("BENCH_%d.json", max+1)
+	}
+	return fmt.Sprintf("BENCH_%d.json", max)
 }

@@ -1,0 +1,219 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"mpeg2par/internal/core"
+	"mpeg2par/internal/decoder"
+	"mpeg2par/internal/encoder"
+	"mpeg2par/internal/frame"
+)
+
+// This file is the benchmark-regression harness: PerfTrajectory measures
+// the real decode engines (not the deterministic simulator) on one
+// reference workload and emits a structured record. Successive PRs append
+// their runs to BENCH_<n>.json via `mpeg2bench -perf`, so the repository
+// carries its own performance trajectory and a kernel regression shows up
+// as a drop between adjacent runs of the same schema.
+
+// PerfSchema identifies the BENCH_*.json layout.
+const PerfSchema = "mpeg2par-perf/1"
+
+// PerfConfig describes the reference workload of a perf run.
+type PerfConfig struct {
+	Width, Height int   // picture size (default 352x240, the paper's SIF)
+	GOPSize       int   // pictures per GOP (default 13)
+	Pictures      int   // stream length (default 3 GOPs)
+	BitRate       int   // encoder bit rate (default 5 Mb/s)
+	Workers       []int // worker counts swept per mode (default 1,2,4,8)
+	Repeats       int   // timed repetitions; the best is kept (default 3)
+}
+
+func (c PerfConfig) withDefaults() PerfConfig {
+	if c.Width == 0 {
+		c.Width, c.Height = 352, 240
+	}
+	if c.GOPSize == 0 {
+		c.GOPSize = 13
+	}
+	if c.Pictures == 0 {
+		c.Pictures = 3 * c.GOPSize
+	}
+	if c.BitRate == 0 {
+		c.BitRate = 5_000_000
+	}
+	if len(c.Workers) == 0 {
+		c.Workers = []int{1, 2, 4, 8}
+	}
+	if c.Repeats == 0 {
+		c.Repeats = 3
+	}
+	return c
+}
+
+// PerfPoint is one (mode, workers) measurement of the parallel engine.
+type PerfPoint struct {
+	Mode    string `json:"mode"`
+	Workers int    `json:"workers"`
+
+	PicsPerSec float64 `json:"pics_per_sec"`
+	// Speedup is relative to the sequential decoder of the same run.
+	Speedup float64 `json:"speedup_vs_sequential"`
+
+	// Per-stage time breakdown (milliseconds, best repetition).
+	WallMS       float64 `json:"wall_ms"`
+	ScanMS       float64 `json:"scan_ms"`
+	WorkerBusyMS float64 `json:"worker_busy_ms"` // summed over workers
+	WorkerWaitMS float64 `json:"worker_wait_ms"` // summed over workers
+}
+
+// PerfRun is one complete harness execution.
+type PerfRun struct {
+	Label     string `json:"label"`
+	Timestamp string `json:"timestamp"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+
+	Stream struct {
+		Width    int `json:"width"`
+		Height   int `json:"height"`
+		GOPSize  int `json:"gop_size"`
+		Pictures int `json:"pictures"`
+		Bytes    int `json:"bytes"`
+	} `json:"stream"`
+
+	// Sequential decoder (the P=1 oracle): the trajectory headline.
+	SequentialPicsPerSec float64 `json:"sequential_pics_per_sec"`
+	SequentialMSPerPic   float64 `json:"sequential_ms_per_picture"`
+
+	Points []PerfPoint `json:"points"`
+}
+
+// PerfFile is the on-disk BENCH_<n>.json document.
+type PerfFile struct {
+	Schema string    `json:"schema"`
+	Runs   []PerfRun `json:"runs"`
+}
+
+// PerfTrajectory encodes the reference stream and measures the sequential
+// decoder plus every mode x workers point of the parallel engine.
+func PerfTrajectory(cfg PerfConfig, label string) (*PerfRun, error) {
+	cfg = cfg.withDefaults()
+	enc, err := encoder.EncodeSequence(encoder.Config{
+		Width:     cfg.Width,
+		Height:    cfg.Height,
+		Pictures:  cfg.Pictures,
+		GOPSize:   cfg.GOPSize,
+		BitRate:   cfg.BitRate,
+		FrameRate: 30,
+	}, frame.NewSynth(cfg.Width, cfg.Height))
+	if err != nil {
+		return nil, fmt.Errorf("bench: perf stream: %w", err)
+	}
+
+	run := &PerfRun{
+		Label:     label,
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+	}
+	run.Stream.Width = cfg.Width
+	run.Stream.Height = cfg.Height
+	run.Stream.GOPSize = cfg.GOPSize
+	run.Stream.Pictures = cfg.Pictures
+	run.Stream.Bytes = len(enc.Data)
+
+	// Sequential baseline: best of Repeats full-stream decodes (plus one
+	// untimed warm-up pass for code and allocator warmth).
+	if _, err := decodeSequential(enc.Data); err != nil {
+		return nil, err
+	}
+	best := time.Duration(1<<63 - 1)
+	for i := 0; i < cfg.Repeats; i++ {
+		d, err := decodeSequential(enc.Data)
+		if err != nil {
+			return nil, err
+		}
+		if d < best {
+			best = d
+		}
+	}
+	run.SequentialPicsPerSec = float64(cfg.Pictures) / best.Seconds()
+	run.SequentialMSPerPic = best.Seconds() * 1e3 / float64(cfg.Pictures)
+
+	for _, mode := range []core.Mode{core.ModeGOP, core.ModeSliceSimple, core.ModeSliceImproved} {
+		for _, w := range cfg.Workers {
+			var bestStats *core.Stats
+			for i := 0; i < cfg.Repeats; i++ {
+				st, err := core.Decode(enc.Data, core.Options{Mode: mode, Workers: w})
+				if err != nil {
+					return nil, fmt.Errorf("bench: perf %s workers=%d: %w", mode, w, err)
+				}
+				if bestStats == nil || st.Wall < bestStats.Wall {
+					bestStats = st
+				}
+			}
+			pt := PerfPoint{
+				Mode:       mode.String(),
+				Workers:    w,
+				PicsPerSec: bestStats.PicturesPerSecond(),
+				Speedup:    bestStats.PicturesPerSecond() / run.SequentialPicsPerSec,
+				WallMS:     ms(bestStats.Wall),
+				ScanMS:     ms(bestStats.ScanTime),
+			}
+			for _, ws := range bestStats.WorkerStats {
+				pt.WorkerBusyMS += ms(ws.Busy)
+				pt.WorkerWaitMS += ms(ws.Wait)
+			}
+			run.Points = append(run.Points, pt)
+		}
+	}
+	return run, nil
+}
+
+func decodeSequential(data []byte) (time.Duration, error) {
+	t0 := time.Now()
+	d, err := decoder.New(data)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := d.All(); err != nil {
+		return 0, err
+	}
+	return time.Since(t0), nil
+}
+
+func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+
+// AppendPerfRun loads path (if it exists), appends run, and writes the
+// file back. A schema mismatch is an error rather than a silent rewrite.
+func AppendPerfRun(path string, run *PerfRun) (*PerfFile, error) {
+	pf := &PerfFile{Schema: PerfSchema}
+	if raw, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(raw, pf); err != nil {
+			return nil, fmt.Errorf("bench: parsing %s: %w", path, err)
+		}
+		if pf.Schema != PerfSchema {
+			return nil, fmt.Errorf("bench: %s has schema %q, want %q", path, pf.Schema, PerfSchema)
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, err
+	}
+	pf.Runs = append(pf.Runs, *run)
+	out, err := json.MarshalIndent(pf, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		return nil, err
+	}
+	return pf, nil
+}

@@ -344,3 +344,118 @@ func BenchmarkFindStartCode(b *testing.B) {
 		}
 	}
 }
+
+// peekRef is the pre-accumulator byte-gather Peek, kept as the semantic
+// reference: up to 5 bytes, zero-filled past the end of the buffer.
+func peekRef(data []byte, pos int64, n uint) uint32 {
+	if n == 0 {
+		return 0
+	}
+	byteIdx := int(pos >> 3)
+	bitOff := uint(pos & 7)
+	var acc uint64
+	for i := 0; i < 5; i++ {
+		var b byte
+		if byteIdx+i < len(data) {
+			b = data[byteIdx+i]
+		}
+		acc = acc<<8 | uint64(b)
+	}
+	acc <<= 24 + bitOff
+	return uint32(acc >> (64 - n))
+}
+
+// TestPeekExhaustiveTail checks every (position, width) pair over a small
+// buffer against the reference gather — in particular every read that
+// straddles the last 8 bytes, where the single-load fast path must hand
+// over to the zero-filled tail gather.
+func TestPeekExhaustiveTail(t *testing.T) {
+	data := make([]byte, 19)
+	for i := range data {
+		data[i] = byte(0x9E*i + 0x37)
+	}
+	for pos := int64(0); pos <= int64(len(data))*8; pos++ {
+		for n := uint(0); n <= 32; n++ {
+			r := NewReader(data)
+			r.SeekBit(pos)
+			if got, want := r.Peek(n), peekRef(data, pos, n); got != want {
+				t.Fatalf("Peek(%d) at bit %d = %0*b, want %0*b", n, pos, n, got, n, want)
+			}
+			if r.Err() != nil {
+				t.Fatalf("Peek(%d) at bit %d set error %v", n, pos, r.Err())
+			}
+		}
+	}
+}
+
+// TestPeekCacheInvalidation stresses the accumulator across interleaved
+// Read/Skip/SeekBit, including backward seeks into and out of the cached
+// window.
+func TestPeekCacheInvalidation(t *testing.T) {
+	data := make([]byte, 64)
+	for i := range data {
+		data[i] = byte(i*193 + 11)
+	}
+	r := NewReader(data)
+	pos := int64(0)
+	step := []int64{1, 7, 8, 13, 31, -5, 64, -63, 17, 3}
+	for i := 0; i < 4000; i++ {
+		pos += step[i%len(step)]
+		if pos < 0 {
+			pos = 0
+		}
+		if pos > int64(len(data))*8 {
+			pos = 0
+		}
+		r.SeekBit(pos)
+		n := uint(i%33) % 33
+		if got, want := r.Peek(n), peekRef(data, pos, n); got != want {
+			t.Fatalf("step %d: Peek(%d) at bit %d = %x, want %x", i, n, pos, got, want)
+		}
+		// Consume a little so the cache is exercised by Read too.
+		adv := uint(i % 9)
+		if got, want := r.Read(adv), peekRef(data, pos, adv); got != want {
+			t.Fatalf("step %d: Read(%d) at bit %d = %x, want %x", i, adv, pos, got, want)
+		}
+		pos += int64(adv)
+	}
+}
+
+func TestReaderReset(t *testing.T) {
+	a := []byte{0xAB, 0xCD, 0xEF, 0x01, 0x23, 0x45, 0x67, 0x89, 0xAB}
+	b := []byte{0x12, 0x34}
+	r := NewReader(a)
+	if got := r.Read(16); got != 0xABCD {
+		t.Fatalf("Read(16) = %04x", got)
+	}
+	r.Read64(64) // run past the end: sticky error set
+	if r.Err() == nil {
+		t.Fatal("expected underflow")
+	}
+	r.Reset(b)
+	if r.Err() != nil || r.BitPos() != 0 {
+		t.Fatalf("Reset left err=%v pos=%d", r.Err(), r.BitPos())
+	}
+	// The stale accumulator (loaded from a) must not serve reads from b.
+	if got := r.Read(16); got != 0x1234 {
+		t.Fatalf("after Reset Read(16) = %04x, want 1234", got)
+	}
+}
+
+func BenchmarkReaderPeek(b *testing.B) {
+	data := make([]byte, 1<<16)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	r := NewReader(data)
+	var sink uint32
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r.Remaining() < 64 {
+			r.SeekBit(0)
+		}
+		sink += r.Peek(17) // a DCT-table-width probe
+		r.Skip(uint(i%11) + 1)
+	}
+	_ = sink
+}

@@ -1,6 +1,7 @@
 package bits
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 )
@@ -18,11 +19,29 @@ type Reader struct {
 	data []byte
 	pos  int64 // bit position
 	err  error
+
+	// Cached accumulator: acc holds the accBits bits of the stream
+	// starting at bit accBase, left-justified. Peek serves from it with a
+	// shift instead of re-gathering bytes; it stays valid across Read,
+	// Skip and SeekBit because the underlying data never changes.
+	// accBits == 0 marks the cache empty (the zero Reader is valid).
+	acc     uint64
+	accBase int64
+	accBits int64
 }
 
 // NewReader returns a Reader over data. The Reader does not copy data.
 func NewReader(data []byte) *Reader {
 	return &Reader{data: data}
+}
+
+// Reset repoints the Reader at data with position and error cleared,
+// allowing a Reader value to be reused without allocation.
+func (r *Reader) Reset(data []byte) {
+	r.data = data
+	r.pos = 0
+	r.err = nil
+	r.accBits = 0
 }
 
 // Err returns the sticky error, if any read has gone past the end.
@@ -75,6 +94,17 @@ func (r *Reader) ReadBit() bool { return r.Read(1) != 0 }
 // Bits past the end of the buffer read as zero (and do not set the error;
 // only consuming them via Read does).
 func (r *Reader) Peek(n uint) uint32 {
+	// Fast path: the cached accumulator covers [pos, pos+n).
+	if off := r.pos - r.accBase; off >= 0 && off+int64(n) <= r.accBits && n <= 32 {
+		return uint32(r.acc << uint64(off) >> (64 - n))
+	}
+	return r.peekRefill(n)
+}
+
+// peekRefill reloads the accumulator (a single 8-byte big-endian load when
+// at least 8 bytes remain, a zero-padded byte gather near the buffer end)
+// and answers the Peek from it.
+func (r *Reader) peekRefill(n uint) uint32 {
 	if n == 0 {
 		return 0
 	}
@@ -83,18 +113,30 @@ func (r *Reader) Peek(n uint) uint32 {
 	}
 	byteIdx := int(r.pos >> 3)
 	bitOff := uint(r.pos & 7)
-	// Gather up to 8 bytes so that bitOff + n <= 64 always fits.
+	if byteIdx+8 <= len(r.data) {
+		r.acc = binary.BigEndian.Uint64(r.data[byteIdx:])
+		r.accBase = int64(byteIdx) * 8
+		r.accBits = 64
+		return uint32(r.acc << bitOff >> (64 - n))
+	}
+	// Tail: gather the remaining bytes, zero-filled past the end. The
+	// cache records only the real bits, so reads running past the end
+	// keep taking this path (and keep their zero-fill semantics).
 	var acc uint64
-	for i := 0; i < 5; i++ {
+	for i := 0; i < 8; i++ {
 		var b byte
 		if byteIdx+i < len(r.data) {
 			b = r.data[byteIdx+i]
 		}
 		acc = acc<<8 | uint64(b)
 	}
-	// acc holds 40 bits starting at byteIdx; drop bitOff leading bits.
-	acc <<= 24 + bitOff // left-justify in 64
-	return uint32(acc >> (64 - n))
+	r.acc = acc
+	r.accBase = int64(byteIdx) * 8
+	r.accBits = int64(len(r.data)-byteIdx) * 8
+	if r.accBits < 0 {
+		r.accBits = 0
+	}
+	return uint32(acc << bitOff >> (64 - n))
 }
 
 // Skip consumes n bits.

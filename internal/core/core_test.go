@@ -447,3 +447,87 @@ func TestConcurrentIndependentDecodes(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestParallelGoldenWorkerSweep is the bit-exactness acceptance sweep for
+// the optimized decode kernels: every parallel mode at workers 1, 2, 4
+// and 8 must match the sequential decoder frame-for-frame on a SIF-sized
+// multi-GOP stream (the perf harness's reference geometry, scaled down in
+// picture count to stay test-speed).
+func TestParallelGoldenWorkerSweep(t *testing.T) {
+	res := testStream(t, 352, 240, 26, 13)
+	want := sequentialFrames(t, res.Data)
+	for _, mode := range []Mode{ModeGOP, ModeSliceSimple, ModeSliceImproved} {
+		for _, workers := range []int{1, 2, 4, 8} {
+			var sink collectSink
+			_, err := Decode(res.Data, Options{Mode: mode, Workers: workers, Sink: sink.add})
+			if err != nil {
+				t.Fatalf("%v/%d: %v", mode, workers, err)
+			}
+			if len(sink.frames) != len(want) {
+				t.Fatalf("%v/%d: %d frames, want %d", mode, workers, len(sink.frames), len(want))
+			}
+			for i := range want {
+				if !sink.frames[i].Equal(want[i]) {
+					t.Fatalf("%v/%d: frame %d differs from sequential decode", mode, workers, i)
+				}
+			}
+		}
+	}
+}
+
+// TestConcealPoolCrossGOPSafety pins the conceal/pool interaction: when a
+// damaged slice deep in the stream is concealed, recycled frame buffers
+// (which by then carry pixels from earlier GOPs) must not leak stale
+// content into the output. The sequential decoder allocates every frame
+// fresh, so byte-exact agreement with it proves the pooled paths are
+// clean across GOP boundaries.
+func TestConcealPoolCrossGOPSafety(t *testing.T) {
+	res := testStream(t, 96, 64, 12, 4)
+	m, err := Scan(res.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mut := append([]byte(nil), res.Data...)
+	// Damage P-picture slices in the first and the last GOP so concealment
+	// runs both before and after the pool starts recycling buffers.
+	for _, g := range []int{0, 2} {
+		sl := m.GOPs[g].Pictures[1].Slices[1]
+		for i := sl.Offset + 6; i < sl.Offset+14 && i < sl.End; i++ {
+			mut[i] = 0
+		}
+	}
+
+	d, err := decoder.New(mut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Conceal = true
+	want, err := d.All()
+	if err != nil {
+		t.Fatalf("sequential concealed decode: %v", err)
+	}
+	if d.Concealed == 0 {
+		t.Fatal("corruption did not trigger concealment")
+	}
+
+	for _, mode := range []Mode{ModeGOP, ModeSliceSimple, ModeSliceImproved} {
+		for _, workers := range []int{1, 2, 4} {
+			var sink collectSink
+			st, err := Decode(mut, Options{Mode: mode, Workers: workers, Conceal: true, Sink: sink.add})
+			if err != nil {
+				t.Fatalf("%v/%d: %v", mode, workers, err)
+			}
+			if st.Concealed == 0 {
+				t.Fatalf("%v/%d: nothing concealed", mode, workers)
+			}
+			if len(sink.frames) != len(want) {
+				t.Fatalf("%v/%d: %d frames, want %d", mode, workers, len(sink.frames), len(want))
+			}
+			for i := range want {
+				if !sink.frames[i].Equal(want[i]) {
+					t.Fatalf("%v/%d: concealed frame %d differs from sequential decode", mode, workers, i)
+				}
+			}
+		}
+	}
+}

@@ -16,6 +16,11 @@ import (
 // and ships pictures to the display process.
 func decodeGOPMode(data []byte, m *StreamMap, opt Options, st *Stats) error {
 	pool := frame.NewPool(m.Seq.Width, m.Seq.Height)
+	if opt.Conceal {
+		// Concealed pictures may ship partially synthesized pixels; scrub
+		// recycled buffers so no stale content leaks across GOPs.
+		pool.SetScrub(true)
+	}
 	disp := newDisplay(pool, opt.Sink)
 
 	tasks := make(chan int, len(m.GOPs))

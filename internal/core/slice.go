@@ -221,6 +221,10 @@ func decodeSliceMode(data []byte, m *StreamMap, opt Options, st *Stats) error {
 		return err
 	}
 	pool := frame.NewPool(m.Seq.Width, m.Seq.Height)
+	if opt.Conceal {
+		// Same stale-pixel defense as the GOP mode: see decodeGOPMode.
+		pool.SetScrub(true)
+	}
 	disp := newDisplay(pool, opt.Sink)
 
 	q := &sliceQueue{
@@ -259,6 +263,7 @@ func decodeSliceMode(data []byte, m *StreamMap, opt Options, st *Stats) error {
 		go func(wi int) {
 			defer wg.Done()
 			ws := &st.WorkerStats[wi]
+			var scr sliceScratch
 			for {
 				p, si, wait, ok := q.take()
 				ws.Wait += wait
@@ -266,7 +271,7 @@ func decodeSliceMode(data []byte, m *StreamMap, opt Options, st *Stats) error {
 					return
 				}
 				t0 := time.Now()
-				work, addrs, err := decodeOneSlice(data, m, pics, p, si, wi, opt)
+				work, addrs, err := decodeOneSlice(data, m, pics, p, si, wi, opt, &scr)
 				cost := time.Since(t0)
 				ws.Busy += cost
 				ws.Tasks++
@@ -355,18 +360,30 @@ func pindex(pics []*picState, p *picState) int {
 	return -1
 }
 
+// sliceScratch is one worker's reusable decode state: a bit reader, a
+// macroblock buffer and a coverage address list, recycled across every
+// slice the worker decodes so the steady-state loop is allocation-free.
+type sliceScratch struct {
+	r     bits.Reader
+	mbs   []mpeg2.MB
+	addrs []int
+}
+
 // decodeOneSlice parses and reconstructs a single slice — the unit of
 // work of the fine-grained decoder. It returns the addresses of the
-// macroblocks it reconstructed, for picture-coverage accounting.
-func decodeOneSlice(data []byte, m *StreamMap, pics []*picState, p *picState, si, wi int, opt Options) (decoder.WorkStats, []int, error) {
+// macroblocks it reconstructed, for picture-coverage accounting. The
+// returned slice aliases scr.addrs and is valid until the worker's next
+// call.
+func decodeOneSlice(data []byte, m *StreamMap, pics []*picState, p *picState, si, wi int, opt Options, scr *sliceScratch) (decoder.WorkStats, []int, error) {
 	sr := p.rng.Slices[si]
-	r := bits.NewReader(data[:sr.End])
-	r.SeekBit(int64(sr.Offset) * 8)
-	code, err := r.ReadStartCode()
+	scr.r.Reset(data[:sr.End])
+	scr.r.SeekBit(int64(sr.Offset) * 8)
+	code, err := scr.r.ReadStartCode()
 	if err != nil {
 		return decoder.WorkStats{}, nil, err
 	}
-	ds, err := mpeg2.DecodeSlice(r, &p.params, int(code)-1)
+	ds, err := mpeg2.DecodeSliceInto(&scr.r, &p.params, int(code)-1, scr.mbs)
+	scr.mbs = ds.MBs // keep the grown buffer for the next slice
 	if err != nil {
 		return decoder.WorkStats{}, nil, fmt.Errorf("core: slice row %d: %w", int(code)-1, err)
 	}
@@ -381,9 +398,9 @@ func decodeOneSlice(data []byte, m *StreamMap, pics []*picState, p *picState, si
 	if err != nil {
 		return work, nil, err
 	}
-	addrs := make([]int, len(ds.MBs))
+	scr.addrs = scr.addrs[:0]
 	for i := range ds.MBs {
-		addrs[i] = ds.MBs[i].Addr
+		scr.addrs = append(scr.addrs, ds.MBs[i].Addr)
 	}
-	return work, addrs, nil
+	return work, scr.addrs, nil
 }

@@ -86,13 +86,14 @@ func traceSlices(data []byte, m *StreamMap, procs int, tr memtrace.Tracer) error
 	}
 	opt := Options{Tracer: tr}
 	task := 0
+	var scr sliceScratch
 	for _, p := range pics {
 		p.frame = frame.New(m.Seq.Width, m.Seq.Height)
 		for si := range p.rng.Slices {
 			proc := task % procs
 			sr := p.rng.Slices[si]
 			traceInput(tr, data, proc, sr.Offset, sr.End)
-			if _, _, err := decodeOneSlice(data, m, pics, p, si, proc, opt); err != nil {
+			if _, _, err := decodeOneSlice(data, m, pics, p, si, proc, opt, &scr); err != nil {
 				return err
 			}
 			task++

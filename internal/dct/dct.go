@@ -100,6 +100,54 @@ func Inverse(block *[64]int32) {
 	}
 }
 
+// InverseSparse computes the same transform as Inverse but exploits the
+// sparsity contract from quant.InverseSparse: rowMask bit r clear means
+// frequency row r is entirely zero (set bits may still be zero rows), and
+// dcOnly means every AC coefficient is zero. Zero rows are skipped in the
+// row pass — idctRow would only rewrite their zeros — and the two
+// overwhelmingly common shapes take short-circuits that are bit-identical
+// to the full transform:
+//
+//   - dcOnly: every output is clamp9(((dc<<3)<<8 + 8192) >> 14), the value
+//     the row DC shortcut followed by a one-live-input column pass yields.
+//   - rowMask == 1 (only row 0 live): one row transform, then each column
+//     reduces to the same single-input column form, a per-column fill.
+//
+// A rowMask with extra bits set degrades to the general path, never to a
+// wrong answer.
+func InverseSparse(block *[64]int32, rowMask uint8, dcOnly bool) {
+	if dcOnly {
+		v := clamp9((block[0]<<3<<8 + 8192) >> 14)
+		for i := range block {
+			block[i] = v
+		}
+		return
+	}
+	if rowMask == 1 {
+		idctRow(block[0:8:8])
+		for c := 0; c < 8; c++ {
+			v := clamp9((block[c]<<8 + 8192) >> 14)
+			block[c] = v
+			block[8+c] = v
+			block[16+c] = v
+			block[24+c] = v
+			block[32+c] = v
+			block[40+c] = v
+			block[48+c] = v
+			block[56+c] = v
+		}
+		return
+	}
+	for i := 0; i < 8; i++ {
+		if rowMask&(1<<uint(i)) != 0 {
+			idctRow(block[i*8 : i*8+8 : i*8+8])
+		}
+	}
+	for i := 0; i < 8; i++ {
+		idctCol(block, i)
+	}
+}
+
 func idctRow(b []int32) {
 	x1 := b[4] << 11
 	x2 := b[6]

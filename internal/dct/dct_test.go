@@ -236,3 +236,122 @@ func BenchmarkForwardRef(b *testing.B) {
 		ForwardRef(&tmp)
 	}
 }
+
+// trueRowMask returns the exact row-liveness mask of a coefficient block.
+func trueRowMask(b *[64]int32) uint8 {
+	var m uint8
+	for i, v := range b {
+		if v != 0 {
+			m |= 1 << uint(i>>3)
+		}
+	}
+	return m
+}
+
+// sparseBlock builds a random block whose nonzero coefficients are confined
+// to the rows of mask (each live row gets at least one nonzero).
+func sparseBlock(rng *rand.Rand, mask uint8) [64]int32 {
+	var b [64]int32
+	for r := 0; r < 8; r++ {
+		if mask&(1<<uint(r)) == 0 {
+			continue
+		}
+		n := 1 + rng.Intn(8)
+		for k := 0; k < n; k++ {
+			c := rng.Intn(8)
+			v := int32(rng.Intn(4095) - 2047)
+			if v == 0 {
+				v = 1
+			}
+			b[r*8+c] = v
+		}
+	}
+	return b
+}
+
+// TestInverseSparseMatchesDense drives InverseSparse across every row-mask
+// shape — including the dcOnly and rowMask==1 short-circuits — and demands
+// byte-identical output to the dense Inverse.
+func TestInverseSparseMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for mask := 0; mask < 256; mask++ {
+		for trial := 0; trial < 20; trial++ {
+			b := sparseBlock(rng, uint8(mask))
+			dense := b
+			Inverse(&dense)
+
+			sparse := b
+			rm := trueRowMask(&b)
+			dcOnly := rm&^1 == 0 && b[1]|b[2]|b[3]|b[4]|b[5]|b[6]|b[7] == 0
+			InverseSparse(&sparse, rm, dcOnly)
+			if sparse != dense {
+				t.Fatalf("mask %02x trial %d: sparse != dense\nin:     %v\nsparse: %v\ndense:  %v",
+					mask, trial, b, sparse, dense)
+			}
+		}
+	}
+}
+
+// TestInverseSparseConservativeMask verifies the contract that extra set
+// bits in rowMask (a superset of the live rows) never change the output.
+func TestInverseSparseConservativeMask(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 500; trial++ {
+		b := sparseBlock(rng, uint8(rng.Intn(256)))
+		dense := b
+		Inverse(&dense)
+
+		sparse := b
+		super := trueRowMask(&b) | uint8(rng.Intn(256))
+		InverseSparse(&sparse, super, false)
+		if sparse != dense {
+			t.Fatalf("trial %d: superset mask changed output", trial)
+		}
+	}
+}
+
+// TestInverseSparseDCOnly pins the DC short-circuit to the dense transform
+// over the full DC range, including saturating values.
+func TestInverseSparseDCOnly(t *testing.T) {
+	for dc := int32(-2048); dc <= 2047; dc++ {
+		var dense, sparse [64]int32
+		dense[0], sparse[0] = dc, dc
+		Inverse(&dense)
+		InverseSparse(&sparse, 1, true)
+		if sparse != dense {
+			t.Fatalf("dc %d: sparse %d != dense %d", dc, sparse[0], dense[0])
+		}
+	}
+}
+
+func benchIDCT(b *testing.B, mask uint8, dcOnly bool) {
+	rng := rand.New(rand.NewSource(3))
+	blocks := make([][64]int32, 64)
+	for i := range blocks {
+		blocks[i] = sparseBlock(rng, mask)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blk := blocks[i&63]
+		InverseSparse(&blk, mask, dcOnly)
+	}
+}
+
+func BenchmarkIDCTSparse(b *testing.B) {
+	b.Run("dc-only", func(b *testing.B) { benchIDCT(b, 1, true) })
+	b.Run("row0", func(b *testing.B) { benchIDCT(b, 1, false) })
+	b.Run("rows0-1", func(b *testing.B) { benchIDCT(b, 3, false) })
+}
+
+func BenchmarkIDCTDense(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	blocks := make([][64]int32, 64)
+	for i := range blocks {
+		blocks[i] = sparseBlock(rng, 0xFF)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blk := blocks[i&63]
+		Inverse(&blk)
+	}
+}

@@ -1,0 +1,110 @@
+package decoder
+
+import (
+	"testing"
+
+	"mpeg2par/internal/bits"
+	"mpeg2par/internal/frame"
+	"mpeg2par/internal/mpeg2"
+	"mpeg2par/internal/vlc"
+)
+
+// buildBenchSlice encodes one full-width intra slice (22 macroblocks with
+// a mix of DC-only, sparse and denser blocks) and returns the headers and
+// the encoded bytes, positioned for DecodeSliceInto after ReadStartCode.
+func buildBenchSlice(tb testing.TB) (mpeg2.SequenceHeader, mpeg2.PictureHeader, []byte) {
+	tb.Helper()
+	seq := mpeg2.SequenceHeader{Width: 352, Height: 240}
+	seq.Normalize()
+	ph := mpeg2.PictureHeader{
+		Type:              vlc.CodingI,
+		FCode:             [2][2]int{{15, 15}, {15, 15}},
+		FramePredFrameDCT: true,
+	}
+	params := PictureParams(&seq, &ph)
+
+	mbs := make([]mpeg2.MB, params.MBWidth)
+	for c := range mbs {
+		mb := &mbs[c]
+		mb.Addr = c
+		mb.QScaleCode = 8
+		mb.Type = vlc.MBType{Intra: true}
+		for b := 0; b < 6; b++ {
+			mb.Blocks[b][0] = int32(120 + c + b)
+			switch c % 3 {
+			case 1: // sparse AC
+				mb.Blocks[b][1] = 5
+				mb.Blocks[b][8] = -3
+			case 2: // denser AC
+				for i := 1; i < 16; i++ {
+					mb.Blocks[b][i] = int32(1 + i%4)
+				}
+			}
+		}
+	}
+	var w bits.Writer
+	if err := mpeg2.EncodeSlice(&w, &params, 0, 8, mbs); err != nil {
+		tb.Fatalf("encode slice: %v", err)
+	}
+	w.StartCode(mpeg2.SequenceEndCode)
+	return seq, ph, w.Bytes()
+}
+
+// TestSliceDecodeSteadyStateAllocFree pins the tentpole property: once a
+// worker's scratch has warmed up, decoding and reconstructing a slice
+// performs zero heap allocations.
+func TestSliceDecodeSteadyStateAllocFree(t *testing.T) {
+	seq, ph, data := buildBenchSlice(t)
+	params := PictureParams(&seq, &ph)
+	dst := frame.New(seq.Width, seq.Height)
+
+	var r bits.Reader
+	var mbScratch []mpeg2.MB
+	decodeOnce := func() {
+		r.Reset(data)
+		if _, err := r.ReadStartCode(); err != nil {
+			t.Fatal(err)
+		}
+		ds, err := mpeg2.DecodeSliceInto(&r, &params, 0, mbScratch)
+		mbScratch = ds.MBs
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if _, err := ReconSlice(&seq, &ph, Refs{}, dst, &ds, 0, nil); err != nil {
+			t.Fatalf("recon: %v", err)
+		}
+	}
+	decodeOnce() // warm-up grows the MB buffer
+
+	if allocs := testing.AllocsPerRun(50, decodeOnce); allocs != 0 {
+		t.Fatalf("steady-state slice decode allocates %.1f times per run, want 0", allocs)
+	}
+}
+
+// BenchmarkReconSlice measures the decode+reconstruct cost of one intra
+// slice with warmed per-worker scratch — the inner loop every parallel
+// mode multiplies.
+func BenchmarkReconSlice(b *testing.B) {
+	seq, ph, data := buildBenchSlice(b)
+	params := PictureParams(&seq, &ph)
+	dst := frame.New(seq.Width, seq.Height)
+
+	var r bits.Reader
+	var mbScratch []mpeg2.MB
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Reset(data)
+		if _, err := r.ReadStartCode(); err != nil {
+			b.Fatal(err)
+		}
+		ds, err := mpeg2.DecodeSliceInto(&r, &params, 0, mbScratch)
+		mbScratch = ds.MBs
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ReconSlice(&seq, &ph, Refs{}, dst, &ds, 0, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

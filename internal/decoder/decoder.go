@@ -33,6 +33,7 @@ type Decoder struct {
 	out            []*frame.Frame
 	displayIdx     int
 	done           bool
+	mbScratch      []mpeg2.MB // macroblock buffer recycled across slices
 
 	// Work accumulates reconstruction work counters across the stream.
 	Work WorkStats
@@ -167,7 +168,8 @@ func (d *Decoder) decodePicture() error {
 			break
 		}
 		d.r.Skip(32)
-		ds, err := mpeg2.DecodeSlice(d.r, &params, int(code)-1)
+		ds, err := mpeg2.DecodeSliceInto(d.r, &params, int(code)-1, d.mbScratch)
+		d.mbScratch = ds.MBs // keep the grown buffer for the next slice
 		if err == nil {
 			var w WorkStats
 			w, err = ReconSlice(&d.Seq, &ph, refs, dst, &ds, d.Proc, d.Tracer)

@@ -138,3 +138,42 @@ func TestEncoderDeterminism(t *testing.T) {
 		}
 	}
 }
+
+// TestSparseKernelsBitExact decodes the same multi-GOP I/P/B stream with
+// the sparsity-aware kernels and with the dense quant.Inverse+dct.Inverse
+// reference pair, and requires byte-identical frames — no PSNR tolerance.
+// This is the whole-pipeline counterpart of the per-block equivalence
+// tests in internal/quant and internal/dct.
+func TestSparseKernelsBitExact(t *testing.T) {
+	res, err := encoder.EncodeSequence(encoder.Config{
+		Width: 176, Height: 112, Pictures: 13, GOPSize: 13,
+	}, frame.NewSynth(176, 112))
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeAll := func(dense bool) []*frame.Frame {
+		t.Helper()
+		prev := denseKernels
+		denseKernels = dense
+		defer func() { denseKernels = prev }()
+		d, err := New(res.Data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fs, err := d.All()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fs
+	}
+	sparse := decodeAll(false)
+	dense := decodeAll(true)
+	if len(sparse) != len(dense) {
+		t.Fatalf("sparse decoded %d frames, dense %d", len(sparse), len(dense))
+	}
+	for i := range sparse {
+		if !sparse[i].Equal(dense[i]) {
+			t.Fatalf("frame %d: sparse kernels diverge from dense reference", i)
+		}
+	}
+}

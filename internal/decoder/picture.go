@@ -32,6 +32,7 @@ type PictureDecoder struct {
 
 	refOld, refNew *frame.Frame
 	held           *frame.Frame
+	mbScratch      []mpeg2.MB // macroblock buffer recycled across slices
 
 	Work     WorkStats
 	Pictures int
@@ -111,7 +112,8 @@ func (pd *PictureDecoder) DecodePicture(r *bits.Reader) ([]*frame.Frame, error) 
 			break
 		}
 		r.Skip(32)
-		ds, err := mpeg2.DecodeSlice(r, &params, int(code)-1)
+		ds, err := mpeg2.DecodeSliceInto(r, &params, int(code)-1, pd.mbScratch)
+		pd.mbScratch = ds.MBs // keep the grown buffer for the next slice
 		if err == nil {
 			var w WorkStats
 			w, err = ReconSlice(pd.Seq, &ph, refs, dst, &ds, pd.Proc, pd.Tracer)

@@ -87,16 +87,43 @@ func ReconSlice(seq *mpeg2.SequenceHeader, ph *mpeg2.PictureHeader, refs Refs, d
 	return st, nil
 }
 
+// denseKernels forces the dense quant.Inverse + dct.Inverse pair in place
+// of the sparsity-aware kernels. The golden tests flip it to prove both
+// paths reconstruct bit-identical frames; it stays false in production.
+var denseKernels = false
+
+// inverseBlock runs dequantization plus IDCT on one coded block. nz must
+// be the exact count of nonzero quantized coefficients (it bounds the
+// dequant scan and is sourced from the VLC stage when available).
+func inverseBlock(blk *[64]int32, p quant.Params, nz int) {
+	if denseKernels {
+		quant.Inverse(blk, p)
+		dct.Inverse(blk)
+		return
+	}
+	rowMask, dcOnly := quant.InverseSparse(blk, p, nz)
+	dct.InverseSparse(blk, rowMask, dcOnly)
+}
+
+// blockNNZ returns the nonzero-coefficient count of block b, trusting the
+// VLC stage's record when present and rescanning otherwise (hand-built
+// macroblocks in tests, synthetic streams).
+func blockNNZ(mb *mpeg2.MB, b int) int {
+	if mb.SparseValid {
+		return int(mb.NNZ[b])
+	}
+	return countNonZero(&mb.Blocks[b])
+}
+
 func reconMB(seq *mpeg2.SequenceHeader, ph *mpeg2.PictureHeader, refs Refs, dst *frame.Frame, mb *mpeg2.MB, mbx, mby int, pred, pred2 *motion.MBPred, st *WorkStats, proc int, tr memtrace.Tracer) error {
 	scale := quant.Scale(mb.QScaleCode, ph.QScaleType)
 	if mb.Type.Intra {
 		p := quant.Params{Matrix: &seq.IntraMatrix, Scale: scale, Intra: true, DCPrecision: ph.IntraDCPrecision}
 		for b := 0; b < 6; b++ {
 			blk := mb.Blocks[b]
-			nz := countNonZero(&blk)
+			nz := blockNNZ(mb, b)
 			st.Coefs += nz
-			quant.Inverse(&blk, p)
-			dct.Inverse(&blk)
+			inverseBlock(&blk, p, nz)
 			storeIntraBlock(dst, &blk, mbx, mby, b, mb.FieldDCT)
 			st.IntraBlocks++
 			traceBlock(proc, true, nz, tr)
@@ -160,10 +187,9 @@ func reconMB(seq *mpeg2.SequenceHeader, ph *mpeg2.PictureHeader, refs Refs, dst 
 		coded := mb.CBP&(1<<uint(5-b)) != 0
 		if coded {
 			blk := mb.Blocks[b]
-			nz := countNonZero(&blk)
+			nz := blockNNZ(mb, b)
 			st.Coefs += nz
-			quant.Inverse(&blk, p)
-			dct.Inverse(&blk)
+			inverseBlock(&blk, p, nz)
 			storePredBlock(dst, pred, &blk, mbx, mby, b, mb.FieldDCT)
 			st.CodedBlocks++
 			traceBlock(proc, false, nz, tr)

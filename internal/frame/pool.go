@@ -15,6 +15,7 @@ type Pool struct {
 	inUseBytes int64
 	peakBytes  int64
 	totalAlloc int64 // cumulative bytes ever allocated (not recycled)
+	scrub      bool
 }
 
 // NewPool returns a pool producing width×height frames.
@@ -22,9 +23,21 @@ func NewPool(width, height int) *Pool {
 	return &Pool{width: width, height: height}
 }
 
+// SetScrub controls whether Get wipes recycled pixel planes to mid-grey
+// before handing the frame out. In normal decoding every output pixel is
+// overwritten, so the pool skips the clear; with error concealment active
+// a damaged picture may legitimately ship partially synthesized content,
+// and scrubbing guarantees nothing from a previous group of pictures can
+// leak through a recycled buffer.
+func (p *Pool) SetScrub(on bool) {
+	p.mu.Lock()
+	p.scrub = on
+	p.mu.Unlock()
+}
+
 // Get returns a zeroed-or-recycled frame. Recycled frames keep stale pixel
 // data; decoders overwrite every pixel they output, so the pool does not
-// pay to clear planes.
+// pay to clear planes — unless SetScrub(true) opted into the wipe.
 func (p *Pool) Get() *Frame {
 	p.mu.Lock()
 	var f *Frame
@@ -32,6 +45,7 @@ func (p *Pool) Get() *Frame {
 		f = p.free[n-1]
 		p.free = p.free[:n-1]
 	}
+	scrub := p.scrub && f != nil
 	if f == nil {
 		f = New(p.width, p.height)
 		p.totalAlloc += int64(f.Bytes())
@@ -41,11 +55,28 @@ func (p *Pool) Get() *Frame {
 		p.peakBytes = p.inUseBytes
 	}
 	p.mu.Unlock()
+	if scrub {
+		fillPlane(f.Y, 128)
+		fillPlane(f.Cb, 128)
+		fillPlane(f.Cr, 128)
+	}
 	f.TemporalRef = 0
 	f.DisplayIndex = 0
 	f.PictureType = 0
 	f.rc = 0
 	return f
+}
+
+// fillPlane sets every sample of a plane to v, doubling copies so the cost
+// is dominated by memmove rather than a byte loop.
+func fillPlane(pl []byte, v byte) {
+	if len(pl) == 0 {
+		return
+	}
+	pl[0] = v
+	for n := 1; n < len(pl); n *= 2 {
+		copy(pl[n:], pl[:n])
+	}
 }
 
 // Put returns a frame to the pool. Put of a frame not obtained from Get

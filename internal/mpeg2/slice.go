@@ -39,6 +39,17 @@ type MB struct {
 	MVBwd2      motion.MV
 	FieldSelFwd [2]bool
 	FieldSelBwd [2]bool
+
+	// Sparsity metadata recorded by the VLC stage, valid only when
+	// SparseValid is set (hand-built MBs leave it false and downstream
+	// kernels rescan the block instead). NNZ[i] counts the nonzero
+	// quantized coefficients in Blocks[i]; Last[i] is the scan position
+	// of the final coefficient (0 when the block holds at most a DC
+	// term). quant.InverseSparse uses NNZ to stop scanning once every
+	// coefficient has been dequantized.
+	NNZ         [6]uint8
+	Last        [6]uint8
+	SparseValid bool
 }
 
 // PictureParams bundles everything the slice layer needs about the
@@ -78,11 +89,14 @@ type sliceState struct {
 	qscale int // current quantiser_scale_code
 }
 
-func newSliceState(p *PictureParams, qscale int) *sliceState {
-	s := &sliceState{p: p, qscale: qscale}
+// init prepares a sliceState for a new slice. Used instead of a
+// constructor so decode loops can keep the state on the stack (or embed
+// it in per-worker scratch) rather than allocating one per slice.
+func (s *sliceState) init(p *PictureParams, qscale int) {
+	s.p = p
+	s.qscale = qscale
 	s.resetDC()
 	s.resetPMV()
-	return s
 }
 
 func (s *sliceState) resetDC() {
@@ -266,7 +280,11 @@ func (s *sliceState) encodeBlock(w *bits.Writer, blk *[64]int32, intra bool, cc 
 }
 
 // decodeBlock reads one coded block into blk (raster order, zero-filled).
-func (s *sliceState) decodeBlock(r *bits.Reader, blk *[64]int32, intra bool, cc int, luma bool) error {
+// It returns the block's sparsity: nnz, the count of nonzero coefficients
+// written (DC included when nonzero), and last, the scan position of the
+// final coefficient (0 for a DC-only or empty block) — the contract
+// quant.InverseSparse consumes.
+func (s *sliceState) decodeBlock(r *bits.Reader, blk *[64]int32, intra bool, cc int, luma bool) (nnz, last int, err error) {
 	for i := range blk {
 		blk[i] = 0
 	}
@@ -276,39 +294,41 @@ func (s *sliceState) decodeBlock(r *bits.Reader, blk *[64]int32, intra bool, cc 
 	if intra {
 		diff, err := vlc.DecodeDCDifferential(r, luma)
 		if err != nil {
-			return err
+			return 0, 0, err
 		}
 		dc := s.dcPred[cc] + diff
 		maxDC := int32(1)<<uint(s.p.IntraDCPrecision+8) - 1
 		if dc < 0 || dc > maxDC {
-			return fmt.Errorf("mpeg2: intra DC %d out of range", dc)
+			return 0, 0, fmt.Errorf("mpeg2: intra DC %d out of range", dc)
 		}
 		s.dcPred[cc] = dc
 		blk[0] = dc
+		if dc != 0 {
+			nnz = 1
+		}
 		pos = 1
 	}
 	first := !intra
 	for {
 		run, level, eob, err := vlc.DecodeCoef(r, tableOne, first)
 		if err != nil {
-			return err
+			return nnz, last, err
 		}
 		if eob {
 			if !intra && first {
-				return fmt.Errorf("mpeg2: empty non-intra block")
+				return nnz, last, fmt.Errorf("mpeg2: empty non-intra block")
 			}
-			return nil
+			return nnz, last, nil
 		}
 		first = false
 		pos += run
 		if pos > 63 {
-			return fmt.Errorf("mpeg2: coefficient run overflows block (pos %d)", pos)
+			return nnz, last, fmt.Errorf("mpeg2: coefficient run overflows block (pos %d)", pos)
 		}
-		blk[tbl[pos]] = level
+		blk[tbl[pos]] = level // levels are never zero
+		nnz++
+		last = pos
 		pos++
-		if pos > 64 {
-			return fmt.Errorf("mpeg2: too many coefficients in block")
-		}
 	}
 }
 

@@ -51,7 +51,8 @@ func EncodeSlice(w *bits.Writer, p *PictureParams, row, qscaleCode int, mbs []MB
 	w.Put(uint32(qscaleCode), 5)
 	w.Put(0, 1) // extra_bit_slice
 
-	st := newSliceState(p, qscaleCode)
+	var st sliceState
+	st.init(p, qscaleCode)
 	prevAddr := row*p.MBWidth - 1
 	prevDir := vlc.MBType{}
 	for i := range mbs {
@@ -63,7 +64,7 @@ func EncodeSlice(w *bits.Writer, p *PictureParams, row, qscaleCode int, mbs []MB
 			return fmt.Errorf("mpeg2: macroblock addresses not increasing at %d", mb.Addr)
 		}
 		if mb.Skipped {
-			if err := validateSkip(p, st, prevDir, mb); err != nil {
+			if err := validateSkip(p, &st, prevDir, mb); err != nil {
 				return err
 			}
 			// Decoder-visible state for a skipped macroblock.
@@ -77,7 +78,7 @@ func EncodeSlice(w *bits.Writer, p *PictureParams, row, qscaleCode int, mbs []MB
 			return err
 		}
 		prevAddr = mb.Addr
-		if err := encodeMB(w, p, st, mb); err != nil {
+		if err := encodeMB(w, p, &st, mb); err != nil {
 			return fmt.Errorf("mpeg2: macroblock %d: %w", mb.Addr, err)
 		}
 		prevDir = vlc.MBType{MotionForward: mb.Type.MotionForward, MotionBackward: mb.Type.MotionBackward}
@@ -241,7 +242,18 @@ type DecodedSlice struct {
 // prediction semantics so the reconstruction layer needs no bitstream
 // state.
 func DecodeSlice(r *bits.Reader, p *PictureParams, row int) (DecodedSlice, error) {
-	ds := DecodedSlice{Row: row}
+	return DecodeSliceInto(r, p, row, nil)
+}
+
+// DecodeSliceInto is DecodeSlice decoding into buf (length-reset first,
+// capacity reused), so a decode worker can recycle one macroblock buffer
+// across slices instead of allocating per slice. The returned
+// DecodedSlice.MBs aliases buf's backing array. When a slot is recycled,
+// its Blocks are NOT cleared: block contents are defined only for intra
+// macroblocks and for blocks whose CBP bit is set (which decodeBlock
+// zero-fills before writing) — exactly the blocks reconstruction reads.
+func DecodeSliceInto(r *bits.Reader, p *PictureParams, row int, buf []MB) (DecodedSlice, error) {
+	ds := DecodedSlice{Row: row, MBs: buf[:0]}
 	if err := p.validate(); err != nil {
 		return ds, err
 	}
@@ -256,7 +268,8 @@ func DecodeSlice(r *bits.Reader, p *PictureParams, row int) (DecodedSlice, error
 	for r.ReadBit() { // extra_information_slice
 		r.Skip(8)
 	}
-	st := newSliceState(p, qs)
+	var st sliceState
+	st.init(p, qs)
 	prevAddr := row*p.MBWidth - 1
 	firstMB := true
 	prevDir := vlc.MBType{}
@@ -273,11 +286,10 @@ func DecodeSlice(r *bits.Reader, p *PictureParams, row int) (DecodedSlice, error
 				if addr > maxAddr {
 					return ds, fmt.Errorf("mpeg2: skipped macroblock address %d overflows picture", addr)
 				}
-				skip, err := synthesizeSkip(p, st, prevDir, addr)
-				if err != nil {
+				ds.MBs = growMBs(ds.MBs)
+				if err := synthesizeSkip(p, &st, prevDir, addr, &ds.MBs[len(ds.MBs)-1]); err != nil {
 					return ds, err
 				}
-				ds.MBs = append(ds.MBs, skip)
 			}
 			st.resetDC()
 			if p.Type == vlc.CodingP {
@@ -288,11 +300,12 @@ func DecodeSlice(r *bits.Reader, p *PictureParams, row int) (DecodedSlice, error
 		if addr > maxAddr || addr/p.MBWidth != row {
 			return ds, fmt.Errorf("mpeg2: macroblock address %d outside slice row %d", addr, row)
 		}
-		mb := MB{Addr: addr, QScaleCode: st.qscale}
-		if err := decodeMB(r, p, st, &mb); err != nil {
+		ds.MBs = growMBs(ds.MBs)
+		mb := &ds.MBs[len(ds.MBs)-1]
+		mb.Addr, mb.QScaleCode = addr, st.qscale
+		if err := decodeMB(r, p, &st, mb); err != nil {
 			return ds, fmt.Errorf("mpeg2: macroblock %d: %w", addr, err)
 		}
-		ds.MBs = append(ds.MBs, mb)
 		prevAddr = addr
 		firstMB = false
 		prevDir = vlc.MBType{MotionForward: mb.Type.MotionForward, MotionBackward: mb.Type.MotionBackward}
@@ -307,15 +320,45 @@ func DecodeSlice(r *bits.Reader, p *PictureParams, row int) (DecodedSlice, error
 	}
 }
 
-func synthesizeSkip(p *PictureParams, st *sliceState, prevDir vlc.MBType, addr int) (MB, error) {
-	mb := MB{Addr: addr, QScaleCode: st.qscale, Skipped: true}
+// growMBs extends mbs by one element. Within capacity, the recycled
+// slot's header fields are cleared but its Blocks are left stale (see
+// DecodeSliceInto for why that is safe); past capacity, append provides
+// a fully zeroed element.
+func growMBs(mbs []MB) []MB {
+	if len(mbs) < cap(mbs) {
+		mbs = mbs[:len(mbs)+1]
+		mbs[len(mbs)-1].resetHeader()
+		return mbs
+	}
+	return append(mbs, MB{})
+}
+
+// resetHeader clears every MB field except Blocks.
+func (mb *MB) resetHeader() {
+	mb.Addr = 0
+	mb.Type = vlc.MBType{}
+	mb.QScaleCode = 0
+	mb.MVFwd, mb.MVBwd = motion.MV{}, motion.MV{}
+	mb.CBP = 0
+	mb.Skipped = false
+	mb.FieldMotion, mb.FieldDCT = false, false
+	mb.MVFwd2, mb.MVBwd2 = motion.MV{}, motion.MV{}
+	mb.FieldSelFwd, mb.FieldSelBwd = [2]bool{}, [2]bool{}
+	mb.NNZ = [6]uint8{}
+	mb.Last = [6]uint8{}
+	mb.SparseValid = false
+}
+
+func synthesizeSkip(p *PictureParams, st *sliceState, prevDir vlc.MBType, addr int, mb *MB) error {
+	mb.Addr, mb.QScaleCode, mb.Skipped = addr, st.qscale, true
+	mb.SparseValid = true // no coded blocks, so the zero NNZ is exact
 	switch p.Type {
 	case vlc.CodingP:
 		mb.Type = vlc.MBType{MotionForward: true}
 		mb.MVFwd = motion.Zero
 	case vlc.CodingB:
 		if !prevDir.MotionForward && !prevDir.MotionBackward {
-			return mb, fmt.Errorf("mpeg2: B skip at %d follows unpredicted macroblock", addr)
+			return fmt.Errorf("mpeg2: B skip at %d follows unpredicted macroblock", addr)
 		}
 		// A skipped B macroblock predicts frame-based from the first
 		// PMVs regardless of how the previous macroblock was coded.
@@ -327,9 +370,9 @@ func synthesizeSkip(p *PictureParams, st *sliceState, prevDir vlc.MBType, addr i
 			mb.MVBwd = motion.MV{X: st.pmv[0][1][0], Y: st.pmv[0][1][1]}
 		}
 	default:
-		return mb, fmt.Errorf("mpeg2: skipped macroblock at %d in I picture", addr)
+		return fmt.Errorf("mpeg2: skipped macroblock at %d in I picture", addr)
 	}
-	return mb, nil
+	return nil
 }
 
 func decodeMB(r *bits.Reader, p *PictureParams, st *sliceState, mb *MB) error {
@@ -417,12 +460,15 @@ func decodeMB(r *bits.Reader, p *PictureParams, st *sliceState, mb *MB) error {
 		st.resetPMV()
 	}
 
+	mb.SparseValid = true
 	if t.Intra {
 		for i := 0; i < 6; i++ {
 			cc, luma := blockComponent(i)
-			if err := st.decodeBlock(r, &mb.Blocks[i], true, cc, luma); err != nil {
+			nnz, last, err := st.decodeBlock(r, &mb.Blocks[i], true, cc, luma)
+			if err != nil {
 				return err
 			}
+			mb.NNZ[i], mb.Last[i] = uint8(nnz), uint8(last)
 		}
 		mb.CBP = 0x3F
 	} else if t.Pattern {
@@ -431,9 +477,11 @@ func decodeMB(r *bits.Reader, p *PictureParams, st *sliceState, mb *MB) error {
 				continue
 			}
 			cc, luma := blockComponent(i)
-			if err := st.decodeBlock(r, &mb.Blocks[i], false, cc, luma); err != nil {
+			nnz, last, err := st.decodeBlock(r, &mb.Blocks[i], false, cc, luma)
+			if err != nil {
 				return err
 			}
+			mb.NNZ[i], mb.Last[i] = uint8(nnz), uint8(last)
 		}
 	}
 	return r.Err()

@@ -8,8 +8,47 @@ import (
 
 	"mpeg2par/internal/bits"
 	"mpeg2par/internal/motion"
+	"mpeg2par/internal/scan"
 	"mpeg2par/internal/vlc"
 )
+
+// expectSparsity fills mb's sparsity metadata from its Blocks the way the
+// decoder records it, serving as an independent oracle for round-trip
+// comparisons: NNZ counts nonzero coefficients per coded block, Last is
+// the scan position of the final VLC-coded coefficient (DC excluded for
+// intra blocks).
+func expectSparsity(p *PictureParams, mb *MB) {
+	mb.NNZ, mb.Last = [6]uint8{}, [6]uint8{}
+	mb.SparseValid = true
+	if mb.Skipped {
+		return
+	}
+	cbp := mb.CBP
+	if mb.Type.Intra {
+		cbp = 0x3F
+	} else if mb.Type.Pattern {
+		cbp = deriveCBP(&mb.Blocks)
+	}
+	tbl := scan.Table(p.AlternateScan)
+	for i := 0; i < 6; i++ {
+		if cbp&cbpBit(i) == 0 {
+			continue
+		}
+		start := 0
+		if mb.Type.Intra {
+			if mb.Blocks[i][0] != 0 {
+				mb.NNZ[i]++
+			}
+			start = 1
+		}
+		for pos := start; pos < 64; pos++ {
+			if mb.Blocks[i][tbl[pos]] != 0 {
+				mb.NNZ[i]++
+				mb.Last[i] = uint8(pos)
+			}
+		}
+	}
+}
 
 func testParams(typ vlc.PictureCoding) *PictureParams {
 	return &PictureParams{
@@ -373,6 +412,7 @@ func TestSliceRoundTripQuick(t *testing.T) {
 		for i := range mbs {
 			want := mbs[i]
 			got := ds.MBs[i]
+			expectSparsity(p, &want)
 			// Quant flag is derived; ignore in comparison.
 			got.Type.Quant = false
 			want.Type.Quant = false
@@ -425,6 +465,70 @@ func BenchmarkSliceDecode(b *testing.B) {
 		}
 		if _, err := DecodeSlice(r, p, 0); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// TestDecodeSliceIntoReuse recycles one MB buffer across two different
+// slices and checks the second decode against a fresh one: every header
+// field must match exactly, and block contents must match wherever the
+// contract defines them (intra or CBP-set blocks). Stale Blocks in
+// non-coded slots are explicitly permitted.
+func TestDecodeSliceIntoReuse(t *testing.T) {
+	p := testParams(vlc.CodingI)
+	encode := func(row int, mbs []MB) []byte {
+		var w bits.Writer
+		if err := EncodeSlice(&w, p, row, 10, mbs); err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		w.StartCode(SequenceEndCode)
+		return w.Bytes()
+	}
+	var longMBs, shortMBs []MB
+	for c := 0; c < p.MBWidth; c++ {
+		longMBs = append(longMBs, intraMB(c, 10, int32(200+c)))
+	}
+	for c := 0; c < 5; c++ {
+		shortMBs = append(shortMBs, intraMB(p.MBWidth+c, 10, int32(50+c)))
+	}
+	long, short := encode(0, longMBs), encode(1, shortMBs)
+
+	decodeAfterCode := func(data []byte, buf []MB) DecodedSlice {
+		r := bits.NewReader(data)
+		code, err := r.ReadStartCode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds, err := DecodeSliceInto(r, p, int(code)-1, buf)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		return ds
+	}
+
+	// Fill the buffer with the long slice, then recycle it for the short
+	// one so every reused slot carries stale Blocks from the first pass.
+	first := decodeAfterCode(long, nil)
+	reused := decodeAfterCode(short, first.MBs)
+	fresh := decodeAfterCode(short, nil)
+
+	if len(reused.MBs) != len(fresh.MBs) {
+		t.Fatalf("reused decode yielded %d MBs, fresh %d", len(reused.MBs), len(fresh.MBs))
+	}
+	for i := range fresh.MBs {
+		got, want := reused.MBs[i], fresh.MBs[i]
+		for b := 0; b < 6; b++ {
+			if want.Type.Intra || want.CBP&cbpBit(b) != 0 {
+				if got.Blocks[b] != want.Blocks[b] {
+					t.Fatalf("MB %d coded block %d differs after reuse", i, b)
+				}
+			}
+			// Non-coded slots are undefined: normalize before the
+			// header comparison below.
+			got.Blocks[b], want.Blocks[b] = [64]int32{}, [64]int32{}
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("MB %d header differs after reuse:\n got %+v\nwant %+v", i, got, want)
 		}
 	}
 }

@@ -96,27 +96,48 @@ type Params struct {
 // (§7.4.4). For intra blocks, block[0] must hold the differential-decoded
 // DC value (dc_dct_pred applied); it is scaled by the intra DC multiplier.
 func Inverse(block *[64]int32, p Params) {
+	InverseSparse(block, p, 64)
+}
+
+// InverseSparse is Inverse with a sparsity contract for the IDCT that
+// follows: nnz is the number of nonzero quantized coefficients in block
+// (pass 64 when unknown; it only bounds the scan). It returns rowMask,
+// whose bit r is set when frequency row r of the dequantized block may
+// hold a nonzero coefficient, and dcOnly, which is true only when every
+// AC coefficient is exactly zero after mismatch control. rowMask is a
+// safe superset (a set bit for an all-zero row costs time, not
+// correctness), but a clear bit guarantees the row is all zero, and
+// dcOnly is exact — both as dct.InverseSparse requires. The block
+// contents produced are bit-identical to Inverse.
+func InverseSparse(block *[64]int32, p Params, nnz int) (rowMask uint8, dcOnly bool) {
 	var sum int32
+	acLive := false
+	seen := 0
 	start := 0
 	if p.Intra {
+		if block[0] != 0 {
+			seen++
+		}
 		block[0] *= IntraDCMult(p.DCPrecision)
 		block[0] = saturate(block[0])
 		sum = block[0]
+		if block[0] != 0 {
+			rowMask = 1
+		}
 		start = 1
 	}
-	for i := start; i < 64; i++ {
+	for i := start; i < 64 && seen < nnz; i++ {
 		qf := block[i]
-		if qf == 0 && !p.Intra {
+		if qf == 0 {
 			continue
 		}
+		seen++
 		var f int32
 		if p.Intra {
 			f = (2 * qf * p.Scale * int32(p.Matrix[i])) / 32
 		} else {
-			k := int32(0)
-			if qf > 0 {
-				k = 1
-			} else if qf < 0 {
+			k := int32(1)
+			if qf < 0 {
 				k = -1
 			}
 			f = ((2*qf + k) * p.Scale * int32(p.Matrix[i])) / 32
@@ -124,16 +145,27 @@ func Inverse(block *[64]int32, p Params) {
 		f = saturate(f)
 		block[i] = f
 		sum += f
+		if f != 0 {
+			rowMask |= 1 << uint(i>>3)
+			acLive = true
+		}
 	}
 	// Mismatch control: if the coefficient sum is even, toggle the LSB of
-	// the highest-frequency coefficient.
+	// the highest-frequency coefficient. The toggle can turn a zero
+	// block[63] nonzero (row 7 must join the mask) or a one back to zero
+	// (bit 7 may stay set; supersets are harmless).
 	if sum&1 == 0 {
 		if block[63]&1 != 0 {
 			block[63]--
 		} else {
 			block[63]++
 		}
+		if block[63] != 0 {
+			rowMask |= 0x80
+			acLive = true
+		}
 	}
+	return rowMask, !acLive
 }
 
 // Forward quantizes the block of DCT coefficients F (raster order) in

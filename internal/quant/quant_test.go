@@ -229,3 +229,136 @@ func BenchmarkInverse(b *testing.B) {
 		Inverse(&tmp, p)
 	}
 }
+
+// inverseDenseRef is the pre-sparsity Inverse, kept verbatim as the oracle:
+// InverseSparse must produce bit-identical blocks for every input.
+func inverseDenseRef(block *[64]int32, p Params) {
+	var sum int32
+	start := 0
+	if p.Intra {
+		block[0] *= IntraDCMult(p.DCPrecision)
+		block[0] = saturate(block[0])
+		sum = block[0]
+		start = 1
+	}
+	for i := start; i < 64; i++ {
+		qf := block[i]
+		if qf == 0 && !p.Intra {
+			continue
+		}
+		var f int32
+		if p.Intra {
+			f = (2 * qf * p.Scale * int32(p.Matrix[i])) / 32
+		} else {
+			k := int32(0)
+			if qf > 0 {
+				k = 1
+			} else if qf < 0 {
+				k = -1
+			}
+			f = ((2*qf + k) * p.Scale * int32(p.Matrix[i])) / 32
+		}
+		f = saturate(f)
+		block[i] = f
+		sum += f
+	}
+	if sum&1 == 0 {
+		if block[63]&1 != 0 {
+			block[63]--
+		} else {
+			block[63]++
+		}
+	}
+}
+
+// randQuantBlock returns a block with nnz nonzero levels at random raster
+// positions (plus, for intra, a DC term that may be zero) and the matching
+// Params.
+func randQuantBlock(rng *rand.Rand, intra bool) ([64]int32, Params, int) {
+	var b [64]int32
+	nnz := 0
+	if intra {
+		b[0] = int32(rng.Intn(512) - 128) // may be negative or zero pre-mult
+		if b[0] != 0 {
+			nnz++
+		}
+	}
+	for n := rng.Intn(12); n > 0; n-- {
+		i := 1 + rng.Intn(63)
+		if b[i] != 0 {
+			continue
+		}
+		v := int32(rng.Intn(401) - 200)
+		if v == 0 {
+			v = 1
+		}
+		b[i] = v
+		nnz++
+	}
+	m := &DefaultNonIntraMatrix
+	if intra {
+		m = &DefaultIntraMatrix
+	}
+	p := Params{
+		Matrix:      m,
+		Scale:       Scale(1+rng.Intn(31), rng.Intn(2) == 1),
+		Intra:       intra,
+		DCPrecision: rng.Intn(4),
+	}
+	return b, p, nnz
+}
+
+// TestInverseSparseMatchesDense: identical block contents, a rowMask that
+// covers every live row, and an exact dcOnly — for both intra and
+// non-intra blocks, with nnz passed both exactly and as the unknown 64.
+func TestInverseSparseMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 4000; trial++ {
+		intra := trial%2 == 0
+		b, p, nnz := randQuantBlock(rng, intra)
+		if trial%3 == 0 {
+			nnz = 64 // callers without a count must still be exact
+		}
+
+		dense := b
+		inverseDenseRef(&dense, p)
+
+		sparse := b
+		rowMask, dcOnly := InverseSparse(&sparse, p, nnz)
+
+		if sparse != dense {
+			t.Fatalf("trial %d (intra=%v): block mismatch\nin:     %v\nsparse: %v\ndense:  %v",
+				trial, intra, b, sparse, dense)
+		}
+		for i, v := range dense {
+			if v != 0 && rowMask&(1<<uint(i>>3)) == 0 {
+				t.Fatalf("trial %d: nonzero at %d but row %d not in mask %02x",
+					trial, i, i>>3, rowMask)
+			}
+			if i > 0 && v != 0 && dcOnly {
+				t.Fatalf("trial %d: dcOnly with nonzero AC at %d", trial, i)
+			}
+		}
+	}
+}
+
+// TestInverseSparseMismatchToggle pins the two mismatch-control corners:
+// the toggle creating a nonzero block[63] from an otherwise DC-even block
+// (so dcOnly must be false), and a DC-odd block staying genuinely DC-only.
+func TestInverseSparseMismatchToggle(t *testing.T) {
+	p := Params{Matrix: &DefaultIntraMatrix, Scale: 2, Intra: true, DCPrecision: 3}
+
+	var even [64]int32
+	even[0] = 4 // DC mult 1 -> sum 4, even -> block[63] becomes 1
+	rowMask, dcOnly := InverseSparse(&even, p, 1)
+	if even[63] != 1 || dcOnly || rowMask&0x80 == 0 {
+		t.Fatalf("even DC: block[63]=%d dcOnly=%v mask=%02x", even[63], dcOnly, rowMask)
+	}
+
+	var odd [64]int32
+	odd[0] = 5 // sum odd -> no toggle -> truly DC-only
+	rowMask, dcOnly = InverseSparse(&odd, p, 1)
+	if odd[63] != 0 || !dcOnly || rowMask != 1 {
+		t.Fatalf("odd DC: block[63]=%d dcOnly=%v mask=%02x", odd[63], dcOnly, rowMask)
+	}
+}
