@@ -2,7 +2,7 @@ GO ?= go
 
 .PHONY: verify vet build test race bench perf
 
-verify: vet build race ## full CI gate: vet + build + race tests
+verify: vet build race bench ## full CI gate: vet + build + race tests + bench smoke
 
 vet:
 	$(GO) vet ./...

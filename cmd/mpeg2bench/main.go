@@ -98,6 +98,8 @@ func runPerf(out, label string, startNew bool) error {
 	fmt.Printf("%s: run %q appended (%d runs total)\n", out, label, len(pf.Runs))
 	fmt.Printf("  sequential: %.0f pics/s (%.2f ms/picture)\n",
 		run.SequentialPicsPerSec, run.SequentialMSPerPic)
+	fmt.Printf("  workload: %d MBs (%d predicted, %d bidir), %d coded blocks, %d coefs\n",
+		run.Work.MBs, run.Work.PredMBs, run.Work.BidirMBs, run.Work.CodedBlocks, run.Work.Coefs)
 	for _, pt := range run.Points {
 		fmt.Printf("  %-15s w=%d  %8.0f pics/s  speedup %.2f  (scan %.1fms busy %.1fms wait %.1fms)\n",
 			pt.Mode, pt.Workers, pt.PicsPerSec, pt.Speedup, pt.ScanMS, pt.WorkerBusyMS, pt.WorkerWaitMS)

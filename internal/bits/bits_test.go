@@ -337,12 +337,73 @@ func BenchmarkFindStartCode(b *testing.B) {
 		data[i] = byte(i*31 + 7)
 	}
 	copy(data[len(data)-4:], []byte{0, 0, 1, 0xB3})
-	b.SetBytes(int64(len(data)))
-	for i := 0; i < b.N; i++ {
-		if FindStartCode(data, 0) < 0 {
-			b.Fatal("missed")
+	run := func(b *testing.B) {
+		b.SetBytes(int64(len(data)))
+		for i := 0; i < b.N; i++ {
+			if FindStartCode(data, 0) < 0 {
+				b.Fatal("missed")
+			}
 		}
 	}
+	b.Run("swar", run)
+	// The byte-at-a-time reference scan (skips by the distance the failed
+	// third byte allows, like the seed decoder's scan).
+	b.Run("skip3", func(b *testing.B) {
+		prev := ScalarScan
+		ScalarScan = true
+		defer func() { ScalarScan = prev }()
+		run(b)
+	})
+	// A truly naive scan checking every position — the lower bound the
+	// word-at-a-time kernel is measured against.
+	b.Run("naive", func(b *testing.B) {
+		b.SetBytes(int64(len(data)))
+		for i := 0; i < b.N; i++ {
+			found := -1
+			for j := 0; j+3 < len(data); j++ {
+				if data[j] == 0 && data[j+1] == 0 && data[j+2] == 1 {
+					found = j
+					break
+				}
+			}
+			if found < 0 {
+				b.Fatal("missed")
+			}
+		}
+	})
+}
+
+// TestFindStartCodeSWARvsScalar compares the word-at-a-time scan against
+// the byte-at-a-time reference on structured buffers: prefixes planted at
+// every offset relative to the 8-byte word grid (including straddling a
+// word boundary), trailing partial words, and every `from` offset.
+func TestFindStartCodeSWARvsScalar(t *testing.T) {
+	check := func(data []byte) {
+		t.Helper()
+		for from := -1; from <= len(data); from++ {
+			got := FindStartCode(data, from)
+			want := findStartCodeScalar(data, max(from, 0))
+			if got != want {
+				t.Fatalf("FindStartCode(%v, %d) = %d, scalar reference = %d", data, from, got, want)
+			}
+		}
+	}
+	// A prefix at every possible word phase, with varying tail lengths.
+	for phase := 0; phase < 11; phase++ {
+		for tail := 0; tail < 10; tail++ {
+			data := make([]byte, phase+3+tail)
+			for i := range data {
+				data[i] = byte(0x40 + i)
+			}
+			copy(data[phase:], []byte{0, 0, 1})
+			check(data)
+		}
+	}
+	// Runs of zeros around word boundaries (000001 inside 00...0 runs).
+	check([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 0xB3})
+	check([]byte{0xFF, 0, 0, 0, 0, 0, 0, 1, 0xB3, 0, 0, 1, 0x42})
+	check(nil)
+	check([]byte{0, 0, 1})
 }
 
 // peekRef is the pre-accumulator byte-gather Peek, kept as the semantic

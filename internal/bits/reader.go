@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	mathbits "math/bits"
 )
 
 // ErrUnderflow is reported when a read runs past the end of the buffer.
@@ -195,16 +196,72 @@ func (r *Reader) ReadStartCode() (byte, error) {
 	return byte(r.Read(8)), nil
 }
 
+// ScalarScan forces the byte-at-a-time reference scan in place of the
+// word-at-a-time SWAR scan. The equivalence and fuzz tests flip it; it
+// stays false in production.
+var ScalarScan = false
+
 // FindStartCode returns the byte index of the first startcode prefix
 // (0x00 0x00 0x01) at or after index from, or -1 if none. The index points
 // at the first 0x00 byte; the code byte is at index+3.
+//
+// The fast path walks the buffer a uint64 at a time using the SWAR
+// zero-byte detector (v-0x01…01) &^ v & 0x80…80: a word with no zero byte
+// cannot contain the start of a prefix, so compressed payload (where zero
+// bytes are rare) is skipped at close to memory bandwidth — the property
+// the scan process's throughput rests on.
 func FindStartCode(data []byte, from int) int {
 	if from < 0 {
 		from = 0
 	}
-	// Classic two-zero scan: look at every position where data[i+2] could
-	// complete a prefix, stepping on mismatches by the distance the failed
-	// byte tells us is safe.
+	if ScalarScan {
+		return findStartCodeScalar(data, from)
+	}
+	const (
+		lo = 0x0101010101010101
+		hi = 0x8080808080808080
+	)
+	i, n := from, len(data)
+	// 32-byte strides: the four per-word zero-byte masks are ORed so the
+	// common all-payload case costs one test per 32 bytes. A stride with
+	// no zero byte cannot contain the start of a prefix (a straddling
+	// prefix would need its zeros inside the stride).
+	for i+32 <= n {
+		d := data[i : i+32 : i+32]
+		v0 := binary.LittleEndian.Uint64(d)
+		v1 := binary.LittleEndian.Uint64(d[8:16])
+		v2 := binary.LittleEndian.Uint64(d[16:24])
+		v3 := binary.LittleEndian.Uint64(d[24:32])
+		z0 := (v0 - lo) &^ v0 & hi
+		z1 := (v1 - lo) &^ v1 & hi
+		z2 := (v2 - lo) &^ v2 & hi
+		z3 := (v3 - lo) &^ v3 & hi
+		if z0|z1|z2|z3 == 0 {
+			i += 32
+			continue
+		}
+		// A prefix can only start at a zero byte, and the detector never
+		// misses one (its false positives — a 0x01 just above a zero lane,
+		// from borrow ripple — merely add a candidate the verification
+		// rejects). Walk the flagged positions in ascending order.
+		for w, zw := range [4]uint64{z0, z1, z2, z3} {
+			for ; zw != 0; zw &= zw - 1 {
+				j := i + w*8 + mathbits.TrailingZeros64(zw)>>3
+				if j+3 < n && data[j] == 0 && data[j+1] == 0 && data[j+2] == 1 {
+					return j
+				}
+			}
+		}
+		i += 32
+	}
+	return findStartCodeScalar(data, i)
+}
+
+// findStartCodeScalar is the byte-at-a-time reference: the classic
+// two-zero scan that looks at every position where data[i+2] could
+// complete a prefix, stepping on mismatches by the distance the failed
+// byte tells us is safe.
+func findStartCodeScalar(data []byte, from int) int {
 	for i := from; i+3 < len(data); {
 		if data[i+2] > 1 {
 			i += 3

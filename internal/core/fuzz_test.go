@@ -3,6 +3,7 @@ package core
 import (
 	"testing"
 
+	"mpeg2par/internal/bits"
 	"mpeg2par/internal/encoder"
 	"mpeg2par/internal/frame"
 )
@@ -10,6 +11,34 @@ import (
 // FuzzScan drives the scan process over arbitrary bytes: it must never
 // panic, and any successful scan must be internally consistent. Run long
 // with: go test -fuzz=FuzzScan ./internal/core
+// FuzzFindStartCode compares the SWAR word-at-a-time startcode scan the
+// scan process rides on against a naive byte-scan reference, over random
+// buffers and every scan offset — including prefixes straddling 8-byte
+// word boundaries and trailing partial words. Run long with:
+// go test -fuzz=FuzzFindStartCode ./internal/core
+func FuzzFindStartCode(f *testing.F) {
+	f.Add([]byte{0, 0, 1, 0xB3}, 0)
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 1, 0x42}, 0) // straddles words 0 and 1
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 0xAF}, 3)               // zero run across the boundary
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 0, 0, 1}, 0)                  // prefix in a trailing partial word, no code byte
+	f.Fuzz(func(t *testing.T, data []byte, from int) {
+		naive := func(d []byte, i int) int {
+			if i < 0 {
+				i = 0
+			}
+			for ; i+3 < len(d); i++ {
+				if d[i] == 0 && d[i+1] == 0 && d[i+2] == 1 {
+					return i
+				}
+			}
+			return -1
+		}
+		if got, want := bits.FindStartCode(data, from), naive(data, from); got != want {
+			t.Fatalf("FindStartCode(%v, %d) = %d, naive reference = %d", data, from, got, want)
+		}
+	})
+}
+
 func FuzzScan(f *testing.F) {
 	res, err := encoder.EncodeSequence(encoder.Config{Width: 48, Height: 32, Pictures: 2, GOPSize: 2},
 		frame.NewSynth(48, 32))

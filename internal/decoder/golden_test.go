@@ -6,6 +6,7 @@ import (
 	"mpeg2par/internal/bits"
 	"mpeg2par/internal/encoder"
 	"mpeg2par/internal/frame"
+	"mpeg2par/internal/motion"
 	"mpeg2par/internal/mpeg2"
 	"mpeg2par/internal/vlc"
 )
@@ -174,6 +175,63 @@ func TestSparseKernelsBitExact(t *testing.T) {
 	for i := range sparse {
 		if !sparse[i].Equal(dense[i]) {
 			t.Fatalf("frame %d: sparse kernels diverge from dense reference", i)
+		}
+	}
+}
+
+// TestSWARKernelsBitExact decodes a multi-GOP I/P/B stream twice — once
+// with every fast kernel enabled (SWAR motion compensation, branchless
+// stores, word-at-a-time scan, sparse dequant+IDCT) and once with every
+// scalar/dense reference forced — and requires byte-identical frames.
+// This is the whole-pipeline counterpart of the per-kernel equivalence
+// sweeps in internal/motion and internal/bits.
+func TestSWARKernelsBitExact(t *testing.T) {
+	streams := map[string]encoder.Config{
+		"progressive": {Width: 176, Height: 112, Pictures: 13, GOPSize: 13},
+		"interlaced":  {Width: 176, Height: 112, Pictures: 13, GOPSize: 13, Interlaced: true},
+	}
+	for name, cfg := range streams {
+		t.Run(name, func(t *testing.T) { testSWARKernelsBitExact(t, cfg) })
+	}
+}
+
+func testSWARKernelsBitExact(t *testing.T, cfg encoder.Config) {
+	var src encoder.Source = frame.NewSynth(cfg.Width, cfg.Height)
+	if cfg.Interlaced {
+		src = frame.NewInterlacedSynth(cfg.Width, cfg.Height)
+	}
+	res, err := encoder.EncodeSequence(cfg, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeAll := func(scalar bool) []*frame.Frame {
+		t.Helper()
+		prevMC, prevScan := motion.ScalarKernels, bits.ScalarScan
+		prevStore, prevDense := scalarStore, denseKernels
+		motion.ScalarKernels, bits.ScalarScan = scalar, scalar
+		scalarStore, denseKernels = scalar, scalar
+		defer func() {
+			motion.ScalarKernels, bits.ScalarScan = prevMC, prevScan
+			scalarStore, denseKernels = prevStore, prevDense
+		}()
+		d, err := New(res.Data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fs, err := d.All()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fs
+	}
+	fast := decodeAll(false)
+	ref := decodeAll(true)
+	if len(fast) != len(ref) {
+		t.Fatalf("fast kernels decoded %d frames, scalar reference %d", len(fast), len(ref))
+	}
+	for i := range fast {
+		if !fast[i].Equal(ref[i]) {
+			t.Fatalf("frame %d: SWAR kernels diverge from scalar reference", i)
 		}
 	}
 }

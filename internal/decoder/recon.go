@@ -10,6 +10,7 @@
 package decoder
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"mpeg2par/internal/dct"
@@ -230,13 +231,24 @@ func blockGeometry(dst *frame.Frame, mbx, mby, b int, fieldDCT bool) (plane []ui
 	return dst.Cr, mbx * 8, mby * 8, dst.CodedW / 2, 1
 }
 
+// scalarStore forces the per-pixel branchy store/clamp loops in place of
+// the unrolled branchless kernels. Like denseKernels it exists for the
+// golden equivalence tests and stays false in production.
+var scalarStore = false
+
 func storeIntraBlock(dst *frame.Frame, blk *[64]int32, mbx, mby, b int, fieldDCT bool) {
 	plane, x, y, stride, step := blockGeometry(dst, mbx, mby, b, fieldDCT)
-	for r := 0; r < 8; r++ {
-		row := plane[(y+r*step)*stride+x:]
-		for c := 0; c < 8; c++ {
-			row[c] = clampPixel(blk[r*8+c])
+	if scalarStore {
+		for r := 0; r < 8; r++ {
+			row := plane[(y+r*step)*stride+x:]
+			for c := 0; c < 8; c++ {
+				row[c] = clampPixelRef(blk[r*8+c])
+			}
 		}
+		return
+	}
+	for r := 0; r < 8; r++ {
+		storeIntraRow8(plane[(y+r*step)*stride+x:], blk[r*8:r*8+8])
 	}
 }
 
@@ -261,20 +273,73 @@ func predBlockView(pred *motion.MBPred, b int, fieldDCT bool) (psrc []uint8, pst
 func storePredBlock(dst *frame.Frame, pred *motion.MBPred, blk *[64]int32, mbx, mby, b int, fieldDCT bool) {
 	plane, x, y, stride, step := blockGeometry(dst, mbx, mby, b, fieldDCT)
 	psrc, pstride := predBlockView(pred, b, fieldDCT)
+	if blk == nil {
+		le := binary.LittleEndian
+		o, po, rowStep := y*stride+x, 0, step*stride
+		for r := 0; r < 8; r++ {
+			le.PutUint64(plane[o:o+8:o+8], le.Uint64(psrc[po:po+8]))
+			o += rowStep
+			po += pstride
+		}
+		return
+	}
+	if scalarStore {
+		for r := 0; r < 8; r++ {
+			row := plane[(y+r*step)*stride+x:]
+			prow := psrc[r*pstride:]
+			for c := 0; c < 8; c++ {
+				row[c] = clampPixelRef(int32(prow[c]) + blk[r*8+c])
+			}
+		}
+		return
+	}
 	for r := 0; r < 8; r++ {
-		row := plane[(y+r*step)*stride+x:]
-		prow := psrc[r*pstride:]
-		if blk == nil {
-			copy(row[:8], prow[:8])
-			continue
-		}
-		for c := 0; c < 8; c++ {
-			row[c] = clampPixel(int32(prow[c]) + blk[r*8+c])
-		}
+		storePredRow8(plane[(y+r*step)*stride+x:], psrc[r*pstride:], blk[r*8:r*8+8])
 	}
 }
 
+// storeIntraRow8 clamps and stores one unrolled row of eight IDCT outputs.
+func storeIntraRow8(row []uint8, res []int32) {
+	row = row[:8:8]
+	res = res[:8:8]
+	row[0] = clampPixel(res[0])
+	row[1] = clampPixel(res[1])
+	row[2] = clampPixel(res[2])
+	row[3] = clampPixel(res[3])
+	row[4] = clampPixel(res[4])
+	row[5] = clampPixel(res[5])
+	row[6] = clampPixel(res[6])
+	row[7] = clampPixel(res[7])
+}
+
+// storePredRow8 adds one unrolled row of eight residuals to the prediction
+// and stores the clamped result.
+func storePredRow8(row, prow []uint8, res []int32) {
+	row = row[:8:8]
+	prow = prow[:8:8]
+	res = res[:8:8]
+	row[0] = clampPixel(int32(prow[0]) + res[0])
+	row[1] = clampPixel(int32(prow[1]) + res[1])
+	row[2] = clampPixel(int32(prow[2]) + res[2])
+	row[3] = clampPixel(int32(prow[3]) + res[3])
+	row[4] = clampPixel(int32(prow[4]) + res[4])
+	row[5] = clampPixel(int32(prow[5]) + res[5])
+	row[6] = clampPixel(int32(prow[6]) + res[6])
+	row[7] = clampPixel(int32(prow[7]) + res[7])
+}
+
+// clampPixel saturates to [0,255] without branches: the first step zeroes
+// negatives (the arithmetic shift spreads the sign bit), the second turns
+// any value above 255 into all-ones, which truncates to 255.
 func clampPixel(v int32) uint8 {
+	v &^= v >> 31
+	v |= (255 - v) >> 31
+	return uint8(v)
+}
+
+// clampPixelRef is the branchy reference clamp the scalar store path and
+// the equivalence tests use.
+func clampPixelRef(v int32) uint8 {
 	if v < 0 {
 		return 0
 	}

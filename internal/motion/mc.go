@@ -38,6 +38,12 @@ type MBPred struct {
 // by the half-pel vector (mvx, mvy). Out-of-range displacements are
 // clamped to the plane; conforming encoders never produce them, so this
 // only defends against corrupt input.
+//
+// The edge check happens once here, not per pixel: blocks whose sample
+// region (w+hx)×(h+hy) lies fully inside the plane — every block of a
+// conforming stream after the clamp — take the SWAR kernels; the rest
+// (degenerate planes narrower than the sample region) take the scalar
+// path, which tolerates reads that run past a row into the next.
 func PredictBlock(dst []uint8, dstStride int, ref []uint8, refStride, refW, refH int, px, py, mvx, mvy, w, h int) {
 	ix := px + (mvx >> 1)
 	iy := py + (mvy >> 1)
@@ -46,7 +52,18 @@ func PredictBlock(dst []uint8, dstStride int, ref []uint8, refStride, refW, refH
 	// Clamp so that ix..ix+w-1+hx and iy..iy+h-1+hy stay inside the plane.
 	ix = clamp(ix, 0, refW-w-hx)
 	iy = clamp(iy, 0, refH-h-hy)
+	if ix+w+hx > refW || iy+h+hy > refH {
+		// The plane is smaller than the sample region (only reachable on
+		// degenerate/corrupt geometry): interpolate with per-sample edge
+		// replication instead of reading past the plane.
+		predictBlockClamped(dst, dstStride, ref, refStride, refW, refH, ix, iy, hx, hy, w, h)
+		return
+	}
 	src := iy*refStride + ix
+	if !ScalarKernels && w&7 == 0 {
+		predictBlockSWAR(dst, dstStride, ref[src:], refStride, w, h, hx, hy)
+		return
+	}
 	switch {
 	case hx == 0 && hy == 0:
 		for y := 0; y < h; y++ {
@@ -81,6 +98,37 @@ func PredictBlock(dst []uint8, dstStride int, ref []uint8, refStride, refW, refH
 	}
 }
 
+// predictBlockClamped is the defensive slow path for planes smaller than
+// the (w+hx)×(h+hy) sample region: every sample coordinate is clamped to
+// the plane edge (replication), so no vector or geometry can read out of
+// bounds.
+func predictBlockClamped(dst []uint8, dstStride int, ref []uint8, refStride, refW, refH, ix, iy, hx, hy, w, h int) {
+	sample := func(yy, xx int) int {
+		if xx >= refW {
+			xx = refW - 1
+		}
+		if yy >= refH {
+			yy = refH - 1
+		}
+		return int(ref[yy*refStride+xx])
+	}
+	for y := 0; y < h; y++ {
+		d := dst[y*dstStride:]
+		for x := 0; x < w; x++ {
+			s := sample(iy+y, ix+x)
+			switch {
+			case hx == 1 && hy == 1:
+				s = (s + sample(iy+y, ix+x+1) + sample(iy+y+1, ix+x) + sample(iy+y+1, ix+x+1) + 2) >> 2
+			case hx == 1:
+				s = (s + sample(iy+y, ix+x+1) + 1) >> 1
+			case hy == 1:
+				s = (s + sample(iy+y+1, ix+x) + 1) >> 1
+			}
+			d[x] = uint8(s)
+		}
+	}
+}
+
 // PredictMB fills pred from ref for the macroblock at (mbx, mby)
 // (macroblock coordinates) using the half-pel luma vector mv.
 func PredictMB(pred *MBPred, ref *frame.Frame, mbx, mby int, mv MV) {
@@ -93,15 +141,22 @@ func PredictMB(pred *MBPred, ref *frame.Frame, mbx, mby int, mv MV) {
 }
 
 // AverageMB sets dst to the rounded average of a and b — bidirectional
-// prediction (§7.6.7.1).
+// prediction (§7.6.7.1). The SWAR path fuses the whole macroblock into
+// 48 eight-pixel averages; dst may alias a or b.
 func AverageMB(dst, a, b *MBPred) {
-	for i := range dst.Y {
-		dst.Y[i] = uint8((int(a.Y[i]) + int(b.Y[i]) + 1) >> 1)
+	if ScalarKernels {
+		for i := range dst.Y {
+			dst.Y[i] = uint8((int(a.Y[i]) + int(b.Y[i]) + 1) >> 1)
+		}
+		for i := range dst.Cb {
+			dst.Cb[i] = uint8((int(a.Cb[i]) + int(b.Cb[i]) + 1) >> 1)
+			dst.Cr[i] = uint8((int(a.Cr[i]) + int(b.Cr[i]) + 1) >> 1)
+		}
+		return
 	}
-	for i := range dst.Cb {
-		dst.Cb[i] = uint8((int(a.Cb[i]) + int(b.Cb[i]) + 1) >> 1)
-		dst.Cr[i] = uint8((int(a.Cr[i]) + int(b.Cr[i]) + 1) >> 1)
-	}
+	avgBytes8(dst.Y[:], a.Y[:], b.Y[:], len(dst.Y))
+	avgBytes8(dst.Cb[:], a.Cb[:], b.Cb[:], len(dst.Cb))
+	avgBytes8(dst.Cr[:], a.Cr[:], b.Cr[:], len(dst.Cr))
 }
 
 func clamp(v, lo, hi int) int {
