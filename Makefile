@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify vet build test race bench perf
+.PHONY: verify vet build test race bench perf fuzz faults
 
 verify: vet build race bench ## full CI gate: vet + build + race tests + bench smoke
 
@@ -22,3 +22,15 @@ bench:
 # Append a perf-trajectory run to the current BENCH_<n>.json.
 perf:
 	$(GO) run ./cmd/mpeg2bench -perf -label $(or $(LABEL),local)
+
+# Short corpus-seeded fuzz runs over the scan and the resilient decoder.
+FUZZTIME ?= 20s
+fuzz:
+	$(GO) test -run=NONE -fuzz=FuzzFindStartCode -fuzztime=$(FUZZTIME) ./internal/core
+	$(GO) test -run=NONE -fuzz=FuzzScan -fuzztime=$(FUZZTIME) ./internal/core
+	$(GO) test -run=NONE -fuzz=FuzzResilientDecode -fuzztime=$(FUZZTIME) ./internal/core
+	$(GO) test -run=NONE -fuzz=FuzzDecode -fuzztime=$(FUZZTIME) ./internal/decoder
+
+# Corruption sweep: PSNR vs loss rate under each resilience policy.
+faults:
+	$(GO) run ./cmd/mpeg2bench -faults

@@ -11,6 +11,7 @@
 //	mpeg2bench -full           # all four paper resolutions incl. 1408x960
 //	mpeg2bench -list           # experiment ids
 //	mpeg2bench -perf -json -label after   # append a perf run to BENCH_<n>.json
+//	mpeg2bench -faults [-json]            # corruption sweep: PSNR vs loss rate
 package main
 
 import (
@@ -32,6 +33,8 @@ func main() {
 	profileGOPs := flag.Int("profilegops", 2, "GOPs to encode+measure per configuration")
 	jsonOut := flag.Bool("json", false, "emit structured JSON instead of tables")
 	perf := flag.Bool("perf", false, "run the perf-trajectory harness and append to a BENCH_<n>.json")
+	faultsSweep := flag.Bool("faults", false, "run the corruption sweep (PSNR vs loss rate under each resilience policy)")
+	faultSeed := flag.Int64("seed", 1, "with -faults: fault-injection seed")
 	perfOut := flag.String("o", "", "perf output file (default: highest existing BENCH_<n>.json, else BENCH_1.json)")
 	perfLabel := flag.String("label", "", "label recorded with the perf run")
 	perfNew := flag.Bool("new", false, "with -perf: start the next-numbered BENCH_<n>.json instead of appending")
@@ -43,6 +46,13 @@ func main() {
 	}
 	if *perf {
 		if err := runPerf(*perfOut, *perfLabel, *perfNew); err != nil {
+			fmt.Fprintf(os.Stderr, "mpeg2bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *faultsSweep {
+		if err := runFaults(*faultSeed, *jsonOut); err != nil {
 			fmt.Fprintf(os.Stderr, "mpeg2bench: %v\n", err)
 			os.Exit(1)
 		}
@@ -76,6 +86,21 @@ func main() {
 	if !*jsonOut {
 		fmt.Printf("\ncompleted in %v\n", time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// runFaults executes the corruption sweep (internal/bench/faults.go):
+// decode quality and ErrorStats under each resilience policy across a
+// battery of injected faults, with a built-in determinism cross-check.
+func runFaults(seed int64, jsonOut bool) error {
+	res, err := bench.FaultSweep(bench.FaultConfig{Seed: seed})
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		return res.WriteJSON(os.Stdout)
+	}
+	res.RenderFaultTable(os.Stdout)
+	return nil
 }
 
 // runPerf executes the perf-trajectory harness and appends the run to the

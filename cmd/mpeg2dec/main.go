@@ -3,9 +3,14 @@
 // throughput, per-worker time breakdowns and memory usage. Output can be
 // written as raw planar YUV 4:2:0 for inspection.
 //
+// A resilience policy turns damaged streams from hard errors into
+// recovered decodes (identical in every mode), and -fault/-seed inject
+// deterministic corruption for testing the policies end to end.
+//
 // Usage:
 //
 //	mpeg2dec -mode slice-improved -workers 4 -yuv out.yuv stream.m2v
+//	mpeg2dec -resilience conceal-slice -fault gilbert:loss=0.01,pkt=188 stream.m2v
 package main
 
 import (
@@ -21,7 +26,11 @@ func main() {
 	mode := flag.String("mode", "seq", "decoder: seq, gop, slice, slice-improved")
 	workers := flag.Int("workers", 1, "worker processes for parallel modes")
 	yuv := flag.String("yuv", "", "write decoded frames as planar YUV 4:2:0")
-	conceal := flag.Bool("conceal", false, "conceal damaged slices instead of failing")
+	conceal := flag.Bool("conceal", false, "legacy alias for -resilience conceal-slice")
+	resilience := flag.String("resilience", "failfast",
+		"damage policy: failfast, conceal-slice, conceal-picture, drop-gop")
+	fault := flag.String("fault", "", "inject a fault before decoding, e.g. bitflip:8 or gilbert:loss=0.02,pkt=188")
+	seed := flag.Int64("seed", 1, "fault-injection seed (with -fault)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fatal("usage: mpeg2dec [flags] stream.m2v")
@@ -29,6 +38,25 @@ func main() {
 	data, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
 		fatal("%v", err)
+	}
+
+	policy, err := mpeg2par.ParseResilience(*resilience)
+	if err != nil {
+		fatal("%v", err)
+	}
+	if *conceal && policy == mpeg2par.FailFast {
+		policy = mpeg2par.ConcealSlice
+	}
+
+	if *fault != "" {
+		sp, err := mpeg2par.ParseFaultSpec(*fault)
+		if err != nil {
+			fatal("%v", err)
+		}
+		var rep mpeg2par.FaultReport
+		data, rep = sp.Apply(data, *seed)
+		fmt.Printf("injected %s seed %d: %d events, %d bits flipped, %d bytes corrupted, %d bytes dropped (%d -> %d bytes)\n",
+			rep.Spec, rep.Seed, rep.Events, rep.BitsFlipped, rep.BytesCorrupted, rep.BytesDropped, rep.InLen, rep.OutLen)
 	}
 
 	var sinkFile *os.File
@@ -54,13 +82,15 @@ func main() {
 		}
 	}
 
-	if *mode == "seq" {
+	// The plain sequential decoder handles only the failfast/conceal pair;
+	// the policy ladder routes "seq" through the core's planned sequential
+	// executor instead, which shares resilience with the parallel modes.
+	if *mode == "seq" && policy == mpeg2par.FailFast {
 		start := time.Now()
 		d, err := mpeg2par.NewDecoder(data)
 		if err != nil {
 			fatal("%v", err)
 		}
-		d.Conceal = *conceal
 		frames, err := d.All()
 		if err != nil {
 			fatal("decode: %v", err)
@@ -71,14 +101,13 @@ func main() {
 		wall := time.Since(start)
 		fmt.Printf("sequential: %d pictures in %v (%.1f pics/s)\n",
 			len(frames), wall.Round(time.Millisecond), float64(len(frames))/wall.Seconds())
-		if d.Concealed > 0 {
-			fmt.Printf("concealed %d macroblocks\n", d.Concealed)
-		}
 		return
 	}
 
 	var m mpeg2par.Mode
 	switch *mode {
+	case "seq":
+		m = mpeg2par.ModeSequential
 	case "gop":
 		m = mpeg2par.ModeGOP
 	case "slice":
@@ -89,20 +118,23 @@ func main() {
 		fatal("unknown mode %q", *mode)
 	}
 	stats, err := mpeg2par.DecodeParallel(data, mpeg2par.Options{
-		Mode:    m,
-		Workers: *workers,
-		Sink:    writeFrame,
-		Conceal: *conceal,
+		Mode:       m,
+		Workers:    *workers,
+		Sink:       writeFrame,
+		Resilience: policy,
 	})
 	if err != nil {
 		fatal("decode: %v", err)
 	}
-	fmt.Printf("%s x%d: %d pictures in %v (%.1f pics/s), scan %.0f pics/s\n",
-		*mode, *workers, stats.Pictures, stats.Wall.Round(time.Millisecond),
+	fmt.Printf("%s x%d (%s): %d pictures in %v (%.1f pics/s), scan %.0f pics/s\n",
+		*mode, *workers, policy, stats.Pictures, stats.Wall.Round(time.Millisecond),
 		stats.PicturesPerSecond(), stats.ScanRate)
 	fmt.Printf("peak frame memory: %.2f MB\n", float64(stats.PeakFrameBytes)/(1<<20))
-	if stats.Concealed > 0 {
-		fmt.Printf("concealed %d macroblocks\n", stats.Concealed)
+	if stats.Errors.Any() {
+		fmt.Printf("recovered damage: %s\n", stats.Errors)
+	}
+	if n := stats.Concealed + stats.Errors.ConcealedMBs; n > 0 {
+		fmt.Printf("concealed %d macroblocks\n", n)
 	}
 	for i, ws := range stats.WorkerStats {
 		fmt.Printf("  worker %2d: busy %-12v wait %-12v tasks %d\n",

@@ -1,0 +1,297 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"mpeg2par/internal/core"
+	"mpeg2par/internal/decoder"
+	"mpeg2par/internal/encoder"
+	"mpeg2par/internal/faults"
+	"mpeg2par/internal/frame"
+)
+
+// This file is the corruption-sweep harness behind `mpeg2bench -faults`:
+// it encodes one reference stream, injects a deterministic battery of
+// faults (including a Gilbert-Elliott loss-rate curve), decodes each
+// corrupted copy under every resilience policy, and reports output
+// quality (mean PSNR against the clean decode) next to the decoder's own
+// ErrorStats. Every damaged point is decoded twice — sequentially and
+// slice-parallel — and the sweep fails outright if the two disagree, so
+// the determinism contract is re-checked on exactly the streams the
+// quality numbers come from.
+
+// FaultSchema identifies the -faults JSON layout.
+const FaultSchema = "mpeg2par-faults/1"
+
+// FaultConfig describes the sweep workload.
+type FaultConfig struct {
+	Width, Height int   // picture size (default 176x120)
+	GOPSize       int   // pictures per GOP (default 8)
+	Pictures      int   // stream length (default 2 GOPs)
+	Workers       int   // workers for the parallel leg (default 4)
+	Seed          int64 // fault-injection seed (default 1)
+}
+
+func (c FaultConfig) withDefaults() FaultConfig {
+	if c.Width == 0 {
+		c.Width, c.Height = 176, 120
+	}
+	if c.GOPSize == 0 {
+		c.GOPSize = 8
+	}
+	if c.Pictures == 0 {
+		c.Pictures = 2 * c.GOPSize
+	}
+	if c.Workers == 0 {
+		c.Workers = 4
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// FaultPoint is one (corruption, policy) cell of the sweep.
+type FaultPoint struct {
+	Spec     string          `json:"spec"`
+	Seed     int64           `json:"seed"`
+	LossRate float64         `json:"loss_rate,omitempty"` // gilbert curve points only
+	Policy   string          `json:"policy"`
+	OK       bool            `json:"ok"`
+	Err      string          `json:"err,omitempty"`
+	Frames   int             `json:"frames"`
+	MeanPSNR float64         `json:"mean_psnr_db"`
+	Errors   core.ErrorStats `json:"errors"`
+	Injected faults.Report   `json:"injected"`
+}
+
+// FaultSweepResult is the full -faults output.
+type FaultSweepResult struct {
+	Schema   string       `json:"schema"`
+	Config   FaultConfig  `json:"config"`
+	Clean    int          `json:"clean_frames"` // frames in the undamaged stream
+	CleanOK  bool         `json:"clean_failfast_identical"`
+	Points   []FaultPoint `json:"points"`
+	sweepRef []*frame.Frame
+}
+
+// psnrCap stands in for +Inf when a frame is bit-identical to the clean
+// reference, keeping means and JSON finite.
+const psnrCap = 99.0
+
+// sweepSpecs is the representative corruption battery (one point per
+// policy each); the Gilbert-Elliott curve below adds the loss-rate axis.
+var sweepSpecs = []string{
+	"bitflip:8",
+	"burst:count=2,len=24",
+	"dropslice:3",
+	"droppic:1",
+	"truncate:0.8",
+}
+
+// sweepLossRates is the Gilbert-Elliott packet-loss curve.
+var sweepLossRates = []float64{0.002, 0.005, 0.01, 0.02, 0.05}
+
+var sweepPolicies = []core.Resilience{core.ConcealSlice, core.ConcealPicture, core.DropGOP}
+
+// FaultSweep runs the corruption sweep and returns its structured result.
+func FaultSweep(cfg FaultConfig) (*FaultSweepResult, error) {
+	cfg = cfg.withDefaults()
+	res, err := encoder.EncodeSequence(encoder.Config{
+		Width: cfg.Width, Height: cfg.Height,
+		Pictures: cfg.Pictures, GOPSize: cfg.GOPSize,
+	}, frame.NewSynth(cfg.Width, cfg.Height))
+	if err != nil {
+		return nil, fmt.Errorf("bench: encoding sweep stream: %w", err)
+	}
+
+	// Clean reference: the plain sequential decoder.
+	d, err := decoder.New(res.Data)
+	if err != nil {
+		return nil, err
+	}
+	ref, err := d.All()
+	if err != nil {
+		return nil, fmt.Errorf("bench: clean reference decode: %w", err)
+	}
+
+	out := &FaultSweepResult{Schema: FaultSchema, Config: cfg, Clean: len(ref), sweepRef: ref}
+
+	// Baseline: FailFast on the undamaged stream must be bit-identical to
+	// the sequential decoder in every mode. Anything else is a regression
+	// the quality numbers would silently absorb.
+	for _, mode := range []core.Mode{core.ModeSequential, core.ModeGOP, core.ModeSliceSimple, core.ModeSliceImproved} {
+		got, _, err := decodeCollect(res.Data, mode, cfg.Workers, core.FailFast)
+		if err != nil {
+			return nil, fmt.Errorf("bench: clean FailFast %v decode: %w", mode, err)
+		}
+		if len(got) != len(ref) {
+			return nil, fmt.Errorf("bench: clean FailFast %v displayed %d frames, sequential decoder %d", mode, len(got), len(ref))
+		}
+		for i := range ref {
+			if !got[i].Equal(ref[i]) {
+				return nil, fmt.Errorf("bench: clean FailFast %v frame %d differs from the sequential decoder", mode, i)
+			}
+		}
+	}
+	out.CleanOK = true
+
+	runSpec := func(sp faults.Spec, lossRate float64) error {
+		mut, rep := sp.Apply(res.Data, cfg.Seed)
+		for _, policy := range sweepPolicies {
+			pt, err := out.runPoint(mut, cfg, policy)
+			if err != nil {
+				return err
+			}
+			pt.Spec = sp.String()
+			pt.Seed = cfg.Seed
+			pt.LossRate = lossRate
+			pt.Injected = rep
+			out.Points = append(out.Points, pt)
+		}
+		return nil
+	}
+
+	for _, spec := range sweepSpecs {
+		sp, err := faults.Parse(spec)
+		if err != nil {
+			return nil, err
+		}
+		if err := runSpec(sp, 0); err != nil {
+			return nil, err
+		}
+	}
+	for _, loss := range sweepLossRates {
+		sp := faults.Spec{Kind: faults.PacketLoss, Rate: loss, Burst: 3, Len: 64}
+		if err := runSpec(sp, loss); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// runPoint decodes one corrupted stream under one policy, sequentially
+// and slice-parallel, verifies the two agree bit-exactly, and scores the
+// output against the clean reference.
+func (r *FaultSweepResult) runPoint(mut []byte, cfg FaultConfig, policy core.Resilience) (FaultPoint, error) {
+	pt := FaultPoint{Policy: policy.String()}
+	seq, seqSt, seqErr := decodeCollect(mut, core.ModeSequential, 1, policy)
+	par, parSt, parErr := decodeCollect(mut, core.ModeSliceImproved, cfg.Workers, policy)
+	if (seqErr != nil) != (parErr != nil) {
+		return pt, fmt.Errorf("bench: %v determinism violation: sequential err=%v, parallel err=%v", policy, seqErr, parErr)
+	}
+	if seqErr != nil {
+		pt.Err = seqErr.Error()
+		return pt, nil
+	}
+	if seqSt.Errors != parSt.Errors {
+		return pt, fmt.Errorf("bench: %v determinism violation: stats %+v vs %+v", policy, seqSt.Errors, parSt.Errors)
+	}
+	if len(seq) != len(par) {
+		return pt, fmt.Errorf("bench: %v determinism violation: %d vs %d frames", policy, len(seq), len(par))
+	}
+	for i := range seq {
+		if !seq[i].Equal(par[i]) {
+			return pt, fmt.Errorf("bench: %v determinism violation: frame %d differs between modes", policy, i)
+		}
+	}
+	pt.OK = true
+	pt.Frames = len(seq)
+	pt.Errors = seqSt.Errors
+	pt.MeanPSNR = meanPSNR(r.sweepRef, seq)
+	return pt, nil
+}
+
+// decodeCollect decodes data under (mode, workers, policy) and returns
+// deep copies of the displayed frames.
+func decodeCollect(data []byte, mode core.Mode, workers int, policy core.Resilience) ([]*frame.Frame, *core.Stats, error) {
+	var frames []*frame.Frame
+	st, err := core.Decode(data, core.Options{
+		Mode: mode, Workers: workers, Resilience: policy,
+		Sink: func(f *frame.Frame) { frames = append(frames, f.Clone()) },
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return frames, st, nil
+}
+
+// meanPSNR scores got against the clean reference by display position
+// (up to the shorter run — DropGOP output is legitimately shorter, and
+// the temporal shift it causes is part of the distortion being measured).
+// Bit-identical frames (+Inf) are capped at psnrCap.
+func meanPSNR(ref, got []*frame.Frame) float64 {
+	n := len(ref)
+	if len(got) < n {
+		n = len(got)
+	}
+	if n == 0 {
+		return 0
+	}
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		p := frame.PSNR(ref[i], got[i])
+		if math.IsInf(p, 1) || p > psnrCap {
+			p = psnrCap
+		}
+		sum += p
+	}
+	return sum / float64(n)
+}
+
+// RenderFaultTable prints the sweep as a text table.
+func (r *FaultSweepResult) RenderFaultTable(w io.Writer) {
+	fmt.Fprintf(w, "Corruption sweep: %dx%d, %d pictures (GOP %d), seed %d, clean stream decodes %d frames\n",
+		r.Config.Width, r.Config.Height, r.Config.Pictures, r.Config.GOPSize, r.Config.Seed, r.Clean)
+	fmt.Fprintf(w, "clean FailFast baseline bit-identical across modes: %v\n\n", r.CleanOK)
+	fmt.Fprintf(w, "%-34s %-16s %-6s %7s %9s  %s\n",
+		"fault", "policy", "ok", "frames", "PSNR(dB)", "damaged/resync/concealMB/dropPic/dropGOP")
+	for _, pt := range r.Points {
+		status := "yes"
+		if !pt.OK {
+			status = "error"
+		}
+		psnr := fmt.Sprintf("%9.2f", pt.MeanPSNR)
+		if !pt.OK {
+			psnr = fmt.Sprintf("%9s", "-")
+		}
+		fmt.Fprintf(w, "%-34s %-16s %-6s %7d %s  %d/%d/%d/%d/%d\n",
+			pt.Spec, pt.Policy, status, pt.Frames, psnr,
+			pt.Errors.DamagedSlices, pt.Errors.Resyncs, pt.Errors.ConcealedMBs,
+			pt.Errors.DroppedPictures, pt.Errors.DroppedGOPs)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "PSNR vs loss rate (gilbert, burst=3, pkt=64):")
+	fmt.Fprintf(w, "%-10s", "loss")
+	for _, p := range sweepPolicies {
+		fmt.Fprintf(w, " %15s", p)
+	}
+	fmt.Fprintln(w)
+	for _, loss := range sweepLossRates {
+		fmt.Fprintf(w, "%-10.3f", loss)
+		for _, p := range sweepPolicies {
+			val := "-"
+			for _, pt := range r.Points {
+				if pt.LossRate == loss && pt.Policy == p.String() {
+					if pt.OK {
+						val = fmt.Sprintf("%.2f", pt.MeanPSNR)
+					} else {
+						val = "error"
+					}
+				}
+			}
+			fmt.Fprintf(w, " %15s", val)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// WriteJSON emits the sweep result as indented JSON.
+func (r *FaultSweepResult) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

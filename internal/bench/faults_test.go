@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestFaultSweepSmoke runs the corruption sweep on a small workload: it
+// must complete, pass its own clean-baseline identity check, and produce
+// at least one point where a policy recovered from real damage.
+func TestFaultSweepSmoke(t *testing.T) {
+	res, err := FaultSweep(FaultConfig{Width: 96, Height: 64, GOPSize: 4, Pictures: 8, Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.CleanOK {
+		t.Fatal("clean FailFast baseline not marked identical")
+	}
+	wantPoints := (len(sweepSpecs) + len(sweepLossRates)) * len(sweepPolicies)
+	if len(res.Points) != wantPoints {
+		t.Fatalf("%d points, want %d", len(res.Points), wantPoints)
+	}
+	recovered := false
+	for _, pt := range res.Points {
+		if pt.OK && pt.Errors.Any() {
+			recovered = true
+			if pt.MeanPSNR <= 0 || pt.MeanPSNR > psnrCap {
+				t.Fatalf("point %s/%s: implausible PSNR %.2f", pt.Spec, pt.Policy, pt.MeanPSNR)
+			}
+		}
+	}
+	if !recovered {
+		t.Fatal("no point recovered from damage; the sweep exercised nothing")
+	}
+
+	// Both renderings must work: the table mentions the loss curve, the
+	// JSON round-trips with the schema tag.
+	var tbl bytes.Buffer
+	res.RenderFaultTable(&tbl)
+	if !strings.Contains(tbl.String(), "PSNR vs loss rate") {
+		t.Fatal("table missing the loss-rate section")
+	}
+	var js bytes.Buffer
+	if err := res.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	var back FaultSweepResult
+	if err := json.Unmarshal(js.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Schema != FaultSchema || len(back.Points) != len(res.Points) {
+		t.Fatalf("JSON round trip lost data: schema %q, %d points", back.Schema, len(back.Points))
+	}
+}

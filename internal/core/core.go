@@ -24,6 +24,11 @@ const (
 	// pictures, letting B pictures and the next reference overlap (§5.2,
 	// "improved slice version").
 	ModeSliceImproved
+	// ModeSequential decodes on a single worker from the same scanned
+	// plan as the parallel modes. It is the reference the error-resilience
+	// golden tests compare every parallel mode against: for a given stream
+	// and policy all four modes produce bit-identical frames.
+	ModeSequential
 )
 
 func (m Mode) String() string {
@@ -34,6 +39,8 @@ func (m Mode) String() string {
 		return "slice-simple"
 	case ModeSliceImproved:
 		return "slice-improved"
+	case ModeSequential:
+		return "sequential"
 	}
 	return fmt.Sprintf("Mode(%d)", int(m))
 }
@@ -58,7 +65,17 @@ type Options struct {
 
 	// Conceal makes damaged slices non-fatal: their macroblocks are
 	// filled by zero-vector temporal concealment and decoding continues.
+	//
+	// Deprecated shim kept for the legacy per-mode paths; new code should
+	// select a Resilience policy instead, which additionally guarantees
+	// bit-identical output across all scheduling modes.
 	Conceal bool
+
+	// Resilience selects the error-resilience ladder (FailFast default).
+	// Any policy above FailFast routes the decode through the shared-plan
+	// executor, where all scheduling modes produce bit-identical frames
+	// and identical ErrorStats for the same damaged stream.
+	Resilience Resilience
 }
 
 // WorkerStats describes one worker process's time breakdown.
@@ -99,6 +116,10 @@ type Stats struct {
 	// Concealed counts macroblocks recovered by error concealment.
 	Concealed int
 
+	// Errors accounts the damage a resilient decode recovered from; for a
+	// given stream and policy it is identical across all scheduling modes.
+	Errors ErrorStats
+
 	// PeakFrameBytes is the high watermark of decoded-picture memory —
 	// the quantity Figures 8 and 9 study.
 	PeakFrameBytes int64
@@ -123,7 +144,11 @@ func Decode(data []byte, opt Options) (*Stats, error) {
 	if opt.Workers < 1 {
 		return nil, fmt.Errorf("core: need at least one worker")
 	}
-	m, err := Scan(data)
+	scanFn := Scan
+	if opt.Resilience != FailFast {
+		scanFn = ScanLenient
+	}
+	m, err := scanFn(data)
 	if err != nil {
 		return nil, err
 	}
@@ -143,10 +168,15 @@ func DecodeScanned(data []byte, m *StreamMap, opt Options) (*Stats, error) {
 		ScanRate: m.ScanRate(),
 	}
 	var err error
-	switch opt.Mode {
-	case ModeGOP:
+	switch {
+	case opt.Mode == ModeSequential || opt.Resilience != FailFast:
+		// The resilient shared-plan executor; also the FailFast sequential
+		// baseline. The legacy per-mode paths below stay byte-for-byte
+		// untouched, keeping FailFast parallel decode at zero overhead.
+		err = decodeResilient(data, m, opt, st)
+	case opt.Mode == ModeGOP:
 		err = decodeGOPMode(data, m, opt, st)
-	case ModeSliceSimple, ModeSliceImproved:
+	case opt.Mode == ModeSliceSimple || opt.Mode == ModeSliceImproved:
 		err = decodeSliceMode(data, m, opt, st)
 	default:
 		err = fmt.Errorf("core: unknown mode %d", int(opt.Mode))

@@ -19,8 +19,8 @@ import (
 func FuzzFindStartCode(f *testing.F) {
 	f.Add([]byte{0, 0, 1, 0xB3}, 0)
 	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 1, 0x42}, 0) // straddles words 0 and 1
-	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 0xAF}, 3)               // zero run across the boundary
-	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 0, 0, 1}, 0)                  // prefix in a trailing partial word, no code byte
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 0xAF}, 3)                // zero run across the boundary
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 0, 0, 1}, 0)                   // prefix in a trailing partial word, no code byte
 	f.Fuzz(func(t *testing.T, data []byte, from int) {
 		naive := func(d []byte, i int) int {
 			if i < 0 {
@@ -35,6 +35,51 @@ func FuzzFindStartCode(f *testing.F) {
 		}
 		if got, want := bits.FindStartCode(data, from), naive(data, from); got != want {
 			t.Fatalf("FindStartCode(%v, %d) = %d, naive reference = %d", data, from, got, want)
+		}
+	})
+}
+
+// FuzzResilientDecode is the differential fuzzer for the determinism
+// contract: whatever bytes arrive, each resilience policy must either
+// fail in both the sequential and the improved-slice parallel mode, or
+// succeed in both with bit-identical frames and identical ErrorStats.
+// Run long with: go test -fuzz=FuzzResilientDecode ./internal/core
+func FuzzResilientDecode(f *testing.F) {
+	res, err := encoder.EncodeSequence(encoder.Config{
+		Width: 48, Height: 32, Pictures: 4, GOPSize: 2, RepeatSequenceHeader: true,
+	}, frame.NewSynth(48, 32))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(res.Data)
+	trunc := res.Data[:len(res.Data)*3/4]
+	f.Add(append([]byte(nil), trunc...))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 32<<10 {
+			return
+		}
+		for _, policy := range []Resilience{ConcealSlice, ConcealPicture, DropGOP} {
+			var seqSink collectSink
+			seqSt, seqErr := Decode(data, Options{Mode: ModeSequential, Workers: 1, Resilience: policy, Sink: seqSink.add})
+			var parSink collectSink
+			parSt, parErr := Decode(data, Options{Mode: ModeSliceImproved, Workers: 2, Resilience: policy, Sink: parSink.add})
+			if (seqErr != nil) != (parErr != nil) {
+				t.Fatalf("%v: sequential err=%v, parallel err=%v", policy, seqErr, parErr)
+			}
+			if seqErr != nil {
+				continue
+			}
+			if seqSt.Errors != parSt.Errors {
+				t.Fatalf("%v: stats diverge: %+v vs %+v", policy, seqSt.Errors, parSt.Errors)
+			}
+			if len(seqSink.frames) != len(parSink.frames) {
+				t.Fatalf("%v: %d vs %d frames", policy, len(seqSink.frames), len(parSink.frames))
+			}
+			for i := range seqSink.frames {
+				if !seqSink.frames[i].Equal(parSink.frames[i]) {
+					t.Fatalf("%v: frame %d diverges between modes", policy, i)
+				}
+			}
 		}
 	})
 }

@@ -59,7 +59,7 @@ func decodeGOPMode(data []byte, m *StreamMap, opt Options, st *Stats) error {
 				ws.Busy += cost
 				ws.Tasks++
 				if err != nil {
-					errs.set(fmt.Errorf("core: GOP %d: %w", g, err))
+					errs.set(fmt.Errorf("core: GOP %d at byte %d: %w", g, m.GOPs[g].Offset, err))
 					continue
 				}
 				workMu.Lock()
@@ -126,7 +126,7 @@ func decodeOneGOP(data []byte, m *StreamMap, g int, pool *frame.Pool, opt Option
 		switch {
 		case code == mpeg2.PictureStartCode:
 			if pi >= len(gop.Pictures) {
-				return pd.Work, pd.Concealed, fmt.Errorf("more pictures than scanned")
+				return pd.Work, pd.Concealed, fmt.Errorf("picture at byte %d: more pictures than the %d scanned", int(r.BytePos())-4, len(gop.Pictures))
 			}
 			pi++
 			out, err := pd.DecodePicture(r)
@@ -149,7 +149,7 @@ func decodeOneGOP(data []byte, m *StreamMap, g int, pool *frame.Pool, opt Option
 		}
 	}
 	if pi != len(gop.Pictures) {
-		return pd.Work, pd.Concealed, fmt.Errorf("decoded %d of %d pictures", pi, len(gop.Pictures))
+		return pd.Work, pd.Concealed, fmt.Errorf("decoded %d of %d scanned pictures", pi, len(gop.Pictures))
 	}
 	if f := pd.Flush(); f != nil {
 		disp.push(f, gop.FirstDisplay+f.TemporalRef)

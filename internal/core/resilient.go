@@ -1,0 +1,356 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"mpeg2par/internal/decoder"
+	"mpeg2par/internal/frame"
+)
+
+// decodeResilient executes a planned decode. ModeSequential always runs
+// here (it is the single-worker reference the golden tests compare the
+// parallel modes against); the other modes arrive once a resilience
+// policy above FailFast is selected. All variants execute the same plan
+// (see buildPlan) — they differ only in what runs concurrently, never in
+// what gets decoded, substituted, or concealed.
+func decodeResilient(data []byte, m *StreamMap, opt Options, st *Stats) error {
+	pl, err := buildPlan(data, m, opt.Resilience)
+	if err != nil {
+		return err
+	}
+	st.Errors.Add(pl.pre)
+	switch opt.Mode {
+	case ModeSequential:
+		return decodeResilientSeq(data, m, pl, opt, st)
+	case ModeGOP:
+		return decodeResilientGOP(data, m, pl, opt, st)
+	case ModeSliceSimple, ModeSliceImproved:
+		return decodeResilientSlice(data, m, pl, opt, st)
+	}
+	return fmt.Errorf("core: unknown mode %d", int(opt.Mode))
+}
+
+// newPlanFrame allocates and tags the output frame of one planned
+// picture. Retains: 1 for the display process plus one per holder
+// (pictures that predict from, or substitute from, this frame).
+func newPlanFrame(pool *frame.Pool, p *picState) *frame.Frame {
+	f := pool.Get()
+	f.Retain(1 + p.deps)
+	f.PictureType = "?IPB"[int(p.hdr.Type)]
+	f.TemporalRef = p.hdr.TemporalReference
+	return f
+}
+
+// decodePlanPic decodes or substitutes one planned picture into its
+// frame (the single-worker-per-picture executor shared by the sequential
+// and GOP-grain modes). frames is indexed by plan-picture index; entries
+// for this picture's references and substitution source must be complete.
+func decodePlanPic(data []byte, m *StreamMap, pl *plan, frames []*frame.Frame, idx, wi int, opt Options, scr *sliceScratch) (decoder.WorkStats, ErrorStats, error) {
+	p := pl.pics[idx]
+	f := frames[idx]
+	var work decoder.WorkStats
+	var es ErrorStats
+	if p.fate == fateSubstitute {
+		var src *frame.Frame
+		if p.subFrom >= 0 {
+			src = frames[p.subFrom]
+		}
+		if !f.CopyPixelsFrom(src) {
+			f.Fill(128)
+		}
+		return work, es, nil
+	}
+	refs := decoder.Refs{}
+	if p.fwd >= 0 {
+		refs.Fwd = frames[p.fwd]
+	}
+	if p.bwd >= 0 {
+		refs.Bwd = frames[p.bwd]
+	}
+	total := p.params.MBWidth * p.params.MBHeight
+	covered := make([]bool, total)
+	nCovered := 0
+	last := len(p.rng.Slices) - 1
+	for _, group := range p.groups {
+		for _, si := range group {
+			w, addrs, err := decodeSliceRange(data, &m.Seq, &p.hdr, &p.params, p.rng.Slices[si], refs, f, wi, opt.Tracer, scr)
+			work.Add(w)
+			if err != nil {
+				if opt.Resilience == FailFast {
+					return work, es, err
+				}
+				es.DamagedSlices++
+				if si != last {
+					es.Resyncs++
+				}
+				continue
+			}
+			for _, a := range addrs {
+				if a >= 0 && a < total && !covered[a] {
+					covered[a] = true
+					nCovered++
+				}
+			}
+		}
+	}
+	if nCovered != total {
+		if opt.Resilience == FailFast {
+			return work, es, fmt.Errorf("core: picture at display %d covered %d of %d macroblocks", p.displayIdx, nCovered, total)
+		}
+		var ref *frame.Frame
+		if p.fwd >= 0 {
+			ref = frames[p.fwd]
+		} else if p.bwd >= 0 {
+			ref = frames[p.bwd]
+		}
+		mbw := p.params.MBWidth
+		for a := 0; a < total; a++ {
+			if !covered[a] {
+				decoder.ConcealMB(f, ref, a%mbw, a/mbw)
+				es.ConcealedMBs++
+			}
+		}
+	}
+	return work, es, nil
+}
+
+// finishPlan is the shared epilogue: drain the display process and fill
+// the run's bookkeeping.
+func finishPlan(pl *plan, pool *frame.Pool, disp *displayProc, st *Stats, wallStart time.Time) error {
+	displayed, dispErr := disp.finish()
+	st.Wall = time.Since(wallStart)
+	if dispErr != nil {
+		return dispErr
+	}
+	st.Pictures = len(pl.pics)
+	st.Displayed = displayed
+	ps := pool.Stats()
+	st.PeakFrameBytes = ps.PeakBytes
+	st.FramesAllocated = ps.AllocBytes
+	if displayed != len(pl.pics) {
+		return fmt.Errorf("core: displayed %d of %d pictures", displayed, len(pl.pics))
+	}
+	return nil
+}
+
+// decodeResilientSeq executes the plan on one worker in decode order —
+// the baseline every parallel mode must match bit-exactly.
+func decodeResilientSeq(data []byte, m *StreamMap, pl *plan, opt Options, st *Stats) error {
+	pool := frame.NewPool(m.Seq.Width, m.Seq.Height)
+	if opt.Resilience != FailFast {
+		pool.SetScrub(true)
+	}
+	disp := newDisplay(pool, opt.Sink)
+	frames := make([]*frame.Frame, len(pl.pics))
+	st.WorkerStats = make([]WorkerStats, 1)
+	ws := &st.WorkerStats[0]
+	var scr sliceScratch
+
+	wallStart := time.Now()
+	for idx, p := range pl.pics {
+		frames[idx] = newPlanFrame(pool, p)
+		t0 := time.Now()
+		work, es, err := decodePlanPic(data, m, pl, frames, idx, 0, opt, &scr)
+		ws.Busy += time.Since(t0)
+		ws.Tasks++
+		st.Work.Add(work)
+		st.Errors.Add(es)
+		if err != nil {
+			st.Wall = time.Since(wallStart)
+			return fmt.Errorf("core: GOP %d at byte %d: %w", p.gop, m.GOPs[p.gop].Offset, err)
+		}
+		for _, ri := range p.holds {
+			if frames[ri].Release() {
+				pool.Put(frames[ri])
+			}
+		}
+		disp.push(frames[idx], p.displayIdx)
+	}
+	return finishPlan(pl, pool, disp, st, wallStart)
+}
+
+// decodeResilientGOP executes the plan at the paper's coarse grain: one
+// task per kept GOP. The plan's per-GOP reference reset is what makes
+// each task self-contained.
+func decodeResilientGOP(data []byte, m *StreamMap, pl *plan, opt Options, st *Stats) error {
+	pool := frame.NewPool(m.Seq.Width, m.Seq.Height)
+	pool.SetScrub(true) // concealed/substituted pixels must never leak stale content
+	disp := newDisplay(pool, opt.Sink)
+	// Workers write disjoint index ranges (their own GOP's pictures), so
+	// the shared array needs no locking.
+	frames := make([]*frame.Frame, len(pl.pics))
+
+	tasks := make(chan int, len(pl.gops))
+	for gi := range pl.gops {
+		tasks <- gi
+	}
+	close(tasks)
+
+	var errs firstErr
+	st.WorkerStats = make([]WorkerStats, opt.Workers)
+	var workMu sync.Mutex
+
+	wallStart := time.Now()
+	var wg sync.WaitGroup
+	for wi := 0; wi < opt.Workers; wi++ {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			ws := &st.WorkerStats[wi]
+			var scr sliceScratch
+			for {
+				t0 := time.Now()
+				gi, ok := <-tasks
+				ws.Wait += time.Since(t0)
+				if !ok {
+					return
+				}
+				if errs.get() != nil {
+					continue // drain remaining tasks after a failure
+				}
+				pg := pl.gops[gi]
+				t1 := time.Now()
+				var work decoder.WorkStats
+				var es ErrorStats
+				failed := false
+				for idx := pg.first; idx < pg.first+pg.n; idx++ {
+					p := pl.pics[idx]
+					frames[idx] = newPlanFrame(pool, p)
+					w, e, err := decodePlanPic(data, m, pl, frames, idx, wi, opt, &scr)
+					work.Add(w)
+					es.Add(e)
+					if err != nil {
+						errs.set(fmt.Errorf("core: GOP %d at byte %d: %w", pg.g, m.GOPs[pg.g].Offset, err))
+						failed = true
+						break
+					}
+					for _, ri := range p.holds {
+						if frames[ri].Release() {
+							pool.Put(frames[ri])
+						}
+					}
+					disp.push(frames[idx], p.displayIdx)
+				}
+				ws.Busy += time.Since(t1)
+				ws.Tasks++
+				if failed {
+					continue
+				}
+				workMu.Lock()
+				st.Work.Add(work)
+				st.Errors.Add(es)
+				workMu.Unlock()
+			}
+		}(wi)
+	}
+	wg.Wait()
+	if err := errs.get(); err != nil {
+		st.Wall = time.Since(wallStart)
+		return err
+	}
+	return finishPlan(pl, pool, disp, st, wallStart)
+}
+
+// decodeResilientSlice executes the plan at the fine grain through the
+// same 2-D task queue as the legacy slice modes; a task is one
+// macroblock-row group (or the single substitution step of a dropped
+// picture), so same-row slices of a corrupted stream can never race.
+func decodeResilientSlice(data []byte, m *StreamMap, pl *plan, opt Options, st *Stats) error {
+	pool := frame.NewPool(m.Seq.Width, m.Seq.Height)
+	pool.SetScrub(true)
+	disp := newDisplay(pool, opt.Sink)
+
+	pics := pl.pics
+	q := &sliceQueue{
+		pics:     pics,
+		improved: opt.Mode == ModeSliceImproved,
+		pool:     pool,
+		depth:    opt.Workers + 4,
+	}
+	q.cond = sync.NewCond(&q.mu)
+
+	st.WorkerStats = make([]WorkerStats, opt.Workers)
+	var workMu sync.Mutex
+
+	release := func(f *frame.Frame) {
+		if f.Release() {
+			pool.Put(f)
+		}
+	}
+
+	wallStart := time.Now()
+	var wg sync.WaitGroup
+	for wi := 0; wi < opt.Workers; wi++ {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			ws := &st.WorkerStats[wi]
+			var scr sliceScratch
+			var taskAddrs []int
+			for {
+				p, ti, wait, ok := q.take()
+				ws.Wait += wait
+				if !ok {
+					return
+				}
+				t0 := time.Now()
+				var work decoder.WorkStats
+				var es ErrorStats
+				taskAddrs = taskAddrs[:0]
+				if p.fate == fateSubstitute {
+					var src *frame.Frame
+					if p.subFrom >= 0 {
+						src = pics[p.subFrom].frame
+					}
+					if !p.frame.CopyPixelsFrom(src) {
+						p.frame.Fill(128)
+					}
+				} else {
+					refs := decoder.Refs{}
+					if p.fwd >= 0 {
+						refs.Fwd = pics[p.fwd].frame
+					}
+					if p.bwd >= 0 {
+						refs.Bwd = pics[p.bwd].frame
+					}
+					last := len(p.rng.Slices) - 1
+					for _, si := range p.groups[ti] {
+						w, addrs, err := decodeSliceRange(data, &m.Seq, &p.hdr, &p.params, p.rng.Slices[si], refs, p.frame, wi, opt.Tracer, &scr)
+						work.Add(w)
+						if err != nil {
+							es.DamagedSlices++
+							if si != last {
+								es.Resyncs++
+							}
+							continue
+						}
+						taskAddrs = append(taskAddrs, addrs...)
+					}
+				}
+				ws.Busy += time.Since(t0)
+				ws.Tasks++
+				if q.finish(p, taskAddrs) {
+					if p.fate == fateDecode {
+						if miss := q.missing(p); len(miss) > 0 {
+							concealMBs(pics, p, miss)
+							es.ConcealedMBs += len(miss)
+						}
+					}
+					q.completePic(p)
+					for _, ri := range p.holds {
+						release(pics[ri].frame)
+					}
+					disp.push(p.frame, p.displayIdx)
+				}
+				workMu.Lock()
+				st.Work.Add(work)
+				st.Errors.Add(es)
+				workMu.Unlock()
+			}
+		}(wi)
+	}
+	wg.Wait()
+	return finishPlan(pl, pool, disp, st, wallStart)
+}

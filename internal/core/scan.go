@@ -29,6 +29,22 @@ type PictureRange struct {
 	Type        vlc.PictureCoding
 	TemporalRef int
 	Slices      []SliceRange
+	// Damaged marks a picture whose header prefix was unreadable at scan
+	// time (bad coding type or truncation). Only the lenient scan
+	// produces damaged pictures; the strict scan fails instead.
+	Damaged bool
+}
+
+// ScanDamage counts structural corruption the lenient scan tolerated.
+type ScanDamage struct {
+	DamagedPictures int // unreadable picture-header prefixes
+	BadHeaders      int // sequence/GOP headers that failed to parse
+	OrphanSlices    int // slices outside any picture
+}
+
+// Any reports whether the scan saw structural damage.
+func (d ScanDamage) Any() bool {
+	return d.DamagedPictures != 0 || d.BadHeaders != 0 || d.OrphanSlices != 0
 }
 
 // GOPRange locates one group of pictures. The range starts at the
@@ -49,6 +65,9 @@ type StreamMap struct {
 	TotalPictures int
 	ScanTime      time.Duration
 	Bytes         int
+	// Damage is populated by ScanLenient; the strict Scan leaves it zero
+	// (it fails on the conditions Damage would count).
+	Damage ScanDamage
 }
 
 // ScanRate returns the scan throughput in pictures per second.
@@ -62,8 +81,19 @@ func (m *StreamMap) ScanRate() float64 {
 // Scan indexes the stream: it finds every startcode, parses the sequence
 // header and the cheap picture-header prefix (temporal reference and
 // type), and groups pictures and slices into GOPs. This is exactly the
-// work the paper's dedicated scan process performs.
-func Scan(data []byte) (*StreamMap, error) {
+// work the paper's dedicated scan process performs. Structural damage is
+// a hard error; see ScanLenient for the error-resilient variant.
+func Scan(data []byte) (*StreamMap, error) { return scan(data, false) }
+
+// ScanLenient indexes a possibly damaged stream. Unparseable repeated
+// sequence headers and GOP headers are skipped, unreadable picture
+// headers produce Damaged picture ranges (so the resilience ladder can
+// substitute them), and orphan slices are dropped — all tallied in the
+// returned map's Damage field. It still fails when no sequence header or
+// no pictures survive: then there is nothing to decode at any policy.
+func ScanLenient(data []byte) (*StreamMap, error) { return scan(data, true) }
+
+func scan(data []byte, lenient bool) (*StreamMap, error) {
 	start := time.Now()
 	m := &StreamMap{Bytes: len(data)}
 	seqSeen := false
@@ -108,10 +138,24 @@ func Scan(data []byte) (*StreamMap, error) {
 			r := bits.NewReader(data[pos:])
 			seq, err := mpeg2.ParseSequenceHeader(r)
 			if err != nil {
-				return nil, fmt.Errorf("core: scan: %w", err)
+				if !lenient {
+					return nil, fmt.Errorf("core: scan: %w", err)
+				}
+				// Damaged repeated header: keep decoding with the last
+				// good geometry.
+				m.Damage.BadHeaders++
+				pendingSeqOffset = -1
+				continue
 			}
 			if seqSeen && (seq.Width != m.Seq.Width || seq.Height != m.Seq.Height) {
-				return nil, fmt.Errorf("core: scan: sequence size changes mid-stream")
+				if !lenient {
+					return nil, fmt.Errorf("core: scan: sequence size changes mid-stream")
+				}
+				// A mid-stream size change on a damaged stream is almost
+				// certainly a corrupted repeat header, not a real switch.
+				m.Damage.BadHeaders++
+				pendingSeqOffset = -1
+				continue
 			}
 			m.Seq = seq
 			seqSeen = true
@@ -125,7 +169,14 @@ func Scan(data []byte) (*StreamMap, error) {
 			r := bits.NewReader(data[pos:])
 			gh, err := mpeg2.ParseGOPHeader(r)
 			if err != nil {
-				return nil, fmt.Errorf("core: scan: %w", err)
+				if !lenient {
+					return nil, fmt.Errorf("core: scan: %w", err)
+				}
+				// Unreadable GOP header: the group boundary (the
+				// startcode) is still trustworthy, only its payload is
+				// not. Synthesize a closed group.
+				m.Damage.BadHeaders++
+				gh.Closed = true
 			}
 			curGOP = &GOPRange{Offset: off, FirstDisplay: -1, Closed: gh.Closed}
 			pendingSeqOffset = -1
@@ -141,19 +192,35 @@ func Scan(data []byte) (*StreamMap, error) {
 			}
 			closePic(i)
 			if i+5 >= len(data) {
-				return nil, fmt.Errorf("core: scan: truncated picture header at %d", i)
+				if !lenient {
+					return nil, fmt.Errorf("core: scan: truncated picture header at %d", i)
+				}
+				m.Damage.DamagedPictures++
+				curPic = &PictureRange{Offset: i, Damaged: true}
+				continue
 			}
 			// temporal_reference: 10 bits; picture_coding_type: 3 bits.
 			b0, b1 := int(data[i+4]), int(data[i+5])
 			tref := b0<<2 | b1>>6
 			ptype := vlc.PictureCoding(b1 >> 3 & 7)
 			if ptype < vlc.CodingI || ptype > vlc.CodingB {
-				return nil, fmt.Errorf("core: scan: bad picture type %d at %d", int(ptype), i)
+				if !lenient {
+					return nil, fmt.Errorf("core: scan: bad picture type %d at %d", int(ptype), i)
+				}
+				m.Damage.DamagedPictures++
+				curPic = &PictureRange{Offset: i, Damaged: true}
+				continue
 			}
 			curPic = &PictureRange{Offset: i, Type: ptype, TemporalRef: tref}
 		case code >= mpeg2.SliceStartMin && code <= mpeg2.SliceStartMax:
 			if curPic == nil {
-				return nil, fmt.Errorf("core: scan: slice startcode outside picture at %d", i)
+				if !lenient {
+					return nil, fmt.Errorf("core: scan: slice startcode outside picture at %d", i)
+				}
+				// Slices with no owning picture (the picture startcode
+				// itself was destroyed) cannot be placed; drop them.
+				m.Damage.OrphanSlices++
+				continue
 			}
 			if n := len(curPic.Slices); n > 0 {
 				curPic.Slices[n-1].End = i

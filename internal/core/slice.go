@@ -8,6 +8,7 @@ import (
 	"mpeg2par/internal/bits"
 	"mpeg2par/internal/decoder"
 	"mpeg2par/internal/frame"
+	"mpeg2par/internal/memtrace"
 	"mpeg2par/internal/mpeg2"
 	"mpeg2par/internal/vlc"
 )
@@ -26,11 +27,23 @@ type picState struct {
 	deps     int32 // number of later pictures that reference this one
 
 	frame     *frame.Frame
-	nextSlice int    // next slice to hand out
-	remaining int    // slices not yet completed
+	nextSlice int    // next task to hand out
+	nTasks    int    // tasks this picture issues (slices, row groups, or one substitute)
+	remaining int    // tasks not yet completed
 	covered   []bool // macroblocks actually reconstructed
 	nCovered  int
 	complete  bool
+
+	// Resilient-plan fields (see plan.go); unused by the legacy paths.
+	gop       int     // index into StreamMap.GOPs
+	typeKnown bool    // the coding type survived the scan
+	headerOK  bool    // the full picture header parsed
+	fate      picFate // decode from the bitstream or substitute
+	subFrom   int     // substitution source (plan index), -1 for grey
+	holds     []int   // plan indices of frames read by this picture (released on completion)
+	groups    [][]int // slice indices per macroblock-row task group
+	damaged   int     // slices whose parse/reconstruction failed
+	resyncs   int     // damaged slices recovered by a later startcode
 }
 
 // sliceQueue is the shared 2-D task queue plus the synchronization the
@@ -76,7 +89,7 @@ func (q *sliceQueue) take() (p *picState, slice int, wait time.Duration, ok bool
 			return nil, 0, time.Since(t0), false
 		}
 		// Skip over fully-issued pictures.
-		for q.issueIdx < len(q.pics) && q.pics[q.issueIdx].nextSlice >= len(q.pics[q.issueIdx].rng.Slices) {
+		for q.issueIdx < len(q.pics) && q.pics[q.issueIdx].nextSlice >= q.pics[q.issueIdx].nTasks {
 			q.issueIdx++
 		}
 		if q.issueIdx >= len(q.pics) {
@@ -109,8 +122,12 @@ func (q *sliceQueue) fail() {
 	q.mu.Unlock()
 }
 
-// finish marks one slice of p complete, recording which macroblocks it
-// reconstructed, and reports whether the picture just completed.
+// finish records one completed task of p (and which macroblocks it
+// reconstructed) and reports whether it was the picture's last. The
+// picture is NOT yet marked complete: the finishing worker still owns the
+// frame for completion work (concealing missing macroblocks) and must
+// call completePic afterwards — publishing completeness first would let
+// dependent pictures read the frame while concealment writes it.
 func (q *sliceQueue) finish(p *picState, addrs []int) bool {
 	q.mu.Lock()
 	if p.covered == nil {
@@ -124,12 +141,18 @@ func (q *sliceQueue) finish(p *picState, addrs []int) bool {
 	}
 	p.remaining--
 	done := p.remaining == 0
-	if done {
-		p.complete = true
-		q.cond.Broadcast()
-	}
 	q.mu.Unlock()
 	return done
+}
+
+// completePic publishes p as complete, waking pictures that wait on it.
+// Call only after finish returned true and all completion-time writes to
+// the frame are done.
+func (q *sliceQueue) completePic(p *picState) {
+	q.mu.Lock()
+	p.complete = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
 }
 
 // missing returns the addresses of macroblocks never reconstructed (call
@@ -183,7 +206,9 @@ func buildPicStates(data []byte, m *StreamMap) ([]*picState, error) {
 				bwd:        -1,
 				lastRef:    lastRef,
 				isRef:      hdr.Type != vlc.CodingB,
+				nTasks:     len(pr.Slices),
 				remaining:  len(pr.Slices),
+				subFrom:    -1,
 			}
 			ps.params = decoder.PictureParams(&m.Seq, &ps.hdr)
 			switch hdr.Type {
@@ -288,8 +313,10 @@ func decodeSliceMode(data []byte, m *StreamMap, opt Options, st *Stats) error {
 				workMu.Unlock()
 				if q.finish(p, addrs) {
 					// Picture complete: conceal anything the damaged
-					// slices left unwritten, release the frames it
-					// referenced, and ship it to the display process.
+					// slices left unwritten (before publishing completeness,
+					// so dependents never read a half-concealed reference),
+					// release the frames it referenced, and ship it to the
+					// display process.
 					if miss := q.missing(p); len(miss) > 0 {
 						if !opt.Conceal {
 							errs.set(fmt.Errorf("core: picture at display %d covered %d of %d macroblocks",
@@ -303,6 +330,7 @@ func decodeSliceMode(data []byte, m *StreamMap, opt Options, st *Stats) error {
 						st.Concealed += len(miss)
 						workMu.Unlock()
 					}
+					q.completePic(p)
 					for _, ri := range []int{p.fwd, p.bwd} {
 						if ri >= 0 {
 							release(pics[ri].frame)
@@ -375,18 +403,6 @@ type sliceScratch struct {
 // returned slice aliases scr.addrs and is valid until the worker's next
 // call.
 func decodeOneSlice(data []byte, m *StreamMap, pics []*picState, p *picState, si, wi int, opt Options, scr *sliceScratch) (decoder.WorkStats, []int, error) {
-	sr := p.rng.Slices[si]
-	scr.r.Reset(data[:sr.End])
-	scr.r.SeekBit(int64(sr.Offset) * 8)
-	code, err := scr.r.ReadStartCode()
-	if err != nil {
-		return decoder.WorkStats{}, nil, err
-	}
-	ds, err := mpeg2.DecodeSliceInto(&scr.r, &p.params, int(code)-1, scr.mbs)
-	scr.mbs = ds.MBs // keep the grown buffer for the next slice
-	if err != nil {
-		return decoder.WorkStats{}, nil, fmt.Errorf("core: slice row %d: %w", int(code)-1, err)
-	}
 	refs := decoder.Refs{}
 	if p.fwd >= 0 {
 		refs.Fwd = pics[p.fwd].frame
@@ -394,7 +410,27 @@ func decodeOneSlice(data []byte, m *StreamMap, pics []*picState, p *picState, si
 	if p.bwd >= 0 {
 		refs.Bwd = pics[p.bwd].frame
 	}
-	work, err := decoder.ReconSlice(&m.Seq, &p.hdr, refs, p.frame, &ds, wi, opt.Tracer)
+	return decodeSliceRange(data, &m.Seq, &p.hdr, &p.params, p.rng.Slices[si], refs, p.frame, wi, opt.Tracer, scr)
+}
+
+// decodeSliceRange parses and reconstructs the slice at sr into dst,
+// reading only the bytes the scan attributed to it — a corrupted slice
+// can therefore never run past its startcode-delimited range, which is
+// what makes mid-slice resync deterministic. The returned addresses
+// alias scr.addrs and are valid until the next call with the same scr.
+func decodeSliceRange(data []byte, seq *mpeg2.SequenceHeader, hdr *mpeg2.PictureHeader, params *mpeg2.PictureParams, sr SliceRange, refs decoder.Refs, dst *frame.Frame, wi int, tr memtrace.Tracer, scr *sliceScratch) (decoder.WorkStats, []int, error) {
+	scr.r.Reset(data[:sr.End])
+	scr.r.SeekBit(int64(sr.Offset) * 8)
+	code, err := scr.r.ReadStartCode()
+	if err != nil {
+		return decoder.WorkStats{}, nil, err
+	}
+	ds, err := mpeg2.DecodeSliceInto(&scr.r, params, int(code)-1, scr.mbs)
+	scr.mbs = ds.MBs // keep the grown buffer for the next slice
+	if err != nil {
+		return decoder.WorkStats{}, nil, fmt.Errorf("core: slice row %d: %w", int(code)-1, err)
+	}
+	work, err := decoder.ReconSlice(seq, hdr, refs, dst, &ds, wi, tr)
 	if err != nil {
 		return work, nil, err
 	}

@@ -101,16 +101,108 @@ func TestConcealFirstIntraWithoutReference(t *testing.T) {
 	}
 }
 
+// removeSlice physically excises the bytes of the given slice (scan
+// order) of the given picture — startcode through the next startcode —
+// modelling packet loss rather than corruption.
+func removeSlice(t *testing.T, data []byte, pictureIdx, sliceIdx int) []byte {
+	t.Helper()
+	find := func(from int) int {
+		for i := from; i+3 < len(data); i++ {
+			if data[i] == 0 && data[i+1] == 0 && data[i+2] == 1 {
+				return i
+			}
+		}
+		return -1
+	}
+	pics, slices := -1, -1
+	for i := find(0); i >= 0; i = find(i + 4) {
+		code := data[i+3]
+		if code == 0x00 {
+			pics++
+			slices = -1
+		}
+		if code >= 0x01 && code <= 0xAF && pics == pictureIdx {
+			slices++
+			if slices == sliceIdx {
+				end := find(i + 4)
+				if end < 0 {
+					end = len(data)
+				}
+				out := append([]byte(nil), data[:i]...)
+				return append(out, data[end:]...)
+			}
+		}
+	}
+	t.Fatalf("slice %d of picture %d not found", sliceIdx, pictureIdx)
+	return nil
+}
+
+// TestConcealFirstSliceDropped pins coverage tracking when the FIRST
+// slice of a picture is lost outright: the picture opens with no row-0
+// data, coverage must notice the leading hole, and concealment fills it
+// from the reference.
+func TestConcealFirstSliceDropped(t *testing.T) {
+	res := testStream(t, encoder.Config{Width: 96, Height: 64, Pictures: 7, GOPSize: 7})
+	mut := removeSlice(t, res.Data, 1, 0) // P picture, first slice
+
+	// Without concealment the hole is a hard error.
+	d, err := New(mut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.All(); err == nil {
+		t.Fatal("missing first slice must fail without concealment")
+	}
+
+	d2, err := New(mut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2.Conceal = true
+	frames, err := d2.All()
+	if err != nil {
+		t.Fatalf("concealed decode failed: %v", err)
+	}
+	if len(frames) != 7 {
+		t.Fatalf("decoded %d frames, want 7", len(frames))
+	}
+	// The first macroblock row is 96/16 = 6 macroblocks; at least those
+	// must have been concealed.
+	if d2.Concealed < 6 {
+		t.Fatalf("concealed %d macroblocks, want at least the 6 of row 0", d2.Concealed)
+	}
+	src := frame.NewSynth(96, 64)
+	for i, f := range frames {
+		if p := frame.PSNR(src.Frame(i), f); p < 15 {
+			t.Errorf("frame %d PSNR %.1f dB after first-slice loss", i, p)
+		}
+	}
+}
+
 func TestConcealMBGreyFallback(t *testing.T) {
 	dst := frame.New(32, 32)
 	ConcealMB(dst, nil, 1, 1)
 	if dst.Y[17*dst.CodedW+17] != 128 || dst.Cb[9*dst.CodedW/2+9] != 128 {
 		t.Fatal("grey fallback not applied")
 	}
-	// Mismatched reference geometry also falls back to grey.
-	ConcealMB(dst, frame.New(64, 64), 0, 0)
-	if dst.Y[0] != 128 {
-		t.Fatal("geometry mismatch should fall back to grey")
+	// Mismatched reference geometry also falls back to grey — in every
+	// mismatch direction, and without consulting the reference's pixels.
+	for _, ref := range []*frame.Frame{
+		frame.New(64, 64), // both dimensions differ
+		frame.New(64, 32), // width only
+		frame.New(32, 64), // height only
+	} {
+		for i := range ref.Y {
+			ref.Y[i] = 201 // sentinel: must never leak into dst
+		}
+		dst := frame.New(32, 32)
+		ConcealMB(dst, ref, 0, 0)
+		if dst.Y[0] != 128 || dst.Y[15*dst.CodedW+15] != 128 {
+			t.Fatalf("ref %dx%d: mismatch should fall back to grey", ref.CodedW, ref.CodedH)
+		}
+		if dst.Cb[0] != 128 || dst.Cr[7*dst.CodedW/2+7] != 128 {
+			t.Fatalf("ref %dx%d: chroma not grey", ref.CodedW, ref.CodedH)
+		}
 	}
 }
 

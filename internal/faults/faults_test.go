@@ -1,0 +1,174 @@
+package faults
+
+import (
+	"bytes"
+	"testing"
+
+	"mpeg2par/internal/encoder"
+	"mpeg2par/internal/frame"
+)
+
+func testStream(t testing.TB) []byte {
+	t.Helper()
+	res, err := encoder.EncodeSequence(encoder.Config{
+		Width: 80, Height: 48, Pictures: 8, GOPSize: 4, RepeatSequenceHeader: true,
+	}, frame.NewSynth(80, 48))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Data
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	for _, s := range []string{
+		"bitflip:8",
+		"burst:count=2,len=16",
+		"truncate:0.9",
+		"dropslice:3",
+		"droppic:1",
+		"gilbert:loss=0.02,burst=4,pkt=188",
+		"none",
+	} {
+		sp, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s, err)
+		}
+		sp2, err := Parse(sp.String())
+		if err != nil {
+			t.Fatalf("Parse(String(%q)) = %q: %v", s, sp.String(), err)
+		}
+		if sp != sp2 {
+			t.Fatalf("round trip %q: %+v != %+v", s, sp, sp2)
+		}
+	}
+	for _, s := range []string{"explode", "bitflip:x", "truncate:2", "gilbert:burst=0.1", "bitflip:n=0"} {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) should fail", s)
+		}
+	}
+}
+
+func TestApplyDeterministic(t *testing.T) {
+	data := testStream(t)
+	for _, spec := range []string{
+		"bitflip:16", "burst:count=3,len=12", "truncate:0.7",
+		"dropslice:4", "droppic:2", "gilbert:loss=0.2,burst=3,pkt=32",
+	} {
+		sp, err := Parse(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, ra := sp.Apply(data, 42)
+		b, rb := sp.Apply(data, 42)
+		if !bytes.Equal(a, b) || ra != rb {
+			t.Fatalf("%s: same seed produced different corruption", spec)
+		}
+		if ra.Events == 0 {
+			t.Errorf("%s: no faults applied", spec)
+		}
+		if sp.Kind == Truncate {
+			continue // the cut point is seed-independent by design
+		}
+		c, _ := sp.Apply(data, 43)
+		if bytes.Equal(a, c) {
+			t.Errorf("%s: different seeds produced identical corruption", spec)
+		}
+	}
+}
+
+func TestApplyLeavesInputAndHeaderIntact(t *testing.T) {
+	data := testStream(t)
+	orig := append([]byte(nil), data...)
+	protect := protectedPrefix(data)
+	if protect < 8 {
+		t.Fatalf("protected prefix %d suspiciously small", protect)
+	}
+	for _, spec := range []string{"bitflip:64", "burst:count=8,len=32", "gilbert:loss=0.2,burst=2,pkt=32"} {
+		sp, err := Parse(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for seed := int64(0); seed < 8; seed++ {
+			out, _ := sp.Apply(data, seed)
+			if !bytes.Equal(data, orig) {
+				t.Fatalf("%s: Apply mutated its input", spec)
+			}
+			if len(out) < protect || !bytes.Equal(out[:protect], orig[:protect]) {
+				t.Fatalf("%s seed %d: sequence header damaged", spec, seed)
+			}
+		}
+	}
+}
+
+func TestDropSliceRemovesSliceBytes(t *testing.T) {
+	data := testStream(t)
+	slices := sliceRanges(data, protectedPrefix(data))
+	if len(slices) == 0 {
+		t.Fatal("no slices indexed")
+	}
+	sp := Spec{Kind: DropSlice, Count: 2}
+	out, rep := sp.Apply(data, 7)
+	if rep.Events != 2 || rep.BytesDropped == 0 {
+		t.Fatalf("drop report %+v", rep)
+	}
+	if len(out) != len(data)-rep.BytesDropped {
+		t.Fatalf("dropped %d bytes but stream shrank by %d", rep.BytesDropped, len(data)-len(out))
+	}
+}
+
+func TestDropPictureRanges(t *testing.T) {
+	data := testStream(t)
+	pics := pictureRanges(data, protectedPrefix(data))
+	if len(pics) != 8 {
+		t.Fatalf("indexed %d pictures, want 8", len(pics))
+	}
+	for _, r := range pics {
+		if r.End <= r.Start {
+			t.Fatalf("inverted picture range %+v", r)
+		}
+	}
+	out, rep := Spec{Kind: DropPicture, Count: 1}.Apply(data, 3)
+	if rep.Events != 1 {
+		t.Fatalf("report %+v", rep)
+	}
+	if got := pictureRanges(out, protectedPrefix(out)); len(got) != 7 {
+		t.Fatalf("%d pictures survive a single-picture drop, want 7", len(got))
+	}
+}
+
+func TestTruncateKeepsFraction(t *testing.T) {
+	data := testStream(t)
+	out, rep := Spec{Kind: Truncate, Rate: 0.5}.Apply(data, 1)
+	if len(out) != len(data)/2 {
+		t.Fatalf("kept %d of %d bytes", len(out), len(data))
+	}
+	if rep.BytesDropped != len(data)-len(out) {
+		t.Fatalf("report %+v", rep)
+	}
+}
+
+func TestGilbertLossRate(t *testing.T) {
+	// Over a long synthetic payload the realized loss rate should land
+	// near the configured stationary rate.
+	data := make([]byte, 1<<20)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	sp := Spec{Kind: PacketLoss, Len: 188, Rate: 0.10, Burst: 5}
+	out, rep := sp.Apply(data, 9)
+	lost := float64(rep.BytesDropped) / float64(len(data))
+	if lost < 0.05 || lost > 0.20 {
+		t.Fatalf("realized loss %.3f, configured 0.10", lost)
+	}
+	if len(out)+rep.BytesDropped != len(data) {
+		t.Fatalf("byte accounting off: %d + %d != %d", len(out), rep.BytesDropped, len(data))
+	}
+}
+
+func TestNoneIsIdentity(t *testing.T) {
+	data := testStream(t)
+	out, rep := Spec{Kind: None}.Apply(data, 5)
+	if !bytes.Equal(out, data) || rep.Events != 0 {
+		t.Fatalf("none corrupted the stream: %+v", rep)
+	}
+}

@@ -101,6 +101,33 @@ func sliceEqual(a, b []uint8) bool {
 	return true
 }
 
+// Fill sets every sample of all three planes to v (mid-grey 128 is the
+// error-concealment background when no reference picture exists).
+func (f *Frame) Fill(v uint8) {
+	for _, pl := range [][]uint8{f.Y, f.Cb, f.Cr} {
+		if len(pl) == 0 {
+			continue
+		}
+		pl[0] = v
+		for n := 1; n < len(pl); n *= 2 {
+			copy(pl[n:], pl[:n])
+		}
+	}
+}
+
+// CopyPixelsFrom copies src's planes into f when the coded geometries
+// match, reporting whether the copy happened. Whole-picture substitution
+// under error resilience uses this to repeat a reference frame.
+func (f *Frame) CopyPixelsFrom(src *Frame) bool {
+	if src == nil || src.CodedW != f.CodedW || src.CodedH != f.CodedH {
+		return false
+	}
+	copy(f.Y, src.Y)
+	copy(f.Cb, src.Cb)
+	copy(f.Cr, src.Cr)
+	return true
+}
+
 // PSNR returns the luma peak signal-to-noise ratio between two frames of
 // identical display size, in dB. Identical frames return +Inf.
 func PSNR(a, b *Frame) float64 {

@@ -34,6 +34,7 @@ import (
 	"mpeg2par/internal/core"
 	"mpeg2par/internal/decoder"
 	"mpeg2par/internal/encoder"
+	"mpeg2par/internal/faults"
 	"mpeg2par/internal/frame"
 	"mpeg2par/internal/memmodel"
 	"mpeg2par/internal/memtrace"
@@ -112,12 +113,43 @@ func DecodeAll(data []byte) ([]*Frame, error) {
 // Mode selects the parallelization strategy.
 type Mode = core.Mode
 
-// The decoder variants the paper evaluates.
+// The decoder variants the paper evaluates, plus the single-worker
+// planned executor the resilient modes are verified against.
 const (
 	ModeGOP           = core.ModeGOP
 	ModeSliceSimple   = core.ModeSliceSimple
 	ModeSliceImproved = core.ModeSliceImproved
+	ModeSequential    = core.ModeSequential
 )
+
+// Resilience selects how the decoder reacts to damaged streams; every
+// policy produces bit-identical output in all decode modes.
+type Resilience = core.Resilience
+
+// The resilience policy ladder, most to least strict.
+const (
+	FailFast       = core.FailFast
+	ConcealSlice   = core.ConcealSlice
+	ConcealPicture = core.ConcealPicture
+	DropGOP        = core.DropGOP
+)
+
+// ParseResilience reads a policy name ("failfast", "conceal-slice",
+// "conceal-picture", "drop-gop" and short aliases).
+func ParseResilience(s string) (Resilience, error) { return core.ParseResilience(s) }
+
+// ErrorStats counts the damage a resilient decode recovered from.
+type ErrorStats = core.ErrorStats
+
+// FaultSpec describes one deterministic stream corruption.
+type FaultSpec = faults.Spec
+
+// FaultReport summarizes the corruption an injection applied.
+type FaultReport = faults.Report
+
+// ParseFaultSpec reads a fault spec such as "bitflip:8" or
+// "gilbert:loss=0.02,burst=4,pkt=188" (see internal/faults).
+func ParseFaultSpec(s string) (FaultSpec, error) { return faults.Parse(s) }
 
 // Options configures a parallel decode.
 type Options = core.Options
