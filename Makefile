@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: verify vet build test race bench perf fuzz faults
+.PHONY: verify vet build test race bench perf fuzz faults stream compat
 
-verify: vet build race bench ## full CI gate: vet + build + race tests + bench smoke
+verify: vet build race bench stream compat ## full CI gate: vet + build + race tests + bench smoke + streaming race + compat shims
 
 vet:
 	$(GO) vet ./...
@@ -19,6 +19,18 @@ race:
 bench:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
+# Streaming pipeline under the race detector: chunk-boundary scans,
+# backpressure, cancellation teardown, and the public Decode API.
+stream:
+	$(GO) test -race ./internal/stream/ .
+
+# Deprecated-wrapper compatibility: vet the shims (deprecation-aware),
+# build a client of the old entry points, and pin old-vs-new agreement.
+compat:
+	$(GO) vet .
+	$(GO) build .
+	$(GO) test -run 'TestDeprecatedCompat|Example' .
+
 # Append a perf-trajectory run to the current BENCH_<n>.json.
 perf:
 	$(GO) run ./cmd/mpeg2bench -perf -label $(or $(LABEL),local)
@@ -30,6 +42,7 @@ fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzScan -fuzztime=$(FUZZTIME) ./internal/core
 	$(GO) test -run=NONE -fuzz=FuzzResilientDecode -fuzztime=$(FUZZTIME) ./internal/core
 	$(GO) test -run=NONE -fuzz=FuzzDecode -fuzztime=$(FUZZTIME) ./internal/decoder
+	$(GO) test -run=NONE -fuzz=FuzzStreamScan -fuzztime=$(FUZZTIME) ./internal/stream
 
 # Corruption sweep: PSNR vs loss rate under each resilience policy.
 faults:

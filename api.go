@@ -1,0 +1,112 @@
+package mpeg2par
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"runtime"
+
+	"mpeg2par/internal/core"
+	"mpeg2par/internal/frame"
+	"mpeg2par/internal/stream"
+)
+
+// Source is where a decode reads its elementary stream from. Construct
+// one with FromBytes or FromReader; the zero Source is invalid.
+type Source struct {
+	r io.Reader
+}
+
+// FromBytes sources a decode from an in-memory elementary stream.
+func FromBytes(data []byte) Source {
+	return Source{r: bytes.NewReader(data)}
+}
+
+// FromReader sources a decode from r. The stream is consumed
+// incrementally: the pipeline holds only the scan-ahead window in
+// memory (see WithMaxInFlight), so r may be a file, a socket, or any
+// other reader far larger than memory.
+func FromReader(r io.Reader) Source {
+	return Source{r: r}
+}
+
+// FrameSink receives every decoded frame in display order, called from
+// the display process. The frame is only valid during the call (it
+// returns to the frame pool afterwards); Clone it to keep it.
+type FrameSink func(*Frame)
+
+// Option configures Decode.
+type Option func(*decodeConfig)
+
+type decodeConfig struct {
+	opt stream.Options
+}
+
+// WithMode selects the parallelization strategy (default
+// ModeSliceImproved, the paper's best-scaling variant).
+func WithMode(m Mode) Option {
+	return func(c *decodeConfig) { c.opt.Mode = m }
+}
+
+// WithWorkers sets the number of worker processes (default: the number
+// of CPUs).
+func WithWorkers(n int) Option {
+	return func(c *decodeConfig) { c.opt.Workers = n }
+}
+
+// WithResilience selects the error-resilience policy (default
+// FailFast). Every policy produces bit-identical output in all modes.
+func WithResilience(p Resilience) Option {
+	return func(c *decodeConfig) { c.opt.Resilience = p }
+}
+
+// WithFrameSink delivers decoded frames, in display order, to sink.
+func WithFrameSink(sink FrameSink) Option {
+	return func(c *decodeConfig) {
+		if sink == nil {
+			c.opt.Sink = nil
+			return
+		}
+		c.opt.Sink = func(f *frame.Frame) { sink(f) }
+	}
+}
+
+// WithMaxInFlight bounds the scan-ahead window: how many groups of
+// pictures may be buffered or decoding at once before the scan process
+// blocks. Smaller values cut peak memory (Stats.PeakInFlightBytes);
+// larger values let the scan run further ahead. Zero (the default)
+// selects 2×workers+2.
+func WithMaxInFlight(n int) Option {
+	return func(c *decodeConfig) { c.opt.MaxInFlight = n }
+}
+
+// WithChunkSize sets the read granularity over the source (default
+// 64 KiB).
+func WithChunkSize(n int) Option {
+	return func(c *decodeConfig) { c.opt.ChunkSize = n }
+}
+
+// Decode runs the streaming parallel decoder over src: an incremental
+// scan process discovers groups of pictures chunk by chunk and feeds
+// them to the worker pool as soon as they close, the configured mode's
+// workers decode them, and the display process delivers frames in
+// display order to the sink — all while the rest of the stream is still
+// being read. Peak buffered-stream memory is bounded by the scan-ahead
+// window, never by stream length.
+//
+// Cancelling ctx (or exceeding its deadline) tears the pipeline down —
+// scan, workers, and display — without goroutine leaks or frame-pool
+// loss, and Decode returns the context's error.
+//
+// The returned Stats are non-nil even alongside an error, carrying the
+// teardown gauges (notably Stats.LeakedFrameBytes, always zero).
+func Decode(ctx context.Context, src Source, opts ...Option) (*Stats, error) {
+	cfg := decodeConfig{opt: stream.Options{Options: core.Options{
+		Mode:    core.ModeSliceImproved,
+		Workers: runtime.NumCPU(),
+	}}}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return stream.Decode(ctx, src.r, cfg.opt)
+}

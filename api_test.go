@@ -1,0 +1,144 @@
+package mpeg2par_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+
+	"mpeg2par"
+)
+
+func apiStream(t testing.TB) *mpeg2par.Stream {
+	t.Helper()
+	res, err := mpeg2par.GenerateStream(mpeg2par.StreamConfig{
+		Width: 96, Height: 64, Pictures: 12, GOPSize: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestDecodeSourcesMatch: FromBytes and FromReader must both reproduce
+// the sequential baseline bit-exactly in every mode.
+func TestDecodeSourcesMatch(t *testing.T) {
+	res := apiStream(t)
+	want, err := mpeg2par.DecodeAll(res.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []mpeg2par.Mode{
+		mpeg2par.ModeSequential, mpeg2par.ModeGOP,
+		mpeg2par.ModeSliceSimple, mpeg2par.ModeSliceImproved,
+	} {
+		for _, src := range []struct {
+			name string
+			s    mpeg2par.Source
+		}{
+			{"bytes", mpeg2par.FromBytes(res.Data)},
+			{"reader", mpeg2par.FromReader(bytes.NewReader(res.Data))},
+		} {
+			var got []*mpeg2par.Frame
+			st, err := mpeg2par.Decode(context.Background(), src.s,
+				mpeg2par.WithMode(mode),
+				mpeg2par.WithWorkers(3),
+				mpeg2par.WithChunkSize(777),
+				mpeg2par.WithFrameSink(func(f *mpeg2par.Frame) { got = append(got, f.Clone()) }),
+			)
+			if err != nil {
+				t.Fatalf("%v %s: %v", mode, src.name, err)
+			}
+			if st.Displayed != len(want) || len(got) != len(want) {
+				t.Fatalf("%v %s: displayed %d (sink %d), want %d", mode, src.name, st.Displayed, len(got), len(want))
+			}
+			for i := range want {
+				if !got[i].Equal(want[i]) {
+					t.Fatalf("%v %s: frame %d differs from sequential decode", mode, src.name, i)
+				}
+			}
+		}
+	}
+}
+
+// TestDecodeOptionWiring checks the functional options reach the
+// pipeline: resilience, window, and worker settings show up in Stats.
+func TestDecodeOptionWiring(t *testing.T) {
+	res := apiStream(t)
+	st, err := mpeg2par.Decode(context.Background(), mpeg2par.FromBytes(res.Data),
+		mpeg2par.WithMode(mpeg2par.ModeGOP),
+		mpeg2par.WithWorkers(2),
+		mpeg2par.WithResilience(mpeg2par.ConcealSlice),
+		mpeg2par.WithMaxInFlight(1),
+		mpeg2par.WithChunkSize(512),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Mode != mpeg2par.ModeGOP || st.Workers != 2 {
+		t.Fatalf("stats report mode %v workers %d", st.Mode, st.Workers)
+	}
+	if st.PeakInFlightBytes <= 0 || st.PeakInFlightBytes >= int64(len(res.Data)) {
+		t.Fatalf("peak in-flight %d not bounded below stream length %d", st.PeakInFlightBytes, len(res.Data))
+	}
+	if st.LeakedFrameBytes != 0 {
+		t.Fatalf("leaked %d frame bytes", st.LeakedFrameBytes)
+	}
+}
+
+// TestDecodeCancel: a cancelled context surfaces context.Canceled with
+// teardown-clean stats.
+func TestDecodeCancel(t *testing.T) {
+	res := apiStream(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	st, err := mpeg2par.Decode(ctx, mpeg2par.FromBytes(res.Data))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v, want context.Canceled", err)
+	}
+	if st == nil || st.LeakedFrameBytes != 0 {
+		t.Fatalf("teardown stats %+v", st)
+	}
+}
+
+// TestDeprecatedCompat keeps the deprecated wrappers working and
+// agreeing with their replacements (built by `make compat` alongside
+// go vet's deprecation-aware analysis).
+func TestDeprecatedCompat(t *testing.T) {
+	res := apiStream(t)
+
+	m1, err := mpeg2par.Scan(res.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := mpeg2par.ScanReader(bytes.NewReader(res.Data), 333)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.TotalPictures != m2.TotalPictures || len(m1.GOPs) != len(m2.GOPs) || m1.Bytes != m2.Bytes {
+		t.Fatalf("ScanReader map (%d pics, %d GOPs) differs from Scan (%d pics, %d GOPs)",
+			m2.TotalPictures, len(m2.GOPs), m1.TotalPictures, len(m1.GOPs))
+	}
+
+	frames, err := mpeg2par.DecodeAll(res.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	identical := true
+	st, err := mpeg2par.DecodeParallel(res.Data, mpeg2par.Options{
+		Mode: mpeg2par.ModeGOP, Workers: 2,
+		Sink: func(f *mpeg2par.Frame) {
+			if i < len(frames) && !f.Equal(frames[i]) {
+				identical = false
+			}
+			i++
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Displayed != len(frames) || !identical {
+		t.Fatalf("DecodeParallel displayed %d (identical=%v), want %d", st.Displayed, identical, len(frames))
+	}
+}

@@ -3,19 +3,29 @@
 // throughput, per-worker time breakdowns and memory usage. Output can be
 // written as raw planar YUV 4:2:0 for inspection.
 //
+// Decoding streams through the context-first pipeline: the input —
+// a file, or stdin when the argument is "-" — is read incrementally,
+// groups of pictures are decoded as the scan discovers them, and peak
+// buffered-stream memory stays bounded by the scan-ahead window
+// (-inflight). -timeout aborts a stuck or oversized decode cleanly.
+//
 // A resilience policy turns damaged streams from hard errors into
 // recovered decodes (identical in every mode), and -fault/-seed inject
-// deterministic corruption for testing the policies end to end.
+// deterministic corruption for testing the policies end to end
+// (fault injection materializes the stream in memory first).
 //
 // Usage:
 //
 //	mpeg2dec -mode slice-improved -workers 4 -yuv out.yuv stream.m2v
+//	cat stream.m2v | mpeg2dec -mode gop -workers 4 -timeout 30s -
 //	mpeg2dec -resilience conceal-slice -fault gilbert:loss=0.01,pkt=188 stream.m2v
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -31,13 +41,11 @@ func main() {
 		"damage policy: failfast, conceal-slice, conceal-picture, drop-gop")
 	fault := flag.String("fault", "", "inject a fault before decoding, e.g. bitflip:8 or gilbert:loss=0.02,pkt=188")
 	seed := flag.Int64("seed", 1, "fault-injection seed (with -fault)")
+	timeout := flag.Duration("timeout", 0, "abort the decode after this long (0 = no limit)")
+	inflight := flag.Int("inflight", 0, "scan-ahead window in GOPs (0 = 2*workers+2)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fatal("usage: mpeg2dec [flags] stream.m2v")
-	}
-	data, err := os.ReadFile(flag.Arg(0))
-	if err != nil {
-		fatal("%v", err)
+		fatal("usage: mpeg2dec [flags] stream.m2v|-")
 	}
 
 	policy, err := mpeg2par.ParseResilience(*resilience)
@@ -48,7 +56,15 @@ func main() {
 		policy = mpeg2par.ConcealSlice
 	}
 
+	// The source: a reader streamed incrementally, unless fault
+	// injection needs the whole stream in memory first.
+	var src mpeg2par.Source
+	var in io.ReadCloser
 	if *fault != "" {
+		data, err := readAll(flag.Arg(0))
+		if err != nil {
+			fatal("%v", err)
+		}
 		sp, err := mpeg2par.ParseFaultSpec(*fault)
 		if err != nil {
 			fatal("%v", err)
@@ -57,6 +73,23 @@ func main() {
 		data, rep = sp.Apply(data, *seed)
 		fmt.Printf("injected %s seed %d: %d events, %d bits flipped, %d bytes corrupted, %d bytes dropped (%d -> %d bytes)\n",
 			rep.Spec, rep.Seed, rep.Events, rep.BitsFlipped, rep.BytesCorrupted, rep.BytesDropped, rep.InLen, rep.OutLen)
+		src = mpeg2par.FromBytes(data)
+	} else if flag.Arg(0) == "-" {
+		src = mpeg2par.FromReader(os.Stdin)
+	} else {
+		in, err = os.Open(flag.Arg(0))
+		if err != nil {
+			fatal("%v", err)
+		}
+		defer in.Close()
+		src = mpeg2par.FromReader(in)
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	var sinkFile *os.File
@@ -82,28 +115,6 @@ func main() {
 		}
 	}
 
-	// The plain sequential decoder handles only the failfast/conceal pair;
-	// the policy ladder routes "seq" through the core's planned sequential
-	// executor instead, which shares resilience with the parallel modes.
-	if *mode == "seq" && policy == mpeg2par.FailFast {
-		start := time.Now()
-		d, err := mpeg2par.NewDecoder(data)
-		if err != nil {
-			fatal("%v", err)
-		}
-		frames, err := d.All()
-		if err != nil {
-			fatal("decode: %v", err)
-		}
-		for _, f := range frames {
-			writeFrame(f)
-		}
-		wall := time.Since(start)
-		fmt.Printf("sequential: %d pictures in %v (%.1f pics/s)\n",
-			len(frames), wall.Round(time.Millisecond), float64(len(frames))/wall.Seconds())
-		return
-	}
-
 	var m mpeg2par.Mode
 	switch *mode {
 	case "seq":
@@ -117,19 +128,27 @@ func main() {
 	default:
 		fatal("unknown mode %q", *mode)
 	}
-	stats, err := mpeg2par.DecodeParallel(data, mpeg2par.Options{
-		Mode:       m,
-		Workers:    *workers,
-		Sink:       writeFrame,
-		Resilience: policy,
-	})
+
+	stats, err := mpeg2par.Decode(ctx, src,
+		mpeg2par.WithMode(m),
+		mpeg2par.WithWorkers(*workers),
+		mpeg2par.WithResilience(policy),
+		mpeg2par.WithFrameSink(writeFrame),
+		mpeg2par.WithMaxInFlight(*inflight),
+	)
 	if err != nil {
+		if ctx.Err() != nil {
+			fatal("decode aborted after %v: %v (displayed %d of %d pictures)",
+				*timeout, err, stats.Displayed, stats.Pictures)
+		}
 		fatal("decode: %v", err)
 	}
 	fmt.Printf("%s x%d (%s): %d pictures in %v (%.1f pics/s), scan %.0f pics/s\n",
 		*mode, *workers, policy, stats.Pictures, stats.Wall.Round(time.Millisecond),
 		stats.PicturesPerSecond(), stats.ScanRate)
 	fmt.Printf("peak frame memory: %.2f MB\n", float64(stats.PeakFrameBytes)/(1<<20))
+	fmt.Printf("peak in-flight stream bytes: %.1f KB (scan lead %d pictures)\n",
+		float64(stats.PeakInFlightBytes)/(1<<10), stats.ScanLeadPeak)
 	if stats.Errors.Any() {
 		fmt.Printf("recovered damage: %s\n", stats.Errors)
 	}
@@ -140,6 +159,13 @@ func main() {
 		fmt.Printf("  worker %2d: busy %-12v wait %-12v tasks %d\n",
 			i, ws.Busy.Round(time.Microsecond), ws.Wait.Round(time.Microsecond), ws.Tasks)
 	}
+}
+
+func readAll(path string) ([]byte, error) {
+	if path == "-" {
+		return io.ReadAll(os.Stdin)
+	}
+	return os.ReadFile(path)
 }
 
 func fatal(format string, args ...any) {

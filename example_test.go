@@ -1,6 +1,8 @@
 package mpeg2par_test
 
 import (
+	"bytes"
+	"context"
 	"fmt"
 
 	"mpeg2par"
@@ -59,6 +61,42 @@ func ExampleDecodeParallel() {
 	// Output:
 	// pictures: 8
 	// bit-exact with sequential decode: true
+}
+
+// ExampleDecode is the streaming quick start: decode from any
+// io.Reader under a context, receiving frames in display order while
+// the stream is still being read.
+func ExampleDecode() {
+	stream, err := mpeg2par.GenerateStream(mpeg2par.StreamConfig{
+		Width: 96, Height: 64, Pictures: 8, GOPSize: 4,
+	})
+	if err != nil {
+		panic(err)
+	}
+	// Any io.Reader works as a source; a file or socket would stream in
+	// bounded memory just the same.
+	src := mpeg2par.FromReader(bytes.NewReader(stream.Data))
+
+	inOrder := true
+	next := 0
+	stats, err := mpeg2par.Decode(context.Background(), src,
+		mpeg2par.WithMode(mpeg2par.ModeSliceImproved),
+		mpeg2par.WithWorkers(3),
+		mpeg2par.WithFrameSink(func(f *mpeg2par.Frame) {
+			if f.DisplayIndex != next {
+				inOrder = false
+			}
+			next++
+		}),
+	)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("frames displayed:", stats.Displayed)
+	fmt.Println("in display order:", inOrder)
+	// Output:
+	// frames displayed: 8
+	// in display order: true
 }
 
 // ExampleScan shows the structural index the scan process builds — the

@@ -76,6 +76,25 @@ type Options struct {
 	// executor, where all scheduling modes produce bit-identical frames
 	// and identical ErrorStats for the same damaged stream.
 	Resilience Resilience
+
+	// MaxInFlight bounds the streaming pipeline's scan-ahead window: how
+	// many GOP units may be buffered or decoding at once before the scan
+	// process blocks (backpressure). Zero selects 2×Workers+2. The batch
+	// paths ignore it.
+	MaxInFlight int
+}
+
+// EffectiveMaxInFlight resolves the scan-ahead window for the streaming
+// pipeline.
+func (o Options) EffectiveMaxInFlight() int {
+	if o.MaxInFlight > 0 {
+		return o.MaxInFlight
+	}
+	w := o.Workers
+	if w < 1 {
+		w = 1
+	}
+	return 2*w + 2
 }
 
 // WorkerStats describes one worker process's time breakdown.
@@ -125,6 +144,23 @@ type Stats struct {
 	PeakFrameBytes int64
 	// FramesAllocated is the cumulative number of distinct frame buffers.
 	FramesAllocated int64
+
+	// Streaming-pipeline gauges (zero on the batch paths).
+
+	// PeakInFlightBytes is the high watermark of buffered bitstream
+	// bytes: the scan window plus GOP task buffers not yet decoded. It is
+	// bounded by the scan-ahead window (Options.MaxInFlight) and the GOP
+	// size, never by stream length — the paper's §5 memory claim, made
+	// measurable.
+	PeakInFlightBytes int64
+	// ScanLeadPeak is the peak of pictures scanned minus pictures
+	// displayed: how far the scan process ran ahead of the display
+	// process.
+	ScanLeadPeak int
+	// LeakedFrameBytes counts frame-pool bytes unaccounted for at
+	// pipeline teardown. It is zero on every clean or cancelled run; the
+	// cancellation tests assert it.
+	LeakedFrameBytes int64
 
 	// Profiles (only with Options.Profile).
 	GOPCosts  []TaskCost

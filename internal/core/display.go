@@ -62,6 +62,23 @@ func (d *displayProc) push(f *frame.Frame, idx int) {
 	}
 }
 
+// count returns the number of pictures displayed so far (the streaming
+// pipeline's scan-lead gauge samples it).
+func (d *displayProc) count() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.displayed
+}
+
+// abandon drops the undisplayed pictures still waiting in the reorder
+// buffer (cancelled-pipeline teardown; the frames themselves are
+// reclaimed by the executor's pool sweep).
+func (d *displayProc) abandon() {
+	d.mu.Lock()
+	d.pending = make(map[int]*frame.Frame)
+	d.mu.Unlock()
+}
+
 // finish checks that every picture was displayed.
 func (d *displayProc) finish() (int, error) {
 	d.mu.Lock()

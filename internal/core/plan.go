@@ -43,176 +43,204 @@ type plan struct {
 	pre ErrorStats
 }
 
+// planBuilder grows a plan one group of pictures at a time. The batch
+// path feeds it every GOP of a finished scan; the streaming path feeds
+// it each GOP as the incremental scanner closes it — the decisions are
+// identical because nothing in the planning of a GOP looks ahead.
+type planBuilder struct {
+	seq    *mpeg2.SequenceHeader
+	policy Resilience
+	pl     plan
+
+	displayBase int
+	lastRef     int // most recent reference picture, across GOPs (a
+	// scheduling barrier for the improved slice mode, not a data
+	// dependency: prediction references never cross GOP boundaries here).
+}
+
+func newPlanBuilder(seq *mpeg2.SequenceHeader, policy Resilience) *planBuilder {
+	return &planBuilder{seq: seq, policy: policy, lastRef: -1}
+}
+
 // buildPlan resolves a lenient (or strict) scan into a decode plan under
 // the given resilience policy. FailFast and ConcealSlice treat
 // picture-level damage as a hard error; ConcealPicture substitutes such
 // pictures; DropGOP additionally removes groups with no decodable intra
 // anchor.
 func buildPlan(data []byte, m *StreamMap, policy Resilience) (*plan, error) {
-	pl := &plan{}
-	displayBase := 0
-	lastRef := -1 // most recent reference picture, across GOPs (a
-	// scheduling barrier for the improved slice mode, not a data
-	// dependency: prediction references never cross GOP boundaries here).
+	b := newPlanBuilder(&m.Seq, policy)
 	for g := range m.GOPs {
-		gop := &m.GOPs[g]
-		n := len(gop.Pictures)
-		if n == 0 {
+		if _, err := b.addGOP(data, g, &m.GOPs[g]); err != nil {
+			return nil, err
+		}
+	}
+	return &b.pl, nil
+}
+
+// addGOP plans one group of pictures. data holds the bytes the group's
+// offsets index into — the whole stream on the batch path, the group's
+// own copied buffer on the streaming path (each planned picture keeps a
+// reference to it). It returns the pictures appended to the plan, nil
+// when the policy dropped the group.
+func (b *planBuilder) addGOP(data []byte, g int, gop *GOPRange) ([]*picState, error) {
+	policy := b.policy
+	pl := &b.pl
+	n := len(gop.Pictures)
+	if n == 0 {
+		return nil, nil
+	}
+
+	// Pass 1: parse every picture header that survived the scan.
+	cands := make([]*picState, n)
+	for pi := range gop.Pictures {
+		pr := &gop.Pictures[pi]
+		ps := &picState{rng: pr, data: data, gop: g, fwd: -1, bwd: -1, lastRef: -1, subFrom: -1}
+		if pr.Damaged {
+			if policy <= ConcealSlice {
+				return nil, fmt.Errorf("core: GOP %d: picture %d at byte %d: unreadable picture header", g, pi, pr.Offset)
+			}
+		} else {
+			ps.typeKnown = true
+			r := bits.NewReader(data[:pr.End])
+			r.SeekBit(int64(pr.Offset+4) * 8)
+			hdr, err := mpeg2.ParsePictureHeader(r)
+			if err != nil {
+				if policy <= ConcealSlice {
+					return nil, fmt.Errorf("core: GOP %d: picture %d at byte %d: %w", g, pi, pr.Offset, err)
+				}
+				// The scan's cheap two-byte prefix still identified the
+				// type and temporal reference; keep them so the
+				// substitute can slide the reference window correctly.
+				ps.hdr.Type = pr.Type
+				ps.hdr.TemporalReference = pr.TemporalRef
+			} else {
+				ps.hdr = hdr
+				ps.headerOK = true
+			}
+		}
+		if policy == FailFast && len(pr.Slices) == 0 {
+			return nil, fmt.Errorf("core: GOP %d: picture %d at byte %d has no slices", g, pi, pr.Offset)
+		}
+		cands[pi] = ps
+	}
+
+	// DropGOP: without a decodable intra picture there is nothing to
+	// anchor the group's predictions on; substituting every picture
+	// from a stale reference would only smear garbage forward.
+	if policy >= DropGOP {
+		anchor := false
+		for _, ps := range cands {
+			if ps.headerOK && ps.hdr.Type == vlc.CodingI && len(ps.rng.Slices) > 0 {
+				anchor = true
+				break
+			}
+		}
+		if !anchor {
+			pl.pre.DroppedGOPs++
+			pl.pre.DroppedPictures += n
+			return nil, nil
+		}
+	}
+
+	// Pass 2: display slots. Trustworthy headers claim their temporal
+	// reference; everything else — damaged headers, out-of-range or
+	// colliding references — fills the leftover slots in decode order.
+	// The result is a permutation of [0,n), so the display process
+	// never sees a gap or a duplicate no matter how mangled the
+	// temporal references are.
+	claimed := make([]int, n)
+	slotOf := make([]int, n)
+	for i := range claimed {
+		claimed[i], slotOf[i] = -1, -1
+	}
+	for pi, ps := range cands {
+		if !ps.headerOK {
 			continue
 		}
-
-		// Pass 1: parse every picture header that survived the scan.
-		cands := make([]*picState, n)
-		for pi := range gop.Pictures {
-			pr := &gop.Pictures[pi]
-			ps := &picState{rng: pr, gop: g, fwd: -1, bwd: -1, lastRef: -1, subFrom: -1}
-			if pr.Damaged {
-				if policy <= ConcealSlice {
-					return nil, fmt.Errorf("core: GOP %d: picture %d at byte %d: unreadable picture header", g, pi, pr.Offset)
-				}
-			} else {
-				ps.typeKnown = true
-				r := bits.NewReader(data[:pr.End])
-				r.SeekBit(int64(pr.Offset+4) * 8)
-				hdr, err := mpeg2.ParsePictureHeader(r)
-				if err != nil {
-					if policy <= ConcealSlice {
-						return nil, fmt.Errorf("core: GOP %d: picture %d at byte %d: %w", g, pi, pr.Offset, err)
-					}
-					// The scan's cheap two-byte prefix still identified the
-					// type and temporal reference; keep them so the
-					// substitute can slide the reference window correctly.
-					ps.hdr.Type = pr.Type
-					ps.hdr.TemporalReference = pr.TemporalRef
-				} else {
-					ps.hdr = hdr
-					ps.headerOK = true
-				}
-			}
-			if policy == FailFast && len(pr.Slices) == 0 {
-				return nil, fmt.Errorf("core: GOP %d: picture %d at byte %d has no slices", g, pi, pr.Offset)
-			}
-			cands[pi] = ps
+		t := ps.hdr.TemporalReference
+		if t >= 0 && t < n && claimed[t] < 0 {
+			claimed[t], slotOf[pi] = pi, t
+		} else if policy == FailFast {
+			return nil, fmt.Errorf("core: GOP %d: picture %d at byte %d: temporal reference %d out of range or duplicate", g, pi, ps.rng.Offset, t)
 		}
-
-		// DropGOP: without a decodable intra picture there is nothing to
-		// anchor the group's predictions on; substituting every picture
-		// from a stale reference would only smear garbage forward.
-		if policy >= DropGOP {
-			anchor := false
-			for _, ps := range cands {
-				if ps.headerOK && ps.hdr.Type == vlc.CodingI && len(ps.rng.Slices) > 0 {
-					anchor = true
-					break
-				}
-			}
-			if !anchor {
-				pl.pre.DroppedGOPs++
-				pl.pre.DroppedPictures += n
-				continue
-			}
-		}
-
-		// Pass 2: display slots. Trustworthy headers claim their temporal
-		// reference; everything else — damaged headers, out-of-range or
-		// colliding references — fills the leftover slots in decode order.
-		// The result is a permutation of [0,n), so the display process
-		// never sees a gap or a duplicate no matter how mangled the
-		// temporal references are.
-		claimed := make([]int, n)
-		slotOf := make([]int, n)
-		for i := range claimed {
-			claimed[i], slotOf[i] = -1, -1
-		}
-		for pi, ps := range cands {
-			if !ps.headerOK {
-				continue
-			}
-			t := ps.hdr.TemporalReference
-			if t >= 0 && t < n && claimed[t] < 0 {
-				claimed[t], slotOf[pi] = pi, t
-			} else if policy == FailFast {
-				return nil, fmt.Errorf("core: GOP %d: picture %d at byte %d: temporal reference %d out of range or duplicate", g, pi, ps.rng.Offset, t)
-			}
-		}
-		next := 0
-		for pi := range cands {
-			if slotOf[pi] >= 0 {
-				continue
-			}
-			for claimed[next] >= 0 {
-				next++
-			}
-			claimed[next], slotOf[pi] = pi, next
-		}
-
-		// Pass 3: resolve references and fates in decode order. The
-		// reference window resets at every GOP boundary — the price of
-		// keeping GOP tasks independent (the coarse-grained mode decodes
-		// them in any order), paid identically by every mode.
-		first := len(pl.pics)
-		refOld, refNew := -1, -1
-		for pi, ps := range cands {
-			ps.displayIdx = displayBase + slotOf[pi]
-			ps.lastRef = lastRef
-			ps.isRef = ps.typeKnown && ps.hdr.Type != vlc.CodingB
-			ps.params = decoder.PictureParams(&m.Seq, &ps.hdr)
-
-			switch {
-			case !ps.headerOK:
-				ps.fate = fateSubstitute
-			case ps.hdr.Type == vlc.CodingP && refNew < 0,
-				ps.hdr.Type == vlc.CodingB && (refOld < 0 || refNew < 0):
-				if policy <= ConcealSlice {
-					return nil, fmt.Errorf("core: GOP %d: picture %d at byte %d: %s picture without reference", g, pi, ps.rng.Offset, ps.hdr.Type)
-				}
-				ps.fate = fateSubstitute
-			default:
-				ps.fate = fateDecode
-				switch ps.hdr.Type {
-				case vlc.CodingP:
-					ps.fwd = refNew
-				case vlc.CodingB:
-					ps.fwd, ps.bwd = refOld, refNew
-				}
-			}
-
-			if ps.fate == fateSubstitute {
-				ps.subFrom = refNew
-				ps.nTasks = 1
-				pl.pre.DroppedPictures++
-			} else {
-				ps.groups = buildRowGroups(ps.rng.Slices)
-				if len(ps.groups) == 0 {
-					// A picture whose every slice was destroyed still owns a
-					// display slot: one empty task, then full concealment.
-					ps.groups = [][]int{nil}
-				}
-				ps.nTasks = len(ps.groups)
-			}
-			ps.remaining = ps.nTasks
-
-			// holds are the frames this picture reads (prediction
-			// references or substitution source); each is retained on the
-			// holder's behalf and released when the holder completes.
-			idx := len(pl.pics)
-			for _, ri := range []int{ps.fwd, ps.bwd, ps.subFrom} {
-				if ri < 0 || contains(ps.holds, ri) {
-					continue
-				}
-				ps.holds = append(ps.holds, ri)
-				pl.pics[ri].deps++
-			}
-			pl.pics = append(pl.pics, ps)
-			if ps.isRef {
-				refOld, refNew = refNew, idx
-				lastRef = idx
-			}
-		}
-		pl.gops = append(pl.gops, planGOP{g: g, first: first, n: n})
-		displayBase += n
 	}
-	return pl, nil
+	next := 0
+	for pi := range cands {
+		if slotOf[pi] >= 0 {
+			continue
+		}
+		for claimed[next] >= 0 {
+			next++
+		}
+		claimed[next], slotOf[pi] = pi, next
+	}
+
+	// Pass 3: resolve references and fates in decode order. The
+	// reference window resets at every GOP boundary — the price of
+	// keeping GOP tasks independent (the coarse-grained mode decodes
+	// them in any order), paid identically by every mode.
+	first := len(pl.pics)
+	refOld, refNew := -1, -1
+	for pi, ps := range cands {
+		ps.displayIdx = b.displayBase + slotOf[pi]
+		ps.lastRef = b.lastRef
+		ps.isRef = ps.typeKnown && ps.hdr.Type != vlc.CodingB
+		ps.params = decoder.PictureParams(b.seq, &ps.hdr)
+
+		switch {
+		case !ps.headerOK:
+			ps.fate = fateSubstitute
+		case ps.hdr.Type == vlc.CodingP && refNew < 0,
+			ps.hdr.Type == vlc.CodingB && (refOld < 0 || refNew < 0):
+			if policy <= ConcealSlice {
+				return nil, fmt.Errorf("core: GOP %d: picture %d at byte %d: %s picture without reference", g, pi, ps.rng.Offset, ps.hdr.Type)
+			}
+			ps.fate = fateSubstitute
+		default:
+			ps.fate = fateDecode
+			switch ps.hdr.Type {
+			case vlc.CodingP:
+				ps.fwd = refNew
+			case vlc.CodingB:
+				ps.fwd, ps.bwd = refOld, refNew
+			}
+		}
+
+		if ps.fate == fateSubstitute {
+			ps.subFrom = refNew
+			ps.nTasks = 1
+			pl.pre.DroppedPictures++
+		} else {
+			ps.groups = buildRowGroups(ps.rng.Slices)
+			if len(ps.groups) == 0 {
+				// A picture whose every slice was destroyed still owns a
+				// display slot: one empty task, then full concealment.
+				ps.groups = [][]int{nil}
+			}
+			ps.nTasks = len(ps.groups)
+		}
+		ps.remaining = ps.nTasks
+
+		// holds are the frames this picture reads (prediction
+		// references or substitution source); each is retained on the
+		// holder's behalf and released when the holder completes.
+		idx := len(pl.pics)
+		for _, ri := range []int{ps.fwd, ps.bwd, ps.subFrom} {
+			if ri < 0 || contains(ps.holds, ri) {
+				continue
+			}
+			ps.holds = append(ps.holds, ri)
+			pl.pics[ri].deps++
+		}
+		pl.pics = append(pl.pics, ps)
+		if ps.isRef {
+			refOld, refNew = refNew, idx
+			b.lastRef = idx
+		}
+	}
+	pl.gops = append(pl.gops, planGOP{g: g, first: first, n: n})
+	b.displayBase += n
+	return pl.pics[first:], nil
 }
 
 // buildRowGroups partitions a picture's slices into per-macroblock-row

@@ -7,6 +7,7 @@ import (
 
 	"mpeg2par/internal/decoder"
 	"mpeg2par/internal/frame"
+	"mpeg2par/internal/mpeg2"
 )
 
 // decodeResilient executes a planned decode. ModeSequential always runs
@@ -23,39 +24,43 @@ func decodeResilient(data []byte, m *StreamMap, opt Options, st *Stats) error {
 	st.Errors.Add(pl.pre)
 	switch opt.Mode {
 	case ModeSequential:
-		return decodeResilientSeq(data, m, pl, opt, st)
+		return decodeResilientSeq(m, pl, opt, st)
 	case ModeGOP:
-		return decodeResilientGOP(data, m, pl, opt, st)
+		return decodeResilientGOP(m, pl, opt, st)
 	case ModeSliceSimple, ModeSliceImproved:
-		return decodeResilientSlice(data, m, pl, opt, st)
+		return decodeResilientSlice(m, pl, opt, st)
 	}
 	return fmt.Errorf("core: unknown mode %d", int(opt.Mode))
 }
 
 // newPlanFrame allocates and tags the output frame of one planned
-// picture. Retains: 1 for the display process plus one per holder
-// (pictures that predict from, or substitute from, this frame).
+// picture, storing it in the picState. Retains: 1 for the display
+// process plus one per holder (pictures that predict from, or substitute
+// from, this frame).
 func newPlanFrame(pool *frame.Pool, p *picState) *frame.Frame {
 	f := pool.Get()
 	f.Retain(1 + p.deps)
 	f.PictureType = "?IPB"[int(p.hdr.Type)]
 	f.TemporalRef = p.hdr.TemporalReference
+	p.frame = f
 	return f
 }
 
 // decodePlanPic decodes or substitutes one planned picture into its
 // frame (the single-worker-per-picture executor shared by the sequential
-// and GOP-grain modes). frames is indexed by plan-picture index; entries
-// for this picture's references and substitution source must be complete.
-func decodePlanPic(data []byte, m *StreamMap, pl *plan, frames []*frame.Frame, idx, wi int, opt Options, scr *sliceScratch) (decoder.WorkStats, ErrorStats, error) {
-	p := pl.pics[idx]
-	f := frames[idx]
+// and GOP-grain modes, batch and streaming). pics is the planned picture
+// list — for streaming callers, a snapshot long enough to cover this
+// picture's references. The frames of the references and substitution
+// source must be complete.
+func decodePlanPic(seq *mpeg2.SequenceHeader, pics []*picState, idx, wi int, opt Options, scr *sliceScratch) (decoder.WorkStats, ErrorStats, error) {
+	p := pics[idx]
+	f := p.frame
 	var work decoder.WorkStats
 	var es ErrorStats
 	if p.fate == fateSubstitute {
 		var src *frame.Frame
 		if p.subFrom >= 0 {
-			src = frames[p.subFrom]
+			src = pics[p.subFrom].frame
 		}
 		if !f.CopyPixelsFrom(src) {
 			f.Fill(128)
@@ -64,10 +69,10 @@ func decodePlanPic(data []byte, m *StreamMap, pl *plan, frames []*frame.Frame, i
 	}
 	refs := decoder.Refs{}
 	if p.fwd >= 0 {
-		refs.Fwd = frames[p.fwd]
+		refs.Fwd = pics[p.fwd].frame
 	}
 	if p.bwd >= 0 {
-		refs.Bwd = frames[p.bwd]
+		refs.Bwd = pics[p.bwd].frame
 	}
 	total := p.params.MBWidth * p.params.MBHeight
 	covered := make([]bool, total)
@@ -75,7 +80,7 @@ func decodePlanPic(data []byte, m *StreamMap, pl *plan, frames []*frame.Frame, i
 	last := len(p.rng.Slices) - 1
 	for _, group := range p.groups {
 		for _, si := range group {
-			w, addrs, err := decodeSliceRange(data, &m.Seq, &p.hdr, &p.params, p.rng.Slices[si], refs, f, wi, opt.Tracer, scr)
+			w, addrs, err := decodeSliceRange(p.data, seq, &p.hdr, &p.params, p.rng.Slices[si], refs, f, wi, opt.Tracer, scr)
 			work.Add(w)
 			if err != nil {
 				if opt.Resilience == FailFast {
@@ -101,9 +106,9 @@ func decodePlanPic(data []byte, m *StreamMap, pl *plan, frames []*frame.Frame, i
 		}
 		var ref *frame.Frame
 		if p.fwd >= 0 {
-			ref = frames[p.fwd]
+			ref = pics[p.fwd].frame
 		} else if p.bwd >= 0 {
-			ref = frames[p.bwd]
+			ref = pics[p.bwd].frame
 		}
 		mbw := p.params.MBWidth
 		for a := 0; a < total; a++ {
@@ -137,22 +142,21 @@ func finishPlan(pl *plan, pool *frame.Pool, disp *displayProc, st *Stats, wallSt
 
 // decodeResilientSeq executes the plan on one worker in decode order —
 // the baseline every parallel mode must match bit-exactly.
-func decodeResilientSeq(data []byte, m *StreamMap, pl *plan, opt Options, st *Stats) error {
+func decodeResilientSeq(m *StreamMap, pl *plan, opt Options, st *Stats) error {
 	pool := frame.NewPool(m.Seq.Width, m.Seq.Height)
 	if opt.Resilience != FailFast {
 		pool.SetScrub(true)
 	}
 	disp := newDisplay(pool, opt.Sink)
-	frames := make([]*frame.Frame, len(pl.pics))
 	st.WorkerStats = make([]WorkerStats, 1)
 	ws := &st.WorkerStats[0]
 	var scr sliceScratch
 
 	wallStart := time.Now()
 	for idx, p := range pl.pics {
-		frames[idx] = newPlanFrame(pool, p)
+		newPlanFrame(pool, p)
 		t0 := time.Now()
-		work, es, err := decodePlanPic(data, m, pl, frames, idx, 0, opt, &scr)
+		work, es, err := decodePlanPic(&m.Seq, pl.pics, idx, 0, opt, &scr)
 		ws.Busy += time.Since(t0)
 		ws.Tasks++
 		st.Work.Add(work)
@@ -162,11 +166,11 @@ func decodeResilientSeq(data []byte, m *StreamMap, pl *plan, opt Options, st *St
 			return fmt.Errorf("core: GOP %d at byte %d: %w", p.gop, m.GOPs[p.gop].Offset, err)
 		}
 		for _, ri := range p.holds {
-			if frames[ri].Release() {
-				pool.Put(frames[ri])
+			if pl.pics[ri].frame.Release() {
+				pool.Put(pl.pics[ri].frame)
 			}
 		}
-		disp.push(frames[idx], p.displayIdx)
+		disp.push(p.frame, p.displayIdx)
 	}
 	return finishPlan(pl, pool, disp, st, wallStart)
 }
@@ -174,13 +178,10 @@ func decodeResilientSeq(data []byte, m *StreamMap, pl *plan, opt Options, st *St
 // decodeResilientGOP executes the plan at the paper's coarse grain: one
 // task per kept GOP. The plan's per-GOP reference reset is what makes
 // each task self-contained.
-func decodeResilientGOP(data []byte, m *StreamMap, pl *plan, opt Options, st *Stats) error {
+func decodeResilientGOP(m *StreamMap, pl *plan, opt Options, st *Stats) error {
 	pool := frame.NewPool(m.Seq.Width, m.Seq.Height)
 	pool.SetScrub(true) // concealed/substituted pixels must never leak stale content
 	disp := newDisplay(pool, opt.Sink)
-	// Workers write disjoint index ranges (their own GOP's pictures), so
-	// the shared array needs no locking.
-	frames := make([]*frame.Frame, len(pl.pics))
 
 	tasks := make(chan int, len(pl.gops))
 	for gi := range pl.gops {
@@ -215,10 +216,12 @@ func decodeResilientGOP(data []byte, m *StreamMap, pl *plan, opt Options, st *St
 				var work decoder.WorkStats
 				var es ErrorStats
 				failed := false
+				// Workers touch only their own GOP's picStates (plus the
+				// frames within it), so no locking is needed on the plan.
 				for idx := pg.first; idx < pg.first+pg.n; idx++ {
 					p := pl.pics[idx]
-					frames[idx] = newPlanFrame(pool, p)
-					w, e, err := decodePlanPic(data, m, pl, frames, idx, wi, opt, &scr)
+					newPlanFrame(pool, p)
+					w, e, err := decodePlanPic(&m.Seq, pl.pics, idx, wi, opt, &scr)
 					work.Add(w)
 					es.Add(e)
 					if err != nil {
@@ -227,11 +230,11 @@ func decodeResilientGOP(data []byte, m *StreamMap, pl *plan, opt Options, st *St
 						break
 					}
 					for _, ri := range p.holds {
-						if frames[ri].Release() {
-							pool.Put(frames[ri])
+						if pl.pics[ri].frame.Release() {
+							pool.Put(pl.pics[ri].frame)
 						}
 					}
-					disp.push(frames[idx], p.displayIdx)
+					disp.push(p.frame, p.displayIdx)
 				}
 				ws.Busy += time.Since(t1)
 				ws.Tasks++
@@ -257,7 +260,7 @@ func decodeResilientGOP(data []byte, m *StreamMap, pl *plan, opt Options, st *St
 // same 2-D task queue as the legacy slice modes; a task is one
 // macroblock-row group (or the single substitution step of a dropped
 // picture), so same-row slices of a corrupted stream can never race.
-func decodeResilientSlice(data []byte, m *StreamMap, pl *plan, opt Options, st *Stats) error {
+func decodeResilientSlice(m *StreamMap, pl *plan, opt Options, st *Stats) error {
 	pool := frame.NewPool(m.Seq.Width, m.Seq.Height)
 	pool.SetScrub(true)
 	disp := newDisplay(pool, opt.Sink)
@@ -268,17 +271,13 @@ func decodeResilientSlice(data []byte, m *StreamMap, pl *plan, opt Options, st *
 		improved: opt.Mode == ModeSliceImproved,
 		pool:     pool,
 		depth:    opt.Workers + 4,
+		closed:   true, // batch: the full plan is known up front
 	}
 	q.cond = sync.NewCond(&q.mu)
 
+	var errs firstErr
 	st.WorkerStats = make([]WorkerStats, opt.Workers)
 	var workMu sync.Mutex
-
-	release := func(f *frame.Frame) {
-		if f.Release() {
-			pool.Put(f)
-		}
-	}
 
 	wallStart := time.Now()
 	var wg sync.WaitGroup
@@ -299,38 +298,14 @@ func decodeResilientSlice(data []byte, m *StreamMap, pl *plan, opt Options, st *
 				var work decoder.WorkStats
 				var es ErrorStats
 				taskAddrs = taskAddrs[:0]
-				if p.fate == fateSubstitute {
-					var src *frame.Frame
-					if p.subFrom >= 0 {
-						src = pics[p.subFrom].frame
-					}
-					if !p.frame.CopyPixelsFrom(src) {
-						p.frame.Fill(128)
-					}
-				} else {
-					refs := decoder.Refs{}
-					if p.fwd >= 0 {
-						refs.Fwd = pics[p.fwd].frame
-					}
-					if p.bwd >= 0 {
-						refs.Bwd = pics[p.bwd].frame
-					}
-					last := len(p.rng.Slices) - 1
-					for _, si := range p.groups[ti] {
-						w, addrs, err := decodeSliceRange(data, &m.Seq, &p.hdr, &p.params, p.rng.Slices[si], refs, p.frame, wi, opt.Tracer, &scr)
-						work.Add(w)
-						if err != nil {
-							es.DamagedSlices++
-							if si != last {
-								es.Resyncs++
-							}
-							continue
-						}
-						taskAddrs = append(taskAddrs, addrs...)
-					}
-				}
+				err := runPlanSliceTask(&m.Seq, pics, p, ti, wi, opt, &scr, &work, &es, &taskAddrs)
 				ws.Busy += time.Since(t0)
 				ws.Tasks++
+				if err != nil { // only possible under FailFast (never batch)
+					errs.set(err)
+					q.fail()
+					return
+				}
 				if q.finish(p, taskAddrs) {
 					if p.fate == fateDecode {
 						if miss := q.missing(p); len(miss) > 0 {
@@ -340,7 +315,9 @@ func decodeResilientSlice(data []byte, m *StreamMap, pl *plan, opt Options, st *
 					}
 					q.completePic(p)
 					for _, ri := range p.holds {
-						release(pics[ri].frame)
+						if pics[ri].frame.Release() {
+							pool.Put(pics[ri].frame)
+						}
 					}
 					disp.push(p.frame, p.displayIdx)
 				}
@@ -352,5 +329,52 @@ func decodeResilientSlice(data []byte, m *StreamMap, pl *plan, opt Options, st *
 		}(wi)
 	}
 	wg.Wait()
+	if err := errs.get(); err != nil {
+		st.Wall = time.Since(wallStart)
+		return err
+	}
 	return finishPlan(pl, pool, disp, st, wallStart)
+}
+
+// runPlanSliceTask executes task ti of planned picture p: the single
+// substitution step of a dropped picture, or one macroblock-row group of
+// slices. Damage is tallied into es; reconstructed macroblock addresses
+// are appended to taskAddrs. Shared by the batch and streaming slice
+// executors; a non-nil error is only possible under FailFast (the
+// streaming path runs that policy through the plan executor too).
+func runPlanSliceTask(seq *mpeg2.SequenceHeader, pics []*picState, p *picState, ti, wi int, opt Options, scr *sliceScratch, work *decoder.WorkStats, es *ErrorStats, taskAddrs *[]int) error {
+	if p.fate == fateSubstitute {
+		var src *frame.Frame
+		if p.subFrom >= 0 {
+			src = pics[p.subFrom].frame
+		}
+		if !p.frame.CopyPixelsFrom(src) {
+			p.frame.Fill(128)
+		}
+		return nil
+	}
+	refs := decoder.Refs{}
+	if p.fwd >= 0 {
+		refs.Fwd = pics[p.fwd].frame
+	}
+	if p.bwd >= 0 {
+		refs.Bwd = pics[p.bwd].frame
+	}
+	last := len(p.rng.Slices) - 1
+	for _, si := range p.groups[ti] {
+		w, addrs, err := decodeSliceRange(p.data, seq, &p.hdr, &p.params, p.rng.Slices[si], refs, p.frame, wi, opt.Tracer, scr)
+		work.Add(w)
+		if err != nil {
+			if opt.Resilience == FailFast {
+				return err
+			}
+			es.DamagedSlices++
+			if si != last {
+				es.Resyncs++
+			}
+			continue
+		}
+		*taskAddrs = append(*taskAddrs, addrs...)
+	}
+	return nil
 }

@@ -78,6 +78,19 @@ func (m *StreamMap) ScanRate() float64 {
 	return float64(m.TotalPictures) / m.ScanTime.Seconds()
 }
 
+// scanHeaderSpan bounds how many bytes past a startcode a header parse
+// may examine. MPEG-2 sequence and GOP headers (including quantizer
+// matrices and the sequence extension) fit in well under this span; the
+// bound exists so the batch and streaming scanners see the identical
+// byte window on arbitrarily corrupted input, where an unbounded parse
+// could otherwise chase a fake matrix flag across the whole stream.
+const scanHeaderSpan = 512
+
+// ScanAheadBytes is how far past a startcode the incremental scanner
+// must have buffered before the startcode can be processed with results
+// identical to the batch scan (header span plus the 4-byte code itself).
+const ScanAheadBytes = scanHeaderSpan + 4
+
 // Scan indexes the stream: it finds every startcode, parses the sequence
 // header and the cheap picture-header prefix (temporal reference and
 // type), and groups pictures and slices into GOPs. This is exactly the
@@ -95,159 +108,252 @@ func ScanLenient(data []byte) (*StreamMap, error) { return scan(data, true) }
 
 func scan(data []byte, lenient bool) (*StreamMap, error) {
 	start := time.Now()
-	m := &StreamMap{Bytes: len(data)}
-	seqSeen := false
-
-	var curGOP *GOPRange
-	var curPic *PictureRange
-	pendingSeqOffset := -1 // offset of a seq header not yet claimed by a GOP
-
-	closePic := func(end int) {
-		if curPic == nil {
-			return
-		}
-		curPic.End = end
-		if n := len(curPic.Slices); n > 0 {
-			curPic.Slices[n-1].End = end
-		}
-		curGOP.Pictures = append(curGOP.Pictures, *curPic)
-		curPic = nil
-	}
-	closeGOP := func(end int) {
-		closePic(end)
-		if curGOP == nil {
-			return
-		}
-		curGOP.End = end
-		m.GOPs = append(m.GOPs, *curGOP)
-		m.TotalPictures += len(curGOP.Pictures)
-		curGOP = nil
-	}
-
+	s := NewScanState(lenient)
 	pos := 0
 	for {
 		i := bits.FindStartCode(data, pos)
 		if i < 0 {
 			break
 		}
-		code := data[i+3]
-		pos = i + 4
-		switch {
-		case code == mpeg2.SequenceHeaderCode:
-			closeGOP(i)
-			r := bits.NewReader(data[pos:])
-			seq, err := mpeg2.ParseSequenceHeader(r)
-			if err != nil {
-				if !lenient {
-					return nil, fmt.Errorf("core: scan: %w", err)
-				}
-				// Damaged repeated header: keep decoding with the last
-				// good geometry.
-				m.Damage.BadHeaders++
-				pendingSeqOffset = -1
-				continue
-			}
-			if seqSeen && (seq.Width != m.Seq.Width || seq.Height != m.Seq.Height) {
-				if !lenient {
-					return nil, fmt.Errorf("core: scan: sequence size changes mid-stream")
-				}
-				// A mid-stream size change on a damaged stream is almost
-				// certainly a corrupted repeat header, not a real switch.
-				m.Damage.BadHeaders++
-				pendingSeqOffset = -1
-				continue
-			}
-			m.Seq = seq
-			seqSeen = true
-			pendingSeqOffset = i
-		case code == mpeg2.GroupStartCode:
-			closeGOP(i)
-			off := i
-			if pendingSeqOffset >= 0 {
-				off = pendingSeqOffset
-			}
-			r := bits.NewReader(data[pos:])
-			gh, err := mpeg2.ParseGOPHeader(r)
-			if err != nil {
-				if !lenient {
-					return nil, fmt.Errorf("core: scan: %w", err)
-				}
-				// Unreadable GOP header: the group boundary (the
-				// startcode) is still trustworthy, only its payload is
-				// not. Synthesize a closed group.
-				m.Damage.BadHeaders++
-				gh.Closed = true
-			}
-			curGOP = &GOPRange{Offset: off, FirstDisplay: -1, Closed: gh.Closed}
-			pendingSeqOffset = -1
-		case code == mpeg2.PictureStartCode:
-			if curGOP == nil {
-				// GOP headers are optional in MPEG-2: synthesize one.
-				off := i
-				if pendingSeqOffset >= 0 {
-					off = pendingSeqOffset
-				}
-				curGOP = &GOPRange{Offset: off, FirstDisplay: -1, Closed: true}
-				pendingSeqOffset = -1
-			}
-			closePic(i)
-			if i+5 >= len(data) {
-				if !lenient {
-					return nil, fmt.Errorf("core: scan: truncated picture header at %d", i)
-				}
-				m.Damage.DamagedPictures++
-				curPic = &PictureRange{Offset: i, Damaged: true}
-				continue
-			}
-			// temporal_reference: 10 bits; picture_coding_type: 3 bits.
-			b0, b1 := int(data[i+4]), int(data[i+5])
-			tref := b0<<2 | b1>>6
-			ptype := vlc.PictureCoding(b1 >> 3 & 7)
-			if ptype < vlc.CodingI || ptype > vlc.CodingB {
-				if !lenient {
-					return nil, fmt.Errorf("core: scan: bad picture type %d at %d", int(ptype), i)
-				}
-				m.Damage.DamagedPictures++
-				curPic = &PictureRange{Offset: i, Damaged: true}
-				continue
-			}
-			curPic = &PictureRange{Offset: i, Type: ptype, TemporalRef: tref}
-		case code >= mpeg2.SliceStartMin && code <= mpeg2.SliceStartMax:
-			if curPic == nil {
-				if !lenient {
-					return nil, fmt.Errorf("core: scan: slice startcode outside picture at %d", i)
-				}
-				// Slices with no owning picture (the picture startcode
-				// itself was destroyed) cannot be placed; drop them.
-				m.Damage.OrphanSlices++
-				continue
-			}
-			if n := len(curPic.Slices); n > 0 {
-				curPic.Slices[n-1].End = i
-			}
-			curPic.Slices = append(curPic.Slices, SliceRange{Row: int(code) - 1, Offset: i})
-		case code == mpeg2.SequenceEndCode:
-			closeGOP(i)
-		default:
-			// Extension/user data: belongs to the current unit; nothing
-			// to index.
+		if err := s.Step(data, 0, i); err != nil {
+			return nil, err
 		}
+		pos = i + 4
 	}
-	closeGOP(len(data))
+	m, err := s.Finish(len(data))
+	if err != nil {
+		return nil, err
+	}
+	m.ScanTime = time.Since(start)
+	return m, nil
+}
 
-	if !seqSeen {
-		return nil, fmt.Errorf("core: scan: no sequence header")
+// ScanState is the scan process as an incremental state machine: the
+// batch Scan drives it over a fully materialized buffer, the streaming
+// scanner (internal/stream) drives it over a sliding window of an
+// io.Reader, and both produce the identical StreamMap for the same
+// bytes. Startcodes must be fed strictly in stream order.
+type ScanState struct {
+	m       *StreamMap
+	lenient bool
+	seqSeen bool
+
+	curGOP           *GOPRange
+	curPic           *PictureRange
+	pendingSeqOffset int // offset of a seq header not yet claimed by a GOP
+	display          int // running display index assigned to closed GOPs
+
+	// OnGOP, when non-nil, is called each time a group of pictures
+	// closes, with its index and range (absolute stream offsets). The
+	// streaming pipeline copies the group's bytes out of its window here;
+	// returning an error aborts the scan.
+	OnGOP func(g int, gr *GOPRange) error
+}
+
+// NewScanState returns a scan state machine (lenient or strict, matching
+// ScanLenient and Scan).
+func NewScanState(lenient bool) *ScanState {
+	return &ScanState{
+		m:                &StreamMap{},
+		lenient:          lenient,
+		pendingSeqOffset: -1,
 	}
-	// Assign display indices: each GOP's pictures display contiguously.
-	display := 0
-	for g := range m.GOPs {
-		m.GOPs[g].FirstDisplay = display
-		display += len(m.GOPs[g].Pictures)
+}
+
+// Pictures returns the number of pictures scanned so far (closed GOPs
+// only — the count the streaming pipeline's scan-lead gauge tracks).
+func (s *ScanState) Pictures() int { return s.m.TotalPictures }
+
+// Seq returns the sequence header currently in force. Valid inside an
+// OnGOP callback (a group closes under the header that opened it).
+func (s *ScanState) Seq() *mpeg2.SequenceHeader { return &s.m.Seq }
+
+// KeepFrom returns the lowest absolute offset the state machine may
+// still need bytes from: the start of the open group of pictures (its
+// bytes are copied out when it closes) or of an unclaimed sequence
+// header. Offsets below it may be released from a sliding window.
+func (s *ScanState) KeepFrom(searchFrom int) int {
+	keep := searchFrom
+	if s.curGOP != nil && s.curGOP.Offset < keep {
+		keep = s.curGOP.Offset
+	}
+	if s.pendingSeqOffset >= 0 && s.pendingSeqOffset < keep {
+		keep = s.pendingSeqOffset
+	}
+	return keep
+}
+
+func (s *ScanState) closePic(end int) {
+	if s.curPic == nil {
+		return
+	}
+	s.curPic.End = end
+	if n := len(s.curPic.Slices); n > 0 {
+		s.curPic.Slices[n-1].End = end
+	}
+	s.curGOP.Pictures = append(s.curGOP.Pictures, *s.curPic)
+	s.curPic = nil
+}
+
+func (s *ScanState) closeGOP(end int) error {
+	s.closePic(end)
+	if s.curGOP == nil {
+		return nil
+	}
+	s.curGOP.End = end
+	s.curGOP.FirstDisplay = s.display
+	s.display += len(s.curGOP.Pictures)
+	g := len(s.m.GOPs)
+	s.m.GOPs = append(s.m.GOPs, *s.curGOP)
+	s.m.TotalPictures += len(s.curGOP.Pictures)
+	s.curGOP = nil
+	if s.OnGOP != nil {
+		return s.OnGOP(g, &s.m.GOPs[g])
+	}
+	return nil
+}
+
+// headerReader returns a bit reader over the header payload following the
+// startcode at absolute offset pos, bounded to scanHeaderSpan bytes.
+func headerReader(view []byte, base, pos int) *bits.Reader {
+	lo := pos - base
+	hi := lo + scanHeaderSpan
+	if hi > len(view) {
+		hi = len(view)
+	}
+	return bits.NewReader(view[lo:hi])
+}
+
+// Step processes the startcode whose first zero byte sits at absolute
+// stream offset i. view holds the stream bytes [base, base+len(view));
+// it must cover the startcode and — unless the stream ends inside it —
+// at least ScanAheadBytes beyond it, so header parses behave exactly as
+// in the batch scan.
+func (s *ScanState) Step(view []byte, base, i int) error {
+	end := base + len(view)
+	code := view[i-base+3]
+	pos := i + 4
+	switch {
+	case code == mpeg2.SequenceHeaderCode:
+		if err := s.closeGOP(i); err != nil {
+			return err
+		}
+		r := headerReader(view, base, pos)
+		seq, err := mpeg2.ParseSequenceHeader(r)
+		if err != nil {
+			if !s.lenient {
+				return fmt.Errorf("core: scan: %w", err)
+			}
+			// Damaged repeated header: keep decoding with the last
+			// good geometry.
+			s.m.Damage.BadHeaders++
+			s.pendingSeqOffset = -1
+			return nil
+		}
+		if s.seqSeen && (seq.Width != s.m.Seq.Width || seq.Height != s.m.Seq.Height) {
+			if !s.lenient {
+				return fmt.Errorf("core: scan: sequence size changes mid-stream")
+			}
+			// A mid-stream size change on a damaged stream is almost
+			// certainly a corrupted repeat header, not a real switch.
+			s.m.Damage.BadHeaders++
+			s.pendingSeqOffset = -1
+			return nil
+		}
+		s.m.Seq = seq
+		s.seqSeen = true
+		s.pendingSeqOffset = i
+	case code == mpeg2.GroupStartCode:
+		if err := s.closeGOP(i); err != nil {
+			return err
+		}
+		off := i
+		if s.pendingSeqOffset >= 0 {
+			off = s.pendingSeqOffset
+		}
+		r := headerReader(view, base, pos)
+		gh, err := mpeg2.ParseGOPHeader(r)
+		if err != nil {
+			if !s.lenient {
+				return fmt.Errorf("core: scan: %w", err)
+			}
+			// Unreadable GOP header: the group boundary (the
+			// startcode) is still trustworthy, only its payload is
+			// not. Synthesize a closed group.
+			s.m.Damage.BadHeaders++
+			gh.Closed = true
+		}
+		s.curGOP = &GOPRange{Offset: off, FirstDisplay: -1, Closed: gh.Closed}
+		s.pendingSeqOffset = -1
+	case code == mpeg2.PictureStartCode:
+		if s.curGOP == nil {
+			// GOP headers are optional in MPEG-2: synthesize one.
+			off := i
+			if s.pendingSeqOffset >= 0 {
+				off = s.pendingSeqOffset
+			}
+			s.curGOP = &GOPRange{Offset: off, FirstDisplay: -1, Closed: true}
+			s.pendingSeqOffset = -1
+		}
+		s.closePic(i)
+		if i+5 >= end {
+			if !s.lenient {
+				return fmt.Errorf("core: scan: truncated picture header at %d", i)
+			}
+			s.m.Damage.DamagedPictures++
+			s.curPic = &PictureRange{Offset: i, Damaged: true}
+			return nil
+		}
+		// temporal_reference: 10 bits; picture_coding_type: 3 bits.
+		b0, b1 := int(view[i-base+4]), int(view[i-base+5])
+		tref := b0<<2 | b1>>6
+		ptype := vlc.PictureCoding(b1 >> 3 & 7)
+		if ptype < vlc.CodingI || ptype > vlc.CodingB {
+			if !s.lenient {
+				return fmt.Errorf("core: scan: bad picture type %d at %d", int(ptype), i)
+			}
+			s.m.Damage.DamagedPictures++
+			s.curPic = &PictureRange{Offset: i, Damaged: true}
+			return nil
+		}
+		s.curPic = &PictureRange{Offset: i, Type: ptype, TemporalRef: tref}
+	case code >= mpeg2.SliceStartMin && code <= mpeg2.SliceStartMax:
+		if s.curPic == nil {
+			if !s.lenient {
+				return fmt.Errorf("core: scan: slice startcode outside picture at %d", i)
+			}
+			// Slices with no owning picture (the picture startcode
+			// itself was destroyed) cannot be placed; drop them.
+			s.m.Damage.OrphanSlices++
+			return nil
+		}
+		if n := len(s.curPic.Slices); n > 0 {
+			s.curPic.Slices[n-1].End = i
+		}
+		s.curPic.Slices = append(s.curPic.Slices, SliceRange{Row: int(code) - 1, Offset: i})
+	case code == mpeg2.SequenceEndCode:
+		return s.closeGOP(i)
+	default:
+		// Extension/user data: belongs to the current unit; nothing
+		// to index.
+	}
+	return nil
+}
+
+// Finish closes the trailing group at the given total stream length and
+// returns the completed map. The caller stamps ScanTime.
+func (s *ScanState) Finish(total int) (*StreamMap, error) {
+	if err := s.closeGOP(total); err != nil {
+		return nil, err
+	}
+	m := s.m
+	m.Bytes = total
+	if !s.seqSeen {
+		return nil, fmt.Errorf("core: scan: no sequence header")
 	}
 	if m.TotalPictures == 0 {
 		return nil, fmt.Errorf("core: scan: no pictures")
 	}
-	m.ScanTime = time.Since(start)
 	return m, nil
 }
 

@@ -16,7 +16,10 @@ import (
 // picState is one picture in the 2-D task queue (first level: pictures in
 // decode order; second level: that picture's slices).
 type picState struct {
-	rng        *PictureRange
+	rng *PictureRange
+	// data holds the bytes rng's offsets index into: the whole stream on
+	// the batch paths, the picture's own GOP buffer on the streaming path.
+	data       []byte
 	hdr        mpeg2.PictureHeader
 	params     mpeg2.PictureParams
 	displayIdx int
@@ -44,10 +47,16 @@ type picState struct {
 	groups    [][]int // slice indices per macroblock-row task group
 	damaged   int     // slices whose parse/reconstruction failed
 	resyncs   int     // damaged slices recovered by a later startcode
+
+	// unit, on the streaming path, is the in-flight GOP buffer this
+	// picture decodes from; retired when its last picture completes.
+	unit *unitState
 }
 
 // sliceQueue is the shared 2-D task queue plus the synchronization the
-// two slice variants differ in.
+// two slice variants differ in. The batch paths construct it closed over
+// the full picture list; the streaming path appends pictures as the scan
+// discovers them and closes the queue at end of stream.
 type sliceQueue struct {
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -61,6 +70,34 @@ type sliceQueue struct {
 	// flow control the paper's fixed-speed processors never needed.
 	depth  int
 	failed bool
+	closed bool // no more pictures will be appended
+}
+
+// append adds pictures to the tail of the queue (streaming path: the
+// scan process feeding tasks as it discovers them).
+func (q *sliceQueue) append(ps []*picState) {
+	q.mu.Lock()
+	q.pics = append(q.pics, ps...)
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+// snapshot returns the current picture list. Streaming workers resolve
+// absolute reference indices through it: elements below len(pics) are
+// fully initialized before append publishes them, and a reallocated
+// backing array never invalidates a previously returned snapshot.
+func (q *sliceQueue) snapshot() []*picState {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.pics
+}
+
+// close marks the queue complete: workers drain what remains and exit.
+func (q *sliceQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
 }
 
 // open reports whether the picture at issueIdx may start issuing slices.
@@ -93,7 +130,11 @@ func (q *sliceQueue) take() (p *picState, slice int, wait time.Duration, ok bool
 			q.issueIdx++
 		}
 		if q.issueIdx >= len(q.pics) {
-			return nil, 0, time.Since(t0), false
+			if q.closed {
+				return nil, 0, time.Since(t0), false
+			}
+			q.cond.Wait() // more pictures may still be appended
+			continue
 		}
 		if q.open(q.issueIdx) {
 			p = q.pics[q.issueIdx]
@@ -200,6 +241,7 @@ func buildPicStates(data []byte, m *StreamMap) ([]*picState, error) {
 			}
 			ps := &picState{
 				rng:        pr,
+				data:       data,
 				hdr:        hdr,
 				displayIdx: gop.FirstDisplay + pr.TemporalRef,
 				fwd:        -1,
@@ -257,6 +299,7 @@ func decodeSliceMode(data []byte, m *StreamMap, opt Options, st *Stats) error {
 		improved: opt.Mode == ModeSliceImproved,
 		pool:     pool,
 		depth:    opt.Workers + 4,
+		closed:   true, // batch: the full picture list is known up front
 	}
 	q.cond = sync.NewCond(&q.mu)
 
@@ -296,7 +339,7 @@ func decodeSliceMode(data []byte, m *StreamMap, opt Options, st *Stats) error {
 					return
 				}
 				t0 := time.Now()
-				work, addrs, err := decodeOneSlice(data, m, pics, p, si, wi, opt, &scr)
+				work, addrs, err := decodeOneSlice(m, pics, p, si, wi, opt, &scr)
 				cost := time.Since(t0)
 				ws.Busy += cost
 				ws.Tasks++
@@ -402,7 +445,7 @@ type sliceScratch struct {
 // macroblocks it reconstructed, for picture-coverage accounting. The
 // returned slice aliases scr.addrs and is valid until the worker's next
 // call.
-func decodeOneSlice(data []byte, m *StreamMap, pics []*picState, p *picState, si, wi int, opt Options, scr *sliceScratch) (decoder.WorkStats, []int, error) {
+func decodeOneSlice(m *StreamMap, pics []*picState, p *picState, si, wi int, opt Options, scr *sliceScratch) (decoder.WorkStats, []int, error) {
 	refs := decoder.Refs{}
 	if p.fwd >= 0 {
 		refs.Fwd = pics[p.fwd].frame
@@ -410,7 +453,7 @@ func decodeOneSlice(data []byte, m *StreamMap, pics []*picState, p *picState, si
 	if p.bwd >= 0 {
 		refs.Bwd = pics[p.bwd].frame
 	}
-	return decodeSliceRange(data, &m.Seq, &p.hdr, &p.params, p.rng.Slices[si], refs, p.frame, wi, opt.Tracer, scr)
+	return decodeSliceRange(p.data, &m.Seq, &p.hdr, &p.params, p.rng.Slices[si], refs, p.frame, wi, opt.Tracer, scr)
 }
 
 // decodeSliceRange parses and reconstructs the slice at sr into dst,

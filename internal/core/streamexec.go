@@ -1,0 +1,454 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mpeg2par/internal/decoder"
+	"mpeg2par/internal/frame"
+	"mpeg2par/internal/mpeg2"
+)
+
+// Unit is one group of pictures handed from the streaming scanner to the
+// executor: an owned copy of the group's bytes (so the scan window can
+// slide on) with the scanned range rebased to that copy.
+type Unit struct {
+	G    int    // group index, in stream order
+	Base int    // absolute stream offset of Data[0]
+	Data []byte // the group's bytes, owned by the unit
+	// Range is the group's scanned structure with every offset rebased
+	// into Data (Range.Offset is 0 when the group starts the buffer).
+	Range GOPRange
+	// Seq is the sequence header in force when the group closed. The
+	// scan rejects (strict) or ignores (lenient) mid-stream geometry
+	// changes, so every unit of a stream carries the same header.
+	Seq mpeg2.SequenceHeader
+}
+
+// unitState tracks one in-flight unit: its buffered bytes stay charged
+// against the pipeline gauge, and its scan-ahead window slot stays
+// occupied, until the last picture decoded from it completes.
+type unitState struct {
+	exec      *StreamExecutor
+	bytes     int64
+	remaining int32 // pictures (or whole-group tasks) not yet completed
+}
+
+// retire records one completed picture; the last one releases the
+// unit's bytes and its window slot, unblocking the scan process.
+func (u *unitState) retire() {
+	if atomic.AddInt32(&u.remaining, -1) != 0 {
+		return
+	}
+	e := u.exec
+	e.mu.Lock()
+	e.unitBytes -= u.bytes
+	e.mu.Unlock()
+	<-e.sem
+}
+
+// gopTask is one coarse-grained streaming task: decode every picture of
+// a planned group. pics is a plan-prefix snapshot long enough to cover
+// the group's pictures and everything they reference.
+type gopTask struct {
+	pics  []*picState
+	first int // plan index of the group's first picture
+	n     int
+	g     int
+	off   int // absolute stream offset, for error messages
+	unit  *unitState
+}
+
+// StreamExecutor runs the decode side of the streaming pipeline: the
+// scanner Feeds it groups of pictures as they are discovered, workers
+// decode them under the batch executors' exact plan semantics, and the
+// display process delivers frames in display order as soon as they are
+// ready — all long before the stream has been fully read.
+//
+// Feed and Finish must be called from a single goroutine (the scan
+// process); the workers it starts are internal. Every mode and policy
+// produces output bit-identical to the batch path because both sides
+// execute plans grown by the same planBuilder over the same scan.
+type StreamExecutor struct {
+	ctx context.Context
+	opt Options
+	st  *Stats
+
+	workers int
+	// sem is the scan-ahead window: one slot per in-flight unit. Feed
+	// blocks acquiring a slot — the backpressure that bounds buffered
+	// bitstream bytes by the window, never by stream length.
+	sem chan struct{}
+
+	seq       mpeg2.SequenceHeader
+	pb        *planBuilder
+	pool      *frame.Pool
+	disp      *displayProc
+	started   bool
+	wallStart time.Time
+
+	gopTasks chan gopTask // ModeGOP / ModeSequential intake
+	q        *sliceQueue  // slice-mode intake
+
+	mu        sync.Mutex
+	winBytes  int64 // scanner window bytes (AdjustBuffered)
+	unitBytes int64 // live unit bytes
+	peakBytes int64
+	leadPeak  int
+
+	errs     firstErr
+	fail     chan struct{} // closed when the first error latches
+	failOnce sync.Once
+	workMu   sync.Mutex
+	wg       sync.WaitGroup
+}
+
+// setErr latches the first error and wakes a Feed blocked on the
+// window semaphore — without it, a worker failing with units still in
+// flight would leave the scan process waiting on slots that will never
+// free.
+func (e *StreamExecutor) setErr(err error) {
+	if err == nil {
+		return
+	}
+	e.errs.set(err)
+	e.failOnce.Do(func() { close(e.fail) })
+}
+
+// NewStreamExecutor prepares a streaming executor. Workers start lazily
+// at the first Feed (the frame geometry arrives with the first unit).
+// ModeSequential runs on one worker regardless of Options.Workers,
+// preserving the batch sequential baseline's decode order.
+func NewStreamExecutor(ctx context.Context, opt Options) (*StreamExecutor, error) {
+	if opt.Workers < 1 {
+		return nil, fmt.Errorf("core: need at least one worker")
+	}
+	w := opt.Workers
+	if opt.Mode == ModeSequential {
+		w = 1
+	}
+	switch opt.Mode {
+	case ModeGOP, ModeSliceSimple, ModeSliceImproved, ModeSequential:
+	default:
+		return nil, fmt.Errorf("core: unknown mode %d", int(opt.Mode))
+	}
+	if opt.Profile {
+		return nil, fmt.Errorf("core: profiling requires the batch decoder")
+	}
+	return &StreamExecutor{
+		ctx:     ctx,
+		opt:     opt,
+		workers: w,
+		sem:     make(chan struct{}, opt.EffectiveMaxInFlight()),
+		fail:    make(chan struct{}),
+		st:      &Stats{Mode: opt.Mode, Workers: opt.Workers},
+	}, nil
+}
+
+func (e *StreamExecutor) start() {
+	e.started = true
+	e.wallStart = time.Now()
+	e.pb = newPlanBuilder(&e.seq, e.opt.Resilience)
+	e.pool = frame.NewPool(e.seq.Width, e.seq.Height)
+	if e.opt.Resilience != FailFast {
+		e.pool.SetScrub(true)
+	}
+	e.disp = newDisplay(e.pool, e.opt.Sink)
+	e.st.WorkerStats = make([]WorkerStats, e.workers)
+	switch e.opt.Mode {
+	case ModeSliceSimple, ModeSliceImproved:
+		e.q = &sliceQueue{
+			improved: e.opt.Mode == ModeSliceImproved,
+			pool:     e.pool,
+			depth:    e.opt.Workers + 4,
+		}
+		e.q.cond = sync.NewCond(&e.q.mu)
+		for wi := 0; wi < e.workers; wi++ {
+			e.wg.Add(1)
+			go e.sliceWorker(wi)
+		}
+	default:
+		// Each queued task holds a window slot, so the channel never
+		// blocks a send at this capacity.
+		e.gopTasks = make(chan gopTask, cap(e.sem))
+		for wi := 0; wi < e.workers; wi++ {
+			e.wg.Add(1)
+			go e.gopWorker(wi)
+		}
+	}
+}
+
+// Feed hands one scanned group of pictures to the workers. It blocks
+// while the scan-ahead window is full (backpressure against the scan
+// process) and returns early with the context's error on cancellation,
+// or with the first worker error once one is latched.
+func (e *StreamExecutor) Feed(u Unit) error {
+	if err := e.errs.get(); err != nil {
+		return err
+	}
+	select {
+	case e.sem <- struct{}{}:
+	case <-e.ctx.Done():
+		return e.ctx.Err()
+	case <-e.fail:
+		return e.errs.get()
+	}
+	if !e.started {
+		e.seq = u.Seq
+		e.start()
+	}
+	us := &unitState{exec: e, bytes: int64(len(u.Data))}
+	e.mu.Lock()
+	e.unitBytes += us.bytes
+	if t := e.unitBytes + e.winBytes; t > e.peakBytes {
+		e.peakBytes = t
+	}
+	e.mu.Unlock()
+
+	first := len(e.pb.pl.pics)
+	ps, err := e.pb.addGOP(u.Data, u.G, &u.Range)
+	if err != nil {
+		e.setErr(err)
+		return err
+	}
+	if len(ps) == 0 {
+		// Empty or policy-dropped group: nothing will decode from the
+		// unit, release it immediately.
+		us.remaining = 1
+		us.retire()
+		return nil
+	}
+	switch e.opt.Mode {
+	case ModeSliceSimple, ModeSliceImproved:
+		us.remaining = int32(len(ps))
+		for _, p := range ps {
+			p.unit = us
+		}
+		e.q.append(ps)
+	default:
+		us.remaining = 1
+		end := first + len(ps)
+		e.gopTasks <- gopTask{
+			pics:  e.pb.pl.pics[:end:end],
+			first: first,
+			n:     len(ps),
+			g:     u.G,
+			off:   u.Base + u.Range.Offset,
+			unit:  us,
+		}
+	}
+	return nil
+}
+
+// AdjustBuffered charges (or releases) scanner window bytes against the
+// pipeline's in-flight gauge.
+func (e *StreamExecutor) AdjustBuffered(delta int64) {
+	e.mu.Lock()
+	e.winBytes += delta
+	if t := e.unitBytes + e.winBytes; t > e.peakBytes {
+		e.peakBytes = t
+	}
+	e.mu.Unlock()
+}
+
+// NoteScanned samples the scan-lead gauge: how far the scan process has
+// run ahead of the display process, in pictures.
+func (e *StreamExecutor) NoteScanned(pictures int) {
+	displayed := 0
+	if e.disp != nil {
+		displayed = e.disp.count()
+	}
+	lead := pictures - displayed
+	e.mu.Lock()
+	if lead > e.leadPeak {
+		e.leadPeak = lead
+	}
+	e.mu.Unlock()
+}
+
+func (e *StreamExecutor) fillGauges() {
+	e.mu.Lock()
+	e.st.PeakInFlightBytes = e.peakBytes
+	e.st.ScanLeadPeak = e.leadPeak
+	e.mu.Unlock()
+}
+
+// Finish closes the intake, joins the workers, and completes the run.
+// scanErr is the scan side's verdict (nil on a clean end of stream, the
+// context's error on cancellation); any error — from either side —
+// switches Finish into teardown: the reorder buffer is abandoned and
+// every planned frame is forcibly reclaimed, so a cancelled pipeline
+// holds no picture memory. Stats are returned in both cases;
+// LeakedFrameBytes reports pool bytes still unaccounted afterwards
+// (always zero — the cancellation tests assert it).
+func (e *StreamExecutor) Finish(scanErr error) (*Stats, error) {
+	// Latch the scan side's verdict so workers drain queued tasks
+	// instead of decoding them after a cancellation.
+	e.setErr(scanErr)
+	if e.started {
+		if e.q != nil {
+			if scanErr != nil {
+				e.q.fail()
+			}
+			e.q.close()
+		} else {
+			close(e.gopTasks)
+		}
+		e.wg.Wait()
+	}
+	st := e.st
+	err := e.errs.get()
+	if err == nil {
+		err = scanErr
+	}
+	if e.started {
+		st.Wall = time.Since(e.wallStart)
+		st.Errors.Add(e.pb.pl.pre)
+		st.Pictures = len(e.pb.pl.pics)
+	}
+	defer e.fillGauges()
+	if err != nil {
+		if e.started {
+			e.disp.abandon()
+			for _, p := range e.pb.pl.pics {
+				if p.frame != nil {
+					e.pool.Reclaim(p.frame)
+				}
+			}
+			ps := e.pool.Stats()
+			st.PeakFrameBytes = ps.PeakBytes
+			st.FramesAllocated = ps.AllocBytes
+			st.LeakedFrameBytes = ps.InUseBytes
+		}
+		return st, err
+	}
+	if !e.started {
+		return st, nil
+	}
+	displayed, dispErr := e.disp.finish()
+	st.Displayed = displayed
+	ps := e.pool.Stats()
+	st.PeakFrameBytes = ps.PeakBytes
+	st.FramesAllocated = ps.AllocBytes
+	st.LeakedFrameBytes = ps.InUseBytes
+	if dispErr != nil {
+		return st, dispErr
+	}
+	if displayed != st.Pictures {
+		return st, fmt.Errorf("core: displayed %d of %d pictures", displayed, st.Pictures)
+	}
+	return st, nil
+}
+
+// gopWorker is the streaming coarse-grained worker: one task decodes a
+// whole group of pictures, exactly as in decodeResilientGOP (and, with
+// one worker, in the same order as decodeResilientSeq).
+func (e *StreamExecutor) gopWorker(wi int) {
+	defer e.wg.Done()
+	ws := &e.st.WorkerStats[wi]
+	var scr sliceScratch
+	for {
+		t0 := time.Now()
+		t, ok := <-e.gopTasks
+		ws.Wait += time.Since(t0)
+		if !ok {
+			return
+		}
+		if e.errs.get() == nil {
+			e.runGOPTask(&t, wi, ws, &scr)
+		}
+		t.unit.retire()
+	}
+}
+
+func (e *StreamExecutor) runGOPTask(t *gopTask, wi int, ws *WorkerStats, scr *sliceScratch) {
+	t1 := time.Now()
+	var work decoder.WorkStats
+	var es ErrorStats
+	for idx := t.first; idx < t.first+t.n; idx++ {
+		p := t.pics[idx]
+		newPlanFrame(e.pool, p)
+		w, pes, err := decodePlanPic(&e.seq, t.pics, idx, wi, e.opt, scr)
+		work.Add(w)
+		es.Add(pes)
+		if err != nil {
+			e.setErr(fmt.Errorf("core: GOP %d at byte %d: %w", t.g, t.off, err))
+			ws.Busy += time.Since(t1)
+			ws.Tasks++
+			return
+		}
+		for _, ri := range p.holds {
+			if t.pics[ri].frame.Release() {
+				e.pool.Put(t.pics[ri].frame)
+			}
+		}
+		e.disp.push(p.frame, p.displayIdx)
+	}
+	ws.Busy += time.Since(t1)
+	ws.Tasks++
+	e.workMu.Lock()
+	e.st.Work.Add(work)
+	e.st.Errors.Add(es)
+	e.workMu.Unlock()
+}
+
+// sliceWorker is the streaming fine-grained worker: the same 2-D task
+// queue as decodeResilientSlice, except the queue grows while the scan
+// runs, and each completed picture retires its share of the unit that
+// carried its bytes.
+func (e *StreamExecutor) sliceWorker(wi int) {
+	defer e.wg.Done()
+	ws := &e.st.WorkerStats[wi]
+	var scr sliceScratch
+	var taskAddrs []int
+	for {
+		p, ti, wait, ok := e.q.take()
+		ws.Wait += wait
+		if !ok {
+			return
+		}
+		pics := e.q.snapshot()
+		t0 := time.Now()
+		var work decoder.WorkStats
+		var es ErrorStats
+		taskAddrs = taskAddrs[:0]
+		err := runPlanSliceTask(&e.seq, pics, p, ti, wi, e.opt, &scr, &work, &es, &taskAddrs)
+		ws.Busy += time.Since(t0)
+		ws.Tasks++
+		if err != nil { // only possible under FailFast
+			e.setErr(err)
+			e.q.fail()
+			return
+		}
+		if e.q.finish(p, taskAddrs) {
+			if p.fate == fateDecode {
+				if miss := e.q.missing(p); len(miss) > 0 {
+					if e.opt.Resilience == FailFast {
+						total := p.params.MBWidth * p.params.MBHeight
+						e.setErr(fmt.Errorf("core: picture at display %d covered %d of %d macroblocks",
+							p.displayIdx, total-len(miss), total))
+						e.q.fail()
+						return
+					}
+					concealMBs(pics, p, miss)
+					es.ConcealedMBs += len(miss)
+				}
+			}
+			e.q.completePic(p)
+			for _, ri := range p.holds {
+				if pics[ri].frame.Release() {
+					e.pool.Put(pics[ri].frame)
+				}
+			}
+			e.disp.push(p.frame, p.displayIdx)
+			p.unit.retire()
+		}
+		e.workMu.Lock()
+		e.st.Work.Add(work)
+		e.st.Errors.Add(es)
+		e.workMu.Unlock()
+	}
+}

@@ -93,7 +93,7 @@ func traceSlices(data []byte, m *StreamMap, procs int, tr memtrace.Tracer) error
 			proc := task % procs
 			sr := p.rng.Slices[si]
 			traceInput(tr, data, proc, sr.Offset, sr.End)
-			if _, _, err := decodeOneSlice(data, m, pics, p, si, proc, opt, &scr); err != nil {
+			if _, _, err := decodeOneSlice(m, pics, p, si, proc, opt, &scr); err != nil {
 				return err
 			}
 			task++

@@ -91,6 +91,21 @@ func (p *Pool) Put(f *Frame) {
 	p.mu.Unlock()
 }
 
+// Reclaim forcibly returns f to the pool regardless of its reference
+// count — the teardown path of a cancelled or failed pipeline, called
+// only after every worker has stopped. Frames whose count already
+// reached zero were returned through the normal Release path; for them
+// Reclaim is a no-op, so a teardown sweep can never double-insert a
+// frame into the free list.
+func (p *Pool) Reclaim(f *Frame) bool {
+	if f == nil || f.RefCount() <= 0 {
+		return false
+	}
+	f.Retain(-f.RefCount())
+	p.Put(f)
+	return true
+}
+
 // Stats is a snapshot of pool accounting.
 type Stats struct {
 	InUseBytes int64 // bytes currently handed out

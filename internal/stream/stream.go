@@ -1,0 +1,211 @@
+// Package stream decodes an MPEG-2 elementary stream incrementally from
+// an io.Reader: the scan process discovers structure chunk by chunk and
+// feeds groups of pictures to the worker pool as soon as they close,
+// instead of after a full-stream scan. Memory stays bounded by the
+// scan-ahead window (plus one group of pictures), never by stream
+// length, and output is bit-identical to the batch decoder for every
+// mode and resilience policy — both sides drive the same incremental
+// scan state machine and plan builder.
+package stream
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"mpeg2par/internal/bits"
+	"mpeg2par/internal/core"
+)
+
+// DefaultChunkSize is the read granularity when Options.ChunkSize is
+// zero.
+const DefaultChunkSize = 64 << 10
+
+// Options configures a streaming decode. The embedded core options
+// select mode, workers, resilience, sink, and the scan-ahead window
+// (MaxInFlight).
+type Options struct {
+	core.Options
+
+	// ChunkSize is the read granularity over the source reader; zero
+	// selects DefaultChunkSize. Small chunks exercise more startcode
+	// boundary splits, large chunks amortize read overhead.
+	ChunkSize int
+}
+
+// windowScanner slides a bounded byte window over a reader and drives
+// the incremental scan state machine across it. The window keeps, at
+// most, the open group of pictures plus the unscanned tail — the floor
+// ScanState.KeepFrom reports.
+type windowScanner struct {
+	r     io.Reader
+	chunk int
+	ss    *core.ScanState
+	buf   []byte
+	base  int         // absolute stream offset of buf[0]
+	gauge func(int64) // in-flight byte accounting hook, may be nil
+}
+
+// bytes returns the window's view of absolute range [from, to).
+func (w *windowScanner) bytes(from, to int) []byte {
+	return w.buf[from-w.base : to-w.base]
+}
+
+// run reads the stream to EOF, stepping the scan state machine over
+// every startcode. A startcode is processed only once ScanAheadBytes of
+// lookahead are buffered (or the stream ended), which makes every
+// header parse see the same bytes the batch scan would — the
+// equivalence the chunk-boundary tests pin down. Returns the total
+// stream length.
+func (w *windowScanner) run(ctx context.Context, note func(int)) (int, error) {
+	searchFrom := 0 // absolute offset scanning resumes from
+	for {
+		if err := ctx.Err(); err != nil {
+			return w.base + len(w.buf), err
+		}
+		// Slide the window: bytes below the scan state's floor (open
+		// group, pending sequence header, scan position) are done.
+		if keep := w.ss.KeepFrom(searchFrom); keep > w.base {
+			n := copy(w.buf, w.buf[keep-w.base:])
+			w.buf = w.buf[:n]
+			if w.gauge != nil {
+				w.gauge(int64(-(keep - w.base)))
+			}
+			w.base = keep
+		}
+		// Read one chunk, growing the window only when the open group
+		// outruns the current capacity.
+		if cap(w.buf)-len(w.buf) < w.chunk {
+			nb := make([]byte, len(w.buf), 2*len(w.buf)+w.chunk)
+			copy(nb, w.buf)
+			w.buf = nb
+		}
+		n, rerr := w.r.Read(w.buf[len(w.buf) : len(w.buf)+w.chunk])
+		w.buf = w.buf[:len(w.buf)+n]
+		if n > 0 && w.gauge != nil {
+			w.gauge(int64(n))
+		}
+		eof := rerr == io.EOF
+		if rerr != nil && !eof {
+			return w.base + len(w.buf), fmt.Errorf("stream: read at %d: %w", w.base+len(w.buf), rerr)
+		}
+		end := w.base + len(w.buf)
+		for {
+			i := bits.FindStartCode(w.buf, searchFrom-w.base)
+			if i < 0 {
+				// No full startcode in the window; a prefix may still
+				// straddle the boundary, so resume over the last 3 bytes.
+				if f := end - 3; f > searchFrom {
+					searchFrom = f
+				}
+				break
+			}
+			abs := w.base + i
+			if !eof && end-abs < core.ScanAheadBytes {
+				searchFrom = abs // revisit once the lookahead is buffered
+				break
+			}
+			if err := w.ss.Step(w.buf, w.base, abs); err != nil {
+				return end, err
+			}
+			if note != nil {
+				note(w.ss.Pictures())
+			}
+			searchFrom = abs + 4
+		}
+		if eof {
+			return end, nil
+		}
+	}
+}
+
+// rebaseGOP deep-copies a group range with every offset rebased so the
+// group's first byte is offset Offset-delta (the unit buffer origin).
+func rebaseGOP(gr *core.GOPRange, delta int) core.GOPRange {
+	out := *gr
+	out.Offset -= delta
+	out.End -= delta
+	out.Pictures = make([]core.PictureRange, len(gr.Pictures))
+	for i := range gr.Pictures {
+		p := gr.Pictures[i]
+		p.Offset -= delta
+		p.End -= delta
+		p.Slices = append([]core.SliceRange(nil), p.Slices...)
+		for j := range p.Slices {
+			p.Slices[j].Offset -= delta
+			p.Slices[j].End -= delta
+		}
+		out.Pictures[i] = p
+	}
+	return out
+}
+
+// Decode runs the full streaming pipeline over r: incremental scan,
+// parallel decode in the configured mode, in-order display through the
+// sink. It blocks until the stream is exhausted and every picture
+// displayed, or until ctx is cancelled — cancellation tears down scan,
+// workers, and display without leaking goroutines or frame memory.
+//
+// Unlike the batch API, the returned Stats are non-nil even alongside
+// an error, carrying the teardown gauges (notably LeakedFrameBytes).
+func Decode(ctx context.Context, r io.Reader, opt Options) (*core.Stats, error) {
+	chunk := opt.ChunkSize
+	if chunk <= 0 {
+		chunk = DefaultChunkSize
+	}
+	exec, err := core.NewStreamExecutor(ctx, opt.Options)
+	if err != nil {
+		return &core.Stats{Mode: opt.Mode, Workers: opt.Workers}, err
+	}
+	ss := core.NewScanState(opt.Resilience != core.FailFast)
+	w := &windowScanner{r: r, chunk: chunk, ss: ss, gauge: exec.AdjustBuffered}
+	ss.OnGOP = func(g int, gr *core.GOPRange) error {
+		// Copy the group out of the window so the window can slide on;
+		// the unit owns its bytes until its last picture completes.
+		data := append([]byte(nil), w.bytes(gr.Offset, gr.End)...)
+		return exec.Feed(core.Unit{
+			G:     g,
+			Base:  gr.Offset,
+			Data:  data,
+			Range: rebaseGOP(gr, gr.Offset),
+			Seq:   *ss.Seq(),
+		})
+	}
+	scanStart := time.Now()
+	total, scanErr := w.run(ctx, exec.NoteScanned)
+	if scanErr == nil {
+		_, scanErr = ss.Finish(total)
+	}
+	scanDur := time.Since(scanStart)
+
+	st, err := exec.Finish(scanErr)
+	st.ScanTime = scanDur
+	if scanDur > 0 {
+		st.ScanRate = float64(ss.Pictures()) / scanDur.Seconds()
+	}
+	return st, err
+}
+
+// ScanReader runs only the scan process over r in chunkSize-byte reads
+// and returns the stream map. For any chunk size it is identical —
+// field for field, offset for offset — to core.Scan (strict) or
+// core.ScanLenient over the same bytes, except for ScanTime.
+func ScanReader(r io.Reader, chunkSize int, lenient bool) (*core.StreamMap, error) {
+	if chunkSize <= 0 {
+		chunkSize = DefaultChunkSize
+	}
+	start := time.Now()
+	ss := core.NewScanState(lenient)
+	w := &windowScanner{r: r, chunk: chunkSize, ss: ss}
+	total, err := w.run(context.Background(), nil)
+	if err != nil {
+		return nil, err
+	}
+	m, err := ss.Finish(total)
+	if err != nil {
+		return nil, err
+	}
+	m.ScanTime = time.Since(start)
+	return m, nil
+}

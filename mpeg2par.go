@@ -23,13 +23,21 @@
 //	stream, _ := mpeg2par.GenerateStream(mpeg2par.StreamConfig{
 //		Width: 352, Height: 240, Pictures: 13, GOPSize: 13,
 //	})
-//	stats, _ := mpeg2par.DecodeParallel(stream.Data, mpeg2par.Options{
-//		Mode: mpeg2par.ModeSliceImproved, Workers: 4,
-//	})
+//	stats, _ := mpeg2par.Decode(context.Background(),
+//		mpeg2par.FromBytes(stream.Data),
+//		mpeg2par.WithMode(mpeg2par.ModeSliceImproved),
+//		mpeg2par.WithWorkers(4),
+//	)
 //	fmt.Println(stats.PicturesPerSecond())
+//
+// Decode streams its source through an incremental scan process, so a
+// FromReader source of any length decodes in bounded memory; cancel the
+// context to tear the pipeline down mid-stream.
 package mpeg2par
 
 import (
+	"io"
+
 	"mpeg2par/internal/cachesim"
 	"mpeg2par/internal/core"
 	"mpeg2par/internal/decoder"
@@ -39,6 +47,7 @@ import (
 	"mpeg2par/internal/memmodel"
 	"mpeg2par/internal/memtrace"
 	"mpeg2par/internal/simsched"
+	"mpeg2par/internal/stream"
 )
 
 // Frame is one decoded picture in planar YCbCr 4:2:0.
@@ -100,6 +109,9 @@ type Decoder = decoder.Decoder
 func NewDecoder(data []byte) (*Decoder, error) { return decoder.New(data) }
 
 // DecodeAll decodes the whole stream sequentially.
+//
+// Deprecated: use Decode with WithMode(ModeSequential), WithWorkers(1),
+// and a FrameSink; it adds context cancellation and bounded memory.
 func DecodeAll(data []byte) ([]*Frame, error) {
 	d, err := decoder.New(data)
 	if err != nil {
@@ -164,9 +176,27 @@ type WorkerStats = core.WorkerStats
 type StreamMap = core.StreamMap
 
 // Scan indexes a stream by startcodes (the scan process's job).
+//
+// Deprecated: use ScanReader, which scans incrementally from any
+// io.Reader (wrap in-memory data with bytes.NewReader) and produces
+// the identical StreamMap.
 func Scan(data []byte) (*StreamMap, error) { return core.Scan(data) }
 
-// DecodeParallel runs the parallel decoder.
+// ScanReader indexes a stream incrementally from r, reading chunkSize
+// bytes at a time (0 selects the default). For the same bytes the
+// resulting map is identical to Scan's, whatever the chunk size.
+func ScanReader(r io.Reader, chunkSize int) (*StreamMap, error) {
+	return stream.ScanReader(r, chunkSize, false)
+}
+
+// DecodeParallel runs the parallel decoder over a fully materialized
+// stream: scan first, then decode.
+//
+// Deprecated: use Decode, the streaming context-first API — it produces
+// bit-identical output in every mode and policy, overlaps scanning with
+// decoding, bounds memory by the scan-ahead window, and supports
+// cancellation. DecodeParallel remains for profiling (Options.Profile)
+// and pre-scanned sweeps.
 func DecodeParallel(data []byte, opt Options) (*Stats, error) {
 	return core.Decode(data, opt)
 }
