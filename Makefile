@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: verify vet build test race bench perf fuzz faults stream compat
+.PHONY: verify vet build test race bench perf fuzz faults stream compat trace
 
-verify: vet build race bench stream compat ## full CI gate: vet + build + race tests + bench smoke + streaming race + compat shims
+verify: vet build race bench stream compat trace ## full CI gate: vet + build + race tests + bench smoke + streaming race + compat shims + traced decode
 
 vet:
 	$(GO) vet ./...
@@ -30,6 +30,14 @@ compat:
 	$(GO) vet .
 	$(GO) build .
 	$(GO) test -run 'TestDeprecatedCompat|Example' .
+
+# Observability gate: traced decodes under the race detector (bit
+# exactness in every mode, event presence, exported Chrome JSON
+# validated: well-formed, monotonic timestamps, balanced span counts),
+# plus a real traced run through the CLI report path.
+trace:
+	$(GO) test -race -run 'TestTraced|TestChromeTrace|TestValidateChromeTrace|TestWithTrace|TestWithEventSink' ./internal/obs/ .
+	$(GO) run ./cmd/mpeg2bench -timeline -trace /tmp/mpeg2par-trace.json > /dev/null
 
 # Append a perf-trajectory run to the current BENCH_<n>.json.
 perf:

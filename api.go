@@ -8,6 +8,7 @@ import (
 
 	"mpeg2par/internal/core"
 	"mpeg2par/internal/frame"
+	"mpeg2par/internal/obs"
 	"mpeg2par/internal/stream"
 )
 
@@ -39,7 +40,8 @@ type FrameSink func(*Frame)
 type Option func(*decodeConfig)
 
 type decodeConfig struct {
-	opt stream.Options
+	opt  stream.Options
+	sink func(TimelineEvent)
 }
 
 // WithMode selects the parallelization strategy (default
@@ -48,8 +50,8 @@ func WithMode(m Mode) Option {
 	return func(c *decodeConfig) { c.opt.Mode = m }
 }
 
-// WithWorkers sets the number of worker processes (default: the number
-// of CPUs).
+// WithWorkers sets the number of worker processes. Zero or negative
+// selects the documented default, the number of CPUs.
 func WithWorkers(n int) Option {
 	return func(c *decodeConfig) { c.opt.Workers = n }
 }
@@ -86,6 +88,26 @@ func WithChunkSize(n int) Option {
 	return func(c *decodeConfig) { c.opt.ChunkSize = n }
 }
 
+// WithTrace attaches a timeline recorder to the decode: every process —
+// scan, workers, display — logs its scheduling events (task spans, queue
+// and barrier waits, feed backpressure) into rec's per-lane ring
+// buffers. After Decode returns, rec.Snapshot() yields the merged
+// Timeline for Chrome-trace export or a load-balance Summary. Tracing
+// never changes decoded output; with no recorder attached the event
+// hooks cost a single pointer test each.
+func WithTrace(rec *TraceRecorder) Option {
+	return func(c *decodeConfig) { c.opt.Obs = rec }
+}
+
+// WithEventSink streams every recorded timeline event to fn as it
+// happens, in addition to the ring buffers. fn is called from scan,
+// worker, and display goroutines concurrently and must be fast and
+// thread-safe. Implies tracing: if no recorder was attached with
+// WithTrace, an internal one is created.
+func WithEventSink(fn func(TimelineEvent)) Option {
+	return func(c *decodeConfig) { c.sink = fn }
+}
+
 // Decode runs the streaming parallel decoder over src: an incremental
 // scan process discovers groups of pictures chunk by chunk and feeds
 // them to the worker pool as soon as they close, the configured mode's
@@ -107,6 +129,17 @@ func Decode(ctx context.Context, src Source, opts ...Option) (*Stats, error) {
 	}}}
 	for _, o := range opts {
 		o(&cfg)
+	}
+	// WithWorkers(0) and negatives mean "the default", not an error:
+	// only a hand-built core.Options can still reject a worker count.
+	if cfg.opt.Workers <= 0 {
+		cfg.opt.Workers = runtime.NumCPU()
+	}
+	if cfg.sink != nil {
+		if cfg.opt.Obs == nil {
+			cfg.opt.Obs = obs.New(0)
+		}
+		cfg.opt.Obs.SetSink(cfg.sink)
 	}
 	return stream.Decode(ctx, src.r, cfg.opt)
 }

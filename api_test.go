@@ -3,7 +3,11 @@ package mpeg2par_test
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
+	"math"
+	"runtime"
+	"sync"
 	"testing"
 
 	"mpeg2par"
@@ -83,6 +87,193 @@ func TestDecodeOptionWiring(t *testing.T) {
 	}
 	if st.LeakedFrameBytes != 0 {
 		t.Fatalf("leaked %d frame bytes", st.LeakedFrameBytes)
+	}
+}
+
+// finiteStats fails the test if any rate or gauge in st is non-finite —
+// +Inf or NaN would break every JSON consumer of the stats.
+func finiteStats(t *testing.T, name string, st *mpeg2par.Stats) {
+	t.Helper()
+	for _, g := range []struct {
+		field string
+		v     float64
+	}{
+		{"ScanRate", st.ScanRate},
+		{"PicturesPerSecond", st.PicturesPerSecond()},
+	} {
+		if math.IsInf(g.v, 0) || math.IsNaN(g.v) {
+			t.Fatalf("%s: %s = %v, want finite", name, g.field, g.v)
+		}
+	}
+}
+
+// TestDecodeOptionDefaults is the option-validation matrix: zero and
+// negative values of every numeric option, and a nil sink, must select
+// the documented defaults — not error out — and the resulting Stats
+// must be truthful (Workers matches the per-worker breakdown) and
+// finite in every mode.
+func TestDecodeOptionDefaults(t *testing.T) {
+	res := apiStream(t)
+	cases := []struct {
+		name string
+		opts []mpeg2par.Option
+	}{
+		{"workers-zero", []mpeg2par.Option{mpeg2par.WithWorkers(0)}},
+		{"workers-negative", []mpeg2par.Option{mpeg2par.WithWorkers(-3)}},
+		{"chunk-zero", []mpeg2par.Option{mpeg2par.WithChunkSize(0)}},
+		{"chunk-negative", []mpeg2par.Option{mpeg2par.WithChunkSize(-1)}},
+		{"inflight-zero", []mpeg2par.Option{mpeg2par.WithMaxInFlight(0)}},
+		{"inflight-negative", []mpeg2par.Option{mpeg2par.WithMaxInFlight(-8)}},
+		{"nil-sink", []mpeg2par.Option{mpeg2par.WithFrameSink(nil)}},
+		{"all-defaults", nil},
+	}
+	modes := []mpeg2par.Mode{
+		mpeg2par.ModeSequential, mpeg2par.ModeGOP,
+		mpeg2par.ModeSliceSimple, mpeg2par.ModeSliceImproved,
+	}
+	for _, tc := range cases {
+		for _, mode := range modes {
+			name := tc.name + "/" + mode.String()
+			opts := append([]mpeg2par.Option{mpeg2par.WithMode(mode)}, tc.opts...)
+			st, err := mpeg2par.Decode(context.Background(), mpeg2par.FromBytes(res.Data), opts...)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if st.Workers < 1 {
+				t.Fatalf("%s: Stats.Workers = %d", name, st.Workers)
+			}
+			if st.Workers != len(st.WorkerStats) {
+				t.Fatalf("%s: Stats.Workers = %d but %d worker breakdowns",
+					name, st.Workers, len(st.WorkerStats))
+			}
+			finiteStats(t, name, st)
+		}
+	}
+}
+
+// TestWithWorkersZeroUsesNumCPU is the regression test for
+// WithWorkers(0): it used to flow unvalidated into the core and fail
+// with "need at least one worker"; it must select the documented
+// default instead.
+func TestWithWorkersZeroUsesNumCPU(t *testing.T) {
+	res := apiStream(t)
+	st, err := mpeg2par.Decode(context.Background(), mpeg2par.FromBytes(res.Data),
+		mpeg2par.WithMode(mpeg2par.ModeGOP),
+		mpeg2par.WithWorkers(0),
+	)
+	if err != nil {
+		t.Fatalf("WithWorkers(0): %v", err)
+	}
+	if want := runtime.NumCPU(); st.Workers != want {
+		t.Fatalf("WithWorkers(0): Stats.Workers = %d, want NumCPU = %d", st.Workers, want)
+	}
+}
+
+// TestSequentialStatsWorkers is the regression test for the sequential
+// worker-count gauge: ModeSequential runs on one worker regardless of
+// the requested count, and Stats.Workers must say so — on both the
+// streaming and the batch path.
+func TestSequentialStatsWorkers(t *testing.T) {
+	res := apiStream(t)
+
+	st, err := mpeg2par.Decode(context.Background(), mpeg2par.FromBytes(res.Data),
+		mpeg2par.WithMode(mpeg2par.ModeSequential),
+		mpeg2par.WithWorkers(4),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Workers != 1 || len(st.WorkerStats) != 1 {
+		t.Fatalf("streaming sequential: Stats.Workers = %d (%d breakdowns), want 1",
+			st.Workers, len(st.WorkerStats))
+	}
+
+	st, err = mpeg2par.DecodeParallel(res.Data, mpeg2par.Options{
+		Mode: mpeg2par.ModeSequential, Workers: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Workers != 1 || len(st.WorkerStats) != 1 {
+		t.Fatalf("batch sequential: Stats.Workers = %d (%d breakdowns), want 1",
+			st.Workers, len(st.WorkerStats))
+	}
+}
+
+// TestStatsMarshalJSON: a decode's Stats must always survive
+// encoding/json (mpeg2bench serializes them), which +Inf or NaN gauges
+// would break.
+func TestStatsMarshalJSON(t *testing.T) {
+	res := apiStream(t)
+	st, err := mpeg2par.Decode(context.Background(), mpeg2par.FromBytes(res.Data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := json.Marshal(st); err != nil {
+		t.Fatalf("marshal stats: %v", err)
+	}
+}
+
+// TestWithTrace: a recorder attached to a decode yields a non-empty
+// timeline whose Chrome-trace export is well-formed JSON, and tracing
+// does not change what gets decoded.
+func TestWithTrace(t *testing.T) {
+	res := apiStream(t)
+	rec := mpeg2par.NewTraceRecorder(0)
+	st, err := mpeg2par.Decode(context.Background(), mpeg2par.FromBytes(res.Data),
+		mpeg2par.WithMode(mpeg2par.ModeSliceImproved),
+		mpeg2par.WithWorkers(3),
+		mpeg2par.WithTrace(rec),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl := rec.Snapshot()
+	if len(tl.Events) == 0 {
+		t.Fatal("traced decode recorded no events")
+	}
+	if tl.Mode != "slice-improved" || tl.Workers != st.Workers {
+		t.Fatalf("timeline meta %q/%d, want slice-improved/%d", tl.Mode, tl.Workers, st.Workers)
+	}
+	var buf bytes.Buffer
+	if err := tl.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("chrome trace has no events")
+	}
+	sum := tl.Summary()
+	if sum.Displayed != st.Displayed {
+		t.Fatalf("summary displayed %d, stats displayed %d", sum.Displayed, st.Displayed)
+	}
+}
+
+// TestWithEventSink: the streaming sink sees every recorded event.
+func TestWithEventSink(t *testing.T) {
+	res := apiStream(t)
+	var mu sync.Mutex
+	n := 0
+	_, err := mpeg2par.Decode(context.Background(), mpeg2par.FromBytes(res.Data),
+		mpeg2par.WithWorkers(2),
+		mpeg2par.WithEventSink(func(mpeg2par.TimelineEvent) {
+			mu.Lock()
+			n++
+			mu.Unlock()
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if n == 0 {
+		t.Fatal("event sink never called")
 	}
 }
 

@@ -38,6 +38,10 @@ func main() {
 	perfOut := flag.String("o", "", "perf output file (default: highest existing BENCH_<n>.json, else BENCH_1.json)")
 	perfLabel := flag.String("label", "", "label recorded with the perf run")
 	perfNew := flag.Bool("new", false, "with -perf: start the next-numbered BENCH_<n>.json instead of appending")
+	traced := flag.Bool("timeline", false, "run a traced decode and report load balance + sync overhead from the event stream")
+	traceOut := flag.String("trace", "", "with -timeline: also write Chrome trace JSON here (open in Perfetto)")
+	traceMode := flag.String("mode", "slice-improved", "with -timeline: decode mode")
+	traceWorkers := flag.Int("workers", 4, "with -timeline: worker count")
 	flag.Parse()
 
 	if *list {
@@ -53,6 +57,13 @@ func main() {
 	}
 	if *faultsSweep {
 		if err := runFaults(*faultSeed, *jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "mpeg2bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *traced {
+		if err := runTimeline(*traceMode, *traceWorkers, *traceOut, *jsonOut); err != nil {
 			fmt.Fprintf(os.Stderr, "mpeg2bench: %v\n", err)
 			os.Exit(1)
 		}
@@ -100,6 +111,28 @@ func runFaults(seed int64, jsonOut bool) error {
 		return res.WriteJSON(os.Stdout)
 	}
 	res.RenderFaultTable(os.Stdout)
+	return nil
+}
+
+// runTimeline decodes the reference stream with the event tracer
+// attached and prints the derived load-balance / sync-overhead report
+// (internal/bench/timeline.go); -trace additionally exports the raw
+// timeline as Chrome trace JSON.
+func runTimeline(mode string, workers int, traceOut string, jsonOut bool) error {
+	res, err := bench.TimelineRun(bench.TimelineConfig{
+		Mode: mode, Workers: workers, TraceOut: traceOut,
+	})
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		return res.WriteJSON(os.Stdout)
+	}
+	res.WriteText(os.Stdout)
+	if traceOut != "" {
+		fmt.Printf("wrote %d timeline events to %s (open in Perfetto or chrome://tracing)\n",
+			len(res.Timeline.Events), traceOut)
+	}
 	return nil
 }
 

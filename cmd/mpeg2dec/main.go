@@ -43,6 +43,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "fault-injection seed (with -fault)")
 	timeout := flag.Duration("timeout", 0, "abort the decode after this long (0 = no limit)")
 	inflight := flag.Int("inflight", 0, "scan-ahead window in GOPs (0 = 2*workers+2)")
+	trace := flag.String("trace", "", "record the worker timeline and write Chrome trace JSON (open in Perfetto)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fatal("usage: mpeg2dec [flags] stream.m2v|-")
@@ -129,13 +130,20 @@ func main() {
 		fatal("unknown mode %q", *mode)
 	}
 
-	stats, err := mpeg2par.Decode(ctx, src,
+	opts := []mpeg2par.Option{
 		mpeg2par.WithMode(m),
 		mpeg2par.WithWorkers(*workers),
 		mpeg2par.WithResilience(policy),
 		mpeg2par.WithFrameSink(writeFrame),
 		mpeg2par.WithMaxInFlight(*inflight),
-	)
+	}
+	var rec *mpeg2par.TraceRecorder
+	if *trace != "" {
+		rec = mpeg2par.NewTraceRecorder(0)
+		opts = append(opts, mpeg2par.WithTrace(rec))
+	}
+
+	stats, err := mpeg2par.Decode(ctx, src, opts...)
 	if err != nil {
 		if ctx.Err() != nil {
 			fatal("decode aborted after %v: %v (displayed %d of %d pictures)",
@@ -144,7 +152,7 @@ func main() {
 		fatal("decode: %v", err)
 	}
 	fmt.Printf("%s x%d (%s): %d pictures in %v (%.1f pics/s), scan %.0f pics/s\n",
-		*mode, *workers, policy, stats.Pictures, stats.Wall.Round(time.Millisecond),
+		*mode, stats.Workers, policy, stats.Pictures, stats.Wall.Round(time.Millisecond),
 		stats.PicturesPerSecond(), stats.ScanRate)
 	fmt.Printf("peak frame memory: %.2f MB\n", float64(stats.PeakFrameBytes)/(1<<20))
 	fmt.Printf("peak in-flight stream bytes: %.1f KB (scan lead %d pictures)\n",
@@ -158,6 +166,24 @@ func main() {
 	for i, ws := range stats.WorkerStats {
 		fmt.Printf("  worker %2d: busy %-12v wait %-12v tasks %d\n",
 			i, ws.Busy.Round(time.Microsecond), ws.Wait.Round(time.Microsecond), ws.Tasks)
+	}
+
+	if rec != nil {
+		tl := rec.Snapshot()
+		out, err := os.Create(*trace)
+		if err != nil {
+			fatal("%v", err)
+		}
+		if err := tl.WriteChromeTrace(out); err != nil {
+			out.Close()
+			fatal("write trace: %v", err)
+		}
+		if err := out.Close(); err != nil {
+			fatal("write trace: %v", err)
+		}
+		fmt.Printf("wrote %d timeline events to %s (open in Perfetto or chrome://tracing)\n",
+			len(tl.Events), *trace)
+		tl.Summary().WriteText(os.Stdout)
 	}
 }
 

@@ -223,6 +223,9 @@ func (r *Runner) Fig9(w io.Writer) ([]Fig9Case, error) {
 			avg += t.Cost
 		}
 		avg /= time.Duration(len(tasks))
+		if avg <= 0 { // coarse timers can measure zero; keep the rate positive
+			avg = time.Nanosecond
+		}
 		m, err := r.Map(res, gop)
 		if err != nil {
 			return memmodel.Params{}, err
@@ -238,7 +241,7 @@ func (r *Runner) Fig9(w io.Writer) ([]Fig9Case, error) {
 			FrameBytes:        res.FrameBytes(),
 			BytesPerGOP:       int64(len(s.Data)) / int64(len(m.GOPs)),
 			ScanGOPsPerSec:    eraScanPicsPerSec / float64(gop),
-			DecodeGOPsPerSec:  1 / avg.Seconds() / eraSlowdown,
+			DecodeGOPsPerSec:  safeRate(1.0/eraSlowdown, avg),
 			DisplayPicsPerSec: 30,
 		}, nil
 	}

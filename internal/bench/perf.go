@@ -172,8 +172,8 @@ func PerfTrajectory(cfg PerfConfig, label string) (*PerfRun, error) {
 			best = d
 		}
 	}
-	run.SequentialPicsPerSec = float64(cfg.Pictures) / best.Seconds()
-	run.SequentialMSPerPic = best.Seconds() * 1e3 / float64(cfg.Pictures)
+	run.SequentialPicsPerSec = safeRate(float64(cfg.Pictures), best)
+	run.SequentialMSPerPic = safeDiv(best.Seconds()*1e3, float64(cfg.Pictures))
 
 	for _, mode := range []core.Mode{core.ModeGOP, core.ModeSliceSimple, core.ModeSliceImproved} {
 		for _, w := range cfg.Workers {
@@ -191,7 +191,7 @@ func PerfTrajectory(cfg PerfConfig, label string) (*PerfRun, error) {
 				Mode:       mode.String(),
 				Workers:    w,
 				PicsPerSec: bestStats.PicturesPerSecond(),
-				Speedup:    bestStats.PicturesPerSecond() / run.SequentialPicsPerSec,
+				Speedup:    safeDiv(bestStats.PicturesPerSecond(), run.SequentialPicsPerSec),
 				WallMS:     ms(bestStats.Wall),
 				ScanMS:     ms(bestStats.ScanTime),
 			}

@@ -122,9 +122,9 @@ func (r *Runner) Table34(w io.Writer) ([]Table34Row, error) {
 		p := r.cfg.MaxWorkers
 		row := Table34Row{
 			Res:      res,
-			GOP:      pics / SimGOP(gt, p).Makespan.Seconds(),
-			Simple:   pics / SimSlices(sp, p, false).Makespan.Seconds(),
-			Improved: pics / SimSlices(sp, p, true).Makespan.Seconds(),
+			GOP:      safeRate(pics, SimGOP(gt, p).Makespan),
+			Simple:   safeRate(pics, SimSlices(sp, p, false).Makespan),
+			Improved: safeRate(pics, SimSlices(sp, p, true).Makespan),
 		}
 		rows = append(rows, row)
 		out = append(out, []string{res.Name(), f1(row.Simple), f1(row.Improved), f1(row.GOP)})

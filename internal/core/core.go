@@ -7,6 +7,7 @@ import (
 	"mpeg2par/internal/decoder"
 	"mpeg2par/internal/frame"
 	"mpeg2par/internal/memtrace"
+	"mpeg2par/internal/obs"
 )
 
 // Mode selects the parallelization strategy.
@@ -82,6 +83,24 @@ type Options struct {
 	// process blocks (backpressure). Zero selects 2×Workers+2. The batch
 	// paths ignore it.
 	MaxInFlight int
+
+	// Obs, when non-nil, receives structured scheduling events from every
+	// process of the decode — task spans, queue and barrier waits, scan,
+	// feed, and display events — for timeline export and load-balance
+	// reports. Nil (the default) keeps the scheduling paths event-free:
+	// each hook is a single pointer test.
+	Obs *obs.Tracer
+}
+
+// EffectiveWorkers returns the worker count a decode in this mode
+// actually uses: ModeSequential always runs on one worker regardless of
+// Options.Workers. Stats.Workers reports this value, so the gauge is
+// truthful in every mode.
+func (o Options) EffectiveWorkers() int {
+	if o.Mode == ModeSequential {
+		return 1
+	}
+	return o.Workers
 }
 
 // EffectiveMaxInFlight resolves the scan-ahead window for the streaming
@@ -184,10 +203,12 @@ func Decode(data []byte, opt Options) (*Stats, error) {
 	if opt.Resilience != FailFast {
 		scanFn = ScanLenient
 	}
+	scanStart := time.Now()
 	m, err := scanFn(data)
 	if err != nil {
 		return nil, err
 	}
+	opt.Obs.Record(obs.KindScan, obs.LaneScan, scanStart, m.ScanTime, -1, -1, -1)
 	return DecodeScanned(data, m, opt)
 }
 
@@ -199,10 +220,11 @@ func DecodeScanned(data []byte, m *StreamMap, opt Options) (*Stats, error) {
 	}
 	st := &Stats{
 		Mode:     opt.Mode,
-		Workers:  opt.Workers,
+		Workers:  opt.EffectiveWorkers(),
 		ScanTime: m.ScanTime,
 		ScanRate: m.ScanRate(),
 	}
+	opt.Obs.SetMeta(opt.Mode.String(), st.Workers)
 	var err error
 	switch {
 	case opt.Mode == ModeSequential || opt.Resilience != FailFast:

@@ -3,8 +3,10 @@ package core
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"mpeg2par/internal/frame"
+	"mpeg2par/internal/obs"
 )
 
 // displayProc is the display process: decoded pictures arrive in
@@ -24,12 +26,13 @@ type displayProc struct {
 	next      int
 	pool      *frame.Pool
 	sink      func(*frame.Frame)
+	obs       *obs.Tracer
 	displayed int
 	err       error
 }
 
-func newDisplay(pool *frame.Pool, sink func(*frame.Frame)) *displayProc {
-	return &displayProc{pending: make(map[int]*frame.Frame), pool: pool, sink: sink}
+func newDisplay(pool *frame.Pool, sink func(*frame.Frame), tr *obs.Tracer) *displayProc {
+	return &displayProc{pending: make(map[int]*frame.Frame), pool: pool, sink: sink, obs: tr}
 }
 
 // push hands one decoded picture (with its absolute display index) to the
@@ -53,6 +56,9 @@ func (d *displayProc) push(f *frame.Frame, idx int) {
 		g.DisplayIndex = d.next
 		if d.sink != nil {
 			d.sink(g)
+		}
+		if d.obs != nil {
+			d.obs.Record(obs.KindDisplay, obs.LaneDisplay, time.Now(), 0, -1, d.next, -1)
 		}
 		if g.Release() {
 			d.pool.Put(g)

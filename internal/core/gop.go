@@ -1,14 +1,18 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
+
+	rtrace "runtime/trace"
 
 	"mpeg2par/internal/bits"
 	"mpeg2par/internal/decoder"
 	"mpeg2par/internal/frame"
 	"mpeg2par/internal/mpeg2"
+	"mpeg2par/internal/obs"
 )
 
 // decodeGOPMode runs the coarse-grained decoder: the scan result feeds a
@@ -21,7 +25,7 @@ func decodeGOPMode(data []byte, m *StreamMap, opt Options, st *Stats) error {
 		// recycled buffers so no stale content leaks across GOPs.
 		pool.SetScrub(true)
 	}
-	disp := newDisplay(pool, opt.Sink)
+	disp := newDisplay(pool, opt.Sink, opt.Obs)
 
 	tasks := make(chan int, len(m.GOPs))
 	for g := range m.GOPs {
@@ -42,34 +46,7 @@ func decodeGOPMode(data []byte, m *StreamMap, opt Options, st *Stats) error {
 		wg.Add(1)
 		go func(wi int) {
 			defer wg.Done()
-			ws := &st.WorkerStats[wi]
-			for {
-				t0 := time.Now()
-				g, ok := <-tasks
-				ws.Wait += time.Since(t0)
-				if !ok {
-					return
-				}
-				if errs.get() != nil {
-					continue // drain remaining tasks after a failure
-				}
-				t1 := time.Now()
-				work, concealed, err := decodeOneGOP(data, m, g, pool, opt, wi, disp)
-				cost := time.Since(t1)
-				ws.Busy += cost
-				ws.Tasks++
-				if err != nil {
-					errs.set(fmt.Errorf("core: GOP %d at byte %d: %w", g, m.GOPs[g].Offset, err))
-					continue
-				}
-				workMu.Lock()
-				st.Work.Add(work)
-				st.Concealed += concealed
-				if opt.Profile {
-					st.GOPCosts[g] = TaskCost{Cost: cost, Work: work}
-				}
-				workMu.Unlock()
-			}
+			obs.Do(opt.Mode.String(), wi, func() { gopWorkerLoop(data, m, pool, opt, wi, disp, tasks, &errs, st, &workMu) })
 		}(wi)
 	}
 	wg.Wait()
@@ -91,6 +68,44 @@ func decodeGOPMode(data []byte, m *StreamMap, opt Options, st *Stats) error {
 		return fmt.Errorf("core: displayed %d of %d pictures", displayed, m.TotalPictures)
 	}
 	return nil
+}
+
+// gopWorkerLoop is one coarse-grained worker's task loop (the body of
+// decodeGOPMode's goroutines, hoisted so it runs under pprof labels).
+func gopWorkerLoop(data []byte, m *StreamMap, pool *frame.Pool, opt Options, wi int, disp *displayProc, tasks <-chan int, errs *firstErr, st *Stats, workMu *sync.Mutex) {
+	ws := &st.WorkerStats[wi]
+	for {
+		t0 := time.Now()
+		g, ok := <-tasks
+		wait := time.Since(t0)
+		ws.Wait += wait
+		opt.Obs.Record(obs.KindWait, wi, t0, wait, -1, -1, -1)
+		if !ok {
+			return
+		}
+		if errs.get() != nil {
+			continue // drain remaining tasks after a failure
+		}
+		t1 := time.Now()
+		reg := rtrace.StartRegion(context.Background(), "mpeg2par.gopTask")
+		work, concealed, err := decodeOneGOP(data, m, g, pool, opt, wi, disp)
+		reg.End()
+		cost := time.Since(t1)
+		ws.Busy += cost
+		ws.Tasks++
+		opt.Obs.Record(obs.KindTask, wi, t1, cost, g, -1, -1)
+		if err != nil {
+			errs.set(fmt.Errorf("core: GOP %d at byte %d: %w", g, m.GOPs[g].Offset, err))
+			continue
+		}
+		workMu.Lock()
+		st.Work.Add(work)
+		st.Concealed += concealed
+		if opt.Profile {
+			st.GOPCosts[g] = TaskCost{Cost: cost, Work: work}
+		}
+		workMu.Unlock()
+	}
 }
 
 // decodeOneGOP decodes GOP g completely (the unit of work of one task).

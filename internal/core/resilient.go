@@ -1,13 +1,17 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
 
+	rtrace "runtime/trace"
+
 	"mpeg2par/internal/decoder"
 	"mpeg2par/internal/frame"
 	"mpeg2par/internal/mpeg2"
+	"mpeg2par/internal/obs"
 )
 
 // decodeResilient executes a planned decode. ModeSequential always runs
@@ -147,30 +151,41 @@ func decodeResilientSeq(m *StreamMap, pl *plan, opt Options, st *Stats) error {
 	if opt.Resilience != FailFast {
 		pool.SetScrub(true)
 	}
-	disp := newDisplay(pool, opt.Sink)
+	disp := newDisplay(pool, opt.Sink, opt.Obs)
 	st.WorkerStats = make([]WorkerStats, 1)
 	ws := &st.WorkerStats[0]
 	var scr sliceScratch
 
 	wallStart := time.Now()
-	for idx, p := range pl.pics {
-		newPlanFrame(pool, p)
-		t0 := time.Now()
-		work, es, err := decodePlanPic(&m.Seq, pl.pics, idx, 0, opt, &scr)
-		ws.Busy += time.Since(t0)
-		ws.Tasks++
-		st.Work.Add(work)
-		st.Errors.Add(es)
-		if err != nil {
-			st.Wall = time.Since(wallStart)
-			return fmt.Errorf("core: GOP %d at byte %d: %w", p.gop, m.GOPs[p.gop].Offset, err)
-		}
-		for _, ri := range p.holds {
-			if pl.pics[ri].frame.Release() {
-				pool.Put(pl.pics[ri].frame)
+	var seqErr error
+	obs.Do(opt.Mode.String(), 0, func() {
+		for idx, p := range pl.pics {
+			newPlanFrame(pool, p)
+			t0 := time.Now()
+			reg := rtrace.StartRegion(context.Background(), "mpeg2par.picTask")
+			work, es, err := decodePlanPic(&m.Seq, pl.pics, idx, 0, opt, &scr)
+			reg.End()
+			cost := time.Since(t0)
+			ws.Busy += cost
+			ws.Tasks++
+			opt.Obs.Record(obs.KindTask, 0, t0, cost, p.gop, p.displayIdx, -1)
+			st.Work.Add(work)
+			st.Errors.Add(es)
+			if err != nil {
+				st.Wall = time.Since(wallStart)
+				seqErr = fmt.Errorf("core: GOP %d at byte %d: %w", p.gop, m.GOPs[p.gop].Offset, err)
+				return
 			}
+			for _, ri := range p.holds {
+				if pl.pics[ri].frame.Release() {
+					pool.Put(pl.pics[ri].frame)
+				}
+			}
+			disp.push(p.frame, p.displayIdx)
 		}
-		disp.push(p.frame, p.displayIdx)
+	})
+	if seqErr != nil {
+		return seqErr
 	}
 	return finishPlan(pl, pool, disp, st, wallStart)
 }
@@ -181,7 +196,7 @@ func decodeResilientSeq(m *StreamMap, pl *plan, opt Options, st *Stats) error {
 func decodeResilientGOP(m *StreamMap, pl *plan, opt Options, st *Stats) error {
 	pool := frame.NewPool(m.Seq.Width, m.Seq.Height)
 	pool.SetScrub(true) // concealed/substituted pixels must never leak stale content
-	disp := newDisplay(pool, opt.Sink)
+	disp := newDisplay(pool, opt.Sink, opt.Obs)
 
 	tasks := make(chan int, len(pl.gops))
 	for gi := range pl.gops {
@@ -199,53 +214,61 @@ func decodeResilientGOP(m *StreamMap, pl *plan, opt Options, st *Stats) error {
 		wg.Add(1)
 		go func(wi int) {
 			defer wg.Done()
-			ws := &st.WorkerStats[wi]
-			var scr sliceScratch
-			for {
-				t0 := time.Now()
-				gi, ok := <-tasks
-				ws.Wait += time.Since(t0)
-				if !ok {
-					return
-				}
-				if errs.get() != nil {
-					continue // drain remaining tasks after a failure
-				}
-				pg := pl.gops[gi]
-				t1 := time.Now()
-				var work decoder.WorkStats
-				var es ErrorStats
-				failed := false
-				// Workers touch only their own GOP's picStates (plus the
-				// frames within it), so no locking is needed on the plan.
-				for idx := pg.first; idx < pg.first+pg.n; idx++ {
-					p := pl.pics[idx]
-					newPlanFrame(pool, p)
-					w, e, err := decodePlanPic(&m.Seq, pl.pics, idx, wi, opt, &scr)
-					work.Add(w)
-					es.Add(e)
-					if err != nil {
-						errs.set(fmt.Errorf("core: GOP %d at byte %d: %w", pg.g, m.GOPs[pg.g].Offset, err))
-						failed = true
-						break
+			obs.Do(opt.Mode.String(), wi, func() {
+				ws := &st.WorkerStats[wi]
+				var scr sliceScratch
+				for {
+					t0 := time.Now()
+					gi, ok := <-tasks
+					wait := time.Since(t0)
+					ws.Wait += wait
+					opt.Obs.Record(obs.KindWait, wi, t0, wait, -1, -1, -1)
+					if !ok {
+						return
 					}
-					for _, ri := range p.holds {
-						if pl.pics[ri].frame.Release() {
-							pool.Put(pl.pics[ri].frame)
+					if errs.get() != nil {
+						continue // drain remaining tasks after a failure
+					}
+					pg := pl.gops[gi]
+					t1 := time.Now()
+					reg := rtrace.StartRegion(context.Background(), "mpeg2par.gopTask")
+					var work decoder.WorkStats
+					var es ErrorStats
+					failed := false
+					// Workers touch only their own GOP's picStates (plus the
+					// frames within it), so no locking is needed on the plan.
+					for idx := pg.first; idx < pg.first+pg.n; idx++ {
+						p := pl.pics[idx]
+						newPlanFrame(pool, p)
+						w, e, err := decodePlanPic(&m.Seq, pl.pics, idx, wi, opt, &scr)
+						work.Add(w)
+						es.Add(e)
+						if err != nil {
+							errs.set(fmt.Errorf("core: GOP %d at byte %d: %w", pg.g, m.GOPs[pg.g].Offset, err))
+							failed = true
+							break
 						}
+						for _, ri := range p.holds {
+							if pl.pics[ri].frame.Release() {
+								pool.Put(pl.pics[ri].frame)
+							}
+						}
+						disp.push(p.frame, p.displayIdx)
 					}
-					disp.push(p.frame, p.displayIdx)
+					reg.End()
+					cost := time.Since(t1)
+					ws.Busy += cost
+					ws.Tasks++
+					opt.Obs.Record(obs.KindTask, wi, t1, cost, pg.g, -1, -1)
+					if failed {
+						continue
+					}
+					workMu.Lock()
+					st.Work.Add(work)
+					st.Errors.Add(es)
+					workMu.Unlock()
 				}
-				ws.Busy += time.Since(t1)
-				ws.Tasks++
-				if failed {
-					continue
-				}
-				workMu.Lock()
-				st.Work.Add(work)
-				st.Errors.Add(es)
-				workMu.Unlock()
-			}
+			})
 		}(wi)
 	}
 	wg.Wait()
@@ -263,7 +286,7 @@ func decodeResilientGOP(m *StreamMap, pl *plan, opt Options, st *Stats) error {
 func decodeResilientSlice(m *StreamMap, pl *plan, opt Options, st *Stats) error {
 	pool := frame.NewPool(m.Seq.Width, m.Seq.Height)
 	pool.SetScrub(true)
-	disp := newDisplay(pool, opt.Sink)
+	disp := newDisplay(pool, opt.Sink, opt.Obs)
 
 	pics := pl.pics
 	q := &sliceQueue{
@@ -272,6 +295,7 @@ func decodeResilientSlice(m *StreamMap, pl *plan, opt Options, st *Stats) error 
 		pool:     pool,
 		depth:    opt.Workers + 4,
 		closed:   true, // batch: the full plan is known up front
+		obs:      opt.Obs,
 	}
 	q.cond = sync.NewCond(&q.mu)
 
@@ -285,47 +309,53 @@ func decodeResilientSlice(m *StreamMap, pl *plan, opt Options, st *Stats) error 
 		wg.Add(1)
 		go func(wi int) {
 			defer wg.Done()
-			ws := &st.WorkerStats[wi]
-			var scr sliceScratch
-			var taskAddrs []int
-			for {
-				p, ti, wait, ok := q.take()
-				ws.Wait += wait
-				if !ok {
-					return
-				}
-				t0 := time.Now()
-				var work decoder.WorkStats
-				var es ErrorStats
-				taskAddrs = taskAddrs[:0]
-				err := runPlanSliceTask(&m.Seq, pics, p, ti, wi, opt, &scr, &work, &es, &taskAddrs)
-				ws.Busy += time.Since(t0)
-				ws.Tasks++
-				if err != nil { // only possible under FailFast (never batch)
-					errs.set(err)
-					q.fail()
-					return
-				}
-				if q.finish(p, taskAddrs) {
-					if p.fate == fateDecode {
-						if miss := q.missing(p); len(miss) > 0 {
-							concealMBs(pics, p, miss)
-							es.ConcealedMBs += len(miss)
-						}
+			obs.Do(opt.Mode.String(), wi, func() {
+				ws := &st.WorkerStats[wi]
+				var scr sliceScratch
+				var taskAddrs []int
+				for {
+					p, ti, wait, ok := q.take(wi)
+					ws.Wait += wait
+					if !ok {
+						return
 					}
-					q.completePic(p)
-					for _, ri := range p.holds {
-						if pics[ri].frame.Release() {
-							pool.Put(pics[ri].frame)
-						}
+					t0 := time.Now()
+					reg := rtrace.StartRegion(context.Background(), "mpeg2par.sliceTask")
+					var work decoder.WorkStats
+					var es ErrorStats
+					taskAddrs = taskAddrs[:0]
+					err := runPlanSliceTask(&m.Seq, pics, p, ti, wi, opt, &scr, &work, &es, &taskAddrs)
+					reg.End()
+					cost := time.Since(t0)
+					ws.Busy += cost
+					ws.Tasks++
+					opt.Obs.Record(obs.KindTask, wi, t0, cost, p.gop, p.displayIdx, ti)
+					if err != nil { // only possible under FailFast (never batch)
+						errs.set(err)
+						q.fail()
+						return
 					}
-					disp.push(p.frame, p.displayIdx)
+					if q.finish(p, taskAddrs) {
+						if p.fate == fateDecode {
+							if miss := q.missing(p); len(miss) > 0 {
+								concealMBs(pics, p, miss)
+								es.ConcealedMBs += len(miss)
+							}
+						}
+						q.completePic(p)
+						for _, ri := range p.holds {
+							if pics[ri].frame.Release() {
+								pool.Put(pics[ri].frame)
+							}
+						}
+						disp.push(p.frame, p.displayIdx)
+					}
+					workMu.Lock()
+					st.Work.Add(work)
+					st.Errors.Add(es)
+					workMu.Unlock()
 				}
-				workMu.Lock()
-				st.Work.Add(work)
-				st.Errors.Add(es)
-				workMu.Unlock()
-			}
+			})
 		}(wi)
 	}
 	wg.Wait()

@@ -1,15 +1,19 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
+
+	rtrace "runtime/trace"
 
 	"mpeg2par/internal/bits"
 	"mpeg2par/internal/decoder"
 	"mpeg2par/internal/frame"
 	"mpeg2par/internal/memtrace"
 	"mpeg2par/internal/mpeg2"
+	"mpeg2par/internal/obs"
 	"mpeg2par/internal/vlc"
 )
 
@@ -71,6 +75,10 @@ type sliceQueue struct {
 	depth  int
 	failed bool
 	closed bool // no more pictures will be appended
+
+	// obs, when non-nil, receives a queue-wait or barrier-wait event for
+	// every blocked take (classified by what the worker was blocked on).
+	obs *obs.Tracer
 }
 
 // append adds pictures to the tail of the queue (streaming path: the
@@ -116,14 +124,28 @@ func (q *sliceQueue) open(i int) bool {
 
 // take blocks until a slice task is available (returning picture and
 // slice index) or the queue is exhausted/failed (ok=false). The caller
-// receives the time spent waiting.
-func (q *sliceQueue) take() (p *picState, slice int, wait time.Duration, ok bool) {
+// receives the time spent waiting; wi identifies the taking worker for
+// the wait events take records (a block on a not-yet-open picture is a
+// barrier wait, a block on an empty queue is starvation).
+func (q *sliceQueue) take(wi int) (p *picState, slice int, wait time.Duration, ok bool) {
 	t0 := time.Now()
+	barrier := false
+	record := func(w time.Duration) {
+		if q.obs != nil {
+			kind := obs.KindWait
+			if barrier {
+				kind = obs.KindBarrier
+			}
+			q.obs.Record(kind, wi, t0, w, -1, -1, -1)
+		}
+	}
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	for {
 		if q.failed {
-			return nil, 0, time.Since(t0), false
+			wait = time.Since(t0)
+			record(wait)
+			return nil, 0, wait, false
 		}
 		// Skip over fully-issued pictures.
 		for q.issueIdx < len(q.pics) && q.pics[q.issueIdx].nextSlice >= q.pics[q.issueIdx].nTasks {
@@ -131,7 +153,9 @@ func (q *sliceQueue) take() (p *picState, slice int, wait time.Duration, ok bool
 		}
 		if q.issueIdx >= len(q.pics) {
 			if q.closed {
-				return nil, 0, time.Since(t0), false
+				wait = time.Since(t0)
+				record(wait)
+				return nil, 0, wait, false
 			}
 			q.cond.Wait() // more pictures may still be appended
 			continue
@@ -150,8 +174,13 @@ func (q *sliceQueue) take() (p *picState, slice int, wait time.Duration, ok bool
 			}
 			slice = p.nextSlice
 			p.nextSlice++
-			return p, slice, time.Since(t0), true
+			wait = time.Since(t0)
+			record(wait)
+			return p, slice, wait, true
 		}
+		// A task exists but its picture is gated on the barrier
+		// discipline (or pipeline depth): synchronization, not starvation.
+		barrier = true
 		q.cond.Wait()
 	}
 }
@@ -292,7 +321,7 @@ func decodeSliceMode(data []byte, m *StreamMap, opt Options, st *Stats) error {
 		// Same stale-pixel defense as the GOP mode: see decodeGOPMode.
 		pool.SetScrub(true)
 	}
-	disp := newDisplay(pool, opt.Sink)
+	disp := newDisplay(pool, opt.Sink, opt.Obs)
 
 	q := &sliceQueue{
 		pics:     pics,
@@ -300,6 +329,7 @@ func decodeSliceMode(data []byte, m *StreamMap, opt Options, st *Stats) error {
 		pool:     pool,
 		depth:    opt.Workers + 4,
 		closed:   true, // batch: the full picture list is known up front
+		obs:      opt.Obs,
 	}
 	q.cond = sync.NewCond(&q.mu)
 
@@ -330,58 +360,63 @@ func decodeSliceMode(data []byte, m *StreamMap, opt Options, st *Stats) error {
 		wg.Add(1)
 		go func(wi int) {
 			defer wg.Done()
-			ws := &st.WorkerStats[wi]
-			var scr sliceScratch
-			for {
-				p, si, wait, ok := q.take()
-				ws.Wait += wait
-				if !ok {
-					return
-				}
-				t0 := time.Now()
-				work, addrs, err := decodeOneSlice(m, pics, p, si, wi, opt, &scr)
-				cost := time.Since(t0)
-				ws.Busy += cost
-				ws.Tasks++
-				if err != nil && !opt.Conceal {
-					errs.set(err)
-					q.fail()
-					return
-				}
-				workMu.Lock()
-				st.Work.Add(work)
-				if opt.Profile {
-					st.SliceProf[pindex(pics, p)].SliceCosts[si] = cost
-				}
-				workMu.Unlock()
-				if q.finish(p, addrs) {
-					// Picture complete: conceal anything the damaged
-					// slices left unwritten (before publishing completeness,
-					// so dependents never read a half-concealed reference),
-					// release the frames it referenced, and ship it to the
-					// display process.
-					if miss := q.missing(p); len(miss) > 0 {
-						if !opt.Conceal {
-							errs.set(fmt.Errorf("core: picture at display %d covered %d of %d macroblocks",
-								p.displayIdx, p.params.MBWidth*p.params.MBHeight-len(miss),
-								p.params.MBWidth*p.params.MBHeight))
-							q.fail()
-							return
-						}
-						concealMBs(pics, p, miss)
-						workMu.Lock()
-						st.Concealed += len(miss)
-						workMu.Unlock()
+			obs.Do(opt.Mode.String(), wi, func() {
+				ws := &st.WorkerStats[wi]
+				var scr sliceScratch
+				for {
+					p, si, wait, ok := q.take(wi)
+					ws.Wait += wait
+					if !ok {
+						return
 					}
-					q.completePic(p)
-					for _, ri := range []int{p.fwd, p.bwd} {
-						if ri >= 0 {
-							release(pics[ri].frame)
-						}
+					t0 := time.Now()
+					reg := rtrace.StartRegion(context.Background(), "mpeg2par.sliceTask")
+					work, addrs, err := decodeOneSlice(m, pics, p, si, wi, opt, &scr)
+					reg.End()
+					cost := time.Since(t0)
+					ws.Busy += cost
+					ws.Tasks++
+					opt.Obs.Record(obs.KindTask, wi, t0, cost, -1, p.displayIdx, si)
+					if err != nil && !opt.Conceal {
+						errs.set(err)
+						q.fail()
+						return
 					}
-					disp.push(p.frame, p.displayIdx)
+					workMu.Lock()
+					st.Work.Add(work)
+					if opt.Profile {
+						st.SliceProf[pindex(pics, p)].SliceCosts[si] = cost
+					}
+					workMu.Unlock()
+					if q.finish(p, addrs) {
+						// Picture complete: conceal anything the damaged
+						// slices left unwritten (before publishing completeness,
+						// so dependents never read a half-concealed reference),
+						// release the frames it referenced, and ship it to the
+						// display process.
+						if miss := q.missing(p); len(miss) > 0 {
+							if !opt.Conceal {
+								errs.set(fmt.Errorf("core: picture at display %d covered %d of %d macroblocks",
+									p.displayIdx, p.params.MBWidth*p.params.MBHeight-len(miss),
+									p.params.MBWidth*p.params.MBHeight))
+								q.fail()
+								return
+							}
+							concealMBs(pics, p, miss)
+							workMu.Lock()
+							st.Concealed += len(miss)
+							workMu.Unlock()
+						}
+						q.completePic(p)
+						for _, ri := range []int{p.fwd, p.bwd} {
+							if ri >= 0 {
+								release(pics[ri].frame)
+							}
+						}
+						disp.push(p.frame, p.displayIdx)
+					}
 				}
-			}
+			})
 		}(wi)
 	}
 	wg.Wait()

@@ -7,9 +7,12 @@ import (
 	"sync/atomic"
 	"time"
 
+	rtrace "runtime/trace"
+
 	"mpeg2par/internal/decoder"
 	"mpeg2par/internal/frame"
 	"mpeg2par/internal/mpeg2"
+	"mpeg2par/internal/obs"
 )
 
 // Unit is one group of pictures handed from the streaming scanner to the
@@ -144,7 +147,7 @@ func NewStreamExecutor(ctx context.Context, opt Options) (*StreamExecutor, error
 		workers: w,
 		sem:     make(chan struct{}, opt.EffectiveMaxInFlight()),
 		fail:    make(chan struct{}),
-		st:      &Stats{Mode: opt.Mode, Workers: opt.Workers},
+		st:      &Stats{Mode: opt.Mode, Workers: w},
 	}, nil
 }
 
@@ -156,14 +159,16 @@ func (e *StreamExecutor) start() {
 	if e.opt.Resilience != FailFast {
 		e.pool.SetScrub(true)
 	}
-	e.disp = newDisplay(e.pool, e.opt.Sink)
+	e.disp = newDisplay(e.pool, e.opt.Sink, e.opt.Obs)
 	e.st.WorkerStats = make([]WorkerStats, e.workers)
+	e.opt.Obs.SetMeta(e.opt.Mode.String(), e.workers)
 	switch e.opt.Mode {
 	case ModeSliceSimple, ModeSliceImproved:
 		e.q = &sliceQueue{
 			improved: e.opt.Mode == ModeSliceImproved,
 			pool:     e.pool,
 			depth:    e.opt.Workers + 4,
+			obs:      e.opt.Obs,
 		}
 		e.q.cond = sync.NewCond(&e.q.mu)
 		for wi := 0; wi < e.workers; wi++ {
@@ -189,6 +194,7 @@ func (e *StreamExecutor) Feed(u Unit) error {
 	if err := e.errs.get(); err != nil {
 		return err
 	}
+	feedStart := time.Now()
 	select {
 	case e.sem <- struct{}{}:
 	case <-e.ctx.Done():
@@ -196,6 +202,7 @@ func (e *StreamExecutor) Feed(u Unit) error {
 	case <-e.fail:
 		return e.errs.get()
 	}
+	e.opt.Obs.Record(obs.KindFeed, obs.LaneScan, feedStart, time.Since(feedStart), u.G, -1, -1)
 	if !e.started {
 		e.seq = u.Seq
 		e.start()
@@ -348,24 +355,30 @@ func (e *StreamExecutor) Finish(scanErr error) (*Stats, error) {
 // one worker, in the same order as decodeResilientSeq).
 func (e *StreamExecutor) gopWorker(wi int) {
 	defer e.wg.Done()
-	ws := &e.st.WorkerStats[wi]
-	var scr sliceScratch
-	for {
-		t0 := time.Now()
-		t, ok := <-e.gopTasks
-		ws.Wait += time.Since(t0)
-		if !ok {
-			return
+	obs.Do(e.opt.Mode.String(), wi, func() {
+		ws := &e.st.WorkerStats[wi]
+		var scr sliceScratch
+		for {
+			t0 := time.Now()
+			t, ok := <-e.gopTasks
+			wait := time.Since(t0)
+			ws.Wait += wait
+			e.opt.Obs.Record(obs.KindWait, wi, t0, wait, -1, -1, -1)
+			if !ok {
+				return
+			}
+			if e.errs.get() == nil {
+				e.runGOPTask(&t, wi, ws, &scr)
+			}
+			t.unit.retire()
 		}
-		if e.errs.get() == nil {
-			e.runGOPTask(&t, wi, ws, &scr)
-		}
-		t.unit.retire()
-	}
+	})
 }
 
 func (e *StreamExecutor) runGOPTask(t *gopTask, wi int, ws *WorkerStats, scr *sliceScratch) {
 	t1 := time.Now()
+	reg := rtrace.StartRegion(context.Background(), "mpeg2par.gopTask")
+	defer reg.End()
 	var work decoder.WorkStats
 	var es ErrorStats
 	for idx := t.first; idx < t.first+t.n; idx++ {
@@ -376,8 +389,10 @@ func (e *StreamExecutor) runGOPTask(t *gopTask, wi int, ws *WorkerStats, scr *sl
 		es.Add(pes)
 		if err != nil {
 			e.setErr(fmt.Errorf("core: GOP %d at byte %d: %w", t.g, t.off, err))
-			ws.Busy += time.Since(t1)
+			cost := time.Since(t1)
+			ws.Busy += cost
 			ws.Tasks++
+			e.opt.Obs.Record(obs.KindTask, wi, t1, cost, t.g, -1, -1)
 			return
 		}
 		for _, ri := range p.holds {
@@ -387,8 +402,10 @@ func (e *StreamExecutor) runGOPTask(t *gopTask, wi int, ws *WorkerStats, scr *sl
 		}
 		e.disp.push(p.frame, p.displayIdx)
 	}
-	ws.Busy += time.Since(t1)
+	cost := time.Since(t1)
+	ws.Busy += cost
 	ws.Tasks++
+	e.opt.Obs.Record(obs.KindTask, wi, t1, cost, t.g, -1, -1)
 	e.workMu.Lock()
 	e.st.Work.Add(work)
 	e.st.Errors.Add(es)
@@ -401,54 +418,60 @@ func (e *StreamExecutor) runGOPTask(t *gopTask, wi int, ws *WorkerStats, scr *sl
 // carried its bytes.
 func (e *StreamExecutor) sliceWorker(wi int) {
 	defer e.wg.Done()
-	ws := &e.st.WorkerStats[wi]
-	var scr sliceScratch
-	var taskAddrs []int
-	for {
-		p, ti, wait, ok := e.q.take()
-		ws.Wait += wait
-		if !ok {
-			return
-		}
-		pics := e.q.snapshot()
-		t0 := time.Now()
-		var work decoder.WorkStats
-		var es ErrorStats
-		taskAddrs = taskAddrs[:0]
-		err := runPlanSliceTask(&e.seq, pics, p, ti, wi, e.opt, &scr, &work, &es, &taskAddrs)
-		ws.Busy += time.Since(t0)
-		ws.Tasks++
-		if err != nil { // only possible under FailFast
-			e.setErr(err)
-			e.q.fail()
-			return
-		}
-		if e.q.finish(p, taskAddrs) {
-			if p.fate == fateDecode {
-				if miss := e.q.missing(p); len(miss) > 0 {
-					if e.opt.Resilience == FailFast {
-						total := p.params.MBWidth * p.params.MBHeight
-						e.setErr(fmt.Errorf("core: picture at display %d covered %d of %d macroblocks",
-							p.displayIdx, total-len(miss), total))
-						e.q.fail()
-						return
+	obs.Do(e.opt.Mode.String(), wi, func() {
+		ws := &e.st.WorkerStats[wi]
+		var scr sliceScratch
+		var taskAddrs []int
+		for {
+			p, ti, wait, ok := e.q.take(wi)
+			ws.Wait += wait
+			if !ok {
+				return
+			}
+			pics := e.q.snapshot()
+			t0 := time.Now()
+			reg := rtrace.StartRegion(context.Background(), "mpeg2par.sliceTask")
+			var work decoder.WorkStats
+			var es ErrorStats
+			taskAddrs = taskAddrs[:0]
+			err := runPlanSliceTask(&e.seq, pics, p, ti, wi, e.opt, &scr, &work, &es, &taskAddrs)
+			reg.End()
+			cost := time.Since(t0)
+			ws.Busy += cost
+			ws.Tasks++
+			e.opt.Obs.Record(obs.KindTask, wi, t0, cost, p.gop, p.displayIdx, ti)
+			if err != nil { // only possible under FailFast
+				e.setErr(err)
+				e.q.fail()
+				return
+			}
+			if e.q.finish(p, taskAddrs) {
+				if p.fate == fateDecode {
+					if miss := e.q.missing(p); len(miss) > 0 {
+						if e.opt.Resilience == FailFast {
+							total := p.params.MBWidth * p.params.MBHeight
+							e.setErr(fmt.Errorf("core: picture at display %d covered %d of %d macroblocks",
+								p.displayIdx, total-len(miss), total))
+							e.q.fail()
+							return
+						}
+						concealMBs(pics, p, miss)
+						es.ConcealedMBs += len(miss)
 					}
-					concealMBs(pics, p, miss)
-					es.ConcealedMBs += len(miss)
 				}
-			}
-			e.q.completePic(p)
-			for _, ri := range p.holds {
-				if pics[ri].frame.Release() {
-					e.pool.Put(pics[ri].frame)
+				e.q.completePic(p)
+				for _, ri := range p.holds {
+					if pics[ri].frame.Release() {
+						e.pool.Put(pics[ri].frame)
+					}
 				}
+				e.disp.push(p.frame, p.displayIdx)
+				p.unit.retire()
 			}
-			e.disp.push(p.frame, p.displayIdx)
-			p.unit.retire()
+			e.workMu.Lock()
+			e.st.Work.Add(work)
+			e.st.Errors.Add(es)
+			e.workMu.Unlock()
 		}
-		e.workMu.Lock()
-		e.st.Work.Add(work)
-		e.st.Errors.Add(es)
-		e.workMu.Unlock()
-	}
+	})
 }

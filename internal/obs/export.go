@@ -1,0 +1,190 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Chrome trace-event export: the Timeline serialized in the JSON object
+// format understood by Perfetto (ui.perfetto.dev) and chrome://tracing.
+// Spans become complete ("X") events, zero-duration deliveries become
+// instants ("i"), and each lane gets a named thread row. Timestamps are
+// microseconds, the format's unit.
+
+// chromeEvent is one trace-event record. The field set is the common
+// subset Perfetto and chrome://tracing both accept.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	TS   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	S    string         `json:"s,omitempty"` // instant scope
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the exported document.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// Thread ids of the non-worker lanes in the export (workers use their
+// ids directly; large values keep scan/display sorted below them).
+const (
+	tidScan    = 1000
+	tidDisplay = 1001
+)
+
+func laneTID(lane int) int {
+	switch lane {
+	case LaneScan:
+		return tidScan
+	case LaneDisplay:
+		return tidDisplay
+	default:
+		return lane
+	}
+}
+
+func laneName(lane int) string {
+	switch lane {
+	case LaneScan:
+		return "scan"
+	case LaneDisplay:
+		return "display"
+	default:
+		return fmt.Sprintf("worker %d", lane)
+	}
+}
+
+// WriteChromeTrace writes the timeline as Chrome trace-event JSON. Load
+// the output in Perfetto (ui.perfetto.dev, "Open trace file") or
+// chrome://tracing to see the per-worker timeline the paper's Figure 5
+// summarizes.
+func (tl *Timeline) WriteChromeTrace(w io.Writer) error {
+	doc := chromeTrace{DisplayTimeUnit: "ms"}
+
+	lanes := map[int]bool{}
+	for _, e := range tl.Events {
+		lanes[e.Lane] = true
+	}
+	// Named, sort-ordered thread rows for every lane.
+	for lane := range lanes {
+		tid := laneTID(lane)
+		doc.TraceEvents = append(doc.TraceEvents,
+			chromeEvent{Name: "thread_name", Ph: "M", TID: tid,
+				Args: map[string]any{"name": laneName(lane)}},
+			chromeEvent{Name: "thread_sort_index", Ph: "M", TID: tid,
+				Args: map[string]any{"sort_index": tid}},
+		)
+	}
+	doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+		Name: "process_name", Ph: "M",
+		Args: map[string]any{"name": "mpeg2par " + tl.Mode},
+	})
+
+	spans := 0
+	for _, e := range tl.Events {
+		ce := chromeEvent{
+			Name: e.Kind.String(),
+			Cat:  e.Kind.String(),
+			TID:  laneTID(e.Lane),
+			TS:   float64(e.Start) / 1e3,
+			Args: map[string]any{},
+		}
+		if e.GOP >= 0 {
+			ce.Args["gop"] = e.GOP
+		}
+		if e.Pic >= 0 {
+			ce.Args["pic"] = e.Pic
+		}
+		if e.Slice >= 0 {
+			ce.Args["slice"] = e.Slice
+		}
+		if e.Kind == KindDisplay && e.Dur == 0 {
+			ce.Ph, ce.S = "i", "t"
+		} else {
+			d := float64(e.Dur) / 1e3
+			ce.Ph, ce.Dur = "X", &d
+		}
+		doc.TraceEvents = append(doc.TraceEvents, ce)
+		spans++
+	}
+	// Self-consistency record: validators check the span count against
+	// what the file actually carries ("events balanced").
+	doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+		Name: "mpeg2par_counts", Ph: "M",
+		Args: map[string]any{"spans": spans, "dropped": tl.Dropped},
+	})
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(doc)
+}
+
+// ValidateChromeTrace checks an exported trace document: well-formed
+// JSON in the trace-event object format, every span with a non-negative
+// timestamp and duration, timestamps monotonically non-decreasing in
+// file order (the exporter emits them sorted), a named thread row for
+// every lane that has events, and the span count balanced against the
+// embedded mpeg2par_counts record.
+func ValidateChromeTrace(data []byte) error {
+	var doc chromeTrace
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("obs: trace is not valid JSON: %w", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		return fmt.Errorf("obs: trace has no events")
+	}
+	named := map[int]bool{}
+	spanTIDs := map[int]int{}
+	spans := 0
+	declared := -1
+	lastTS := -1.0
+	for i, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "M":
+			if e.Name == "thread_name" {
+				named[e.TID] = true
+			}
+			if e.Name == "mpeg2par_counts" {
+				if v, ok := e.Args["spans"].(float64); ok {
+					declared = int(v)
+				}
+			}
+		case "X", "i":
+			if e.TS < 0 {
+				return fmt.Errorf("obs: event %d (%s): negative timestamp %v", i, e.Name, e.TS)
+			}
+			if e.TS < lastTS {
+				return fmt.Errorf("obs: event %d (%s): timestamp %v before predecessor %v", i, e.Name, e.TS, lastTS)
+			}
+			lastTS = e.TS
+			if e.Ph == "X" {
+				if e.Dur == nil || *e.Dur < 0 {
+					return fmt.Errorf("obs: event %d (%s): complete event without non-negative dur", i, e.Name)
+				}
+			}
+			spans++
+			spanTIDs[e.TID]++
+		default:
+			return fmt.Errorf("obs: event %d (%s): unsupported phase %q", i, e.Name, e.Ph)
+		}
+	}
+	if declared < 0 {
+		return fmt.Errorf("obs: trace lacks the mpeg2par_counts record")
+	}
+	if spans != declared {
+		return fmt.Errorf("obs: unbalanced trace: %d spans in file, %d declared", spans, declared)
+	}
+	for tid, n := range spanTIDs {
+		if !named[tid] {
+			return fmt.Errorf("obs: %d events on unnamed thread %d", n, tid)
+		}
+	}
+	return nil
+}

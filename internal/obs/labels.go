@@ -1,0 +1,18 @@
+package obs
+
+import (
+	"context"
+	"runtime/pprof"
+	"strconv"
+)
+
+// Do runs fn on the current goroutine under pprof labels identifying a
+// decode worker, so CPU profiles (`go tool pprof -tagfocus`) attribute
+// samples per worker and per scheduling mode. Labels cost one map setup
+// per goroutine launch — nothing per task — so every worker path applies
+// them unconditionally.
+func Do(mode string, worker int, fn func()) {
+	pprof.Do(context.Background(),
+		pprof.Labels("mpeg2par_mode", mode, "mpeg2par_worker", strconv.Itoa(worker)),
+		func(context.Context) { fn() })
+}

@@ -1,0 +1,250 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// rec is a test shorthand: record an event dur nanoseconds long starting
+// at off nanoseconds past the tracer's epoch.
+func rec(t *Tracer, kind Kind, lane int, off, dur int64, gop, pic, slice int) {
+	t.Record(kind, lane, t.start.Add(time.Duration(off)), time.Duration(dur), gop, pic, slice)
+}
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Record(KindTask, 0, time.Now(), time.Millisecond, 0, 0, 0)
+	tr.SetMeta("gop", 4)
+	tr.SetSink(func(Event) {})
+	tl := tr.Snapshot()
+	if len(tl.Events) != 0 || tl.Dropped != 0 {
+		t.Fatalf("nil tracer snapshot: %+v", tl)
+	}
+}
+
+func TestRingWraparound(t *testing.T) {
+	tr := New(4)
+	for i := int64(0); i < 10; i++ {
+		rec(tr, KindTask, 0, i*100, 50, int(i), -1, -1)
+	}
+	tl := tr.Snapshot()
+	if len(tl.Events) != 4 {
+		t.Fatalf("kept %d events, want lane cap 4", len(tl.Events))
+	}
+	if tl.Dropped != 6 {
+		t.Fatalf("dropped = %d, want 6", tl.Dropped)
+	}
+	// Oldest-first after wraparound: the survivors are the last 4 records.
+	for i, e := range tl.Events {
+		if want := 6 + i; e.GOP != want {
+			t.Fatalf("event %d has gop %d, want %d", i, e.GOP, want)
+		}
+	}
+}
+
+func TestSnapshotMergesAndSorts(t *testing.T) {
+	tr := New(0)
+	rec(tr, KindTask, 1, 300, 10, -1, -1, -1)
+	rec(tr, KindTask, 0, 100, 10, -1, -1, -1)
+	rec(tr, KindScan, LaneScan, 200, 10, -1, -1, -1)
+	rec(tr, KindDisplay, LaneDisplay, 100, 0, -1, 0, -1)
+	tl := tr.Snapshot()
+	if len(tl.Events) != 4 {
+		t.Fatalf("merged %d events, want 4", len(tl.Events))
+	}
+	for i := 1; i < len(tl.Events); i++ {
+		a, b := tl.Events[i-1], tl.Events[i]
+		if a.Start > b.Start || (a.Start == b.Start && a.Lane > b.Lane) {
+			t.Fatalf("events out of order at %d: %+v then %+v", i, a, b)
+		}
+	}
+	if tl.Span() != time.Duration(310-100) {
+		t.Fatalf("span = %v, want 210ns", tl.Span())
+	}
+}
+
+func TestNegativeDurationClamped(t *testing.T) {
+	tr := New(0)
+	tr.Record(KindTask, 0, time.Now(), -time.Second, -1, -1, -1)
+	if d := tr.Snapshot().Events[0].Dur; d != 0 {
+		t.Fatalf("negative duration recorded as %d, want 0", d)
+	}
+}
+
+func TestSinkReceivesEvents(t *testing.T) {
+	tr := New(0)
+	var got []Event
+	tr.SetSink(func(e Event) { got = append(got, e) })
+	rec(tr, KindTask, 0, 0, 10, -1, -1, -1)
+	rec(tr, KindWait, 0, 10, 5, -1, -1, -1)
+	if len(got) != 2 || got[0].Kind != KindTask || got[1].Kind != KindWait {
+		t.Fatalf("sink saw %+v", got)
+	}
+}
+
+func TestSummaryMath(t *testing.T) {
+	tr := New(0)
+	tr.SetMeta("slice-improved", 3)
+	// Worker 0: 60ns busy over 2 tasks, 20ns queue wait, 20ns barrier.
+	rec(tr, KindTask, 0, 0, 40, 0, 0, 0)
+	rec(tr, KindWait, 0, 40, 20, -1, -1, -1)
+	rec(tr, KindBarrier, 0, 60, 20, -1, -1, -1)
+	rec(tr, KindTask, 0, 80, 20, 0, 1, 0)
+	// Worker 1: 20ns busy, no waits. Worker 2: silent.
+	rec(tr, KindTask, 1, 0, 20, 0, 0, 1)
+	// Pipeline lanes.
+	rec(tr, KindScan, LaneScan, 0, 30, 0, -1, -1)
+	rec(tr, KindFeed, LaneScan, 30, 10, 0, -1, -1)
+	rec(tr, KindDisplay, LaneDisplay, 90, 0, -1, 0, -1)
+	rec(tr, KindDisplay, LaneDisplay, 95, 0, -1, 1, -1)
+
+	s := tr.Snapshot().Summary()
+	if s.Mode != "slice-improved" || s.Workers != 3 {
+		t.Fatalf("meta %q/%d", s.Mode, s.Workers)
+	}
+	if len(s.PerWorker) != 3 {
+		t.Fatalf("%d worker rows, want 3 (silent worker still gets one)", len(s.PerWorker))
+	}
+	w0 := s.PerWorker[0]
+	if w0.Busy != 60 || w0.QueueWait != 20 || w0.BarrierWait != 20 || w0.Tasks != 2 {
+		t.Fatalf("worker 0 load %+v", w0)
+	}
+	if w0.Utilization != 0.6 {
+		t.Fatalf("worker 0 utilization %v, want 0.6", w0.Utilization)
+	}
+	if s.PerWorker[2].Busy != 0 || s.PerWorker[2].Utilization != 0 {
+		t.Fatalf("silent worker row %+v", s.PerWorker[2])
+	}
+	// Imbalance: max busy 60 over mean busy (60+20+0)/3.
+	if want := 60.0 / (80.0 / 3); !floatNear(s.ImbalanceFactor, want) {
+		t.Fatalf("imbalance %v, want %v", s.ImbalanceFactor, want)
+	}
+	// Sync overhead: 40ns blocked of 120ns accounted.
+	if want := 40.0 / 120.0; !floatNear(s.SyncOverhead, want) {
+		t.Fatalf("sync overhead %v, want %v", s.SyncOverhead, want)
+	}
+	if s.QueueHist.Count != 1 || s.BarrierHist.Count != 1 {
+		t.Fatalf("hists %d/%d, want 1/1", s.QueueHist.Count, s.BarrierHist.Count)
+	}
+	if s.ScanSpans != 1 || s.ScanTime != 30 || s.Feeds != 1 || s.FeedBlocked != 10 || s.Displayed != 2 {
+		t.Fatalf("pipeline gauges %+v", s)
+	}
+}
+
+func floatNear(a, b float64) bool {
+	d := a - b
+	return d < 1e-9 && d > -1e-9
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	s := New(0).Snapshot().Summary()
+	if s.ImbalanceFactor != 0 || s.SyncOverhead != 0 || s.Span != 0 {
+		t.Fatalf("empty summary has non-zero derived values: %+v", s)
+	}
+	var buf bytes.Buffer
+	s.WriteText(&buf) // must not panic or divide by zero
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := newHistogram()
+	for _, d := range []time.Duration{0, 500 * time.Nanosecond, 5 * time.Microsecond,
+		50 * time.Millisecond, 2 * time.Second} {
+		h.add(d)
+	}
+	if h.Count != 5 || h.Max != 2*time.Second {
+		t.Fatalf("count %d max %v", h.Count, h.Max)
+	}
+	if h.Buckets[0].Count != 2 { // 0 and 500ns fall below 1µs
+		t.Fatalf("sub-µs bucket %d, want 2", h.Buckets[0].Count)
+	}
+	if last := h.Buckets[len(h.Buckets)-1]; last.Count != 1 {
+		t.Fatalf("unbounded top bucket %d, want 1 (the 2s span)", last.Count)
+	}
+}
+
+func TestChromeTraceExportAndValidate(t *testing.T) {
+	tr := New(0)
+	tr.SetMeta("gop", 2)
+	rec(tr, KindTask, 0, 100, 50, 0, -1, -1)
+	rec(tr, KindWait, 1, 100, 25, -1, -1, -1)
+	rec(tr, KindTask, 1, 125, 50, 1, -1, -1)
+	rec(tr, KindScan, LaneScan, 0, 80, -1, -1, -1)
+	rec(tr, KindDisplay, LaneDisplay, 160, 0, -1, 0, -1)
+	var buf bytes.Buffer
+	if err := tr.Snapshot().WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateChromeTrace(buf.Bytes()); err != nil {
+		t.Fatalf("exported trace fails validation: %v", err)
+	}
+	// Spot-check the document shape.
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[string]int{}
+	for _, e := range doc.TraceEvents {
+		kinds[e["ph"].(string)]++
+	}
+	if kinds["X"] != 4 || kinds["i"] != 1 {
+		t.Fatalf("phases %v, want 4 X spans and 1 instant", kinds)
+	}
+}
+
+func TestValidateChromeTraceRejects(t *testing.T) {
+	valid := func() *Timeline {
+		tr := New(0)
+		rec(tr, KindTask, 0, 100, 50, -1, -1, -1)
+		return tr.Snapshot()
+	}
+	cases := []struct {
+		name    string
+		mutate  func([]byte) []byte
+		wantErr string
+	}{
+		{"not-json", func(b []byte) []byte { return []byte("{") }, "not valid JSON"},
+		{"empty", func(b []byte) []byte { return []byte(`{"traceEvents":[]}`) }, "no events"},
+		{"bad-phase", func(b []byte) []byte {
+			return bytes.Replace(b, []byte(`"ph": "X"`), []byte(`"ph": "B"`), 1)
+		}, "unsupported phase"},
+		{"unbalanced", func(b []byte) []byte {
+			return bytes.Replace(b, []byte(`"spans": 1`), []byte(`"spans": 7`), 1)
+		}, "unbalanced"},
+		{"no-counts", func(b []byte) []byte {
+			return bytes.Replace(b, []byte("mpeg2par_counts"), []byte("renamed_counts"), 1)
+		}, "mpeg2par_counts"},
+		{"negative-ts", func(b []byte) []byte {
+			return bytes.Replace(b, []byte(`"ts": 0.1`), []byte(`"ts": -0.1`), 1)
+		}, "negative timestamp"},
+	}
+	for _, tc := range cases {
+		var buf bytes.Buffer
+		if err := valid().WriteChromeTrace(&buf); err != nil {
+			t.Fatal(err)
+		}
+		data := tc.mutate(buf.Bytes())
+		err := ValidateChromeTrace(data)
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Fatalf("%s: error %v, want substring %q", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+func TestValidateChromeTraceMonotonic(t *testing.T) {
+	// Hand-build a document whose spans run backwards in time.
+	doc := `{"traceEvents":[
+		{"name":"thread_name","ph":"M","pid":0,"tid":0,"ts":0,"args":{"name":"worker 0"}},
+		{"name":"task","ph":"X","pid":0,"tid":0,"ts":5,"dur":1},
+		{"name":"task","ph":"X","pid":0,"tid":0,"ts":2,"dur":1},
+		{"name":"mpeg2par_counts","ph":"M","pid":0,"tid":0,"ts":0,"args":{"spans":2,"dropped":0}}
+	]}`
+	err := ValidateChromeTrace([]byte(doc))
+	if err == nil || !strings.Contains(err.Error(), "before predecessor") {
+		t.Fatalf("error %v, want monotonicity violation", err)
+	}
+}

@@ -16,6 +16,7 @@ import (
 
 	"mpeg2par/internal/bits"
 	"mpeg2par/internal/core"
+	"mpeg2par/internal/obs"
 )
 
 // DefaultChunkSize is the read granularity when Options.ChunkSize is
@@ -156,21 +157,28 @@ func Decode(ctx context.Context, r io.Reader, opt Options) (*core.Stats, error) 
 	}
 	exec, err := core.NewStreamExecutor(ctx, opt.Options)
 	if err != nil {
-		return &core.Stats{Mode: opt.Mode, Workers: opt.Workers}, err
+		return &core.Stats{Mode: opt.Mode, Workers: opt.EffectiveWorkers()}, err
 	}
 	ss := core.NewScanState(opt.Resilience != core.FailFast)
 	w := &windowScanner{r: r, chunk: chunk, ss: ss, gauge: exec.AdjustBuffered}
+	lastScan := time.Now()
 	ss.OnGOP = func(g int, gr *core.GOPRange) error {
 		// Copy the group out of the window so the window can slide on;
 		// the unit owns its bytes until its last picture completes.
 		data := append([]byte(nil), w.bytes(gr.Offset, gr.End)...)
-		return exec.Feed(core.Unit{
+		// The scan lane's span for this group covers reading + scanning
+		// since the previous group closed; Feed's backpressure block is
+		// recorded separately (KindFeed) so the two never double-count.
+		opt.Obs.Record(obs.KindScan, obs.LaneScan, lastScan, time.Since(lastScan), g, -1, -1)
+		err := exec.Feed(core.Unit{
 			G:     g,
 			Base:  gr.Offset,
 			Data:  data,
 			Range: rebaseGOP(gr, gr.Offset),
 			Seq:   *ss.Seq(),
 		})
+		lastScan = time.Now()
+		return err
 	}
 	scanStart := time.Now()
 	total, scanErr := w.run(ctx, exec.NoteScanned)

@@ -46,6 +46,7 @@ import (
 	"mpeg2par/internal/frame"
 	"mpeg2par/internal/memmodel"
 	"mpeg2par/internal/memtrace"
+	"mpeg2par/internal/obs"
 	"mpeg2par/internal/simsched"
 	"mpeg2par/internal/stream"
 )
@@ -200,6 +201,33 @@ func ScanReader(r io.Reader, chunkSize int) (*StreamMap, error) {
 func DecodeParallel(data []byte, opt Options) (*Stats, error) {
 	return core.Decode(data, opt)
 }
+
+// --- timeline observability ----------------------------------------------------
+
+// TraceRecorder collects scheduling events from every process of a
+// decode into per-lane ring buffers (see WithTrace). The zero value is
+// not usable; construct with NewTraceRecorder.
+type TraceRecorder = obs.Tracer
+
+// NewTraceRecorder returns a timeline recorder. laneCap bounds the
+// events kept per lane (scan, each worker, display); zero selects the
+// default (8192). When a lane overflows, the oldest events are dropped
+// and counted in Timeline.Dropped.
+func NewTraceRecorder(laneCap int) *TraceRecorder { return obs.New(laneCap) }
+
+// Timeline is a recorded decode schedule: every event from every lane,
+// merged in start order. Export it with WriteChromeTrace (load the JSON
+// in Perfetto or chrome://tracing) or reduce it with Summary.
+type Timeline = obs.Timeline
+
+// TimelineEvent is one recorded scheduling event (task span, queue or
+// barrier wait, scan, feed, or display instant).
+type TimelineEvent = obs.Event
+
+// TimelineSummary is the derived load-balance report: per-worker
+// utilization, barrier- and queue-wait histograms, imbalance factor,
+// and synchronization-overhead fraction.
+type TimelineSummary = obs.Summary
 
 // --- deterministic simulation -------------------------------------------------
 
