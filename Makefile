@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: verify vet build test race bench perf fuzz faults stream compat trace
+.PHONY: verify vet build test race bench perf fuzz faults stream compat trace sched
 
-verify: vet build race bench stream compat trace ## full CI gate: vet + build + race tests + bench smoke + streaming race + compat shims + traced decode
+verify: vet build race bench stream compat trace sched ## full CI gate: vet + build + race tests + bench smoke + streaming race + compat shims + traced decode + scheduler gate
 
 vet:
 	$(GO) vet ./...
@@ -38,6 +38,14 @@ compat:
 trace:
 	$(GO) test -race -run 'TestTraced|TestChromeTrace|TestValidateChromeTrace|TestWithTrace|TestWithEventSink' ./internal/obs/ .
 	$(GO) run ./cmd/mpeg2bench -timeline -trace /tmp/mpeg2par-trace.json > /dev/null
+
+# Adaptive-scheduler gate: cost model, LPT packing and auto-tune policy
+# units plus ordering-invariance under the race detector, and the
+# LPT-vs-FIFO imbalance smoke (profiled costs replayed in the simulator).
+sched:
+	$(GO) test -race ./internal/sched/
+	$(GO) test -race -run 'TestPack|TestModeAuto|TestSliceBytes|TestStreamingPacking|TestStreamingAutoTune|TestScanReaderSliceBytes|TestWithAutoTune|TestWithPacking' ./internal/core/ ./internal/stream/ .
+	$(GO) test -run TestSchedCompareSmoke -v ./internal/bench/
 
 # Append a perf-trajectory run to the current BENCH_<n>.json.
 perf:

@@ -56,6 +56,31 @@ func WithWorkers(n int) Option {
 	return func(c *decodeConfig) { c.opt.Workers = n }
 }
 
+// WithAutoTune lets the cost-model scheduler pick the parallelization
+// strategy instead of WithMode: the first group of pictures' geometry
+// (per-GOP and per-slice byte sizes from the scan) predicts how well
+// the workload balances at each grain, and the policy resolves to
+// sequential, GOP, or improved-slice decoding with a worker count at
+// the efficiency knee — WithWorkers (or its CPU-count default) is the
+// ceiling. As the stream plays, worker utilization is re-evaluated at
+// every GOP boundary and surplus workers are parked. The decision and
+// its outcome are reported in Stats.Auto; output is bit-identical to
+// every fixed mode.
+func WithAutoTune() Option {
+	return func(c *decodeConfig) { c.opt.Mode = core.ModeAuto }
+}
+
+// WithPacking overrides the task-queue packing discipline (default
+// PackLPT, longest-first by byte-size cost). seed feeds PackRandom and
+// is ignored by the deterministic packings. Packing never changes
+// decoded output, only the order workers receive tasks.
+func WithPacking(p Packing, seed int64) Option {
+	return func(c *decodeConfig) {
+		c.opt.Packing = p
+		c.opt.PackSeed = seed
+	}
+}
+
 // WithResilience selects the error-resilience policy (default
 // FailFast). Every policy produces bit-identical output in all modes.
 func WithResilience(p Resilience) Option {

@@ -333,3 +333,77 @@ func TestDeprecatedCompat(t *testing.T) {
 		t.Fatalf("DecodeParallel displayed %d (identical=%v), want %d", st.Displayed, identical, len(frames))
 	}
 }
+
+// TestWithAutoTune: the auto-tuned decode must match the sequential
+// baseline bit-exactly and report its resolved decision in Stats.Auto.
+func TestWithAutoTune(t *testing.T) {
+	res := apiStream(t)
+	want, err := mpeg2par.DecodeAll(res.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []*mpeg2par.Frame
+	st, err := mpeg2par.Decode(context.Background(), mpeg2par.FromBytes(res.Data),
+		mpeg2par.WithAutoTune(),
+		mpeg2par.WithWorkers(3),
+		mpeg2par.WithFrameSink(func(f *mpeg2par.Frame) { got = append(got, f.Clone()) }),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Auto == nil {
+		t.Fatal("Stats.Auto not reported")
+	}
+	if st.Mode == mpeg2par.ModeAuto {
+		t.Fatalf("Stats.Mode still ModeAuto, want the resolved mode")
+	}
+	if st.Auto.Workers < 1 || st.Auto.Workers > 3 {
+		t.Fatalf("auto chose %d workers outside [1,3]", st.Auto.Workers)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d frames, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !got[i].Equal(want[i]) {
+			t.Fatalf("frame %d differs from sequential baseline", i)
+		}
+	}
+}
+
+// TestWithPacking: overriding the packing discipline never changes
+// decoded output.
+func TestWithPacking(t *testing.T) {
+	res := apiStream(t)
+	want, err := mpeg2par.DecodeAll(res.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pk := range []struct {
+		name string
+		p    mpeg2par.Packing
+		seed int64
+	}{
+		{"fifo", mpeg2par.PackFIFO, 0},
+		{"reverse", mpeg2par.PackReverse, 0},
+		{"random", mpeg2par.PackRandom, 17},
+	} {
+		var got []*mpeg2par.Frame
+		_, err := mpeg2par.Decode(context.Background(), mpeg2par.FromBytes(res.Data),
+			mpeg2par.WithMode(mpeg2par.ModeSliceImproved),
+			mpeg2par.WithWorkers(3),
+			mpeg2par.WithPacking(pk.p, pk.seed),
+			mpeg2par.WithFrameSink(func(f *mpeg2par.Frame) { got = append(got, f.Clone()) }),
+		)
+		if err != nil {
+			t.Fatalf("%s: %v", pk.name, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d frames, want %d", pk.name, len(got), len(want))
+		}
+		for i := range want {
+			if !got[i].Equal(want[i]) {
+				t.Fatalf("%s: frame %d differs from sequential baseline", pk.name, i)
+			}
+		}
+	}
+}

@@ -12,6 +12,7 @@
 //	mpeg2bench -list           # experiment ids
 //	mpeg2bench -perf -json -label after   # append a perf run to BENCH_<n>.json
 //	mpeg2bench -faults [-json]            # corruption sweep: PSNR vs loss rate
+//	mpeg2bench -sched [-workers 4]        # FIFO-vs-LPT packing comparison
 package main
 
 import (
@@ -33,6 +34,8 @@ func main() {
 	profileGOPs := flag.Int("profilegops", 2, "GOPs to encode+measure per configuration")
 	jsonOut := flag.Bool("json", false, "emit structured JSON instead of tables")
 	perf := flag.Bool("perf", false, "run the perf-trajectory harness and append to a BENCH_<n>.json")
+	repeat := flag.Int("repeat", 0, "with -perf/-sched: timed repetitions per point, median kept (0 = default 3)")
+	sched := flag.Bool("sched", false, "run the packing comparison (FIFO vs LPT imbalance and throughput on a skewed stream)")
 	faultsSweep := flag.Bool("faults", false, "run the corruption sweep (PSNR vs loss rate under each resilience policy)")
 	faultSeed := flag.Int64("seed", 1, "with -faults: fault-injection seed")
 	perfOut := flag.String("o", "", "perf output file (default: highest existing BENCH_<n>.json, else BENCH_1.json)")
@@ -49,7 +52,14 @@ func main() {
 		return
 	}
 	if *perf {
-		if err := runPerf(*perfOut, *perfLabel, *perfNew); err != nil {
+		if err := runPerf(*perfOut, *perfLabel, *perfNew, *repeat); err != nil {
+			fmt.Fprintf(os.Stderr, "mpeg2bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *sched {
+		if err := runSched(*traceWorkers, *repeat, *jsonOut); err != nil {
 			fmt.Fprintf(os.Stderr, "mpeg2bench: %v\n", err)
 			os.Exit(1)
 		}
@@ -136,16 +146,31 @@ func runTimeline(mode string, workers int, traceOut string, jsonOut bool) error 
 	return nil
 }
 
+// runSched executes the packing comparison (internal/bench/sched.go):
+// FIFO vs LPT task packing on a stream with skewed slice costs, plus the
+// auto-tuned point, measured by imbalance factor and throughput.
+func runSched(workers, repeat int, jsonOut bool) error {
+	res, err := bench.SchedCompare(bench.SchedConfig{Workers: workers, Repeats: repeat})
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		return res.WriteJSON(os.Stdout)
+	}
+	res.WriteText(os.Stdout)
+	return nil
+}
+
 // runPerf executes the perf-trajectory harness and appends the run to the
 // selected BENCH_<n>.json (see internal/bench/perf.go for the schema).
-func runPerf(out, label string, startNew bool) error {
+func runPerf(out, label string, startNew bool, repeat int) error {
 	if out == "" {
 		out = pickBenchFile(startNew)
 	}
 	if label == "" {
 		label = "run-" + time.Now().UTC().Format("20060102T150405Z")
 	}
-	run, err := bench.PerfTrajectory(bench.PerfConfig{}, label)
+	run, err := bench.PerfTrajectory(bench.PerfConfig{Repeats: repeat}, label)
 	if err != nil {
 		return err
 	}
@@ -159,8 +184,12 @@ func runPerf(out, label string, startNew bool) error {
 	fmt.Printf("  workload: %d MBs (%d predicted, %d bidir), %d coded blocks, %d coefs\n",
 		run.Work.MBs, run.Work.PredMBs, run.Work.BidirMBs, run.Work.CodedBlocks, run.Work.Coefs)
 	for _, pt := range run.Points {
-		fmt.Printf("  %-15s w=%d  %8.0f pics/s  speedup %.2f  (scan %.1fms busy %.1fms wait %.1fms)\n",
-			pt.Mode, pt.Workers, pt.PicsPerSec, pt.Speedup, pt.ScanMS, pt.WorkerBusyMS, pt.WorkerWaitMS)
+		auto := ""
+		if pt.Auto != "" {
+			auto = "  -> " + pt.Auto
+		}
+		fmt.Printf("  %-15s w=%d  %8.0f pics/s  speedup %.2f  (scan %.1fms busy %.1fms wait %.1fms)%s\n",
+			pt.Mode, pt.Workers, pt.PicsPerSec, pt.Speedup, pt.ScanMS, pt.WorkerBusyMS, pt.WorkerWaitMS, auto)
 	}
 	return nil
 }

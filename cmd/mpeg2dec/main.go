@@ -33,7 +33,7 @@ import (
 )
 
 func main() {
-	mode := flag.String("mode", "seq", "decoder: seq, gop, slice, slice-improved")
+	mode := flag.String("mode", "seq", "decoder: seq, gop, slice, slice-improved, auto")
 	workers := flag.Int("workers", 1, "worker processes for parallel modes")
 	yuv := flag.String("yuv", "", "write decoded frames as planar YUV 4:2:0")
 	conceal := flag.Bool("conceal", false, "legacy alias for -resilience conceal-slice")
@@ -126,6 +126,8 @@ func main() {
 		m = mpeg2par.ModeSliceSimple
 	case "slice-improved":
 		m = mpeg2par.ModeSliceImproved
+	case "auto":
+		m = mpeg2par.ModeAuto
 	default:
 		fatal("unknown mode %q", *mode)
 	}
@@ -151,8 +153,12 @@ func main() {
 		}
 		fatal("decode: %v", err)
 	}
+	if a := stats.Auto; a != nil {
+		fmt.Printf("auto-tune: %s (reevals %d, final worker limit %d)\n",
+			a.Reason, a.Reevals, a.FinalWorkerLimit)
+	}
 	fmt.Printf("%s x%d (%s): %d pictures in %v (%.1f pics/s), scan %.0f pics/s\n",
-		*mode, stats.Workers, policy, stats.Pictures, stats.Wall.Round(time.Millisecond),
+		stats.Mode, stats.Workers, policy, stats.Pictures, stats.Wall.Round(time.Millisecond),
 		stats.PicturesPerSecond(), stats.ScanRate)
 	fmt.Printf("peak frame memory: %.2f MB\n", float64(stats.PeakFrameBytes)/(1<<20))
 	fmt.Printf("peak in-flight stream bytes: %.1f KB (scan lead %d pictures)\n",

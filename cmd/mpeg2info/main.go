@@ -21,6 +21,7 @@ func main() {
 	verbose := flag.Bool("v", false, "list every picture (and with -vv every slice)")
 	veryVerbose := flag.Bool("vv", false, "list every slice")
 	check := flag.Bool("check", false, "validate stream structure and VBV conformance")
+	hist := flag.Bool("hist", false, "print per-GOP and per-picture byte-size histograms (the scheduler's cost-model input)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: mpeg2info [-v|-vv] stream.m2v")
@@ -48,6 +49,19 @@ func main() {
 		}
 		fmt.Println("check: stream structure and VBV conformance OK")
 	}
+	if *hist {
+		var gopBytes, picBytes []int
+		for g := range m.GOPs {
+			gop := &m.GOPs[g]
+			gopBytes = append(gopBytes, gop.End-gop.Offset)
+			for pi := range gop.Pictures {
+				p := &gop.Pictures[pi]
+				picBytes = append(picBytes, p.End-p.Offset)
+			}
+		}
+		printHist("GOP bytes", gopBytes)
+		printHist("picture bytes", picBytes)
+	}
 	for g, gop := range m.GOPs {
 		closed := "open"
 		if gop.Closed {
@@ -68,6 +82,58 @@ func main() {
 				fmt.Printf("    slice row %2d @%8d (%d bytes)\n", s.Row, s.Offset, s.End-s.Offset)
 			}
 		}
+	}
+}
+
+// printHist renders a linear-bucket histogram of byte sizes — the raw
+// material of the scheduler's cost model, and the first cut of the
+// stream-bandwidth characterization.
+func printHist(label string, sizes []int) {
+	if len(sizes) == 0 {
+		return
+	}
+	min, max := sizes[0], sizes[0]
+	total := 0
+	for _, s := range sizes {
+		if s < min {
+			min = s
+		}
+		if s > max {
+			max = s
+		}
+		total += s
+	}
+	fmt.Printf("%s: n=%d min=%d mean=%d max=%d (max/mean %.2fx)\n",
+		label, len(sizes), min, total/len(sizes), max,
+		float64(max)*float64(len(sizes))/float64(total))
+	buckets := 8
+	if len(sizes) < buckets {
+		buckets = len(sizes)
+	}
+	width := (max - min + buckets) / buckets // ceil so max lands in the last bucket
+	if width < 1 {
+		width = 1
+	}
+	counts := make([]int, buckets)
+	peak := 0
+	for _, s := range sizes {
+		b := (s - min) / width
+		if b >= buckets {
+			b = buckets - 1
+		}
+		counts[b]++
+		if counts[b] > peak {
+			peak = counts[b]
+		}
+	}
+	for b, c := range counts {
+		bar := ""
+		if peak > 0 {
+			for i := 0; i < c*40/peak; i++ {
+				bar += "#"
+			}
+		}
+		fmt.Printf("  [%8d..%8d) %5d %s\n", min+b*width, min+(b+1)*width, c, bar)
 	}
 }
 

@@ -213,11 +213,14 @@ func (r *Runner) GOPTasks(res Resolution, gop int) ([]simsched.GOPTask, error) {
 	}
 	// Profile twice and keep the per-task minimum: the first pass warms
 	// code and data paths, and the minimum suppresses scheduler noise.
-	st, err := core.Decode(s.Data, core.Options{Mode: core.ModeGOP, Workers: 1, Profile: true})
+	// Profiling pins stream-order (FIFO) packing so the cold-cache cost of
+	// each picture's first task lands on the same slice in every run —
+	// the simulator assumes stream-order measurement.
+	st, err := core.Decode(s.Data, core.Options{Mode: core.ModeGOP, Workers: 1, Profile: true, Packing: core.PackFIFO})
 	if err != nil {
 		return nil, err
 	}
-	st2, err := core.Decode(s.Data, core.Options{Mode: core.ModeGOP, Workers: 1, Profile: true})
+	st2, err := core.Decode(s.Data, core.Options{Mode: core.ModeGOP, Workers: 1, Profile: true, Packing: core.PackFIFO})
 	if err != nil {
 		return nil, err
 	}
@@ -269,11 +272,11 @@ func (r *Runner) SlicePics(res Resolution, gop int) ([]simsched.SimPicture, erro
 // minimum: the first warms code and data paths) and tiles them out to the
 // requested stream length.
 func profileSlicePics(data []byte, pictures int) ([]simsched.SimPicture, error) {
-	st, err := core.Decode(data, core.Options{Mode: core.ModeSliceImproved, Workers: 1, Profile: true})
+	st, err := core.Decode(data, core.Options{Mode: core.ModeSliceImproved, Workers: 1, Profile: true, Packing: core.PackFIFO})
 	if err != nil {
 		return nil, err
 	}
-	st2, err := core.Decode(data, core.Options{Mode: core.ModeSliceImproved, Workers: 1, Profile: true})
+	st2, err := core.Decode(data, core.Options{Mode: core.ModeSliceImproved, Workers: 1, Profile: true, Packing: core.PackFIFO})
 	if err != nil {
 		return nil, err
 	}

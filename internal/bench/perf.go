@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"time"
 
 	"mpeg2par/internal/core"
@@ -30,7 +31,11 @@ type PerfConfig struct {
 	Pictures      int   // stream length (default 3 GOPs)
 	BitRate       int   // encoder bit rate (default 5 Mb/s)
 	Workers       []int // worker counts swept per mode (default 1,2,4,8)
-	Repeats       int   // timed repetitions; the best is kept (default 3)
+	// Repeats is the number of timed repetitions per point; one untimed
+	// warm-up runs first and the median repetition is kept (default 3).
+	// Median-of-N keeps single-shot outliers — a GC pause, a cold page —
+	// from corrupting the trajectory.
+	Repeats int
 }
 
 func (c PerfConfig) withDefaults() PerfConfig {
@@ -64,11 +69,15 @@ type PerfPoint struct {
 	// Speedup is relative to the sequential decoder of the same run.
 	Speedup float64 `json:"speedup_vs_sequential"`
 
-	// Per-stage time breakdown (milliseconds, best repetition).
+	// Per-stage time breakdown (milliseconds, median repetition).
 	WallMS       float64 `json:"wall_ms"`
 	ScanMS       float64 `json:"scan_ms"`
 	WorkerBusyMS float64 `json:"worker_busy_ms"` // summed over workers
 	WorkerWaitMS float64 `json:"worker_wait_ms"` // summed over workers
+
+	// Auto records the scheduler's resolved choice of a ModeAuto point
+	// ("gop x4"); empty for fixed modes.
+	Auto string `json:"auto_choice,omitempty"`
 }
 
 // PerfRun is one complete harness execution.
@@ -148,8 +157,8 @@ func PerfTrajectory(cfg PerfConfig, label string) (*PerfRun, error) {
 	run.Stream.Pictures = cfg.Pictures
 	run.Stream.Bytes = len(enc.Data)
 
-	// Sequential baseline: best of Repeats full-stream decodes (plus one
-	// untimed warm-up pass for code and allocator warmth).
+	// Sequential baseline: median of Repeats full-stream decodes (plus
+	// one untimed warm-up pass for code and allocator warmth).
 	_, work, err := decodeSequential(enc.Data)
 	if err != nil {
 		return nil, err
@@ -162,40 +171,46 @@ func PerfTrajectory(cfg PerfConfig, label string) (*PerfRun, error) {
 		PredMBs:     work.PredMBs,
 		BidirMBs:    work.BidirMBs,
 	}
-	best := time.Duration(1<<63 - 1)
+	times := make([]time.Duration, 0, cfg.Repeats)
 	for i := 0; i < cfg.Repeats; i++ {
 		d, _, err := decodeSequential(enc.Data)
 		if err != nil {
 			return nil, err
 		}
-		if d < best {
-			best = d
-		}
+		times = append(times, d)
 	}
-	run.SequentialPicsPerSec = safeRate(float64(cfg.Pictures), best)
-	run.SequentialMSPerPic = safeDiv(best.Seconds()*1e3, float64(cfg.Pictures))
+	med := medianDuration(times)
+	run.SequentialPicsPerSec = safeRate(float64(cfg.Pictures), med)
+	run.SequentialMSPerPic = safeDiv(med.Seconds()*1e3, float64(cfg.Pictures))
 
-	for _, mode := range []core.Mode{core.ModeGOP, core.ModeSliceSimple, core.ModeSliceImproved} {
+	for _, mode := range []core.Mode{core.ModeGOP, core.ModeSliceSimple, core.ModeSliceImproved, core.ModeAuto} {
 		for _, w := range cfg.Workers {
-			var bestStats *core.Stats
+			// One untimed warm-up, then the median-of-Repeats run.
+			if _, err := core.Decode(enc.Data, core.Options{Mode: mode, Workers: w}); err != nil {
+				return nil, fmt.Errorf("bench: perf %s workers=%d: %w", mode, w, err)
+			}
+			stats := make([]*core.Stats, 0, cfg.Repeats)
 			for i := 0; i < cfg.Repeats; i++ {
 				st, err := core.Decode(enc.Data, core.Options{Mode: mode, Workers: w})
 				if err != nil {
 					return nil, fmt.Errorf("bench: perf %s workers=%d: %w", mode, w, err)
 				}
-				if bestStats == nil || st.Wall < bestStats.Wall {
-					bestStats = st
-				}
+				stats = append(stats, st)
 			}
+			sort.Slice(stats, func(i, j int) bool { return stats[i].Wall < stats[j].Wall })
+			st := stats[(len(stats)-1)/2]
 			pt := PerfPoint{
 				Mode:       mode.String(),
 				Workers:    w,
-				PicsPerSec: bestStats.PicturesPerSecond(),
-				Speedup:    safeDiv(bestStats.PicturesPerSecond(), run.SequentialPicsPerSec),
-				WallMS:     ms(bestStats.Wall),
-				ScanMS:     ms(bestStats.ScanTime),
+				PicsPerSec: st.PicturesPerSecond(),
+				Speedup:    safeDiv(st.PicturesPerSecond(), run.SequentialPicsPerSec),
+				WallMS:     ms(st.Wall),
+				ScanMS:     ms(st.ScanTime),
 			}
-			for _, ws := range bestStats.WorkerStats {
+			if st.Auto != nil {
+				pt.Auto = fmt.Sprintf("%s x%d", st.Mode, st.Workers)
+			}
+			for _, ws := range st.WorkerStats {
 				pt.WorkerBusyMS += ms(ws.Busy)
 				pt.WorkerWaitMS += ms(ws.Wait)
 			}
@@ -203,6 +218,16 @@ func PerfTrajectory(cfg PerfConfig, label string) (*PerfRun, error) {
 		}
 	}
 	return run, nil
+}
+
+// medianDuration returns the median (lower middle for even counts).
+func medianDuration(ds []time.Duration) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return sorted[(len(sorted)-1)/2]
 }
 
 func decodeSequential(data []byte) (time.Duration, decoder.WorkStats, error) {

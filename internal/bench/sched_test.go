@@ -1,0 +1,59 @@
+package bench
+
+import "testing"
+
+// TestSchedCompareSmoke runs the packing comparison on a small skewed
+// stream and checks the property the adaptive scheduler is built on: in
+// the deterministic replay of profiled costs, LPT packing never loses to
+// FIFO on GOP-queue makespan or load imbalance (the live columns are
+// reported, not asserted — on a single-CPU host they only measure
+// time-slicing).
+func TestSchedCompareSmoke(t *testing.T) {
+	res, err := SchedCompare(SchedConfig{
+		Width: 352, Height: 240, GOPSize: 4, Pictures: 24, Workers: 4, Repeats: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GOPSkew <= 1 || res.SliceSkew <= 1 {
+		t.Fatalf("skew not measured: gop %.2f, slice %.2f", res.GOPSkew, res.SliceSkew)
+	}
+	pts := map[string]SchedPoint{}
+	for _, pt := range res.Points {
+		pts[pt.Mode+"/"+pt.Packing] = pt
+		if pt.PicsPerSec <= 0 || pt.WallMS <= 0 {
+			t.Fatalf("%s/%s: live decode not measured: %+v", pt.Mode, pt.Packing, pt)
+		}
+	}
+	fifo, ok := pts["gop/fifo"]
+	if !ok {
+		t.Fatal("missing gop/fifo point")
+	}
+	lpt, ok := pts["gop/lpt"]
+	if !ok {
+		t.Fatal("missing gop/lpt point")
+	}
+	if fifo.SimMakespanMS <= 0 || lpt.SimMakespanMS <= 0 {
+		t.Fatalf("simulated makespans not measured: fifo %.2f, lpt %.2f",
+			fifo.SimMakespanMS, lpt.SimMakespanMS)
+	}
+	// Small slack absorbs profiling jitter; on the ramped stream LPT's
+	// real margin is far larger.
+	if lpt.SimMakespanMS > fifo.SimMakespanMS*1.05 {
+		t.Fatalf("LPT simulated makespan %.2fms worse than FIFO %.2fms",
+			lpt.SimMakespanMS, fifo.SimMakespanMS)
+	}
+	if lpt.SimImbalance > fifo.SimImbalance*1.05 {
+		t.Fatalf("LPT simulated imbalance %.3f worse than FIFO %.3f",
+			lpt.SimImbalance, fifo.SimImbalance)
+	}
+	auto, ok := pts["auto/lpt"]
+	if !ok {
+		t.Fatal("missing auto point")
+	}
+	if auto.Auto == "" {
+		t.Fatal("auto point did not record its resolved choice")
+	}
+	t.Logf("gop: fifo %.1fms/%.3f vs lpt %.1fms/%.3f (simulated makespan/imbalance); auto -> %s",
+		fifo.SimMakespanMS, fifo.SimImbalance, lpt.SimMakespanMS, lpt.SimImbalance, auto.Auto)
+}

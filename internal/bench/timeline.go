@@ -56,6 +56,8 @@ func parseMode(s string) (core.Mode, error) {
 		return core.ModeSliceImproved, nil
 	case "seq", "sequential":
 		return core.ModeSequential, nil
+	case "auto":
+		return core.ModeAuto, nil
 	}
 	return 0, fmt.Errorf("bench: unknown mode %q", s)
 }

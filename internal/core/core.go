@@ -8,6 +8,7 @@ import (
 	"mpeg2par/internal/frame"
 	"mpeg2par/internal/memtrace"
 	"mpeg2par/internal/obs"
+	"mpeg2par/internal/sched"
 )
 
 // Mode selects the parallelization strategy.
@@ -30,6 +31,12 @@ const (
 	// golden tests compare every parallel mode against: for a given stream
 	// and policy all four modes produce bit-identical frames.
 	ModeSequential
+	// ModeAuto lets the scheduler pick: the cost-model policy
+	// (internal/sched) predicts how well the workload balances at GOP and
+	// slice grain and resolves to sequential, GOP, or improved-slice mode
+	// with a worker count at the efficiency knee. Stats.Auto records the
+	// decision; Options.Workers becomes the worker-count ceiling.
+	ModeAuto
 )
 
 func (m Mode) String() string {
@@ -42,6 +49,8 @@ func (m Mode) String() string {
 		return "slice-improved"
 	case ModeSequential:
 		return "sequential"
+	case ModeAuto:
+		return "auto"
 	}
 	return fmt.Sprintf("Mode(%d)", int(m))
 }
@@ -90,6 +99,19 @@ type Options struct {
 	// reports. Nil (the default) keeps the scheduling paths event-free:
 	// each hook is a single pointer test.
 	Obs *obs.Tracer
+
+	// Packing selects the task-queue order (see Packing); the default is
+	// longest-processing-time-first by byte-size cost. Output is
+	// bit-identical under every packing.
+	Packing Packing
+	// PackSeed seeds PackRandom (ordering-invariance property tests).
+	PackSeed int64
+
+	// Cost, when non-nil, is fed one (compressed bytes, wall duration)
+	// observation per completed task, calibrating byte-size cost
+	// estimates into absolute time across runs. Shared across decodes;
+	// ModeAuto uses it to phrase its decision in predicted wall time.
+	Cost *sched.CostModel
 }
 
 // EffectiveWorkers returns the worker count a decode in this mode
@@ -158,6 +180,10 @@ type Stats struct {
 	// given stream and policy it is identical across all scheduling modes.
 	Errors ErrorStats
 
+	// Auto records a ModeAuto run's scheduling decision (nil for fixed
+	// modes). Stats.Mode and Stats.Workers report the resolved values.
+	Auto *AutoDecision
+
 	// PeakFrameBytes is the high watermark of decoded-picture memory —
 	// the quantity Figures 8 and 9 study.
 	PeakFrameBytes int64
@@ -218,11 +244,16 @@ func DecodeScanned(data []byte, m *StreamMap, opt Options) (*Stats, error) {
 	if opt.Workers < 1 {
 		return nil, fmt.Errorf("core: need at least one worker")
 	}
+	var auto *AutoDecision
+	if opt.Mode == ModeAuto {
+		opt, auto = resolveAuto(m.GOPs, opt)
+	}
 	st := &Stats{
 		Mode:     opt.Mode,
 		Workers:  opt.EffectiveWorkers(),
 		ScanTime: m.ScanTime,
 		ScanRate: m.ScanRate(),
+		Auto:     auto,
 	}
 	opt.Obs.SetMeta(opt.Mode.String(), st.Workers)
 	var err error

@@ -27,8 +27,14 @@ func decodeGOPMode(data []byte, m *StreamMap, opt Options, st *Stats) error {
 	}
 	disp := newDisplay(pool, opt.Sink, opt.Obs)
 
+	// Queue the groups in packed order (LPT by byte size unless
+	// overridden): big groups start first, small ones level the tail.
 	tasks := make(chan int, len(m.GOPs))
+	order := packOrder(gopCosts(m.GOPs), opt.Packing, opt.PackSeed)
 	for g := range m.GOPs {
+		if order != nil {
+			g = order[g]
+		}
 		tasks <- g
 	}
 	close(tasks)
@@ -94,6 +100,7 @@ func gopWorkerLoop(data []byte, m *StreamMap, pool *frame.Pool, opt Options, wi 
 		ws.Busy += cost
 		ws.Tasks++
 		opt.Obs.Record(obs.KindTask, wi, t1, cost, g, -1, -1)
+		opt.Cost.Observe(int64(m.GOPs[g].End-m.GOPs[g].Offset), cost)
 		if err != nil {
 			errs.set(fmt.Errorf("core: GOP %d at byte %d: %w", g, m.GOPs[g].Offset, err))
 			continue

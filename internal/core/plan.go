@@ -48,9 +48,11 @@ type plan struct {
 // it each GOP as the incremental scanner closes it — the decisions are
 // identical because nothing in the planning of a GOP looks ahead.
 type planBuilder struct {
-	seq    *mpeg2.SequenceHeader
-	policy Resilience
-	pl     plan
+	seq     *mpeg2.SequenceHeader
+	policy  Resilience
+	packing Packing
+	seed    int64
+	pl      plan
 
 	displayBase int
 	lastRef     int // most recent reference picture, across GOPs (a
@@ -58,8 +60,8 @@ type planBuilder struct {
 	// dependency: prediction references never cross GOP boundaries here).
 }
 
-func newPlanBuilder(seq *mpeg2.SequenceHeader, policy Resilience) *planBuilder {
-	return &planBuilder{seq: seq, policy: policy, lastRef: -1}
+func newPlanBuilder(seq *mpeg2.SequenceHeader, policy Resilience, packing Packing, seed int64) *planBuilder {
+	return &planBuilder{seq: seq, policy: policy, packing: packing, seed: seed, lastRef: -1}
 }
 
 // buildPlan resolves a lenient (or strict) scan into a decode plan under
@@ -67,8 +69,8 @@ func newPlanBuilder(seq *mpeg2.SequenceHeader, policy Resilience) *planBuilder {
 // picture-level damage as a hard error; ConcealPicture substitutes such
 // pictures; DropGOP additionally removes groups with no decodable intra
 // anchor.
-func buildPlan(data []byte, m *StreamMap, policy Resilience) (*plan, error) {
-	b := newPlanBuilder(&m.Seq, policy)
+func buildPlan(data []byte, m *StreamMap, opt Options) (*plan, error) {
+	b := newPlanBuilder(&m.Seq, opt.Resilience, opt.Packing, opt.PackSeed)
 	for g := range m.GOPs {
 		if _, err := b.addGOP(data, g, &m.GOPs[g]); err != nil {
 			return nil, err
@@ -218,6 +220,14 @@ func (b *planBuilder) addGOP(data []byte, g int, gop *GOPRange) ([]*picState, er
 				ps.groups = [][]int{nil}
 			}
 			ps.nTasks = len(ps.groups)
+			// Pack the row-group tasks for the slice queue. The key is
+			// the plan index, identical on the batch and streaming paths,
+			// so a seeded packing is reproducible across both.
+			costs := make([]int64, len(ps.groups))
+			for gi, grp := range ps.groups {
+				costs[gi] = groupCost(ps.rng.Slices, grp)
+			}
+			ps.order = packOrder(costs, b.packing, b.seed+int64(len(pl.pics)))
 		}
 		ps.remaining = ps.nTasks
 

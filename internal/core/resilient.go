@@ -21,7 +21,7 @@ import (
 // (see buildPlan) — they differ only in what runs concurrently, never in
 // what gets decoded, substituted, or concealed.
 func decodeResilient(data []byte, m *StreamMap, opt Options, st *Stats) error {
-	pl, err := buildPlan(data, m, opt.Resilience)
+	pl, err := buildPlan(data, m, opt)
 	if err != nil {
 		return err
 	}
@@ -198,8 +198,17 @@ func decodeResilientGOP(m *StreamMap, pl *plan, opt Options, st *Stats) error {
 	pool.SetScrub(true) // concealed/substituted pixels must never leak stale content
 	disp := newDisplay(pool, opt.Sink, opt.Obs)
 
+	// Packed order over the kept groups (LPT by byte size by default).
+	costs := make([]int64, len(pl.gops))
+	for i, pg := range pl.gops {
+		costs[i] = int64(m.GOPs[pg.g].End - m.GOPs[pg.g].Offset)
+	}
 	tasks := make(chan int, len(pl.gops))
+	order := packOrder(costs, opt.Packing, opt.PackSeed)
 	for gi := range pl.gops {
+		if order != nil {
+			gi = order[gi]
+		}
 		tasks <- gi
 	}
 	close(tasks)
@@ -260,6 +269,7 @@ func decodeResilientGOP(m *StreamMap, pl *plan, opt Options, st *Stats) error {
 					ws.Busy += cost
 					ws.Tasks++
 					opt.Obs.Record(obs.KindTask, wi, t1, cost, pg.g, -1, -1)
+					opt.Cost.Observe(int64(m.GOPs[pg.g].End-m.GOPs[pg.g].Offset), cost)
 					if failed {
 						continue
 					}
@@ -330,6 +340,9 @@ func decodeResilientSlice(m *StreamMap, pl *plan, opt Options, st *Stats) error 
 					ws.Busy += cost
 					ws.Tasks++
 					opt.Obs.Record(obs.KindTask, wi, t0, cost, p.gop, p.displayIdx, ti)
+					if p.fate == fateDecode {
+						opt.Cost.Observe(groupCost(p.rng.Slices, p.groups[ti]), cost)
+					}
 					if err != nil { // only possible under FailFast (never batch)
 						errs.set(err)
 						q.fail()

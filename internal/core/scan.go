@@ -20,6 +20,11 @@ type SliceRange struct {
 	Row    int
 	Offset int // byte offset of the slice startcode
 	End    int // byte offset one past the slice data
+	// Bytes is the slice's compressed size (End-Offset). Variable-length
+	// decode time is proportional to bits consumed, so this is the
+	// scheduler's per-slice cost estimate. It is invariant under offset
+	// rebasing, so batch and streaming consumers see the same value.
+	Bytes int
 }
 
 // PictureRange locates one picture and its slices.
@@ -190,6 +195,7 @@ func (s *ScanState) closePic(end int) {
 	s.curPic.End = end
 	if n := len(s.curPic.Slices); n > 0 {
 		s.curPic.Slices[n-1].End = end
+		s.curPic.Slices[n-1].Bytes = end - s.curPic.Slices[n-1].Offset
 	}
 	s.curGOP.Pictures = append(s.curGOP.Pictures, *s.curPic)
 	s.curPic = nil
@@ -329,6 +335,7 @@ func (s *ScanState) Step(view []byte, base, i int) error {
 		}
 		if n := len(s.curPic.Slices); n > 0 {
 			s.curPic.Slices[n-1].End = i
+			s.curPic.Slices[n-1].Bytes = i - s.curPic.Slices[n-1].Offset
 		}
 		s.curPic.Slices = append(s.curPic.Slices, SliceRange{Row: int(code) - 1, Offset: i})
 	case code == mpeg2.SequenceEndCode:

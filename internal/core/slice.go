@@ -34,7 +34,12 @@ type picState struct {
 	deps     int32 // number of later pictures that reference this one
 
 	frame     *frame.Frame
-	nextSlice int    // next task to hand out
+	nextSlice int // next task to hand out
+	// order, when non-nil, maps handout position to task index — the
+	// scheduler's packing of this picture's tasks (LPT by default). Nil
+	// means stream order. Tasks of one picture touch disjoint pixels
+	// (distinct macroblock rows, or row groups), so any order is safe.
+	order     []int
 	nTasks    int    // tasks this picture issues (slices, row groups, or one substitute)
 	remaining int    // tasks not yet completed
 	covered   []bool // macroblocks actually reconstructed
@@ -173,6 +178,9 @@ func (q *sliceQueue) take(wi int) (p *picState, slice int, wait time.Duration, o
 				p.frame.TemporalRef = p.hdr.TemporalReference
 			}
 			slice = p.nextSlice
+			if p.order != nil {
+				slice = p.order[p.nextSlice]
+			}
 			p.nextSlice++
 			wait = time.Since(t0)
 			record(wait)
@@ -245,8 +253,9 @@ func (q *sliceQueue) missing(p *picState) []int {
 
 // buildPicStates flattens the scanned stream into decode-order pictures
 // with resolved reference indices, parsing each picture header (the scan
-// process's job in the paper's design).
-func buildPicStates(data []byte, m *StreamMap) ([]*picState, error) {
+// process's job in the paper's design). Each picture's slice tasks are
+// packed per opt.Packing (LPT by byte size unless overridden).
+func buildPicStates(data []byte, m *StreamMap, opt Options) ([]*picState, error) {
 	var pics []*picState
 	refOld, refNew := -1, -1
 	lastRef := -1 // most recent reference picture across the whole stream:
@@ -281,6 +290,7 @@ func buildPicStates(data []byte, m *StreamMap) ([]*picState, error) {
 				remaining:  len(pr.Slices),
 				subFrom:    -1,
 			}
+			ps.order = packOrder(sliceCosts(pr.Slices), opt.Packing, opt.PackSeed+int64(len(pics)))
 			ps.params = decoder.PictureParams(&m.Seq, &ps.hdr)
 			switch hdr.Type {
 			case vlc.CodingP:
@@ -312,7 +322,7 @@ func buildPicStates(data []byte, m *StreamMap) ([]*picState, error) {
 
 // decodeSliceMode runs the fine-grained decoder (simple or improved).
 func decodeSliceMode(data []byte, m *StreamMap, opt Options, st *Stats) error {
-	pics, err := buildPicStates(data, m)
+	pics, err := buildPicStates(data, m, opt)
 	if err != nil {
 		return err
 	}
@@ -377,6 +387,7 @@ func decodeSliceMode(data []byte, m *StreamMap, opt Options, st *Stats) error {
 					ws.Busy += cost
 					ws.Tasks++
 					opt.Obs.Record(obs.KindTask, wi, t0, cost, -1, p.displayIdx, si)
+					opt.Cost.Observe(int64(p.rng.Slices[si].Bytes), cost)
 					if err != nil && !opt.Conceal {
 						errs.set(err)
 						q.fail()

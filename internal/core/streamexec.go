@@ -13,6 +13,7 @@ import (
 	"mpeg2par/internal/frame"
 	"mpeg2par/internal/mpeg2"
 	"mpeg2par/internal/obs"
+	"mpeg2par/internal/sched"
 )
 
 // Unit is one group of pictures handed from the streaming scanner to the
@@ -96,6 +97,12 @@ type StreamExecutor struct {
 	gopTasks chan gopTask // ModeGOP / ModeSequential intake
 	q        *sliceQueue  // slice-mode intake
 
+	// Online auto-tuning (ModeAuto only). The tuner collects busy/wait
+	// from the workers; Feed re-evaluates it at every GOP boundary and
+	// the gate parks workers above the resulting limit.
+	tuner *sched.Tuner
+	gate  *workerGate
+
 	mu        sync.Mutex
 	winBytes  int64 // scanner window bytes (AdjustBuffered)
 	unitBytes int64 // live unit bytes
@@ -135,6 +142,9 @@ func NewStreamExecutor(ctx context.Context, opt Options) (*StreamExecutor, error
 	}
 	switch opt.Mode {
 	case ModeGOP, ModeSliceSimple, ModeSliceImproved, ModeSequential:
+	case ModeAuto:
+		// Resolved at the first Feed, when the first group's geometry is
+		// known; Options.Workers is the ceiling the policy chooses under.
 	default:
 		return nil, fmt.Errorf("core: unknown mode %d", int(opt.Mode))
 	}
@@ -151,10 +161,17 @@ func NewStreamExecutor(ctx context.Context, opt Options) (*StreamExecutor, error
 	}, nil
 }
 
-func (e *StreamExecutor) start() {
+// start spins up the executor once the first unit has arrived. For
+// ModeAuto the first group's geometry, projected across the scan-ahead
+// window, resolves the mode and worker count here; the mode is fixed
+// for the rest of the stream (only the worker limit adapts online).
+func (e *StreamExecutor) start(u *Unit) {
 	e.started = true
 	e.wallStart = time.Now()
-	e.pb = newPlanBuilder(&e.seq, e.opt.Resilience)
+	if e.opt.Mode == ModeAuto {
+		e.resolveAuto(u)
+	}
+	e.pb = newPlanBuilder(&e.seq, e.opt.Resilience, e.opt.Packing, e.opt.PackSeed)
 	e.pool = frame.NewPool(e.seq.Width, e.seq.Height)
 	if e.opt.Resilience != FailFast {
 		e.pool.SetScrub(true)
@@ -186,6 +203,34 @@ func (e *StreamExecutor) start() {
 	}
 }
 
+// resolveAuto picks the mode and worker count for an auto-tuned
+// pipeline from the first group's geometry, projected across the
+// scan-ahead window (a single group in isolation would always look
+// like a slice-grain workload). The chosen worker count becomes the
+// online tuner's ceiling; the gate parks workers it tunes away.
+func (e *StreamExecutor) resolveAuto(u *Unit) {
+	g := projectGeometry(autoGeometry([]GOPRange{u.Range}), e.opt.EffectiveMaxInFlight())
+	c := sched.Choose(g, e.opt.Workers, e.opt.Cost)
+	e.opt.Mode = modeOfHint(c.Mode)
+	e.opt.Workers = c.Workers
+	e.workers = c.Workers
+	if e.opt.Mode == ModeSequential {
+		e.workers = 1
+	}
+	e.st.Mode = e.opt.Mode
+	e.st.Workers = e.workers
+	e.st.Auto = &AutoDecision{
+		Mode:             e.opt.Mode,
+		Workers:          e.workers,
+		Reason:           c.Reason + " (projected from first group)",
+		FinalWorkerLimit: e.workers,
+	}
+	if e.workers > 1 {
+		e.tuner = sched.NewTuner(e.workers, e.workers)
+		e.gate = newWorkerGate(e.workers)
+	}
+}
+
 // Feed hands one scanned group of pictures to the workers. It blocks
 // while the scan-ahead window is full (backpressure against the scan
 // process) and returns early with the context's error on cancellation,
@@ -205,7 +250,7 @@ func (e *StreamExecutor) Feed(u Unit) error {
 	e.opt.Obs.Record(obs.KindFeed, obs.LaneScan, feedStart, time.Since(feedStart), u.G, -1, -1)
 	if !e.started {
 		e.seq = u.Seq
-		e.start()
+		e.start(&u)
 	}
 	us := &unitState{exec: e, bytes: int64(len(u.Data))}
 	e.mu.Lock()
@@ -220,6 +265,16 @@ func (e *StreamExecutor) Feed(u Unit) error {
 	if err != nil {
 		e.setErr(err)
 		return err
+	}
+	if e.tuner != nil {
+		// GOP boundary: close the utilization window and move the
+		// active-worker limit at most one step. Feed is the single scan
+		// goroutine, as Reevaluate requires.
+		if lim, changed := e.tuner.Reevaluate(); changed {
+			e.gate.setLimit(lim)
+			e.st.Auto.FinalWorkerLimit = lim
+		}
+		e.st.Auto.Reevals++
 	}
 	if len(ps) == 0 {
 		// Empty or policy-dropped group: nothing will decode from the
@@ -304,7 +359,11 @@ func (e *StreamExecutor) Finish(scanErr error) (*Stats, error) {
 		} else {
 			close(e.gopTasks)
 		}
+		e.gate.close() // wake parked workers so they can drain and exit
 		e.wg.Wait()
+	}
+	if e.tuner != nil {
+		e.st.Auto.FinalWorkerLimit = e.tuner.Limit()
 	}
 	st := e.st
 	err := e.errs.get()
@@ -359,10 +418,12 @@ func (e *StreamExecutor) gopWorker(wi int) {
 		ws := &e.st.WorkerStats[wi]
 		var scr sliceScratch
 		for {
+			e.gate.enter(wi)
 			t0 := time.Now()
 			t, ok := <-e.gopTasks
 			wait := time.Since(t0)
 			ws.Wait += wait
+			e.tuner.NoteWait(wait)
 			e.opt.Obs.Record(obs.KindWait, wi, t0, wait, -1, -1, -1)
 			if !ok {
 				return
@@ -405,7 +466,9 @@ func (e *StreamExecutor) runGOPTask(t *gopTask, wi int, ws *WorkerStats, scr *sl
 	cost := time.Since(t1)
 	ws.Busy += cost
 	ws.Tasks++
+	e.tuner.NoteTask(cost)
 	e.opt.Obs.Record(obs.KindTask, wi, t1, cost, t.g, -1, -1)
+	e.opt.Cost.Observe(t.unit.bytes, cost)
 	e.workMu.Lock()
 	e.st.Work.Add(work)
 	e.st.Errors.Add(es)
@@ -423,8 +486,10 @@ func (e *StreamExecutor) sliceWorker(wi int) {
 		var scr sliceScratch
 		var taskAddrs []int
 		for {
+			e.gate.enter(wi)
 			p, ti, wait, ok := e.q.take(wi)
 			ws.Wait += wait
+			e.tuner.NoteWait(wait)
 			if !ok {
 				return
 			}
@@ -439,7 +504,11 @@ func (e *StreamExecutor) sliceWorker(wi int) {
 			cost := time.Since(t0)
 			ws.Busy += cost
 			ws.Tasks++
+			e.tuner.NoteTask(cost)
 			e.opt.Obs.Record(obs.KindTask, wi, t0, cost, p.gop, p.displayIdx, ti)
+			if p.fate == fateDecode {
+				e.opt.Cost.Observe(groupCost(p.rng.Slices, p.groups[ti]), cost)
+			}
 			if err != nil { // only possible under FailFast
 				e.setErr(err)
 				e.q.fail()

@@ -80,7 +80,7 @@ func traceGOPs(data []byte, m *StreamMap, procs int, tr memtrace.Tracer) error {
 }
 
 func traceSlices(data []byte, m *StreamMap, procs int, tr memtrace.Tracer) error {
-	pics, err := buildPicStates(data, m)
+	pics, err := buildPicStates(data, m, Options{Packing: PackFIFO})
 	if err != nil {
 		return err
 	}
@@ -106,7 +106,7 @@ func traceSlices(data []byte, m *StreamMap, procs int, tr memtrace.Tracer) error
 // level — no pixel reconstruction — calling fn for each decoded
 // macroblock in decode order. Useful for stream inspection and tests.
 func VisitMacroblocks(data []byte, m *StreamMap, fn func(mb *mpeg2.MB)) error {
-	pics, err := buildPicStates(data, m)
+	pics, err := buildPicStates(data, m, Options{Packing: PackFIFO})
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,166 @@
+package sched
+
+import (
+	"fmt"
+	"time"
+)
+
+// ModeHint is the policy's verdict on a workload's parallelization
+// strategy. It is sched-local (not core.Mode) so the dependency points
+// from core to sched only; core maps hints back onto its modes.
+type ModeHint int
+
+const (
+	// HintSequential: the stream is too short, or the predicted parallel
+	// gain too small, to pay for worker coordination.
+	HintSequential ModeHint = iota
+	// HintGOP: coarse-grained tasks balance well — enough groups of
+	// similar cost to keep the workers fed.
+	HintGOP
+	// HintSlice: fine-grained slice tasks balance better than whole
+	// groups (few or very uneven GOPs, or per-picture parallelism is
+	// what the worker count can actually use). Maps to the improved
+	// slice variant, the paper's best-scaling discipline.
+	HintSlice
+)
+
+func (h ModeHint) String() string {
+	switch h {
+	case HintSequential:
+		return "sequential"
+	case HintGOP:
+		return "gop"
+	case HintSlice:
+		return "slice-improved"
+	}
+	return fmt.Sprintf("ModeHint(%d)", int(h))
+}
+
+// Geometry is the scan-derived shape of a workload: the byte-size cost
+// estimates the policy predicts balance from. SliceBytes may cover only
+// a prefix of the stream's pictures (cost detail is capped for very
+// long streams); the policy normalizes by predicted speedup, not
+// absolute time, so partial detail stays comparable.
+type Geometry struct {
+	GOPs     int
+	Pictures int
+	// GOPBytes is the per-group cost estimate (bytes spanned by each
+	// group of pictures).
+	GOPBytes []int64
+	// SliceBytes is the per-picture slice cost detail: one vector of
+	// per-slice byte sizes per sampled picture.
+	SliceBytes [][]int64
+	// TotalBytes is the whole stream's size (the sequential cost).
+	TotalBytes int64
+}
+
+// Choice is the policy's resolved schedule for a workload.
+type Choice struct {
+	Mode    ModeHint
+	Workers int
+	// Reason is a one-line human-readable justification, surfaced
+	// through Stats so an auto-tuned run can explain itself.
+	Reason string
+}
+
+// Tunables of Choose. The efficiency knee mirrors the paper's
+// observation that speedup flattens once load imbalance dominates:
+// workers that buy <5% more predicted speedup are not worth their
+// synchronization cost.
+const (
+	// kneeFrac: the smallest worker count within this fraction of the
+	// best predicted speedup wins.
+	kneeFrac = 0.95
+	// minParallelGain: below this predicted speedup, decode sequentially.
+	minParallelGain = 1.05
+	// minParallelPictures: streams shorter than this never parallelize
+	// (worker startup dwarfs the work).
+	minParallelPictures = 3
+)
+
+// Choose picks a mode and worker count for the workload from its
+// predicted balance: for every candidate worker count it computes the
+// LPT-packed makespan of the GOP task set and of the per-picture slice
+// task sets, converts both to predicted speedups over sequential, and
+// takes the best — then walks the worker count back to the efficiency
+// knee. model, when calibrated, is only used to phrase the Reason in
+// absolute time; the choice itself is scale-invariant.
+func Choose(g Geometry, maxWorkers int, model *CostModel) Choice {
+	if maxWorkers < 1 {
+		maxWorkers = 1
+	}
+	if g.TotalBytes <= 0 || g.Pictures <= 0 {
+		return Choice{HintSequential, 1, "empty workload"}
+	}
+	if maxWorkers == 1 {
+		return Choice{HintSequential, 1, "one worker available"}
+	}
+	if g.Pictures < minParallelPictures {
+		return Choice{HintSequential, 1,
+			fmt.Sprintf("%d pictures: too short to parallelize", g.Pictures)}
+	}
+
+	gopTotal := Sum(g.GOPBytes)
+	var sliceTotal int64
+	for _, pic := range g.SliceBytes {
+		sliceTotal += Sum(pic)
+	}
+
+	speedup := func(hint ModeHint, w int) float64 {
+		switch hint {
+		case HintGOP:
+			if len(g.GOPBytes) < 2 || gopTotal <= 0 {
+				return 0
+			}
+			return float64(gopTotal) / float64(Makespan(g.GOPBytes, w))
+		case HintSlice:
+			if sliceTotal <= 0 {
+				return 0
+			}
+			// The simple slice variant barriers after every picture, so
+			// its makespan is the sum of per-picture makespans. The
+			// improved variant overlaps B pictures with the next
+			// reference, so this is a (slightly pessimistic) lower bound
+			// on its speedup — safe to choose by.
+			var span int64
+			for _, pic := range g.SliceBytes {
+				span += Makespan(pic, w)
+			}
+			if span <= 0 {
+				return 0
+			}
+			return float64(sliceTotal) / float64(span)
+		}
+		return 1
+	}
+
+	best := Choice{Mode: HintSequential, Workers: 1}
+	bestGain := 1.0
+	for _, hint := range []ModeHint{HintGOP, HintSlice} {
+		for w := 2; w <= maxWorkers; w++ {
+			if gain := speedup(hint, w); gain > bestGain {
+				bestGain = gain
+				best = Choice{Mode: hint, Workers: w}
+			}
+		}
+	}
+	if bestGain < minParallelGain {
+		return Choice{HintSequential, 1,
+			fmt.Sprintf("predicted parallel speedup only %.2fx", bestGain)}
+	}
+	// Efficiency knee: smallest worker count of the winning mode within
+	// kneeFrac of the best predicted speedup.
+	for w := 2; w < best.Workers; w++ {
+		if speedup(best.Mode, w) >= kneeFrac*bestGain {
+			best.Workers = w
+			break
+		}
+	}
+	kept := speedup(best.Mode, best.Workers)
+	best.Reason = fmt.Sprintf("%s x%d: predicted speedup %.2fx over %d GOPs / %d pictures",
+		best.Mode, best.Workers, kept, g.GOPs, g.Pictures)
+	if t := model.Predict(g.TotalBytes); t > 0 {
+		best.Reason += fmt.Sprintf(" (~%v sequential)", t.Round(100*time.Microsecond))
+	}
+	return best
+}

@@ -1,0 +1,102 @@
+package sched
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Tuner adapts the active worker count of a running decode online. The
+// workers feed it the same busy/wait signal the observability layer
+// records (task spans and queue/barrier waits); at each group-of-pictures
+// boundary the scan process calls Reevaluate, which inspects the window
+// of time since the previous boundary and moves the limit one step:
+//
+//   - utilization below lowWater: workers are starving — the stream has
+//     less parallelism than workers, so park one (cutting the
+//     synchronization overhead of the paper's Figure 7);
+//   - utilization above highWater with headroom: the workload can use
+//     another worker, wake one.
+//
+// The limit moves one worker per boundary, so a single anomalous group
+// cannot swing the pool; the decision signal is exactly the utilization
+// quantity Timeline.Summary derives after the fact.
+//
+// NoteTask/NoteWait are lock-free atomic adds, safe from any worker;
+// Reevaluate must be called from a single goroutine (the scan process).
+type Tuner struct {
+	max   int
+	limit atomic.Int32
+	busy  atomic.Int64 // ns decoding since the last Reevaluate
+	wait  atomic.Int64 // ns blocked since the last Reevaluate
+}
+
+// Tuner thresholds. The dead band between them keeps the limit stable
+// on well-balanced workloads.
+const (
+	lowWater  = 0.55
+	highWater = 0.90
+	// minWindow is the least accounted time a window must hold before a
+	// decision is made; tiny groups carry too little signal.
+	minWindow = 200 * time.Microsecond
+)
+
+// NewTuner returns a tuner starting at the given active-worker limit,
+// never exceeding max. initial is clamped into [1, max].
+func NewTuner(initial, max int) *Tuner {
+	if max < 1 {
+		max = 1
+	}
+	if initial < 1 {
+		initial = 1
+	}
+	if initial > max {
+		initial = max
+	}
+	t := &Tuner{max: max}
+	t.limit.Store(int32(initial))
+	return t
+}
+
+// Limit returns the current active-worker limit.
+func (t *Tuner) Limit() int { return int(t.limit.Load()) }
+
+// Max returns the worker-count ceiling.
+func (t *Tuner) Max() int { return t.max }
+
+// NoteTask records time a worker spent decoding.
+func (t *Tuner) NoteTask(d time.Duration) {
+	if t != nil && d > 0 {
+		t.busy.Add(int64(d))
+	}
+}
+
+// NoteWait records time a worker spent blocked on the task queue or a
+// barrier.
+func (t *Tuner) NoteWait(d time.Duration) {
+	if t != nil && d > 0 {
+		t.wait.Add(int64(d))
+	}
+}
+
+// Reevaluate closes the observation window and moves the limit at most
+// one step. It returns the (possibly unchanged) limit and whether it
+// changed.
+func (t *Tuner) Reevaluate() (limit int, changed bool) {
+	b := t.busy.Swap(0)
+	w := t.wait.Swap(0)
+	limit = int(t.limit.Load())
+	if b+w < int64(minWindow) {
+		return limit, false
+	}
+	util := float64(b) / float64(b+w)
+	switch {
+	case util < lowWater && limit > 1:
+		limit--
+	case util > highWater && limit < t.max:
+		limit++
+	default:
+		return limit, false
+	}
+	t.limit.Store(int32(limit))
+	return limit, true
+}

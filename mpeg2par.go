@@ -127,13 +127,32 @@ func DecodeAll(data []byte) ([]*Frame, error) {
 type Mode = core.Mode
 
 // The decoder variants the paper evaluates, plus the single-worker
-// planned executor the resilient modes are verified against.
+// planned executor the resilient modes are verified against, plus the
+// cost-model-driven automatic mode (see WithAutoTune).
 const (
 	ModeGOP           = core.ModeGOP
 	ModeSliceSimple   = core.ModeSliceSimple
 	ModeSliceImproved = core.ModeSliceImproved
 	ModeSequential    = core.ModeSequential
+	ModeAuto          = core.ModeAuto
 )
+
+// Packing selects the order the scheduler hands tasks to the worker
+// pool; every packing produces bit-identical output.
+type Packing = core.Packing
+
+// The task-queue packing disciplines. PackLPT (the default) packs
+// longest-first by byte-size cost; the rest exist for measurement and
+// the ordering-invariance tests.
+const (
+	PackLPT     = core.PackLPT
+	PackFIFO    = core.PackFIFO
+	PackReverse = core.PackReverse
+	PackRandom  = core.PackRandom
+)
+
+// AutoDecision records how a ModeAuto run resolved (Stats.Auto).
+type AutoDecision = core.AutoDecision
 
 // Resilience selects how the decoder reacts to damaged streams; every
 // policy produces bit-identical output in all decode modes.
