@@ -1,11 +1,32 @@
 GO ?= go
 
-.PHONY: verify vet build test race bench perf fuzz faults stream compat trace sched
+.PHONY: verify vet build test race bench perf fuzz faults stream compat trace sched kernels cross
 
-verify: vet build race bench stream compat trace sched ## full CI gate: vet + build + race tests + bench smoke + streaming race + compat shims + traced decode + scheduler gate
+verify: vet build race bench stream compat trace sched kernels cross ## full CI gate: vet + build + race tests + bench smoke + streaming race + compat shims + traced decode + scheduler gate + kernel matrix + cross-compile
 
 vet:
 	$(GO) vet ./...
+
+# Kernel-dispatch gate: the tier-equivalence matrix (each equivalence
+# test internally sweeps scalar/SWAR/asm against the scalar oracle), the
+# same matrix under the race detector with the asm tier force-disabled
+# (the race runtime cannot see into assembly, so race coverage comes from
+# the pure-Go tiers), golden bit-exactness with every forced tier, and
+# the per-kernel micro-benchmarks.
+kernels:
+	$(GO) test -run 'TierEquivalence|AsmEquivalence|Extremes|TestKernels|TestStoreBlock|TestPaddedLayoutGolden|TestAffinity|TestPickTask' ./internal/kernels/ ./internal/motion/ ./internal/dct/ ./internal/decoder/ ./internal/core/
+	MPEG2_KERNELS=scalar $(GO) test -race -run 'TierEquivalence|AsmEquivalence|Golden|MatchesSequential' ./internal/kernels/ ./internal/motion/ ./internal/dct/ ./internal/decoder/ ./internal/core/
+	MPEG2_KERNELS=swar $(GO) test -race -run 'TierEquivalence|AsmEquivalence|Golden|MatchesSequential' ./internal/kernels/ ./internal/motion/ ./internal/dct/ ./internal/decoder/ ./internal/core/
+	$(GO) test -run=NONE -bench 'PredictBlock|AverageMB|StoreBlock|InverseTiers' -benchtime=10x ./internal/motion/ ./internal/dct/ ./internal/decoder/
+
+# Cross-compile + per-arch vet gate: both SIMD targets must build and
+# their assembly must pass vet's asmdecl checks even when developing on
+# the other architecture.
+cross:
+	GOOS=linux GOARCH=amd64 $(GO) build ./...
+	GOOS=linux GOARCH=arm64 $(GO) build ./...
+	GOOS=linux GOARCH=amd64 $(GO) vet ./internal/kernels/ ./internal/motion/ ./internal/dct/ ./internal/decoder/
+	GOOS=linux GOARCH=arm64 $(GO) vet ./internal/kernels/ ./internal/motion/ ./internal/dct/ ./internal/decoder/
 
 build:
 	$(GO) build ./...

@@ -81,6 +81,16 @@ func WithPacking(p Packing, seed int64) Option {
 	}
 }
 
+// WithAffinity overrides the row→worker task-steering discipline
+// (default AffinityRow, adopted by the cache-locality study: each
+// macroblock row is steered to the worker that handled the same row of
+// the reference picture, so motion-compensation reference reads reuse
+// that worker's cache). AffinityNone restores pure dynamic assignment.
+// Affinity never changes decoded output, only which worker runs a task.
+func WithAffinity(a Affinity) Option {
+	return func(c *decodeConfig) { c.opt.Affinity = a }
+}
+
 // WithResilience selects the error-resilience policy (default
 // FailFast). Every policy produces bit-identical output in all modes.
 func WithResilience(p Resilience) Option {

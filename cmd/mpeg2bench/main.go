@@ -179,17 +179,44 @@ func runPerf(out, label string, startNew bool, repeat int) error {
 		return err
 	}
 	fmt.Printf("%s: run %q appended (%d runs total)\n", out, label, len(pf.Runs))
+	fmt.Printf("  host: %s/%s, %d CPUs, GOMAXPROCS=%d, kernels %s (features: %s)\n",
+		run.GOOS, run.GOARCH, run.NumCPU, run.GOMAXPROCS, run.KernelLevel, run.CPUFeatures)
 	fmt.Printf("  sequential: %.0f pics/s (%.2f ms/picture)\n",
 		run.SequentialPicsPerSec, run.SequentialMSPerPic)
 	fmt.Printf("  workload: %d MBs (%d predicted, %d bidir), %d coded blocks, %d coefs\n",
 		run.Work.MBs, run.Work.PredMBs, run.Work.BidirMBs, run.Work.CodedBlocks, run.Work.Coefs)
+	if len(run.KernelBench) > 0 {
+		fmt.Printf("  kernel ns/MB by tier:\n")
+		byKernel := map[string][]bench.KernelBenchPoint{}
+		var order []string
+		for _, kp := range run.KernelBench {
+			if _, ok := byKernel[kp.Kernel]; !ok {
+				order = append(order, kp.Kernel)
+			}
+			byKernel[kp.Kernel] = append(byKernel[kp.Kernel], kp)
+		}
+		for _, k := range order {
+			fmt.Printf("    %-13s", k)
+			for _, kp := range byKernel[k] {
+				fmt.Printf("  %s=%.0f", kp.Level, kp.NsPerMB)
+			}
+			fmt.Println()
+		}
+	}
+	if run.ScalingNote != "" {
+		fmt.Printf("  NOTE: %s\n", run.ScalingNote)
+	}
 	for _, pt := range run.Points {
 		auto := ""
 		if pt.Auto != "" {
 			auto = "  -> " + pt.Auto
 		}
-		fmt.Printf("  %-15s w=%d  %8.0f pics/s  speedup %.2f  (scan %.1fms busy %.1fms wait %.1fms)%s\n",
-			pt.Mode, pt.Workers, pt.PicsPerSec, pt.Speedup, pt.ScanMS, pt.WorkerBusyMS, pt.WorkerWaitMS, auto)
+		speedup := fmt.Sprintf("speedup %.2f", pt.Speedup)
+		if run.GOMAXPROCS == 1 && pt.Workers > 1 {
+			speedup = fmt.Sprintf("speedup %.2f [overhead-only: GOMAXPROCS=1]", pt.Speedup)
+		}
+		fmt.Printf("  %-15s w=%d  %8.0f pics/s  %s  (scan %.1fms busy %.1fms wait %.1fms)%s\n",
+			pt.Mode, pt.Workers, pt.PicsPerSec, speedup, pt.ScanMS, pt.WorkerBusyMS, pt.WorkerWaitMS, auto)
 	}
 	return nil
 }

@@ -107,11 +107,11 @@ func main() {
 		}
 		// Display-size planes, row by row.
 		for y := 0; y < f.Height; y++ {
-			sinkFile.Write(f.Y[y*f.CodedW : y*f.CodedW+f.Width])
+			sinkFile.Write(f.Y[y*f.YStride : y*f.YStride+f.Width])
 		}
 		for _, plane := range [][]uint8{f.Cb, f.Cr} {
 			for y := 0; y < f.Height/2; y++ {
-				sinkFile.Write(plane[y*f.CodedW/2 : y*f.CodedW/2+f.Width/2])
+				sinkFile.Write(plane[y*f.CStride : y*f.CStride+f.Width/2])
 			}
 		}
 	}
@@ -157,9 +157,9 @@ func main() {
 		fmt.Printf("auto-tune: %s (reevals %d, final worker limit %d)\n",
 			a.Reason, a.Reevals, a.FinalWorkerLimit)
 	}
-	fmt.Printf("%s x%d (%s): %d pictures in %v (%.1f pics/s), scan %.0f pics/s\n",
+	fmt.Printf("%s x%d (%s): %d pictures in %v (%.1f pics/s), scan %.0f pics/s, kernels %s\n",
 		stats.Mode, stats.Workers, policy, stats.Pictures, stats.Wall.Round(time.Millisecond),
-		stats.PicturesPerSecond(), stats.ScanRate)
+		stats.PicturesPerSecond(), stats.ScanRate, stats.Kernels)
 	fmt.Printf("peak frame memory: %.2f MB\n", float64(stats.PeakFrameBytes)/(1<<20))
 	fmt.Printf("peak in-flight stream bytes: %.1f KB (scan lead %d pictures)\n",
 		float64(stats.PeakInFlightBytes)/(1<<10), stats.ScanLeadPeak)

@@ -1,0 +1,53 @@
+package bench
+
+import (
+	"io"
+	"testing"
+)
+
+// TestLocalityStudyAdoptedWins pins the decisions the study justifies:
+// each adopted variant's simulated read miss rate is no worse than its
+// rejected counterpart at every shared cache geometry, and the adopted
+// row steering strictly reduces misses.
+func TestLocalityStudyAdoptedWins(t *testing.T) {
+	rows, err := sharedRunner.LocalityStudy(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type key struct {
+		study   string
+		cacheKB int
+		assoc   int
+	}
+	adopted := map[key]LocalityRow{}
+	rejected := map[key]LocalityRow{}
+	for _, row := range rows {
+		k := key{row.Study, row.CacheKB, row.Assoc}
+		if row.Adopted {
+			adopted[k] = row
+		} else {
+			rejected[k] = row
+		}
+	}
+	if len(adopted) == 0 || len(adopted) != len(rejected) {
+		t.Fatalf("unpaired study rows: %d adopted, %d rejected", len(adopted), len(rejected))
+	}
+	for k, a := range adopted {
+		r, ok := rejected[k]
+		if !ok {
+			t.Fatalf("%+v: no rejected counterpart", k)
+		}
+		if a.MissRate > r.MissRate {
+			t.Errorf("%+v: adopted %q misses more than rejected %q (%.5f > %.5f)",
+				k, a.Variant, r.Variant, a.MissRate, r.MissRate)
+		}
+		if k.study == "affinity" && a.MissRate >= r.MissRate {
+			t.Errorf("%+v: row steering did not strictly reduce the miss rate (%.5f vs %.5f)",
+				k, a.MissRate, r.MissRate)
+		}
+		if k.study == "layout" && a.Conflict >= r.Conflict {
+			t.Errorf("%+v: padded layout did not reduce conflict misses (%d vs %d)",
+				k, a.Conflict, r.Conflict)
+		}
+	}
+}

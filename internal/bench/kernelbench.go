@@ -1,0 +1,94 @@
+package bench
+
+import (
+	"time"
+
+	"mpeg2par/internal/dct"
+	"mpeg2par/internal/kernels"
+	"mpeg2par/internal/motion"
+)
+
+// KernelBenchPoint is one (kernel, tier) microbenchmark sample.
+type KernelBenchPoint struct {
+	Kernel string `json:"kernel"`
+	Level  string `json:"level"`
+	// NsPerMB is nanoseconds per macroblock-equivalent of work: one
+	// 16×16 luma prediction/average for the motion kernels, six 8×8
+	// blocks (a 4:2:0 macroblock) for the IDCT.
+	NsPerMB float64 `json:"ns_per_mb"`
+}
+
+// kernelLevels returns the tiers the host can actually run, lowest
+// first.
+func kernelLevels() []kernels.Level {
+	out := []kernels.Level{kernels.LevelScalar, kernels.LevelSWAR}
+	if kernels.Supported() == kernels.LevelASM {
+		out = append(out, kernels.LevelASM)
+	}
+	return out
+}
+
+// timeIt measures fn's steady-state cost by doubling iteration counts
+// until the timed region exceeds ~1ms, then returns ns per call.
+func timeIt(fn func()) float64 {
+	fn() // warm up
+	for n := 64; ; n *= 2 {
+		t0 := time.Now()
+		for i := 0; i < n; i++ {
+			fn()
+		}
+		d := time.Since(t0)
+		if d >= time.Millisecond || n >= 1<<20 {
+			return float64(d.Nanoseconds()) / float64(n)
+		}
+	}
+}
+
+// KernelBench measures every dispatched reconstruction kernel at every
+// supported tier through the public entry points, restoring the active
+// tier afterwards. The results feed PerfRun.KernelBench: per-kernel
+// ns/MB deltas between scalar, SWAR, and asm.
+func KernelBench() []KernelBenchPoint {
+	prev := kernels.Active()
+	defer kernels.Set(prev)
+
+	const stride = 736 // a padded 704-wide plane row
+	ref := make([]uint8, stride*64)
+	for i := range ref {
+		ref[i] = uint8(i*7 + i>>8)
+	}
+	var pred, a, b motion.MBPred
+	for i := range a.Y {
+		a.Y[i], b.Y[i] = uint8(i), uint8(255-i)
+	}
+	var blk [64]int32
+	for i := range blk {
+		blk[i] = int32((i*97)%4096 - 2048)
+	}
+
+	kernelsUnderTest := []struct {
+		name string
+		fn   func()
+	}{
+		{"predict_copy", func() { motion.PredictBlock(pred.Y[:], 16, ref, stride, 704, 64, 8, 8, 0, 0, 16, 16) }},
+		{"predict_h", func() { motion.PredictBlock(pred.Y[:], 16, ref, stride, 704, 64, 8, 8, 1, 0, 16, 16) }},
+		{"predict_v", func() { motion.PredictBlock(pred.Y[:], 16, ref, stride, 704, 64, 8, 8, 0, 1, 16, 16) }},
+		{"predict_hv", func() { motion.PredictBlock(pred.Y[:], 16, ref, stride, 704, 64, 8, 8, 1, 1, 16, 16) }},
+		{"average_mb", func() { motion.AverageMB(&pred, &a, &b) }},
+		{"idct", func() {
+			for i := 0; i < 6; i++ {
+				t := blk
+				dct.Inverse(&t)
+			}
+		}},
+	}
+
+	var out []KernelBenchPoint
+	for _, lvl := range kernelLevels() {
+		kernels.Set(lvl)
+		for _, k := range kernelsUnderTest {
+			out = append(out, KernelBenchPoint{Kernel: k.name, Level: lvl.String(), NsPerMB: timeIt(k.fn)})
+		}
+	}
+	return out
+}

@@ -1,0 +1,38 @@
+package bench
+
+import (
+	"testing"
+
+	"mpeg2par/internal/kernels"
+)
+
+// TestKernelBenchShape pins the microbenchmark family's structure: every
+// kernel appears at every supported tier with a positive ns/MB, and the
+// active kernel level is restored afterwards.
+func TestKernelBenchShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timed microbenchmarks")
+	}
+	before := kernels.Active()
+	pts := KernelBench()
+	if after := kernels.Active(); after != before {
+		t.Fatalf("KernelBench left level %v, was %v", after, before)
+	}
+	wantKernels := []string{"predict_copy", "predict_h", "predict_v", "predict_hv", "average_mb", "idct"}
+	tiers := len(kernelLevels())
+	if len(pts) != len(wantKernels)*tiers {
+		t.Fatalf("%d points, want %d kernels x %d tiers", len(pts), len(wantKernels), tiers)
+	}
+	seen := map[string]int{}
+	for _, p := range pts {
+		if p.NsPerMB <= 0 {
+			t.Errorf("%s/%s: non-positive ns/MB %f", p.Kernel, p.Level, p.NsPerMB)
+		}
+		seen[p.Kernel]++
+	}
+	for _, k := range wantKernels {
+		if seen[k] != tiers {
+			t.Errorf("kernel %s sampled %d times, want %d", k, seen[k], tiers)
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"mpeg2par/internal/decoder"
 	"mpeg2par/internal/encoder"
 	"mpeg2par/internal/frame"
+	"mpeg2par/internal/kernels"
 )
 
 // This file is the benchmark-regression harness: PerfTrajectory measures
@@ -88,6 +89,20 @@ type PerfRun struct {
 	GOOS      string `json:"goos"`
 	GOARCH    string `json:"goarch"`
 	NumCPU    int    `json:"num_cpu"`
+	// GOMAXPROCS is the scheduler parallelism the run actually had —
+	// worker goroutines beyond it time-slice one OS thread, so parallel
+	// speedups are not meaningful when it is 1 (see ScalingNote).
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// CPUFeatures lists the vector extensions detected at init
+	// ("avx2", "neon", "none"); KernelLevel is the dispatch tier the run
+	// decoded with, e.g. "asm(avx2)" (see internal/kernels).
+	CPUFeatures string `json:"cpu_features"`
+	KernelLevel string `json:"kernel_level"`
+	// ScalingNote, when non-empty, flags that the multi-worker points of
+	// this run measure scheduling overhead only, not parallel speedup
+	// (GOMAXPROCS==1 hosts). Readers of the trajectory must not compare
+	// Speedup across runs with different notes.
+	ScalingNote string `json:"scaling_note,omitempty"`
 
 	Stream struct {
 		Width    int `json:"width"`
@@ -107,6 +122,13 @@ type PerfRun struct {
 	// kernel PRs shift the per-MB cost, not the mix. A pointer so that
 	// rewriting a BENCH file leaves pre-schema runs without the field.
 	Work *PerfWork `json:"work,omitempty"`
+
+	// KernelBench is the per-kernel microbenchmark family: nanoseconds
+	// per macroblock-equivalent of work for each reconstruction kernel at
+	// every kernel tier the host supports (scalar / swar / asm). Deltas
+	// between tiers isolate kernel regressions from scheduler changes. A
+	// pointer so pre-schema runs keep no empty field.
+	KernelBench []KernelBenchPoint `json:"kernel_bench,omitempty"`
 
 	Points []PerfPoint `json:"points"`
 }
@@ -144,12 +166,18 @@ func PerfTrajectory(cfg PerfConfig, label string) (*PerfRun, error) {
 	}
 
 	run := &PerfRun{
-		Label:     label,
-		Timestamp: time.Now().UTC().Format(time.RFC3339),
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		NumCPU:    runtime.NumCPU(),
+		Label:       label,
+		Timestamp:   time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		CPUFeatures: kernels.CPUFeatures(),
+		KernelLevel: kernels.Describe(),
+	}
+	if run.GOMAXPROCS == 1 {
+		run.ScalingNote = "GOMAXPROCS=1: multi-worker points measure scheduling overhead, not parallel speedup"
 	}
 	run.Stream.Width = cfg.Width
 	run.Stream.Height = cfg.Height
@@ -182,6 +210,8 @@ func PerfTrajectory(cfg PerfConfig, label string) (*PerfRun, error) {
 	med := medianDuration(times)
 	run.SequentialPicsPerSec = safeRate(float64(cfg.Pictures), med)
 	run.SequentialMSPerPic = safeDiv(med.Seconds()*1e3, float64(cfg.Pictures))
+
+	run.KernelBench = KernelBench()
 
 	for _, mode := range []core.Mode{core.ModeGOP, core.ModeSliceSimple, core.ModeSliceImproved, core.ModeAuto} {
 		for _, w := range cfg.Workers {

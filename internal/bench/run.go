@@ -24,6 +24,7 @@ var Experiments = map[string]func(*Runner, io.Writer) error{
 	"fig13":         func(r *Runner, w io.Writer) error { _, err := r.Fig13(w); return err },
 	"fig14":         func(r *Runner, w io.Writer) error { _, err := r.Fig14(w); return err },
 	"fig15":         func(r *Runner, w io.Writer) error { _, err := r.Fig15(w); return err },
+	"locality":      func(r *Runner, w io.Writer) error { _, err := r.LocalityStudy(w); return err },
 	"dash":          func(r *Runner, w io.Writer) error { _, err := r.Dash(w); return err },
 	"ablation-sync": func(r *Runner, w io.Writer) error { _, err := r.AblationSync(w); return err },
 	"ablation-dsm":  func(r *Runner, w io.Writer) error { _, err := r.AblationDSM(w); return err },
@@ -36,7 +37,7 @@ var Experiments = map[string]func(*Runner, io.Writer) error{
 // order lists experiments in the paper's presentation order.
 var order = []string{
 	"table1", "table2", "table3", "fig5", "fig6", "fig7", "fig8", "fig9",
-	"fig11", "fig12", "table4", "fig13", "fig14", "fig15", "dash",
+	"fig11", "fig12", "table4", "fig13", "fig14", "fig15", "locality", "dash",
 	"ablation-sync", "ablation-dsm", "ablation-granularity",
 }
 
@@ -105,6 +106,7 @@ var ResultsJSON = map[string]func(*Runner) (any, error){
 	"fig13":         func(r *Runner) (any, error) { return r.Fig13(io.Discard) },
 	"fig14":         func(r *Runner) (any, error) { return r.Fig14(io.Discard) },
 	"fig15":         func(r *Runner) (any, error) { return r.Fig15(io.Discard) },
+	"locality":      func(r *Runner) (any, error) { return r.LocalityStudy(io.Discard) },
 	"dash":          func(r *Runner) (any, error) { return r.Dash(io.Discard) },
 	"ablation-sync": func(r *Runner) (any, error) { return r.AblationSync(io.Discard) },
 	"ablation-dsm":  func(r *Runner) (any, error) { return r.AblationDSM(io.Discard) },

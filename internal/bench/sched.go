@@ -116,7 +116,7 @@ func (s *skewSource) Frame(n int) *frame.Frame {
 	bandFrac := 0.9 * float64(n) / float64(s.pictures-1)
 	start := int(float64(f.Height) * (1 - bandFrac))
 	for y := start; y < f.CodedH; y++ {
-		row := f.Y[y*f.CodedW : (y+1)*f.CodedW]
+		row := f.Y[y*f.YStride : y*f.YStride+f.CodedW]
 		for x := range row {
 			h := (uint64(y)*0x9E3779B97F4A7C15 + uint64(x)*0xBF58476D1CE4E5B9 + uint64(n)*0x94D049BB133111EB)
 			h ^= h >> 29

@@ -6,6 +6,7 @@ import (
 
 	"mpeg2par/internal/decoder"
 	"mpeg2par/internal/frame"
+	"mpeg2par/internal/kernels"
 	"mpeg2par/internal/memtrace"
 	"mpeg2par/internal/obs"
 	"mpeg2par/internal/sched"
@@ -100,6 +101,13 @@ type Options struct {
 	// each hook is a single pointer test.
 	Obs *obs.Tracer
 
+	// Affinity selects row→worker task steering in the slice queues (see
+	// Affinity). The zero value AffinityRow — adopted by the locality
+	// study — steers each row to the worker that handled that row of the
+	// reference picture; AffinityNone restores the paper's pure dynamic
+	// assignment. Output is bit-identical either way.
+	Affinity Affinity
+
 	// Packing selects the task-queue order (see Packing); the default is
 	// longest-processing-time-first by byte-size cost. Output is
 	// bit-identical under every packing.
@@ -166,9 +174,13 @@ type Stats struct {
 	Workers   int
 	Pictures  int
 	Displayed int
-	Wall      time.Duration // decode wall time (excluding scan)
-	ScanTime  time.Duration
-	ScanRate  float64 // pictures/second in the scan process
+	// Kernels is the reconstruction kernel tier the decode ran with,
+	// with hardware context when vectorized: "asm(avx2)", "swar",
+	// "scalar" (see internal/kernels).
+	Kernels  string
+	Wall     time.Duration // decode wall time (excluding scan)
+	ScanTime time.Duration
+	ScanRate float64 // pictures/second in the scan process
 
 	WorkerStats []WorkerStats
 	Work        decoder.WorkStats
@@ -251,6 +263,7 @@ func DecodeScanned(data []byte, m *StreamMap, opt Options) (*Stats, error) {
 	st := &Stats{
 		Mode:     opt.Mode,
 		Workers:  opt.EffectiveWorkers(),
+		Kernels:  kernels.Describe(),
 		ScanTime: m.ScanTime,
 		ScanRate: m.ScanRate(),
 		Auto:     auto,

@@ -1,0 +1,41 @@
+package core
+
+import (
+	"testing"
+
+	"mpeg2par/internal/frame"
+)
+
+// TestPaddedLayoutGolden decodes a 512-wide stream — the width class
+// whose luma rows the adopted layout pads — under both layouts and pins
+// that every mode produces pixels identical to the dense sequential
+// decode. This is the end-to-end proof that no reconstruction path
+// still assumes stride == CodedW.
+func TestPaddedLayoutGolden(t *testing.T) {
+	res := testStream(t, 512, 48, 5, 5)
+
+	defer func(v bool) { frame.PadStrides = v }(frame.PadStrides)
+	frame.PadStrides = false
+	want := sequentialFrames(t, res.Data)
+
+	for _, pad := range []bool{false, true} {
+		frame.PadStrides = pad
+		if probe := frame.New(512, 48); (probe.YStride != probe.CodedW) != pad {
+			t.Fatalf("PadStrides=%v: unexpected stride %d", pad, probe.YStride)
+		}
+		for _, mode := range []Mode{ModeSequential, ModeGOP, ModeSliceImproved} {
+			var sink collectSink
+			if _, err := Decode(res.Data, Options{Mode: mode, Workers: 2, Sink: sink.add}); err != nil {
+				t.Fatalf("pad=%v %v: %v", pad, mode, err)
+			}
+			if len(sink.frames) != len(want) {
+				t.Fatalf("pad=%v %v: %d frames, want %d", pad, mode, len(sink.frames), len(want))
+			}
+			for i := range want {
+				if !sink.frames[i].Equal(want[i]) {
+					t.Fatalf("pad=%v %v: frame %d differs from dense sequential decode", pad, mode, i)
+				}
+			}
+		}
+	}
+}

@@ -306,6 +306,8 @@ func decodeResilientSlice(m *StreamMap, pl *plan, opt Options, st *Stats) error 
 		depth:    opt.Workers + 4,
 		closed:   true, // batch: the full plan is known up front
 		obs:      opt.Obs,
+		workers:  opt.Workers,
+		affinity: opt.Affinity,
 	}
 	q.cond = sync.NewCond(&q.mu)
 

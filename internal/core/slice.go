@@ -81,6 +81,13 @@ type sliceQueue struct {
 	failed bool
 	closed bool // no more pictures will be appended
 
+	// workers and affinity configure row→worker task steering (see
+	// Affinity). With affinity on, take prefers handing worker wi a task
+	// whose row ≡ wi (mod workers), falling back to the head task so no
+	// worker ever idles while work exists.
+	workers  int
+	affinity Affinity
+
 	// obs, when non-nil, receives a queue-wait or barrier-wait event for
 	// every blocked take (classified by what the worker was blocked on).
 	obs *obs.Tracer
@@ -177,10 +184,7 @@ func (q *sliceQueue) take(wi int) (p *picState, slice int, wait time.Duration, o
 				p.frame.PictureType = "?IPB"[int(p.hdr.Type)]
 				p.frame.TemporalRef = p.hdr.TemporalReference
 			}
-			slice = p.nextSlice
-			if p.order != nil {
-				slice = p.order[p.nextSlice]
-			}
+			slice = q.pickTask(p, wi)
 			p.nextSlice++
 			wait = time.Since(t0)
 			record(wait)
@@ -191,6 +195,44 @@ func (q *sliceQueue) take(wi int) (p *picState, slice int, wait time.Duration, o
 		barrier = true
 		q.cond.Wait()
 	}
+}
+
+// pickTask chooses which of p's unissued tasks worker wi receives (the
+// caller holds q.mu and advances p.nextSlice). Without affinity this is
+// the packed head task. With row affinity the remaining tasks are
+// scanned for one whose row ≡ wi (mod workers); a match is swapped to
+// the head position so every task is still handed out exactly once, and
+// a miss degrades to the head task (work conservation). The scan is
+// O(tasks-per-picture) per take — a few dozen rows — and runs only on
+// multi-worker affinity queues.
+func (q *sliceQueue) pickTask(p *picState, wi int) int {
+	head := p.nextSlice
+	taskAt := func(pos int) int {
+		if p.order != nil {
+			return p.order[pos]
+		}
+		return pos
+	}
+	if q.affinity == AffinityRow && q.workers > 1 {
+		for pos := head; pos < p.nTasks; pos++ {
+			r := taskRow(p, taskAt(pos))
+			if r >= 0 && r%q.workers == wi {
+				if pos != head {
+					if p.order == nil {
+						// Materialize the identity order so positions
+						// can swap.
+						p.order = make([]int, p.nTasks)
+						for i := range p.order {
+							p.order[i] = i
+						}
+					}
+					p.order[head], p.order[pos] = p.order[pos], p.order[head]
+				}
+				break
+			}
+		}
+	}
+	return taskAt(head)
 }
 
 func (q *sliceQueue) fail() {
@@ -340,6 +382,8 @@ func decodeSliceMode(data []byte, m *StreamMap, opt Options, st *Stats) error {
 		depth:    opt.Workers + 4,
 		closed:   true, // batch: the full picture list is known up front
 		obs:      opt.Obs,
+		workers:  opt.Workers,
+		affinity: opt.Affinity,
 	}
 	q.cond = sync.NewCond(&q.mu)
 

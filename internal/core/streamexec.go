@@ -11,6 +11,7 @@ import (
 
 	"mpeg2par/internal/decoder"
 	"mpeg2par/internal/frame"
+	"mpeg2par/internal/kernels"
 	"mpeg2par/internal/mpeg2"
 	"mpeg2par/internal/obs"
 	"mpeg2par/internal/sched"
@@ -157,7 +158,7 @@ func NewStreamExecutor(ctx context.Context, opt Options) (*StreamExecutor, error
 		workers: w,
 		sem:     make(chan struct{}, opt.EffectiveMaxInFlight()),
 		fail:    make(chan struct{}),
-		st:      &Stats{Mode: opt.Mode, Workers: w},
+		st:      &Stats{Mode: opt.Mode, Workers: w, Kernels: kernels.Describe()},
 	}, nil
 }
 
@@ -186,6 +187,8 @@ func (e *StreamExecutor) start(u *Unit) {
 			pool:     e.pool,
 			depth:    e.opt.Workers + 4,
 			obs:      e.opt.Obs,
+			workers:  e.opt.Workers,
+			affinity: e.opt.Affinity,
 		}
 		e.q.cond = sync.NewCond(&e.q.mu)
 		for wi := 0; wi < e.workers; wi++ {

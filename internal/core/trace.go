@@ -22,6 +22,19 @@ import (
 // worker ids) is essential on small hosts: with one CPU a single worker
 // goroutine would otherwise execute — and label — every task.
 func TraceDecode(data []byte, mode Mode, procs int, tr memtrace.Tracer) error {
+	return TraceDecodeAssign(data, mode, procs, AffinityNone, tr)
+}
+
+// TraceDecodeAssign is TraceDecode with an explicit task→processor
+// assignment discipline for the slice modes: AffinityNone labels tasks
+// round-robin (the paper's dynamic assignment, and what TraceDecode
+// emits), AffinityRow labels each slice with row mod procs — the
+// deterministic steady state of the row-affinity queue, where the
+// work-conserving fallback never fires because the simulator has no
+// timing skew. GOP mode ignores the discipline (each GOP is already one
+// processor's task). The locality study A/Bs the two labelings under
+// cachesim.
+func TraceDecodeAssign(data []byte, mode Mode, procs int, aff Affinity, tr memtrace.Tracer) error {
 	if procs < 1 {
 		return fmt.Errorf("core: need at least one processor")
 	}
@@ -32,7 +45,7 @@ func TraceDecode(data []byte, mode Mode, procs int, tr memtrace.Tracer) error {
 	if mode == ModeGOP {
 		return traceGOPs(data, m, procs, tr)
 	}
-	return traceSlices(data, m, procs, tr)
+	return traceSlices(data, m, procs, aff, tr)
 }
 
 // traceInput emits the VLD's sequential read of a coded byte range — the
@@ -79,7 +92,7 @@ func traceGOPs(data []byte, m *StreamMap, procs int, tr memtrace.Tracer) error {
 	return nil
 }
 
-func traceSlices(data []byte, m *StreamMap, procs int, tr memtrace.Tracer) error {
+func traceSlices(data []byte, m *StreamMap, procs int, aff Affinity, tr memtrace.Tracer) error {
 	pics, err := buildPicStates(data, m, Options{Packing: PackFIFO})
 	if err != nil {
 		return err
@@ -91,6 +104,9 @@ func traceSlices(data []byte, m *StreamMap, procs int, tr memtrace.Tracer) error
 		p.frame = frame.New(m.Seq.Width, m.Seq.Height)
 		for si := range p.rng.Slices {
 			proc := task % procs
+			if aff == AffinityRow {
+				proc = p.rng.Slices[si].Row % procs
+			}
 			sr := p.rng.Slices[si]
 			traceInput(tr, data, proc, sr.Offset, sr.End)
 			if _, _, err := decodeOneSlice(m, pics, p, si, proc, opt, &scr); err != nil {

@@ -92,6 +92,10 @@ const (
 // algorithm with 11 fractional bits in the row pass and results clamped to
 // [-256, 255], matching the MSSG reference decoder's idct.
 func Inverse(block *[64]int32) {
+	if asmIDCT {
+		idctAsm(block)
+		return
+	}
 	for i := 0; i < 8; i++ {
 		idctRow(block[i*8 : i*8+8 : i*8+8])
 	}
@@ -136,6 +140,13 @@ func InverseSparse(block *[64]int32, rowMask uint8, dcOnly bool) {
 			block[48+c] = v
 			block[56+c] = v
 		}
+		return
+	}
+	if asmIDCT {
+		// The vectorized kernel transforms all rows; the skipped rows are
+		// all-zero, for which the row pass is a zero-writing identity, so
+		// the result is bit-identical.
+		idctAsm(block)
 		return
 	}
 	for i := 0; i < 8; i++ {

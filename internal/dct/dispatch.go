@@ -1,0 +1,16 @@
+package dct
+
+import "mpeg2par/internal/kernels"
+
+// asmIDCT routes the inverse transform through the vectorized kernel in
+// idct_amd64.s at dispatch level LevelASM. Only amd64 carries an IDCT
+// kernel: the Go arm64 assembler exposes no signed vector shifts, which
+// the fixed-point rounding needs, so arm64's asm tier covers motion and
+// store kernels only and the IDCT stays on the scalar path there.
+var asmIDCT = false
+
+func init() {
+	kernels.Register(func(l kernels.Level) {
+		asmIDCT = haveIDCTAsm && l == kernels.LevelASM
+	})
+}

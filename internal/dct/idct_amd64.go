@@ -1,0 +1,16 @@
+package dct
+
+// haveIDCTAsm reports that this architecture carries the vectorized IDCT
+// (AVX2; the dispatch layer only selects LevelASM after runtime CPU
+// detection).
+const haveIDCTAsm = true
+
+// idctAsm computes the same transform as Inverse — Wang's fast integer
+// IDCT with 11 fractional row bits and clamp9 column outputs — with each
+// pass vectorized across the block's eight rows/columns. It is bit-exact
+// with the scalar code for any coefficient input: the scalar row DC
+// shortcut it omits is an identity ((x<<11+128)>>8 == x<<3), not an
+// approximation.
+//
+//go:noescape
+func idctAsm(blk *[64]int32)

@@ -1,0 +1,372 @@
+// AVX2 inverse DCT: Wang's fast integer algorithm with both passes
+// vectorized eight-wide. Each pass runs the scalar recurrence once with
+// dword lanes standing in for the eight rows (then columns); an 8×8
+// dword transpose before each pass moves the block into lane-parallel
+// form, and the column pass writes the final row-major layout directly.
+//
+// Bit-exactness with the scalar code holds lane-for-lane: VPMULLD wraps
+// like Go int32 multiplication, VPSRAD matches Go's arithmetic >>, and
+// the omitted row-pass DC shortcut is an identity, not an approximation.
+
+#include "textflag.h"
+
+DATA idctk<>+0(SB)/4, $565     // w7
+DATA idctk<>+4(SB)/4, $565
+DATA idctk<>+8(SB)/4, $565
+DATA idctk<>+12(SB)/4, $565
+DATA idctk<>+16(SB)/4, $565
+DATA idctk<>+20(SB)/4, $565
+DATA idctk<>+24(SB)/4, $565
+DATA idctk<>+28(SB)/4, $565
+DATA idctk<>+32(SB)/4, $2276   // w1-w7
+DATA idctk<>+36(SB)/4, $2276
+DATA idctk<>+40(SB)/4, $2276
+DATA idctk<>+44(SB)/4, $2276
+DATA idctk<>+48(SB)/4, $2276
+DATA idctk<>+52(SB)/4, $2276
+DATA idctk<>+56(SB)/4, $2276
+DATA idctk<>+60(SB)/4, $2276
+DATA idctk<>+64(SB)/4, $3406   // w1+w7
+DATA idctk<>+68(SB)/4, $3406
+DATA idctk<>+72(SB)/4, $3406
+DATA idctk<>+76(SB)/4, $3406
+DATA idctk<>+80(SB)/4, $3406
+DATA idctk<>+84(SB)/4, $3406
+DATA idctk<>+88(SB)/4, $3406
+DATA idctk<>+92(SB)/4, $3406
+DATA idctk<>+96(SB)/4, $2408   // w3
+DATA idctk<>+100(SB)/4, $2408
+DATA idctk<>+104(SB)/4, $2408
+DATA idctk<>+108(SB)/4, $2408
+DATA idctk<>+112(SB)/4, $2408
+DATA idctk<>+116(SB)/4, $2408
+DATA idctk<>+120(SB)/4, $2408
+DATA idctk<>+124(SB)/4, $2408
+DATA idctk<>+128(SB)/4, $799   // w3-w5
+DATA idctk<>+132(SB)/4, $799
+DATA idctk<>+136(SB)/4, $799
+DATA idctk<>+140(SB)/4, $799
+DATA idctk<>+144(SB)/4, $799
+DATA idctk<>+148(SB)/4, $799
+DATA idctk<>+152(SB)/4, $799
+DATA idctk<>+156(SB)/4, $799
+DATA idctk<>+160(SB)/4, $4017  // w3+w5
+DATA idctk<>+164(SB)/4, $4017
+DATA idctk<>+168(SB)/4, $4017
+DATA idctk<>+172(SB)/4, $4017
+DATA idctk<>+176(SB)/4, $4017
+DATA idctk<>+180(SB)/4, $4017
+DATA idctk<>+184(SB)/4, $4017
+DATA idctk<>+188(SB)/4, $4017
+DATA idctk<>+192(SB)/4, $1108  // w6
+DATA idctk<>+196(SB)/4, $1108
+DATA idctk<>+200(SB)/4, $1108
+DATA idctk<>+204(SB)/4, $1108
+DATA idctk<>+208(SB)/4, $1108
+DATA idctk<>+212(SB)/4, $1108
+DATA idctk<>+216(SB)/4, $1108
+DATA idctk<>+220(SB)/4, $1108
+DATA idctk<>+224(SB)/4, $3784  // w2+w6
+DATA idctk<>+228(SB)/4, $3784
+DATA idctk<>+232(SB)/4, $3784
+DATA idctk<>+236(SB)/4, $3784
+DATA idctk<>+240(SB)/4, $3784
+DATA idctk<>+244(SB)/4, $3784
+DATA idctk<>+248(SB)/4, $3784
+DATA idctk<>+252(SB)/4, $3784
+DATA idctk<>+256(SB)/4, $1568  // w2-w6
+DATA idctk<>+260(SB)/4, $1568
+DATA idctk<>+264(SB)/4, $1568
+DATA idctk<>+268(SB)/4, $1568
+DATA idctk<>+272(SB)/4, $1568
+DATA idctk<>+276(SB)/4, $1568
+DATA idctk<>+280(SB)/4, $1568
+DATA idctk<>+284(SB)/4, $1568
+DATA idctk<>+288(SB)/4, $181   // butterfly scale
+DATA idctk<>+292(SB)/4, $181
+DATA idctk<>+296(SB)/4, $181
+DATA idctk<>+300(SB)/4, $181
+DATA idctk<>+304(SB)/4, $181
+DATA idctk<>+308(SB)/4, $181
+DATA idctk<>+312(SB)/4, $181
+DATA idctk<>+316(SB)/4, $181
+DATA idctk<>+320(SB)/4, $128   // rounding biases
+DATA idctk<>+324(SB)/4, $128
+DATA idctk<>+328(SB)/4, $128
+DATA idctk<>+332(SB)/4, $128
+DATA idctk<>+336(SB)/4, $128
+DATA idctk<>+340(SB)/4, $128
+DATA idctk<>+344(SB)/4, $128
+DATA idctk<>+348(SB)/4, $128
+DATA idctk<>+352(SB)/4, $4
+DATA idctk<>+356(SB)/4, $4
+DATA idctk<>+360(SB)/4, $4
+DATA idctk<>+364(SB)/4, $4
+DATA idctk<>+368(SB)/4, $4
+DATA idctk<>+372(SB)/4, $4
+DATA idctk<>+376(SB)/4, $4
+DATA idctk<>+380(SB)/4, $4
+DATA idctk<>+384(SB)/4, $8192
+DATA idctk<>+388(SB)/4, $8192
+DATA idctk<>+392(SB)/4, $8192
+DATA idctk<>+396(SB)/4, $8192
+DATA idctk<>+400(SB)/4, $8192
+DATA idctk<>+404(SB)/4, $8192
+DATA idctk<>+408(SB)/4, $8192
+DATA idctk<>+412(SB)/4, $8192
+DATA idctk<>+416(SB)/4, $255   // clamp9 bounds
+DATA idctk<>+420(SB)/4, $255
+DATA idctk<>+424(SB)/4, $255
+DATA idctk<>+428(SB)/4, $255
+DATA idctk<>+432(SB)/4, $255
+DATA idctk<>+436(SB)/4, $255
+DATA idctk<>+440(SB)/4, $255
+DATA idctk<>+444(SB)/4, $255
+DATA idctk<>+448(SB)/4, $-256
+DATA idctk<>+452(SB)/4, $-256
+DATA idctk<>+456(SB)/4, $-256
+DATA idctk<>+460(SB)/4, $-256
+DATA idctk<>+464(SB)/4, $-256
+DATA idctk<>+468(SB)/4, $-256
+DATA idctk<>+472(SB)/4, $-256
+DATA idctk<>+476(SB)/4, $-256
+GLOBL idctk<>(SB), RODATA|NOPTR, $480
+
+#define W7 idctk<>+0(SB)
+#define W1M7 idctk<>+32(SB)
+#define W1P7 idctk<>+64(SB)
+#define W3 idctk<>+96(SB)
+#define W3M5 idctk<>+128(SB)
+#define W3P5 idctk<>+160(SB)
+#define W6 idctk<>+192(SB)
+#define W2P6 idctk<>+224(SB)
+#define W2M6 idctk<>+256(SB)
+#define C181 idctk<>+288(SB)
+#define B128 idctk<>+320(SB)
+#define B4 idctk<>+352(SB)
+#define B8192 idctk<>+384(SB)
+#define CMAX idctk<>+416(SB)
+#define CMIN idctk<>+448(SB)
+
+// TRANSPOSE8: Y0-Y7 hold rows; afterwards Y8-Y15 hold columns
+// (Y8+k lane r = old Yr lane k).
+#define TRANSPOSE8 \
+	VPUNPCKLDQ  Y1, Y0, Y8    \
+	VPUNPCKHDQ  Y1, Y0, Y9    \
+	VPUNPCKLDQ  Y3, Y2, Y10   \
+	VPUNPCKHDQ  Y3, Y2, Y11   \
+	VPUNPCKLDQ  Y5, Y4, Y12   \
+	VPUNPCKHDQ  Y5, Y4, Y13   \
+	VPUNPCKLDQ  Y7, Y6, Y14   \
+	VPUNPCKHDQ  Y7, Y6, Y15   \
+	VPUNPCKLQDQ Y10, Y8, Y0   \
+	VPUNPCKHQDQ Y10, Y8, Y1   \
+	VPUNPCKLQDQ Y11, Y9, Y2   \
+	VPUNPCKHQDQ Y11, Y9, Y3   \
+	VPUNPCKLQDQ Y14, Y12, Y4  \
+	VPUNPCKHQDQ Y14, Y12, Y5  \
+	VPUNPCKLQDQ Y15, Y13, Y6  \
+	VPUNPCKHQDQ Y15, Y13, Y7  \
+	VPERM2I128  $0x20, Y4, Y0, Y8  \
+	VPERM2I128  $0x31, Y4, Y0, Y12 \
+	VPERM2I128  $0x20, Y5, Y1, Y9  \
+	VPERM2I128  $0x31, Y5, Y1, Y13 \
+	VPERM2I128  $0x20, Y6, Y2, Y10 \
+	VPERM2I128  $0x31, Y6, Y2, Y14 \
+	VPERM2I128  $0x20, Y7, Y3, Y11 \
+	VPERM2I128  $0x31, Y7, Y3, Y15
+
+// func idctAsm(blk *[64]int32)
+TEXT ·idctAsm(SB), NOSPLIT, $0-8
+	MOVQ blk+0(FP), SI
+
+	VMOVDQU (SI), Y0
+	VMOVDQU 32(SI), Y1
+	VMOVDQU 64(SI), Y2
+	VMOVDQU 96(SI), Y3
+	VMOVDQU 128(SI), Y4
+	VMOVDQU 160(SI), Y5
+	VMOVDQU 192(SI), Y6
+	VMOVDQU 224(SI), Y7
+
+	TRANSPOSE8
+
+	// ---- Row pass (lanes = rows). Inputs: coefficient k in Y8+k.
+	// First stage: x4=C1(Y9) x5=C7(Y15) x6=C5(Y13) x7=C3(Y11).
+	VPADDD  Y15, Y9, Y0
+	VPMULLD W7, Y0, Y0     // x8 = w7*(x4+x5)
+	VPMULLD W1M7, Y9, Y1
+	VPADDD  Y1, Y0, Y1     // x4 = x8 + (w1-w7)*x4
+	VPMULLD W1P7, Y15, Y2
+	VPSUBD  Y2, Y0, Y2     // x5 = x8 - (w1+w7)*x5
+	VPADDD  Y11, Y13, Y0
+	VPMULLD W3, Y0, Y0     // x8 = w3*(x6+x7)
+	VPMULLD W3M5, Y13, Y3
+	VPSUBD  Y3, Y0, Y3     // x6 = x8 - (w3-w5)*x6
+	VPMULLD W3P5, Y11, Y4
+	VPSUBD  Y4, Y0, Y4     // x7 = x8 - (w3+w5)*x7
+
+	// Second stage: x0=C0<<11+128, x1=C4<<11, x2=C6(Y14), x3=C2(Y10).
+	VPSLLD  $11, Y8, Y5
+	VPADDD  B128, Y5, Y5   // x0
+	VPSLLD  $11, Y12, Y6   // x1
+	VPADDD  Y6, Y5, Y7     // x8 = x0+x1
+	VPSUBD  Y6, Y5, Y5     // x0 -= x1
+	VPADDD  Y14, Y10, Y6
+	VPMULLD W6, Y6, Y6     // x1 = w6*(x3+x2)
+	VPMULLD W2P6, Y14, Y8
+	VPSUBD  Y8, Y6, Y8     // x2 = x1 - (w2+w6)*x2
+	VPMULLD W2M6, Y10, Y9
+	VPADDD  Y9, Y6, Y9     // x3 = x1 + (w2-w6)*x3
+	VPADDD  Y3, Y1, Y6     // x1 = x4+x6
+	VPSUBD  Y3, Y1, Y1     // x4 -= x6
+	VPADDD  Y4, Y2, Y3     // x6 = x5+x7
+	VPSUBD  Y4, Y2, Y2     // x5 -= x7
+
+	// Third stage. Live: x8=Y7 x0=Y5 x2=Y8 x3=Y9 x1=Y6 x4=Y1 x6=Y3 x5=Y2.
+	VPADDD  Y9, Y7, Y4     // x7 = x8+x3
+	VPSUBD  Y9, Y7, Y7     // x8 -= x3
+	VPADDD  Y8, Y5, Y9     // x3 = x0+x2
+	VPSUBD  Y8, Y5, Y5     // x0 -= x2
+	VPADDD  Y2, Y1, Y8
+	VPMULLD C181, Y8, Y8
+	VPADDD  B128, Y8, Y8
+	VPSRAD  $8, Y8, Y8     // x2 = (181*(x4+x5)+128)>>8
+	VPSUBD  Y2, Y1, Y1
+	VPMULLD C181, Y1, Y1
+	VPADDD  B128, Y1, Y1
+	VPSRAD  $8, Y1, Y1     // x4 = (181*(x4-x5)+128)>>8
+
+	// Outputs. Live: x7=Y4 x1=Y6 x3=Y9 x2=Y8 x0=Y5 x4=Y1 x8=Y7 x6=Y3.
+	VPADDD  Y6, Y4, Y0
+	VPSRAD  $8, Y0, Y0     // O0 = (x7+x1)>>8
+	VPSUBD  Y6, Y4, Y2
+	VPSRAD  $8, Y2, Y2     // O7 (parked in Y2)
+	VPADDD  Y1, Y5, Y10
+	VPSRAD  $8, Y10, Y10   // O2
+	VPSUBD  Y1, Y5, Y11
+	VPSRAD  $8, Y11, Y11   // O5
+	VPADDD  Y8, Y9, Y1
+	VPSRAD  $8, Y1, Y1     // O1 = (x3+x2)>>8
+	VPSUBD  Y8, Y9, Y5
+	VPSRAD  $8, Y5, Y5     // O6 (parked in Y5)
+	VPADDD  Y3, Y7, Y8
+	VPSRAD  $8, Y8, Y8     // O3 = (x8+x6)>>8
+	VPSUBD  Y3, Y7, Y9
+	VPSRAD  $8, Y9, Y9     // O4
+	VMOVDQA Y2, Y7         // O7
+	VMOVDQA Y5, Y6         // O6
+	VMOVDQA Y10, Y2        // O2
+	VMOVDQA Y8, Y3         // O3
+	VMOVDQA Y9, Y4         // O4
+	VMOVDQA Y11, Y5        // O5
+
+	TRANSPOSE8
+
+	// ---- Column pass (lanes = columns). Inputs: row j in Y8+j.
+	// First stage: x4=D1(Y9) x5=D7(Y15) x6=D5(Y13) x7=D3(Y11).
+	VPADDD  Y15, Y9, Y0
+	VPMULLD W7, Y0, Y0
+	VPADDD  B4, Y0, Y0     // x8 = w7*(x4+x5) + 4
+	VPMULLD W1M7, Y9, Y1
+	VPADDD  Y1, Y0, Y1
+	VPSRAD  $3, Y1, Y1     // x4 = (x8 + (w1-w7)*x4)>>3
+	VPMULLD W1P7, Y15, Y2
+	VPSUBD  Y2, Y0, Y2
+	VPSRAD  $3, Y2, Y2     // x5 = (x8 - (w1+w7)*x5)>>3
+	VPADDD  Y11, Y13, Y0
+	VPMULLD W3, Y0, Y0
+	VPADDD  B4, Y0, Y0     // x8 = w3*(x6+x7) + 4
+	VPMULLD W3M5, Y13, Y3
+	VPSUBD  Y3, Y0, Y3
+	VPSRAD  $3, Y3, Y3     // x6 = (x8 - (w3-w5)*x6)>>3
+	VPMULLD W3P5, Y11, Y4
+	VPSUBD  Y4, Y0, Y4
+	VPSRAD  $3, Y4, Y4     // x7 = (x8 - (w3+w5)*x7)>>3
+
+	// Second stage: x0=D0<<8+8192, x1=D4<<8, x2=D6(Y14), x3=D2(Y10).
+	VPSLLD  $8, Y8, Y5
+	VPADDD  B8192, Y5, Y5  // x0
+	VPSLLD  $8, Y12, Y6    // x1
+	VPADDD  Y6, Y5, Y7     // x8 = x0+x1
+	VPSUBD  Y6, Y5, Y5     // x0 -= x1
+	VPADDD  Y14, Y10, Y6
+	VPMULLD W6, Y6, Y6
+	VPADDD  B4, Y6, Y6     // x1 = w6*(x3+x2) + 4
+	VPMULLD W2P6, Y14, Y8
+	VPSUBD  Y8, Y6, Y8
+	VPSRAD  $3, Y8, Y8     // x2 = (x1 - (w2+w6)*x2)>>3
+	VPMULLD W2M6, Y10, Y9
+	VPADDD  Y9, Y6, Y9
+	VPSRAD  $3, Y9, Y9     // x3 = (x1 + (w2-w6)*x3)>>3
+	VPADDD  Y3, Y1, Y6     // x1 = x4+x6
+	VPSUBD  Y3, Y1, Y1     // x4 -= x6
+	VPADDD  Y4, Y2, Y3     // x6 = x5+x7
+	VPSUBD  Y4, Y2, Y2     // x5 -= x7
+
+	// Third stage (identical to row pass).
+	VPADDD  Y9, Y7, Y4     // x7 = x8+x3
+	VPSUBD  Y9, Y7, Y7     // x8 -= x3
+	VPADDD  Y8, Y5, Y9     // x3 = x0+x2
+	VPSUBD  Y8, Y5, Y5     // x0 -= x2
+	VPADDD  Y2, Y1, Y8
+	VPMULLD C181, Y8, Y8
+	VPADDD  B128, Y8, Y8
+	VPSRAD  $8, Y8, Y8     // x2
+	VPSUBD  Y2, Y1, Y1
+	VPMULLD C181, Y1, Y1
+	VPADDD  B128, Y1, Y1
+	VPSRAD  $8, Y1, Y1     // x4
+
+	// Outputs with clamp9. Live: x7=Y4 x1=Y6 x3=Y9 x2=Y8 x0=Y5 x4=Y1
+	// x8=Y7 x6=Y3.
+	VPADDD  Y6, Y4, Y0
+	VPSRAD  $14, Y0, Y0    // E0 = (x7+x1)>>14
+	VPSUBD  Y6, Y4, Y2
+	VPSRAD  $14, Y2, Y2    // E7
+	VPADDD  Y1, Y5, Y10
+	VPSRAD  $14, Y10, Y10  // E2
+	VPSUBD  Y1, Y5, Y11
+	VPSRAD  $14, Y11, Y11  // E5
+	VPADDD  Y8, Y9, Y1
+	VPSRAD  $14, Y1, Y1    // E1
+	VPSUBD  Y8, Y9, Y5
+	VPSRAD  $14, Y5, Y5    // E6
+	VPADDD  Y3, Y7, Y8
+	VPSRAD  $14, Y8, Y8    // E3
+	VPSUBD  Y3, Y7, Y9
+	VPSRAD  $14, Y9, Y9    // E4
+	VMOVDQA Y2, Y7
+	VMOVDQA Y5, Y6
+	VMOVDQA Y10, Y2
+	VMOVDQA Y8, Y3
+	VMOVDQA Y9, Y4
+	VMOVDQA Y11, Y5
+
+	VPMINSD CMAX, Y0, Y0
+	VPMAXSD CMIN, Y0, Y0
+	VPMINSD CMAX, Y1, Y1
+	VPMAXSD CMIN, Y1, Y1
+	VPMINSD CMAX, Y2, Y2
+	VPMAXSD CMIN, Y2, Y2
+	VPMINSD CMAX, Y3, Y3
+	VPMAXSD CMIN, Y3, Y3
+	VPMINSD CMAX, Y4, Y4
+	VPMAXSD CMIN, Y4, Y4
+	VPMINSD CMAX, Y5, Y5
+	VPMAXSD CMIN, Y5, Y5
+	VPMINSD CMAX, Y6, Y6
+	VPMAXSD CMIN, Y6, Y6
+	VPMINSD CMAX, Y7, Y7
+	VPMAXSD CMIN, Y7, Y7
+
+	VMOVDQU Y0, (SI)
+	VMOVDQU Y1, 32(SI)
+	VMOVDQU Y2, 64(SI)
+	VMOVDQU Y3, 96(SI)
+	VMOVDQU Y4, 128(SI)
+	VMOVDQU Y5, 160(SI)
+	VMOVDQU Y6, 192(SI)
+	VMOVDQU Y7, 224(SI)
+	VZEROUPPER
+	RET

@@ -1,0 +1,11 @@
+//go:build !amd64
+
+package dct
+
+// haveIDCTAsm is false without the AVX2 kernel; the dispatch layer never
+// routes here, so the stub is unreachable.
+const haveIDCTAsm = false
+
+func idctAsm(blk *[64]int32) {
+	panic("dct: no assembly IDCT on this architecture")
+}

@@ -12,26 +12,26 @@ import (
 func ConcealMB(dst, ref *frame.Frame, mbx, mby int) {
 	if ref != nil && ref.CodedW == dst.CodedW && ref.CodedH == dst.CodedH {
 		for y := 0; y < 16; y++ {
-			off := (mby*16+y)*dst.CodedW + mbx*16
-			copy(dst.Y[off:off+16], ref.Y[off:off+16])
+			dOff := (mby*16+y)*dst.YStride + mbx*16
+			sOff := (mby*16+y)*ref.YStride + mbx*16
+			copy(dst.Y[dOff:dOff+16], ref.Y[sOff:sOff+16])
 		}
-		cw := dst.CodedW / 2
 		for y := 0; y < 8; y++ {
-			off := (mby*8+y)*cw + mbx*8
-			copy(dst.Cb[off:off+8], ref.Cb[off:off+8])
-			copy(dst.Cr[off:off+8], ref.Cr[off:off+8])
+			dOff := (mby*8+y)*dst.CStride + mbx*8
+			sOff := (mby*8+y)*ref.CStride + mbx*8
+			copy(dst.Cb[dOff:dOff+8], ref.Cb[sOff:sOff+8])
+			copy(dst.Cr[dOff:dOff+8], ref.Cr[sOff:sOff+8])
 		}
 		return
 	}
 	for y := 0; y < 16; y++ {
-		off := (mby*16+y)*dst.CodedW + mbx*16
+		off := (mby*16+y)*dst.YStride + mbx*16
 		for x := 0; x < 16; x++ {
 			dst.Y[off+x] = 128
 		}
 	}
-	cw := dst.CodedW / 2
 	for y := 0; y < 8; y++ {
-		off := (mby*8+y)*cw + mbx*8
+		off := (mby*8+y)*dst.CStride + mbx*8
 		for x := 0; x < 8; x++ {
 			dst.Cb[off+x] = 128
 			dst.Cr[off+x] = 128

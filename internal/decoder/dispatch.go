@@ -1,0 +1,17 @@
+package decoder
+
+import "mpeg2par/internal/kernels"
+
+// asmStore routes the clamped block stores through the architecture
+// kernels in store_*.s. It is driven by the kernel dispatch level:
+// LevelASM enables it (where this architecture has store kernels),
+// LevelScalar additionally forces the branchy per-pixel loops so the
+// three tiers are independently testable.
+var asmStore = false
+
+func init() {
+	kernels.Register(func(l kernels.Level) {
+		asmStore = haveStoreAsm && l == kernels.LevelASM
+		scalarStore = l == kernels.LevelScalar
+	})
+}

@@ -221,14 +221,14 @@ func blockGeometry(dst *frame.Frame, mbx, mby, b int, fieldDCT bool) (plane []ui
 	if b < 4 {
 		x = mbx*16 + (b&1)*8
 		if fieldDCT {
-			return dst.Y, x, mby*16 + (b >> 1), dst.CodedW, 2
+			return dst.Y, x, mby*16 + (b >> 1), dst.YStride, 2
 		}
-		return dst.Y, x, mby*16 + (b>>1)*8, dst.CodedW, 1
+		return dst.Y, x, mby*16 + (b>>1)*8, dst.YStride, 1
 	}
 	if b == 4 {
-		return dst.Cb, mbx * 8, mby * 8, dst.CodedW / 2, 1
+		return dst.Cb, mbx * 8, mby * 8, dst.CStride, 1
 	}
-	return dst.Cr, mbx * 8, mby * 8, dst.CodedW / 2, 1
+	return dst.Cr, mbx * 8, mby * 8, dst.CStride, 1
 }
 
 // scalarStore forces the per-pixel branchy store/clamp loops in place of
@@ -245,6 +245,13 @@ func storeIntraBlock(dst *frame.Frame, blk *[64]int32, mbx, mby, b int, fieldDCT
 				row[c] = clampPixelRef(blk[r*8+c])
 			}
 		}
+		return
+	}
+	if asmStore {
+		rs := step * stride
+		o := y*stride + x
+		_ = plane[o+7*rs+7] // one bounds check for the whole block
+		storeIntraBlockAsm(&plane[o], rs, &blk[0])
 		return
 	}
 	for r := 0; r < 8; r++ {
@@ -291,6 +298,14 @@ func storePredBlock(dst *frame.Frame, pred *motion.MBPred, blk *[64]int32, mbx, 
 				row[c] = clampPixelRef(int32(prow[c]) + blk[r*8+c])
 			}
 		}
+		return
+	}
+	if asmStore {
+		rs := step * stride
+		o := y*stride + x
+		_ = plane[o+7*rs+7]
+		_ = psrc[7*pstride+7]
+		storePredBlockAsm(&plane[o], rs, &psrc[0], pstride, &blk[0])
 		return
 	}
 	for r := 0; r < 8; r++ {
@@ -421,13 +436,12 @@ func traceMBWrite(dst *frame.Frame, mbx, mby, proc int, tr memtrace.Tracer) {
 	}
 	yBase := tr.Base(&dst.Y[0], len(dst.Y))
 	for r := 0; r < 16; r++ {
-		tr.Access(proc, yBase+uint64((mby*16+r)*dst.CodedW+mbx*16), 16, true)
+		tr.Access(proc, yBase+uint64((mby*16+r)*dst.YStride+mbx*16), 16, true)
 	}
-	cw := dst.CodedW / 2
 	cbBase := tr.Base(&dst.Cb[0], len(dst.Cb))
 	crBase := tr.Base(&dst.Cr[0], len(dst.Cr))
 	for r := 0; r < 8; r++ {
-		off := uint64((mby*8+r)*cw + mbx*8)
+		off := uint64((mby*8+r)*dst.CStride + mbx*8)
 		tr.Access(proc, cbBase+off, 8, true)
 		tr.Access(proc, crBase+off, 8, true)
 	}
@@ -444,7 +458,7 @@ func traceMCRead(ref *frame.Frame, mbx, mby int, mv motion.MV, proc int, tr memt
 	iy := clampInt(mby*16+(mv.Y>>1), 0, ref.CodedH-17)
 	w := 16 + mv.X&1
 	for r := 0; r < 16+mv.Y&1; r++ {
-		tr.Access(proc, yBase+uint64((iy+r)*ref.CodedW+ix), w, false)
+		tr.Access(proc, yBase+uint64((iy+r)*ref.YStride+ix), w, false)
 	}
 	c := mv.ChromaMV()
 	cw, chH := ref.CodedW/2, ref.CodedH/2
@@ -454,7 +468,7 @@ func traceMCRead(ref *frame.Frame, mbx, mby int, mv motion.MV, proc int, tr memt
 	crBase := tr.Base(&ref.Cr[0], len(ref.Cr))
 	cwd := 8 + c.X&1
 	for r := 0; r < 8+c.Y&1; r++ {
-		off := uint64((cy+r)*cw + cx)
+		off := uint64((cy+r)*ref.CStride + cx)
 		tr.Access(proc, cbBase+off, cwd, false)
 		tr.Access(proc, crBase+off, cwd, false)
 	}

@@ -1,0 +1,174 @@
+package decoder
+
+import (
+	"testing"
+
+	"mpeg2par/internal/frame"
+	"mpeg2par/internal/kernels"
+	"mpeg2par/internal/motion"
+)
+
+// storeTiers returns the kernel tiers runnable on this host, restoring
+// the dispatch state afterwards.
+func storeTiers(t *testing.T) []kernels.Level {
+	t.Helper()
+	prev := kernels.Active()
+	t.Cleanup(func() { kernels.Set(prev) })
+	tiers := []kernels.Level{kernels.LevelScalar, kernels.LevelSWAR}
+	if kernels.Supported() == kernels.LevelASM {
+		tiers = append(tiers, kernels.LevelASM)
+	} else {
+		t.Logf("asm tier not supported on this host (%s); testing scalar+swar only", kernels.CPUFeatures())
+	}
+	return tiers
+}
+
+type storeRNG uint64
+
+func (p *storeRNG) next() uint64 {
+	x := uint64(*p)
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	*p = storeRNG(x)
+	return x
+}
+
+// residual draws from the store-kernel contract domain: mostly the IDCT
+// output range [-256,255], with occasional wide int16-safe extremes.
+func (p *storeRNG) residual(i int) int32 {
+	switch p.next() % 8 {
+	case 0:
+		return 32512 // +extreme of the documented contract
+	case 1:
+		return -32768 // -extreme
+	default:
+		return int32(p.next()%512) - 256
+	}
+}
+
+// TestStoreBlockTierEquivalence reconstructs every block position of one
+// macroblock under both frame and field DCT organisation at every kernel
+// tier, comparing bit-exactly against the branchy per-pixel reference.
+func TestStoreBlockTierEquivalence(t *testing.T) {
+	tiers := storeTiers(t)
+	rng := storeRNG(0xfeedface12345678)
+
+	const mbw, mbh = 3, 2 // 48×32 frame: interior and edge macroblocks
+	for _, fieldDCT := range []bool{false, true} {
+		for trial := 0; trial < 6; trial++ {
+			var blk [64]int32
+			for i := range blk {
+				blk[i] = rng.residual(i)
+			}
+			var pred motion.MBPred
+			for i := range pred.Y {
+				pred.Y[i] = uint8(rng.next())
+			}
+			for i := range pred.Cb {
+				pred.Cb[i] = uint8(rng.next())
+				pred.Cr[i] = uint8(rng.next())
+			}
+
+			for mby := 0; mby < mbh; mby++ {
+				for mbx := 0; mbx < mbw; mbx++ {
+					for b := 0; b < 6; b++ {
+						// Reference: the branchy per-pixel loops, computed
+						// directly from the geometry helpers.
+						wantIntra := frame.New(mbw*16, mbh*16)
+						plane, x, y, stride, step := blockGeometry(wantIntra, mbx, mby, b, fieldDCT)
+						for r := 0; r < 8; r++ {
+							for c := 0; c < 8; c++ {
+								plane[(y+r*step)*stride+x+c] = clampPixelRef(blk[r*8+c])
+							}
+						}
+
+						for _, tier := range tiers {
+							kernels.Set(tier)
+							got := frame.New(mbw*16, mbh*16)
+							storeIntraBlock(got, &blk, mbx, mby, b, fieldDCT)
+							if !wantIntra.Equal(got) {
+								t.Fatalf("tier=%v fieldDCT=%v mb=(%d,%d) b=%d: intra store mismatch vs reference",
+									tier, fieldDCT, mbx, mby, b)
+							}
+							fPred := frame.New(mbw*16, mbh*16)
+							storePredBlock(fPred, &pred, &blk, mbx, mby, b, fieldDCT)
+							fCopy := frame.New(mbw*16, mbh*16)
+							storePredBlock(fCopy, &pred, nil, mbx, mby, b, fieldDCT)
+							checkAgainstScalar(t, tier, fieldDCT, mbx, mby, b, fPred, fCopy, &pred, &blk)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// checkAgainstScalar recomputes the pred and copy stores with the branchy
+// reference loops and compares.
+func checkAgainstScalar(t *testing.T, tier kernels.Level, fieldDCT bool, mbx, mby, b int, gotPred, gotCopy *frame.Frame, pred *motion.MBPred, blk *[64]int32) {
+	t.Helper()
+	w, h := gotPred.CodedW, gotPred.CodedH
+
+	wantPred := frame.New(w, h)
+	plane, x, y, stride, step := blockGeometry(wantPred, mbx, mby, b, fieldDCT)
+	psrc, pstride := predBlockView(pred, b, fieldDCT)
+	for r := 0; r < 8; r++ {
+		for c := 0; c < 8; c++ {
+			plane[(y+r*step)*stride+x+c] = clampPixelRef(int32(psrc[r*pstride+c]) + blk[r*8+c])
+		}
+	}
+	if !wantPred.Equal(gotPred) {
+		t.Fatalf("tier=%v fieldDCT=%v mb=(%d,%d) b=%d: pred store mismatch vs reference",
+			tier, fieldDCT, mbx, mby, b)
+	}
+
+	wantCopy := frame.New(w, h)
+	plane, x, y, stride, step = blockGeometry(wantCopy, mbx, mby, b, fieldDCT)
+	for r := 0; r < 8; r++ {
+		for c := 0; c < 8; c++ {
+			plane[(y+r*step)*stride+x+c] = psrc[r*pstride+c]
+		}
+	}
+	if !wantCopy.Equal(gotCopy) {
+		t.Fatalf("tier=%v fieldDCT=%v mb=(%d,%d) b=%d: copy store mismatch vs reference",
+			tier, fieldDCT, mbx, mby, b)
+	}
+}
+
+// BenchmarkStoreBlock measures the store kernels per tier.
+func BenchmarkStoreBlock(b *testing.B) {
+	prev := kernels.Active()
+	b.Cleanup(func() { kernels.Set(prev) })
+	f := frame.New(64, 64)
+	var blk [64]int32
+	rng := storeRNG(3)
+	for i := range blk {
+		blk[i] = int32(rng.next()%512) - 256
+	}
+	var pred motion.MBPred
+	for i := range pred.Y {
+		pred.Y[i] = uint8(rng.next())
+	}
+
+	tiers := []kernels.Level{kernels.LevelScalar, kernels.LevelSWAR}
+	if kernels.Supported() == kernels.LevelASM {
+		tiers = append(tiers, kernels.LevelASM)
+	}
+	for _, tier := range tiers {
+		kernels.Set(tier)
+		b.Run("intra/"+tier.String(), func(b *testing.B) {
+			b.SetBytes(64)
+			for i := 0; i < b.N; i++ {
+				storeIntraBlock(f, &blk, 1, 1, 0, false)
+			}
+		})
+		kernels.Set(tier)
+		b.Run("pred/"+tier.String(), func(b *testing.B) {
+			b.SetBytes(64)
+			for i := 0; i < b.N; i++ {
+				storePredBlock(f, &pred, &blk, 1, 1, 0, false)
+			}
+		})
+	}
+}

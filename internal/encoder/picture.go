@@ -209,7 +209,7 @@ func (pe *picEncoder) encodeIntraMB(row, col, addr int) mpeg2.MB {
 	mb := mpeg2.MB{Addr: addr, QScaleCode: pe.qscale, Type: vlc.MBType{Intra: true}}
 	if pe.interlaced {
 		mb.FieldDCT = fieldDCTBetter(func(x, y int) int32 {
-			return int32(pe.cur.Y[(row*16+y)*pe.cur.CodedW+col*16+x])
+			return int32(pe.cur.Y[(row*16+y)*pe.cur.YStride+col*16+x])
 		})
 	}
 	p := quant.Params{Matrix: &pe.seq.IntraMatrix, Scale: pe.params.QScale(pe.qscale),
@@ -236,7 +236,7 @@ func (pe *picEncoder) intraActivity(row, col int) int {
 	px, py := col*16, row*16
 	var sum int
 	for y := 0; y < 16; y++ {
-		r := pe.cur.Y[(py+y)*pe.cur.CodedW+px:]
+		r := pe.cur.Y[(py+y)*pe.cur.YStride+px:]
 		for x := 0; x < 16; x++ {
 			sum += int(r[x])
 		}
@@ -244,7 +244,7 @@ func (pe *picEncoder) intraActivity(row, col int) int {
 	mean := sum / 256
 	var act int
 	for y := 0; y < 16; y++ {
-		r := pe.cur.Y[(py+y)*pe.cur.CodedW+px:]
+		r := pe.cur.Y[(py+y)*pe.cur.YStride+px:]
 		for x := 0; x < 16; x++ {
 			d := int(r[x]) - mean
 			if d < 0 {
@@ -416,7 +416,7 @@ func (pe *picEncoder) encodeBMB(row, col, addr int, prev *mpeg2.MB, edge bool) m
 func (pe *picEncoder) codeResidual(mb *mpeg2.MB, pred *motion.MBPred, col, row int) int {
 	if pe.interlaced {
 		mb.FieldDCT = fieldDCTBetter(func(x, y int) int32 {
-			return int32(pe.cur.Y[(row*16+y)*pe.cur.CodedW+col*16+x]) - int32(pred.Y[y*16+x])
+			return int32(pe.cur.Y[(row*16+y)*pe.cur.YStride+col*16+x]) - int32(pred.Y[y*16+x])
 		})
 	}
 	p := quant.Params{Matrix: &pe.seq.NonIntraMatrix, Scale: pe.params.QScale(pe.qscale)}
@@ -473,14 +473,14 @@ func blockGeometry(f *frame.Frame, mbx, mby, b int, fieldDCT bool) (plane []uint
 	if b < 4 {
 		x = mbx*16 + (b&1)*8
 		if fieldDCT {
-			return f.Y, x, mby*16 + (b >> 1), f.CodedW, 2
+			return f.Y, x, mby*16 + (b >> 1), f.YStride, 2
 		}
-		return f.Y, x, mby*16 + (b>>1)*8, f.CodedW, 1
+		return f.Y, x, mby*16 + (b>>1)*8, f.YStride, 1
 	}
 	if b == 4 {
-		return f.Cb, mbx * 8, mby * 8, f.CodedW / 2, 1
+		return f.Cb, mbx * 8, mby * 8, f.CStride, 1
 	}
-	return f.Cr, mbx * 8, mby * 8, f.CodedW / 2, 1
+	return f.Cr, mbx * 8, mby * 8, f.CStride, 1
 }
 
 func predBlock(pred *motion.MBPred, b int, fieldDCT bool) ([]uint8, int) {
@@ -554,7 +554,7 @@ func sadMB(cur *frame.Frame, pred *motion.MBPred, mbx, mby int) int {
 	px, py := mbx*16, mby*16
 	sad := 0
 	for y := 0; y < 16; y++ {
-		c := cur.Y[(py+y)*cur.CodedW+px:]
+		c := cur.Y[(py+y)*cur.YStride+px:]
 		p := pred.Y[y*16:]
 		for x := 0; x < 16; x++ {
 			d := int(c[x]) - int(p[x])

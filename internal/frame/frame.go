@@ -19,7 +19,13 @@ import (
 type Frame struct {
 	Width, Height  int // display size in pixels
 	CodedW, CodedH int // coded size, multiples of 16
-	Y, Cb, Cr      []uint8
+	// Row strides of the planes. YStride ≥ CodedW and CStride ≥ CodedW/2;
+	// they exceed the coded width when the layout pads rows to break
+	// cache-set aliasing (see PadStrides). Bytes between CodedW and the
+	// stride are slack: never read by reconstruction, undefined after pool
+	// reuse, and ignored by Equal.
+	YStride, CStride int
+	Y, Cb, Cr        []uint8
 	TemporalRef    int // display order within its GOP
 	DisplayIndex   int // absolute display order within the sequence
 	PictureType    byte
@@ -42,20 +48,42 @@ func (f *Frame) RefCount() int32 { return atomic.LoadInt32(&f.rc) }
 // Coded rounds n up to a multiple of 16.
 func Coded(n int) int { return (n + 15) &^ 15 }
 
+// PadStrides enables the row-padded plane layout adopted by the cache
+// locality study (see DESIGN.md): when a plane's width is a multiple of
+// 512 bytes, vertically adjacent rows alias to the same cache sets in the
+// power-of-two-indexed caches the paper's SMP hosts used, and the column
+// walks of motion compensation and the IDCT thrash those sets. Padding
+// each such row by one 64-byte line spreads consecutive rows across sets.
+// Widths that are not 512-multiples are left dense — padding them costs
+// memory and cachesim showed no benefit.
+var PadStrides = true
+
+// planeStride returns the row stride for a plane of width w bytes under
+// the current layout policy.
+func planeStride(w int) int {
+	if PadStrides && w >= 512 && w%512 == 0 {
+		return w + 64
+	}
+	return w
+}
+
 // New allocates a frame for a width×height picture.
 func New(width, height int) *Frame {
 	if width <= 0 || height <= 0 {
 		panic(fmt.Sprintf("frame: invalid size %dx%d", width, height))
 	}
 	cw, ch := Coded(width), Coded(height)
+	ys, cs := planeStride(cw), planeStride(cw/2)
 	return &Frame{
-		Width:  width,
-		Height: height,
-		CodedW: cw,
-		CodedH: ch,
-		Y:      make([]uint8, cw*ch),
-		Cb:     make([]uint8, cw/2*ch/2),
-		Cr:     make([]uint8, cw/2*ch/2),
+		Width:   width,
+		Height:  height,
+		CodedW:  cw,
+		CodedH:  ch,
+		YStride: ys,
+		CStride: cs,
+		Y:       make([]uint8, ys*ch),
+		Cb:      make([]uint8, cs*ch/2),
+		Cr:      make([]uint8, cs*ch/2),
 	}
 }
 
@@ -71,6 +99,8 @@ func (f *Frame) Clone() *Frame {
 		Height:       f.Height,
 		CodedW:       f.CodedW,
 		CodedH:       f.CodedH,
+		YStride:      f.YStride,
+		CStride:      f.CStride,
 		TemporalRef:  f.TemporalRef,
 		DisplayIndex: f.DisplayIndex,
 		PictureType:  f.PictureType,
@@ -81,21 +111,26 @@ func (f *Frame) Clone() *Frame {
 }
 
 // Equal reports whether two frames have identical display dimensions and
-// pixel data over the coded area.
+// pixel data over the coded area. Row slack beyond CodedW (present under
+// padded layouts) is ignored: it is never written by reconstruction and
+// holds stale bytes after pool reuse.
 func (f *Frame) Equal(g *Frame) bool {
-	if f.Width != g.Width || f.Height != g.Height {
+	if f.Width != g.Width || f.Height != g.Height || f.CodedW != g.CodedW || f.CodedH != g.CodedH {
 		return false
 	}
-	return sliceEqual(f.Y, g.Y) && sliceEqual(f.Cb, g.Cb) && sliceEqual(f.Cr, g.Cr)
+	return planeEqual(f.Y, g.Y, f.YStride, g.YStride, f.CodedW, f.CodedH) &&
+		planeEqual(f.Cb, g.Cb, f.CStride, g.CStride, f.CodedW/2, f.CodedH/2) &&
+		planeEqual(f.Cr, g.Cr, f.CStride, g.CStride, f.CodedW/2, f.CodedH/2)
 }
 
-func sliceEqual(a, b []uint8) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			return false
+func planeEqual(a, b []uint8, aStride, bStride, w, h int) bool {
+	for y := 0; y < h; y++ {
+		ra := a[y*aStride : y*aStride+w]
+		rb := b[y*bStride : y*bStride+w]
+		for x := range ra {
+			if ra[x] != rb[x] {
+				return false
+			}
 		}
 	}
 	return true
@@ -115,17 +150,28 @@ func (f *Frame) Fill(v uint8) {
 	}
 }
 
-// CopyPixelsFrom copies src's planes into f when the coded geometries
-// match, reporting whether the copy happened. Whole-picture substitution
-// under error resilience uses this to repeat a reference frame.
+// CopyPixelsFrom copies src's coded-area pixels into f when the coded
+// geometries match, reporting whether the copy happened. Whole-picture
+// substitution under error resilience uses this to repeat a reference
+// frame. The row-wise copy tolerates differing strides.
 func (f *Frame) CopyPixelsFrom(src *Frame) bool {
 	if src == nil || src.CodedW != f.CodedW || src.CodedH != f.CodedH {
 		return false
 	}
-	copy(f.Y, src.Y)
-	copy(f.Cb, src.Cb)
-	copy(f.Cr, src.Cr)
+	copyPlane(f.Y, src.Y, f.YStride, src.YStride, f.CodedW, f.CodedH)
+	copyPlane(f.Cb, src.Cb, f.CStride, src.CStride, f.CodedW/2, f.CodedH/2)
+	copyPlane(f.Cr, src.Cr, f.CStride, src.CStride, f.CodedW/2, f.CodedH/2)
 	return true
+}
+
+func copyPlane(dst, src []uint8, dStride, sStride, w, h int) {
+	if dStride == sStride && len(dst) == len(src) {
+		copy(dst, src)
+		return
+	}
+	for y := 0; y < h; y++ {
+		copy(dst[y*dStride:y*dStride+w], src[y*sStride:y*sStride+w])
+	}
 }
 
 // PSNR returns the luma peak signal-to-noise ratio between two frames of
@@ -136,8 +182,8 @@ func PSNR(a, b *Frame) float64 {
 	}
 	var se float64
 	for y := 0; y < a.Height; y++ {
-		ra := a.Y[y*a.CodedW : y*a.CodedW+a.Width]
-		rb := b.Y[y*b.CodedW : y*b.CodedW+b.Width]
+		ra := a.Y[y*a.YStride : y*a.YStride+a.Width]
+		rb := b.Y[y*b.YStride : y*b.YStride+b.Width]
 		for x := range ra {
 			d := float64(int(ra[x]) - int(rb[x]))
 			se += d * d
@@ -155,9 +201,9 @@ func PSNR(a, b *Frame) float64 {
 // way).
 func (f *Frame) Scale(dstW, dstH int) *Frame {
 	g := New(dstW, dstH)
-	scalePlane(f.Y, f.CodedW, f.Width, f.Height, g.Y, g.CodedW, g.Width, g.Height)
-	scalePlane(f.Cb, f.CodedW/2, f.Width/2, f.Height/2, g.Cb, g.CodedW/2, g.Width/2, g.Height/2)
-	scalePlane(f.Cr, f.CodedW/2, f.Width/2, f.Height/2, g.Cr, g.CodedW/2, g.Width/2, g.Height/2)
+	scalePlane(f.Y, f.YStride, f.Width, f.Height, g.Y, g.YStride, g.Width, g.Height)
+	scalePlane(f.Cb, f.CStride, f.Width/2, f.Height/2, g.Cb, g.CStride, g.Width/2, g.Height/2)
+	scalePlane(f.Cr, f.CStride, f.Width/2, f.Height/2, g.Cr, g.CStride, g.Width/2, g.Height/2)
 	g.padEdges()
 	return g
 }
@@ -194,9 +240,9 @@ func (f *Frame) Pad() { f.padEdges() }
 // padEdges replicates the last display row/column into the coded margin so
 // that motion search and DCT over partial macroblocks see sensible data.
 func (f *Frame) padEdges() {
-	padPlane(f.Y, f.CodedW, f.Width, f.Height, f.CodedH)
-	padPlane(f.Cb, f.CodedW/2, f.Width/2, f.Height/2, f.CodedH/2)
-	padPlane(f.Cr, f.CodedW/2, f.Width/2, f.Height/2, f.CodedH/2)
+	padPlane(f.Y, f.YStride, f.Width, f.Height, f.CodedH)
+	padPlane(f.Cb, f.CStride, f.Width/2, f.Height/2, f.CodedH/2)
+	padPlane(f.Cr, f.CStride, f.Width/2, f.Height/2, f.CodedH/2)
 }
 
 func padPlane(p []uint8, stride, w, h, codedH int) {

@@ -28,7 +28,7 @@ func (is *InterlacedSynth) Frame(n int) *Frame {
 		t := float64(2*n + yy&1) // field time, in field periods
 		b := bandAt(float64(yy) / float64(s.Height))
 		v := float64(yy) / vs
-		row := f.Y[y*f.CodedW:]
+		row := f.Y[y*f.YStride:]
 		for x := 0; x < f.CodedW; x++ {
 			// Velocity is per frame period; a field period is half.
 			u := float64(x)/vs + t*b.velocity/2
@@ -45,8 +45,8 @@ func (is *InterlacedSynth) Frame(n int) *Frame {
 		// sample it at the frame instant like a co-sited camera would.
 		b := bandAt(float64(yy) / float64(s.Height))
 		v := float64(yy) / vs
-		cbRow := f.Cb[y*cw:]
-		crRow := f.Cr[y*cw:]
+		cbRow := f.Cb[y*f.CStride:]
+		crRow := f.Cr[y*f.CStride:]
 		for x := 0; x < cw; x++ {
 			u := float64(x*2)/vs + float64(2*n)*b.velocity/2
 			t := s.texture(u*b.freq/2, v*b.freq/2, 1)

@@ -1,0 +1,92 @@
+package frame
+
+import "testing"
+
+// TestPadStridesGeometry pins the layout rule: planes whose width is a
+// 512-multiple get one extra cache line per row, everything else stays
+// dense.
+func TestPadStridesGeometry(t *testing.T) {
+	defer func(v bool) { PadStrides = v }(PadStrides)
+
+	PadStrides = true
+	cases := []struct {
+		w, h           int
+		wantYS, wantCS int
+	}{
+		{176, 112, 176, 88},   // dense: not a 512-multiple
+		{704, 480, 704, 352},  // dense: 704 = 64·11 already spreads sets
+		{512, 64, 576, 256},   // luma padded, chroma (256) dense
+		{1024, 32, 1088, 576}, // both planes padded
+	}
+	for _, c := range cases {
+		f := New(c.w, c.h)
+		if f.YStride != c.wantYS || f.CStride != c.wantCS {
+			t.Errorf("New(%d,%d): strides %d/%d, want %d/%d",
+				c.w, c.h, f.YStride, f.CStride, c.wantYS, c.wantCS)
+		}
+		if len(f.Y) != f.YStride*f.CodedH || len(f.Cb) != f.CStride*f.CodedH/2 {
+			t.Errorf("New(%d,%d): plane sizes %d/%d inconsistent with strides", c.w, c.h, len(f.Y), len(f.Cb))
+		}
+	}
+
+	PadStrides = false
+	f := New(512, 64)
+	if f.YStride != 512 || f.CStride != 256 {
+		t.Errorf("PadStrides=false: strides %d/%d, want dense 512/256", f.YStride, f.CStride)
+	}
+}
+
+// TestEqualIgnoresRowSlack pins that Equal compares the coded area only:
+// pad-slack bytes hold stale pool data and must not affect equality.
+func TestEqualIgnoresRowSlack(t *testing.T) {
+	defer func(v bool) { PadStrides = v }(PadStrides)
+	PadStrides = true
+
+	a, b := New(512, 48), New(512, 48)
+	for i := range a.Y {
+		a.Y[i] = uint8(i)
+	}
+	if !b.CopyPixelsFrom(a) {
+		t.Fatal("CopyPixelsFrom refused matching geometry")
+	}
+	if !a.Equal(b) {
+		t.Fatal("copies differ")
+	}
+	// Scribble on the slack beyond CodedW of row 1: still equal.
+	b.Y[b.YStride+a.CodedW] ^= 0xFF
+	if !a.Equal(b) {
+		t.Fatal("Equal read row slack")
+	}
+	// A coded-area pixel must still be compared.
+	b.Y[b.YStride] ^= 0xFF
+	if a.Equal(b) {
+		t.Fatal("Equal missed a coded-area difference")
+	}
+}
+
+// TestCopyPixelsAcrossLayouts pins the row-wise copy between frames of
+// the same coded geometry but different strides (padded ↔ dense).
+func TestCopyPixelsAcrossLayouts(t *testing.T) {
+	defer func(v bool) { PadStrides = v }(PadStrides)
+
+	PadStrides = true
+	padded := New(512, 48)
+	PadStrides = false
+	dense := New(512, 48)
+	if padded.YStride == dense.YStride {
+		t.Fatal("layouts did not differ; rule broken")
+	}
+	rng := uint32(1)
+	for y := 0; y < padded.CodedH; y++ {
+		for x := 0; x < padded.CodedW; x++ {
+			rng = rng*1664525 + 1013904223
+			padded.Y[y*padded.YStride+x] = uint8(rng >> 24)
+		}
+	}
+	if !dense.CopyPixelsFrom(padded) {
+		t.Fatal("CopyPixelsFrom refused cross-layout copy")
+	}
+	if !dense.Equal(padded) {
+		t.Fatal("cross-layout copy lost pixels")
+	}
+}

@@ -52,7 +52,7 @@ func (s *Synth) Frame(n int) *Frame {
 		}
 		b := bandAt(float64(yy) / float64(s.Height))
 		v := float64(yy) / vs
-		row := f.Y[y*f.CodedW:]
+		row := f.Y[y*f.YStride:]
 		for x := 0; x < f.CodedW; x++ {
 			u := float64(x)/vs + float64(n)*b.velocity
 			row[x] = clampU8(b.baseY + b.amp*s.texture(u*b.freq, v*b.freq, 0))
@@ -66,8 +66,8 @@ func (s *Synth) Frame(n int) *Frame {
 		}
 		b := bandAt(float64(yy) / float64(s.Height))
 		v := float64(yy) / vs
-		cbRow := f.Cb[y*cw:]
-		crRow := f.Cr[y*cw:]
+		cbRow := f.Cb[y*f.CStride:]
+		crRow := f.Cr[y*f.CStride:]
 		for x := 0; x < cw; x++ {
 			u := float64(x*2)/vs + float64(n)*b.velocity
 			t := s.texture(u*b.freq/2, v*b.freq/2, 1)

@@ -1,0 +1,41 @@
+package kernels
+
+// CPUID-based feature detection. The assembly tier needs AVX2, which
+// requires both the CPUID feature flag and OS support for saving the YMM
+// state (OSXSAVE + XCR0 bits 1-2).
+
+func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+func xgetbv() (eax, edx uint32)
+
+var avx2 = detectAVX2()
+
+func detectAVX2() bool {
+	maxID, _, _, _ := cpuid(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuid(1, 0)
+	const osxsave = 1 << 27
+	const avx = 1 << 28
+	if ecx1&osxsave == 0 || ecx1&avx == 0 {
+		return false
+	}
+	// XCR0 bits 1 (SSE state) and 2 (AVX state) must both be enabled by
+	// the OS for YMM registers to be usable.
+	xeax, _ := xgetbv()
+	if xeax&6 != 6 {
+		return false
+	}
+	_, ebx7, _, _ := cpuid(7, 0)
+	const avx2Bit = 1 << 5
+	return ebx7&avx2Bit != 0
+}
+
+func hasASM() bool { return avx2 }
+
+func cpuFeatures() string {
+	if avx2 {
+		return "avx2"
+	}
+	return "none"
+}

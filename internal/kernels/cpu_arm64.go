@@ -1,0 +1,8 @@
+package kernels
+
+// NEON (AdvSIMD) is architecturally mandatory for AArch64 application
+// profiles Go targets, so the assembly tier is always available.
+
+func hasASM() bool { return true }
+
+func cpuFeatures() string { return "neon" }

@@ -1,0 +1,7 @@
+//go:build !amd64 && !arm64
+
+package kernels
+
+func hasASM() bool { return false }
+
+func cpuFeatures() string { return "none" }

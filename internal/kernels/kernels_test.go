@@ -1,0 +1,76 @@
+package kernels
+
+import "testing"
+
+func TestParseLevel(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Level
+		ok   bool
+	}{
+		{"scalar", LevelScalar, true},
+		{"swar", LevelSWAR, true},
+		{"asm", LevelASM, true},
+		{"", 0, false},
+		{"avx2", 0, false},
+	} {
+		got, err := ParseLevel(tc.in)
+		if (err == nil) != tc.ok {
+			t.Errorf("ParseLevel(%q) err = %v, want ok=%v", tc.in, err, tc.ok)
+			continue
+		}
+		if tc.ok && got != tc.want {
+			t.Errorf("ParseLevel(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestSetClampsUnsupported(t *testing.T) {
+	defer Set(Active())
+	got := Set(LevelASM)
+	if hasASM() {
+		if got != LevelASM {
+			t.Fatalf("Set(asm) on asm-capable host = %v", got)
+		}
+	} else if got != LevelSWAR {
+		t.Fatalf("Set(asm) without asm support = %v, want swar clamp", got)
+	}
+}
+
+func TestRegisterAppliesImmediately(t *testing.T) {
+	defer Set(Active())
+	Set(LevelScalar)
+	var seen []Level
+	Register(func(l Level) { seen = append(seen, l) })
+	if len(seen) != 1 || seen[0] != LevelScalar {
+		t.Fatalf("Register did not apply current level: %v", seen)
+	}
+	Set(LevelSWAR)
+	if len(seen) != 2 || seen[1] != LevelSWAR {
+		t.Fatalf("Set did not fan out: %v", seen)
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	defer Set(Active())
+	Set(LevelSWAR)
+	if Describe() != "swar" {
+		t.Fatalf("Describe() = %q", Describe())
+	}
+	if Set(LevelASM) == LevelASM {
+		want := "asm(" + CPUFeatures() + ")"
+		if Describe() != want {
+			t.Fatalf("Describe() = %q, want %q", Describe(), want)
+		}
+	}
+}
+
+func TestSupportedMatchesDetection(t *testing.T) {
+	if hasASM() && Supported() != LevelASM {
+		t.Fatal("Supported() disagrees with hasASM")
+	}
+	if !hasASM() && Supported() != LevelSWAR {
+		t.Fatal("Supported() disagrees with hasASM")
+	}
+	t.Logf("cpu features: %s, supported tier: %s", CPUFeatures(), Supported())
+}

@@ -12,8 +12,8 @@ func SAD16(cur, ref *frame.Frame, px, py int, mv MV, limit int) int {
 		iy := clamp(py+(mv.Y>>1), 0, ref.CodedH-16)
 		sad := 0
 		for y := 0; y < 16; y++ {
-			c := cur.Y[(py+y)*cur.CodedW+px:]
-			r := ref.Y[(iy+y)*ref.CodedW+ix:]
+			c := cur.Y[(py+y)*cur.YStride+px:]
+			r := ref.Y[(iy+y)*ref.YStride+ix:]
 			for x := 0; x < 16; x++ {
 				d := int(c[x]) - int(r[x])
 				if d < 0 {
@@ -28,11 +28,11 @@ func SAD16(cur, ref *frame.Frame, px, py int, mv MV, limit int) int {
 		return sad
 	}
 	var pred [256]uint8
-	PredictBlock(pred[:], 16, ref.Y, ref.CodedW, ref.CodedW, ref.CodedH,
+	PredictBlock(pred[:], 16, ref.Y, ref.YStride, ref.CodedW, ref.CodedH,
 		px, py, mv.X, mv.Y, 16, 16)
 	sad := 0
 	for y := 0; y < 16; y++ {
-		c := cur.Y[(py+y)*cur.CodedW+px:]
+		c := cur.Y[(py+y)*cur.YStride+px:]
 		p := pred[y*16:]
 		for x := 0; x < 16; x++ {
 			d := int(c[x]) - int(p[x])

@@ -11,12 +11,12 @@ import "mpeg2par/internal/frame"
 // fieldView returns the slice, stride and dimensions that present one
 // field of a plane as a contiguous-looking picture: same width, half the
 // height, double the stride.
-func fieldView(plane []uint8, stride, codedH int, bottom bool) ([]uint8, int, int, int) {
+func fieldView(plane []uint8, stride, w, codedH int, bottom bool) ([]uint8, int, int, int) {
 	off := 0
 	if bottom {
 		off = stride
 	}
-	return plane[off:], 2 * stride, stride, codedH / 2
+	return plane[off:], 2 * stride, w, codedH / 2
 }
 
 // PredictMBFieldDir fills the rv-th field lines of pred (rv 0 = top) from
@@ -24,16 +24,16 @@ func fieldView(plane []uint8, stride, codedH int, bottom bool) ([]uint8, int, in
 func PredictMBFieldDir(pred *MBPred, ref *frame.Frame, mbx, mby, rv int, sel bool, mv MV) {
 	// Luma: a 16×8 block in field coordinates; the macroblock starts at
 	// field line mby*8.
-	src, srcStride, w, h := fieldView(ref.Y, ref.CodedW, ref.CodedH, sel)
+	src, srcStride, w, h := fieldView(ref.Y, ref.YStride, ref.CodedW, ref.CodedH, sel)
 	PredictBlock(pred.Y[rv*16:], 32, src, srcStride, w, h, mbx*16, mby*8, mv.X, mv.Y, 16, 8)
 
 	// Chroma: 8×4 per field, vector scaled by two (truncating toward
 	// zero) like every 4:2:0 chroma vector.
 	c := mv.ChromaMV()
 	cw, ch := ref.CodedW/2, ref.CodedH/2
-	srcCb, cStride, cwv, chv := fieldView(ref.Cb, cw, ch, sel)
+	srcCb, cStride, cwv, chv := fieldView(ref.Cb, ref.CStride, cw, ch, sel)
 	PredictBlock(pred.Cb[rv*8:], 16, srcCb, cStride, cwv, chv, mbx*8, mby*4, c.X, c.Y, 8, 4)
-	srcCr, _, _, _ := fieldView(ref.Cr, cw, ch, sel)
+	srcCr, _, _, _ := fieldView(ref.Cr, ref.CStride, cw, ch, sel)
 	PredictBlock(pred.Cr[rv*8:], 16, srcCr, cStride, cwv, chv, mbx*8, mby*4, c.X, c.Y, 8, 4)
 }
 
@@ -49,11 +49,11 @@ func PredictMBField(pred *MBPred, ref *frame.Frame, mbx, mby int, sel [2]bool, m
 // sel field of ref with field-unit vector mv, stopping early past limit.
 func SADField(cur, ref *frame.Frame, mbx, mby, rv int, sel bool, mv MV, limit int) int {
 	var tmp [16 * 8]uint8
-	src, srcStride, w, h := fieldView(ref.Y, ref.CodedW, ref.CodedH, sel)
+	src, srcStride, w, h := fieldView(ref.Y, ref.YStride, ref.CodedW, ref.CodedH, sel)
 	PredictBlock(tmp[:], 16, src, srcStride, w, h, mbx*16, mby*8, mv.X, mv.Y, 16, 8)
 	sad := 0
 	for y := 0; y < 8; y++ {
-		c := cur.Y[(mby*16+rv+2*y)*cur.CodedW+mbx*16:]
+		c := cur.Y[(mby*16+rv+2*y)*cur.YStride+mbx*16:]
 		p := tmp[y*16:]
 		for x := 0; x < 16; x++ {
 			d := int(c[x]) - int(p[x])

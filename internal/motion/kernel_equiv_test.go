@@ -1,0 +1,243 @@
+package motion
+
+import (
+	"fmt"
+	"testing"
+
+	"mpeg2par/internal/kernels"
+)
+
+// xorshift PRNG so the sweep is deterministic without a seed flag.
+type prng uint64
+
+func (p *prng) next() uint64 {
+	x := uint64(*p)
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	*p = prng(x)
+	return x
+}
+
+func (p *prng) fill(b []uint8) {
+	for i := range b {
+		b[i] = uint8(p.next())
+	}
+}
+
+// scalarPredictOracle is an independent reference implementation of the
+// half-pel prediction, written in the most literal style possible so the
+// optimized kernels are checked against the spec, not against each other.
+func scalarPredictOracle(dst []uint8, dstStride int, ref []uint8, refStride, src, w, h, hx, hy int) {
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			a := int(ref[src+y*refStride+x])
+			b := int(ref[src+y*refStride+x+hx])
+			c := int(ref[src+(y+hy)*refStride+x])
+			d := int(ref[src+(y+hy)*refStride+x+hx])
+			// (a+b+c+d+2)>>2 is exact for every phase: with hx=hy=0 all
+			// four samples coincide so it reduces to a; with one half-pel
+			// axis the pairs double up and it reduces to (a+b+1)>>1.
+			dst[y*dstStride+x] = uint8((a + b + c + d + 2) >> 2)
+		}
+	}
+}
+
+// kernelTiers returns the tiers runnable on this host, restoring the
+// dispatch state afterwards.
+func kernelTiers(t *testing.T) []kernels.Level {
+	t.Helper()
+	prev := kernels.Active()
+	t.Cleanup(func() { kernels.Set(prev) })
+	tiers := []kernels.Level{kernels.LevelScalar, kernels.LevelSWAR}
+	if kernels.Supported() == kernels.LevelASM {
+		tiers = append(tiers, kernels.LevelASM)
+	} else {
+		t.Logf("asm tier not supported on this host (%s); testing scalar+swar only", kernels.CPUFeatures())
+	}
+	return tiers
+}
+
+// TestPredictBlockTierEquivalence sweeps every half-pel phase, both block
+// widths, multiple heights and strides, and random content, checking each
+// kernel tier bit-exactly against the literal oracle.
+func TestPredictBlockTierEquivalence(t *testing.T) {
+	tiers := kernelTiers(t)
+	rng := prng(0x9e3779b97f4a7c15)
+
+	const refStride = 37 // odd stride: catches any alignment assumption
+	ref := make([]uint8, refStride*40)
+
+	for _, tier := range tiers {
+		kernels.Set(tier)
+		for _, w := range []int{8, 16} {
+			for _, h := range []int{4, 8, 16} {
+				for hy := 0; hy <= 1; hy++ {
+					for hx := 0; hx <= 1; hx++ {
+						for trial := 0; trial < 8; trial++ {
+							rng.fill(ref)
+							src := int(rng.next()%8)*refStride + int(rng.next()%8)
+							dstStride := w + int(rng.next()%5)
+							want := make([]uint8, dstStride*h)
+							got := make([]uint8, dstStride*h)
+							scalarPredictOracle(want, dstStride, ref, refStride, src, w, h, hx, hy)
+
+							// Drive through the public entry so the
+							// dispatch path under test is the real one.
+							px := src % refStride
+							py := src / refStride
+							PredictBlock(got, dstStride, ref, refStride, refStride, 40,
+								px, py, hx, hy, w, h)
+
+							for i := range want {
+								if i%dstStride < w && got[i] != want[i] {
+									t.Fatalf("tier=%v w=%d h=%d hx=%d hy=%d trial=%d: dst[%d]=%d want %d",
+										tier, w, h, hx, hy, trial, i, got[i], want[i])
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPredictBlockExtremes pins the saturation corners (all-0, all-255,
+// alternating) where rounding or carry bugs in the byte-average identity
+// would surface.
+func TestPredictBlockExtremes(t *testing.T) {
+	tiers := kernelTiers(t)
+	const refStride = 24
+	patterns := map[string]func(i int) uint8{
+		"zero":  func(i int) uint8 { return 0 },
+		"max":   func(i int) uint8 { return 255 },
+		"alt":   func(i int) uint8 { return uint8(255 * (i & 1)) },
+		"ramp":  func(i int) uint8 { return uint8(i) },
+		"edges": func(i int) uint8 { return uint8(254 + i&1) },
+	}
+	for name, pat := range patterns {
+		ref := make([]uint8, refStride*20)
+		for i := range ref {
+			ref[i] = pat(i)
+		}
+		for _, tier := range tiers {
+			kernels.Set(tier)
+			for hy := 0; hy <= 1; hy++ {
+				for hx := 0; hx <= 1; hx++ {
+					for _, w := range []int{8, 16} {
+						h := w
+						want := make([]uint8, w*h)
+						got := make([]uint8, w*h)
+						scalarPredictOracle(want, w, ref, refStride, refStride+1, w, h, hx, hy)
+						PredictBlock(got, w, ref, refStride, refStride, 20, 1, 1, hx, hy, w, h)
+						for i := range want {
+							if got[i] != want[i] {
+								t.Fatalf("pattern=%s tier=%v w=%d hx=%d hy=%d: dst[%d]=%d want %d",
+									name, tier, w, hx, hy, i, got[i], want[i])
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestAverageMBTierEquivalence checks the bidirectional average across
+// tiers, including the aliased dst==a case the decoder uses.
+func TestAverageMBTierEquivalence(t *testing.T) {
+	tiers := kernelTiers(t)
+	rng := prng(0x123456789abcdef)
+
+	for trial := 0; trial < 16; trial++ {
+		var a, b MBPred
+		rng.fill(a.Y[:])
+		rng.fill(a.Cb[:])
+		rng.fill(a.Cr[:])
+		rng.fill(b.Y[:])
+		rng.fill(b.Cb[:])
+		rng.fill(b.Cr[:])
+		if trial == 0 { // saturation corner
+			for i := range a.Y {
+				a.Y[i], b.Y[i] = 255, 254
+			}
+		}
+
+		var want MBPred
+		for i := range want.Y {
+			want.Y[i] = uint8((int(a.Y[i]) + int(b.Y[i]) + 1) >> 1)
+		}
+		for i := range want.Cb {
+			want.Cb[i] = uint8((int(a.Cb[i]) + int(b.Cb[i]) + 1) >> 1)
+			want.Cr[i] = uint8((int(a.Cr[i]) + int(b.Cr[i]) + 1) >> 1)
+		}
+
+		for _, tier := range tiers {
+			kernels.Set(tier)
+			var got MBPred
+			ga, gb := a, b
+			AverageMB(&got, &ga, &gb)
+			if got != want {
+				t.Fatalf("tier=%v trial=%d: AverageMB mismatch", tier, trial)
+			}
+			// Aliased form: dst == a.
+			AverageMB(&ga, &ga, &gb)
+			if ga != want {
+				t.Fatalf("tier=%v trial=%d: aliased AverageMB mismatch", tier, trial)
+			}
+		}
+	}
+}
+
+// BenchmarkPredictBlock measures each tier on the 16×16 luma diagonal
+// case (the most expensive phase).
+func BenchmarkPredictBlock(b *testing.B) {
+	prev := kernels.Active()
+	b.Cleanup(func() { kernels.Set(prev) })
+	const refStride = 720
+	ref := make([]uint8, refStride*64)
+	rng := prng(7)
+	rng.fill(ref)
+	dst := make([]uint8, 16*16)
+
+	tiers := []kernels.Level{kernels.LevelScalar, kernels.LevelSWAR}
+	if kernels.Supported() == kernels.LevelASM {
+		tiers = append(tiers, kernels.LevelASM)
+	}
+	for _, tier := range tiers {
+		for _, phase := range []struct{ hx, hy int }{{0, 0}, {1, 0}, {0, 1}, {1, 1}} {
+			kernels.Set(tier)
+			b.Run(fmt.Sprintf("%v/hx%d_hy%d", tier, phase.hx, phase.hy), func(b *testing.B) {
+				b.SetBytes(16 * 16)
+				for i := 0; i < b.N; i++ {
+					PredictBlock(dst, 16, ref, refStride, refStride, 64, 8, 8, phase.hx, phase.hy, 16, 16)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkAverageMBTiers measures the bidirectional average across tiers.
+func BenchmarkAverageMBTiers(b *testing.B) {
+	prev := kernels.Active()
+	b.Cleanup(func() { kernels.Set(prev) })
+	var dst, x, y MBPred
+	rng := prng(11)
+	rng.fill(x.Y[:])
+	rng.fill(y.Y[:])
+
+	tiers := []kernels.Level{kernels.LevelScalar, kernels.LevelSWAR}
+	if kernels.Supported() == kernels.LevelASM {
+		tiers = append(tiers, kernels.LevelASM)
+	}
+	for _, tier := range tiers {
+		kernels.Set(tier)
+		b.Run(tier.String(), func(b *testing.B) {
+			b.SetBytes(384)
+			for i := 0; i < b.N; i++ {
+				AverageMB(&dst, &x, &y)
+			}
+		})
+	}
+}

@@ -61,6 +61,10 @@ func PredictBlock(dst []uint8, dstStride int, ref []uint8, refStride, refW, refH
 	}
 	src := iy*refStride + ix
 	if !ScalarKernels && w&7 == 0 {
+		if asmKernels && (w == 16 || w == 8) {
+			predictBlockAsm(dst, dstStride, ref[src:], refStride, w, h, hx, hy)
+			return
+		}
 		predictBlockSWAR(dst, dstStride, ref[src:], refStride, w, h, hx, hy)
 		return
 	}
@@ -132,12 +136,12 @@ func predictBlockClamped(dst []uint8, dstStride int, ref []uint8, refStride, ref
 // PredictMB fills pred from ref for the macroblock at (mbx, mby)
 // (macroblock coordinates) using the half-pel luma vector mv.
 func PredictMB(pred *MBPred, ref *frame.Frame, mbx, mby int, mv MV) {
-	PredictBlock(pred.Y[:], 16, ref.Y, ref.CodedW, ref.CodedW, ref.CodedH,
+	PredictBlock(pred.Y[:], 16, ref.Y, ref.YStride, ref.CodedW, ref.CodedH,
 		mbx*16, mby*16, mv.X, mv.Y, 16, 16)
 	c := mv.ChromaMV()
 	cw, ch := ref.CodedW/2, ref.CodedH/2
-	PredictBlock(pred.Cb[:], 8, ref.Cb, cw, cw, ch, mbx*8, mby*8, c.X, c.Y, 8, 8)
-	PredictBlock(pred.Cr[:], 8, ref.Cr, cw, cw, ch, mbx*8, mby*8, c.X, c.Y, 8, 8)
+	PredictBlock(pred.Cb[:], 8, ref.Cb, ref.CStride, cw, ch, mbx*8, mby*8, c.X, c.Y, 8, 8)
+	PredictBlock(pred.Cr[:], 8, ref.Cr, ref.CStride, cw, ch, mbx*8, mby*8, c.X, c.Y, 8, 8)
 }
 
 // AverageMB sets dst to the rounded average of a and b — bidirectional
@@ -152,6 +156,12 @@ func AverageMB(dst, a, b *MBPred) {
 			dst.Cb[i] = uint8((int(a.Cb[i]) + int(b.Cb[i]) + 1) >> 1)
 			dst.Cr[i] = uint8((int(a.Cr[i]) + int(b.Cr[i]) + 1) >> 1)
 		}
+		return
+	}
+	if asmKernels {
+		avgBytesAsm(&dst.Y[0], &a.Y[0], &b.Y[0], len(dst.Y))
+		avgBytesAsm(&dst.Cb[0], &a.Cb[0], &b.Cb[0], len(dst.Cb))
+		avgBytesAsm(&dst.Cr[0], &a.Cr[0], &b.Cr[0], len(dst.Cr))
 		return
 	}
 	avgBytes8(dst.Y[:], a.Y[:], b.Y[:], len(dst.Y))
