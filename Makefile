@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: verify vet build test race bench perf fuzz faults stream compat trace sched kernels cross
+.PHONY: verify vet build test race bench perf fuzz faults stream compat trace sched kernels cross service
 
-verify: vet build race bench stream compat trace sched kernels cross ## full CI gate: vet + build + race tests + bench smoke + streaming race + compat shims + traced decode + scheduler gate + kernel matrix + cross-compile
+verify: vet build race bench stream compat trace sched kernels cross service ## full CI gate: vet + build + race tests + bench smoke + streaming race + compat shims + traced decode + scheduler gate + kernel matrix + cross-compile + service gate
 
 vet:
 	$(GO) vet ./...
@@ -67,6 +67,15 @@ sched:
 	$(GO) test -race ./internal/sched/
 	$(GO) test -race -run 'TestPack|TestModeAuto|TestSliceBytes|TestStreamingPacking|TestStreamingAutoTune|TestScanReaderSliceBytes|TestWithAutoTune|TestWithPacking' ./internal/core/ ./internal/stream/ .
 	$(GO) test -run TestSchedCompareSmoke -v ./internal/bench/
+
+# Multi-stream service gate: the 64-stream overload smoke (zero wedged
+# streams, zero leaks, fairness, per-stream obs lanes validated as
+# Chrome trace) and the overload-teardown suite under the race
+# detector, plus a real load-harness run through the CLI.
+service:
+	$(GO) test -race -count=1 -run 'TestLoadSmoke|TestCancelMidDegradation|TestWatchdogWedgedStream|TestPauseLadderAndResume|TestServerCloseTeardown' ./internal/server/
+	$(GO) test -race -count=1 -run 'TestServiceAPI|TestServiceForcedDegradation' .
+	$(GO) run ./cmd/mpeg2load -streams 64 > /dev/null
 
 # Append a perf-trajectory run to the current BENCH_<n>.json.
 perf:

@@ -58,6 +58,13 @@ func main() {
 		}
 		return
 	}
+	if *exp == "service" {
+		if err := runService(*perfOut, *perfLabel, *traceWorkers); err != nil {
+			fmt.Fprintf(os.Stderr, "mpeg2bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *sched {
 		if err := runSched(*traceWorkers, *repeat, *jsonOut); err != nil {
 			fmt.Fprintf(os.Stderr, "mpeg2bench: %v\n", err)
@@ -218,6 +225,29 @@ func runPerf(out, label string, startNew bool, repeat int) error {
 		fmt.Printf("  %-15s w=%d  %8.0f pics/s  %s  (scan %.1fms busy %.1fms wait %.1fms)%s\n",
 			pt.Mode, pt.Workers, pt.PicsPerSec, speedup, pt.ScanMS, pt.WorkerBusyMS, pt.WorkerWaitMS, auto)
 	}
+	return nil
+}
+
+// runService executes the multi-stream overload harness (internal/
+// bench/service.go) and appends the measurement to the selected
+// BENCH_<n>.json as a PerfRun with only the Service point set.
+func runService(out, label string, workers int) error {
+	if out == "" {
+		out = pickBenchFile(false)
+	}
+	if label == "" {
+		label = "service-" + time.Now().UTC().Format("20060102T150405Z")
+	}
+	res, err := bench.ServiceLoad(bench.ServiceConfig{Workers: workers, SinkDelay: 300 * time.Microsecond})
+	if err != nil {
+		return err
+	}
+	res.WriteText(os.Stdout)
+	pf, err := bench.AppendPerfRun(out, bench.ServiceRun(label, &res.Point))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: service run %q appended (%d runs total)\n", out, label, len(pf.Runs))
 	return nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"sync"
 
 	"mpeg2par"
 )
@@ -140,4 +141,39 @@ func ExampleSimulateSlices() {
 	fmt.Println("4 workers faster than 1:", many.Makespan < one.Makespan)
 	// Output:
 	// 4 workers faster than 1: true
+}
+
+// ExampleServer runs two prioritized streams through the multi-stream
+// decode service sharing one worker pool.
+func ExampleServer() {
+	stream, err := mpeg2par.GenerateStream(mpeg2par.StreamConfig{
+		Width: 96, Height: 64, Pictures: 8, GOPSize: 4,
+	})
+	if err != nil {
+		panic(err)
+	}
+	srv := mpeg2par.NewServer(mpeg2par.ServerConfig{Workers: 2})
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	delivered := make([]int, 2)
+	for i := range delivered {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, err := srv.Decode(context.Background(), mpeg2par.FromBytes(stream.Data),
+				mpeg2par.WithStreamPriority(i),
+				mpeg2par.WithStreamSink(func(f *mpeg2par.Frame) { delivered[i]++ }),
+			)
+			if err != nil {
+				panic(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	fmt.Println("stream 0 frames:", delivered[0])
+	fmt.Println("stream 1 frames:", delivered[1])
+	// Output:
+	// stream 0 frames: 8
+	// stream 1 frames: 8
 }

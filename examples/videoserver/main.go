@@ -1,78 +1,99 @@
-// Video server scenario: a playback service must pick a decode strategy
-// for each stream it serves. This example compares the paper's two
-// parallelizations — coarse-grained GOP tasks vs fine-grained slice
-// tasks — on the axes the paper evaluates: throughput at a given worker
-// count, memory footprint, and random-access (seek) latency.
+// Video server scenario: a playback service multiplexes many viewers
+// onto one shared decode pool. This example drives the multi-stream
+// service API through its regimes — an uncontended baseline, then a
+// deliberate overload where admission control, per-stream budgets, and
+// the graceful-degradation ladder keep every admitted viewer moving
+// instead of letting the service collapse.
+//
+// Run with: go run ./examples/videoserver
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"sync"
 	"time"
 
 	"mpeg2par"
 )
 
-// A small playback server: four cores per stream. (With the paper's 14
-// workers, a short clip has fewer GOP tasks than workers and the GOP
-// strategy starves — exactly the paper's observation that coarse tasks
-// need long streams.)
-const workers = 4
+const workers = 2
 
 func main() {
 	stream, err := mpeg2par.GenerateStream(mpeg2par.StreamConfig{
-		Width: 352, Height: 240, Pictures: 104, GOPSize: 13, BitRate: 5_000_000,
+		Width: 96, Height: 64, Pictures: 24, GOPSize: 4, BitRate: 2_000_000,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// Profile real task costs once, then replay them in the deterministic
-	// simulator at the server's worker count (this host may have fewer
-	// cores than the target machine).
-	gops, err := mpeg2par.ProfileGOPs(stream.Data)
+	// Regime 1: one viewer on an idle pool — the service must cost
+	// nothing over a plain parallel decode: full fidelity, nothing shed.
+	srv := mpeg2par.NewServer(mpeg2par.ServerConfig{Workers: workers})
+	ss, err := srv.Decode(context.Background(), mpeg2par.FromBytes(stream.Data),
+		mpeg2par.WithStreamResilience(mpeg2par.ConcealSlice))
 	if err != nil {
 		log.Fatal(err)
 	}
-	pics, err := mpeg2par.ProfileSlices(stream.Data)
-	if err != nil {
-		log.Fatal(err)
+	fmt.Printf("single viewer: %d/%d frames, %d shed, p99 frame latency %v\n",
+		ss.Stats.Displayed, len(stream.Pictures), ss.Stats.Shed.Total(), ss.LatencyP99().Round(time.Millisecond))
+	srv.Close()
+
+	// Regime 2: a burst of viewers several times over pool capacity, in
+	// two service tiers. The monitor watches queue depth and deadline
+	// misses and climbs the ladder: shed B pictures, then decode only
+	// intra anchors (flooring resilience so damage stops killing
+	// streams), then pause the free tier with bounded backoff — and only
+	// as a last resort turn new viewers away.
+	srv = mpeg2par.NewServer(mpeg2par.ServerConfig{Workers: workers})
+	defer srv.Close()
+
+	const viewers = 12
+	type viewer struct {
+		tier  string
+		prio  int
+		stats *mpeg2par.StreamStats
+		err   error
 	}
-
-	gopRes := mpeg2par.SimulateGOP(gops, workers)
-	simpleRes := mpeg2par.SimulateSlices(pics, workers, false)
-	improvedRes := mpeg2par.SimulateSlices(pics, workers, true)
-
-	frameBytes := int64(352*240*3) / 2
-	report := func(name string, r mpeg2par.SimResult, peakFrames int) {
-		fmt.Printf("%-15s %8.1f pics/s   sync/exec %.2f   memory %5.1f MB\n",
-			name,
-			float64(len(stream.Pictures))/r.Makespan.Seconds(),
-			r.SyncRatio(),
-			float64(int64(peakFrames)*frameBytes)/(1<<20))
+	vs := make([]viewer, viewers)
+	var wg sync.WaitGroup
+	for i := range vs {
+		v := &vs[i]
+		v.tier, v.prio = "free   ", 0
+		if i%3 == 0 {
+			v.tier, v.prio = "premium", 1
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v.stats, v.err = srv.Decode(context.Background(), mpeg2par.FromBytes(stream.Data),
+				mpeg2par.WithStreamPriority(v.prio),
+				mpeg2par.WithStreamResilience(mpeg2par.ConcealSlice),
+				mpeg2par.WithFrameDeadline(50*time.Millisecond),
+				mpeg2par.WithStreamMaxInFlight(2),
+				// A paced delivery path (e.g. network send) is what makes
+				// overload real rather than a race through the bitstream.
+				mpeg2par.WithStreamSink(func(f *mpeg2par.Frame) { time.Sleep(500 * time.Microsecond) }),
+			)
+		}()
 	}
-	fmt.Printf("strategy comparison at %d workers:\n", workers)
-	report("gop", gopRes, gopRes.PeakFrames)
-	report("slice-simple", simpleRes, simpleRes.PeakFrames)
-	report("slice-improved", improvedRes, improvedRes.PeakFrames)
+	wg.Wait()
 
-	// Random access: the user seeks into the stream. With GOP tasks a
-	// single worker must decode the whole target GOP before the sought
-	// picture appears; with slice tasks every worker attacks the first
-	// picture at once (§5.1 vs §5.2 of the paper).
-	seekGOP := gops[len(gops)/2]
-	gopLatency := seekGOP.Cost // one worker, whole GOP
-
-	firstPic := pics[:1] // the I picture every seek target starts from
-	sliceLatency := mpeg2par.SimulateSlices(firstPic, workers, true).Makespan
-
-	fmt.Printf("\nseek-to-play latency (first picture on screen):\n")
-	fmt.Printf("  gop:            %v (one worker decodes the whole GOP)\n", gopLatency.Round(time.Microsecond))
-	fmt.Printf("  slice-improved: %v (%d workers share the first picture)\n", sliceLatency.Round(time.Microsecond), workers)
-	fmt.Printf("  -> the slice decoder starts playback %.1fx sooner\n",
-		float64(gopLatency)/float64(sliceLatency))
-
-	// Recommendation mirrors the paper's conclusion: continuous playback
-	// favors GOP tasks (least synchronization), interactive use favors
-	// slice tasks (low memory, instant seeks).
+	fmt.Printf("\noverload: %d viewers on %d workers\n", viewers, workers)
+	for i, v := range vs {
+		if v.err != nil {
+			fmt.Printf("  viewer %2d %s rejected/failed: %v\n", i, v.tier, v.err)
+			continue
+		}
+		st := v.stats.Stats
+		fmt.Printf("  viewer %2d %s %2d/%d frames  shed %2d  misses %2d  paused %d  p99 %6v\n",
+			i, v.tier, st.Displayed, st.Pictures, st.Shed.Total()+st.Shed.DegradedPictures,
+			v.stats.DeadlineMisses, v.stats.Paused, v.stats.LatencyP99().Round(time.Millisecond))
+	}
+	m := srv.Metrics()
+	fmt.Printf("\nservice: admitted %d  rejected %d  pauses %d  wedged %d  final rung %d\n",
+		m.Admitted, m.Rejected, m.Pauses, m.Wedged, m.Rung)
+	fmt.Println("\nevery admitted viewer finished: degradation trades fidelity for liveness,")
+	fmt.Println("never dropping a stream the service accepted.")
 }

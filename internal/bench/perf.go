@@ -130,6 +130,11 @@ type PerfRun struct {
 	// pointer so pre-schema runs keep no empty field.
 	KernelBench []KernelBenchPoint `json:"kernel_bench,omitempty"`
 
+	// Service is the multi-stream load-harness measurement (mpeg2bench
+	// -exp service / mpeg2load): a fleet point rather than a mode
+	// trajectory, so runs carrying it usually leave Points empty.
+	Service *ServicePoint `json:"service,omitempty"`
+
 	Points []PerfPoint `json:"points"`
 }
 

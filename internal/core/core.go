@@ -192,6 +192,13 @@ type Stats struct {
 	// given stream and policy it is identical across all scheduling modes.
 	Errors ErrorStats
 
+	// Shed accounts pictures sacrificed by the multi-stream service's
+	// graceful-degradation ladder (load shedding and degraded-resilience
+	// recoveries). Always zero on the single-stream paths, and strictly
+	// disjoint from Errors: a shed picture is never also counted as a
+	// decode error.
+	Shed ShedStats
+
 	// Auto records a ModeAuto run's scheduling decision (nil for fixed
 	// modes). Stats.Mode and Stats.Workers report the resolved values.
 	Auto *AutoDecision

@@ -27,12 +27,13 @@ type displayProc struct {
 	pool      *frame.Pool
 	sink      func(*frame.Frame)
 	obs       *obs.Tracer
+	lane      int // obs lane of delivery events (a stream lane in the service)
 	displayed int
 	err       error
 }
 
 func newDisplay(pool *frame.Pool, sink func(*frame.Frame), tr *obs.Tracer) *displayProc {
-	return &displayProc{pending: make(map[int]*frame.Frame), pool: pool, sink: sink, obs: tr}
+	return &displayProc{pending: make(map[int]*frame.Frame), pool: pool, sink: sink, obs: tr, lane: obs.LaneDisplay}
 }
 
 // push hands one decoded picture (with its absolute display index) to the
@@ -58,7 +59,7 @@ func (d *displayProc) push(f *frame.Frame, idx int) {
 			d.sink(g)
 		}
 		if d.obs != nil {
-			d.obs.Record(obs.KindDisplay, obs.LaneDisplay, time.Now(), 0, -1, d.next, -1)
+			d.obs.Record(obs.KindDisplay, d.lane, time.Now(), 0, -1, d.next, -1)
 		}
 		if g.Release() {
 			d.pool.Put(g)

@@ -41,6 +41,12 @@ type plan struct {
 	// pre holds the plan-time error accounting (dropped pictures and
 	// GOPs); slice-level damage is discovered during execution.
 	pre ErrorStats
+	// shed holds the plan-time degradation accounting: pictures
+	// sacrificed by load shedding or recovered only because the service
+	// degraded the stream's resilience policy. Kept apart from pre so
+	// deliberate degradation never masquerades as (or double-counts
+	// with) decode errors.
+	shed ShedStats
 }
 
 // planBuilder grows a plan one group of pictures at a time. The batch
@@ -58,6 +64,15 @@ type planBuilder struct {
 	lastRef     int // most recent reference picture, across GOPs (a
 	// scheduling barrier for the improved slice mode, not a data
 	// dependency: prediction references never cross GOP boundaries here).
+
+	// Degradation inputs (the multi-stream service sets them between
+	// addGOP calls; the batch paths leave them zero). shed selects load
+	// shedding for subsequently planned groups; degraded bumps the
+	// effective resilience policy to at least ConcealPicture so damage
+	// that would fail the stream under its requested policy is
+	// substituted instead (and accounted as degradation, not as error).
+	shed     ShedLevel
+	degraded bool
 }
 
 func newPlanBuilder(seq *mpeg2.SequenceHeader, policy Resilience, packing Packing, seed int64) *planBuilder {
@@ -86,6 +101,13 @@ func buildPlan(data []byte, m *StreamMap, opt Options) (*plan, error) {
 // when the policy dropped the group.
 func (b *planBuilder) addGOP(data []byte, g int, gop *GOPRange) ([]*picState, error) {
 	policy := b.policy
+	degradedRun := false
+	if b.degraded && policy < ConcealPicture {
+		// The overload ladder's resilience floor: keep the stream alive
+		// through damage its requested policy would have failed on.
+		policy = ConcealPicture
+		degradedRun = true
+	}
 	pl := &b.pl
 	n := len(gop.Pictures)
 	if n == 0 {
@@ -208,10 +230,40 @@ func (b *planBuilder) addGOP(data []byte, g int, gop *GOPRange) ([]*picState, er
 			}
 		}
 
+		// Load shedding: convert decodable pictures the ladder sacrifices
+		// into substitutions. B pictures go first (references never read
+		// them, so the survivors stay bit-identical); ShedRef adds P
+		// pictures, leaving only intra anchors decoding.
+		if ps.fate == fateDecode && b.shed != ShedNone && ps.headerOK {
+			switch {
+			case ps.hdr.Type == vlc.CodingB && b.shed >= ShedB:
+				ps.shedBy = ShedB
+			case ps.hdr.Type == vlc.CodingP && b.shed >= ShedRef:
+				ps.shedBy = ShedRef
+			}
+			if ps.shedBy != ShedNone {
+				ps.fate = fateSubstitute
+				ps.fwd, ps.bwd = -1, -1
+			}
+		}
+
 		if ps.fate == fateSubstitute {
 			ps.subFrom = refNew
 			ps.nTasks = 1
-			pl.pre.DroppedPictures++
+			switch {
+			case ps.shedBy == ShedB:
+				pl.shed.BPictures++
+			case ps.shedBy == ShedRef:
+				pl.shed.RefPictures++
+			case degradedRun:
+				// Only recoverable because the ladder degraded the policy:
+				// under the stream's own policy this damage would have
+				// failed the decode, so it is degradation, not an error
+				// drop — the two never double-count.
+				pl.shed.DegradedPictures++
+			default:
+				pl.pre.DroppedPictures++
+			}
 		} else {
 			ps.groups = buildRowGroups(ps.rng.Slices)
 			if len(ps.groups) == 0 {

@@ -1,0 +1,76 @@
+package core
+
+import "fmt"
+
+// ShedLevel is the degradation ladder's per-stream decode reduction:
+// how much of each newly planned group of pictures is sacrificed to
+// keep an overloaded service live. Shedding reuses the resilience
+// plan's substitution machinery (fateSubstitute), so a shed picture
+// still occupies its display slot — the viewer sees a freeze frame of
+// the nearest preceding reference — and every picture that is NOT shed
+// decodes bit-identically to the unshed stream.
+type ShedLevel int32
+
+const (
+	// ShedNone decodes every picture.
+	ShedNone ShedLevel = iota
+	// ShedB substitutes non-reference (B) pictures. References never
+	// predict from B pictures, so the surviving I/P pictures are
+	// bit-identical to a full decode.
+	ShedB
+	// ShedRef additionally substitutes P pictures: only intra pictures
+	// decode. The substituted P frames freeze the preceding anchor, so
+	// anything predicting from them is substituted too — intra pictures
+	// stay bit-identical.
+	ShedRef
+)
+
+func (l ShedLevel) String() string {
+	switch l {
+	case ShedNone:
+		return "none"
+	case ShedB:
+		return "shed-b"
+	case ShedRef:
+		return "shed-ref"
+	}
+	return fmt.Sprintf("ShedLevel(%d)", int32(l))
+}
+
+// ShedStats accounts the pictures a decode service sacrificed to
+// overload — deliberately, by policy. They are kept strictly apart from
+// ErrorStats: a shed picture is not damage, and the satellite invariant
+// is that the two never double-count (a picture is either shed or
+// dropped-by-damage, never both).
+type ShedStats struct {
+	// BPictures counts non-reference pictures substituted under ShedB
+	// (or higher).
+	BPictures int `json:"b_pictures"`
+	// RefPictures counts P pictures substituted under ShedRef.
+	RefPictures int `json:"ref_pictures"`
+	// DegradedPictures counts pictures recovered by a resilience policy
+	// the ladder forced above the stream's requested one (a damaged
+	// picture that would have failed the stream under its own policy but
+	// was substituted under the degraded conceal-picture floor).
+	DegradedPictures int `json:"degraded_pictures"`
+}
+
+// Add accumulates o into s.
+func (s *ShedStats) Add(o ShedStats) {
+	s.BPictures += o.BPictures
+	s.RefPictures += o.RefPictures
+	s.DegradedPictures += o.DegradedPictures
+}
+
+// Total returns every picture substituted by shedding (not counting
+// degraded-policy recoveries, which still decode or substitute for
+// damage reasons).
+func (s ShedStats) Total() int { return s.BPictures + s.RefPictures }
+
+// Any reports whether the ladder sacrificed anything.
+func (s ShedStats) Any() bool { return s != ShedStats{} }
+
+func (s ShedStats) String() string {
+	return fmt.Sprintf("shed B %d, shed refs %d, degraded-policy recoveries %d",
+		s.BPictures, s.RefPictures, s.DegradedPictures)
+}

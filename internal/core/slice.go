@@ -52,10 +52,13 @@ type picState struct {
 	headerOK  bool    // the full picture header parsed
 	fate      picFate // decode from the bitstream or substitute
 	subFrom   int     // substitution source (plan index), -1 for grey
-	holds     []int   // plan indices of frames read by this picture (released on completion)
-	groups    [][]int // slice indices per macroblock-row task group
-	damaged   int     // slices whose parse/reconstruction failed
-	resyncs   int     // damaged slices recovered by a later startcode
+	// shedBy, when non-zero, records that this picture's substitution
+	// was load shedding (deliberate degradation), not damage.
+	shedBy  ShedLevel
+	holds   []int   // plan indices of frames read by this picture (released on completion)
+	groups  [][]int // slice indices per macroblock-row task group
+	damaged int     // slices whose parse/reconstruction failed
+	resyncs int     // damaged slices recovered by a later startcode
 
 	// unit, on the streaming path, is the in-flight GOP buffer this
 	// picture decodes from; retired when its last picture completes.

@@ -33,13 +33,18 @@ type chromeTrace struct {
 }
 
 // Thread ids of the non-worker lanes in the export (workers use their
-// ids directly; large values keep scan/display sorted below them).
+// ids directly; large values keep scan/display sorted below them, and
+// per-stream service lanes sort below those).
 const (
-	tidScan    = 1000
-	tidDisplay = 1001
+	tidScan       = 1000
+	tidDisplay    = 1001
+	tidStreamBase = 2000
 )
 
 func laneTID(lane int) int {
+	if id, ok := StreamOf(lane); ok {
+		return tidStreamBase + id
+	}
 	switch lane {
 	case LaneScan:
 		return tidScan
@@ -51,6 +56,9 @@ func laneTID(lane int) int {
 }
 
 func laneName(lane int) string {
+	if id, ok := StreamOf(lane); ok {
+		return fmt.Sprintf("stream %d", id)
+	}
 	switch lane {
 	case LaneScan:
 		return "scan"

@@ -49,6 +49,31 @@ const (
 	// KindDisplay is the display process delivering one frame, in
 	// display order, to the sink.
 	KindDisplay
+
+	// Multi-stream service events (internal/server). They live on
+	// per-stream lanes (StreamLane) so the timeline shows every stream's
+	// admission, shedding, and degradation history alongside the shared
+	// worker pool's task lanes.
+
+	// KindAdmit is a stream's admission: the span covers the time it
+	// waited in the admission queue (zero for an immediate admit). GOP
+	// carries the stream's priority class.
+	KindAdmit
+	// KindReject is an admission rejection (queue full, capacity
+	// exceeded, or the degradation ladder's final rung).
+	KindReject
+	// KindShed is one picture sacrificed by the degradation ladder:
+	// substituted instead of decoded. Pic is the display index; Slice
+	// carries the shed level that claimed it (ShedLevel).
+	KindShed
+	// KindDegrade is a change of a stream's degradation rung; Slice
+	// carries the new rung.
+	KindDegrade
+	// KindPause is a span a stream spent paused by the overload ladder
+	// (lowest-priority streams park under bounded backoff).
+	KindPause
+	// KindResume is a paused stream re-admitted to scheduling.
+	KindResume
 )
 
 func (k Kind) String() string {
@@ -65,16 +90,47 @@ func (k Kind) String() string {
 		return "scan"
 	case KindDisplay:
 		return "display"
+	case KindAdmit:
+		return "admit"
+	case KindReject:
+		return "reject"
+	case KindShed:
+		return "shed"
+	case KindDegrade:
+		return "degrade"
+	case KindPause:
+		return "pause"
+	case KindResume:
+		return "resume"
 	}
 	return "unknown"
 }
 
 // Lane ids of the non-worker processes. Worker lanes are the worker
-// ids themselves (>= 0).
+// ids themselves (>= 0); per-stream service lanes occupy the ids below
+// LaneDisplay (see StreamLane).
 const (
 	LaneScan    = -1
 	LaneDisplay = -2
+
+	// laneStreamBase is the first per-stream lane; stream id n maps to
+	// laneStreamBase - n.
+	laneStreamBase = -3
 )
+
+// StreamLane returns the lane id of service stream id (>= 0): each
+// stream of a multi-stream decode service records its admission, shed,
+// degradation, pause, and display events on its own lane.
+func StreamLane(id int) int { return laneStreamBase - id }
+
+// StreamOf reports whether lane is a per-stream service lane, and which
+// stream it belongs to.
+func StreamOf(lane int) (int, bool) {
+	if lane <= laneStreamBase {
+		return laneStreamBase - lane, true
+	}
+	return 0, false
+}
 
 // Event is one completed, timestamped span of decoder activity.
 // Coordinates that do not apply to the event carry -1 (a slice task of

@@ -1,0 +1,83 @@
+package server
+
+import (
+	"mpeg2par/internal/core"
+	"mpeg2par/internal/obs"
+)
+
+// task is one queued unit of pool work: one stream's planned group of
+// pictures.
+type task struct {
+	st *stream
+	t  *core.SessionTask
+}
+
+// worker is one shared-pool goroutine: pick the fairest runnable task,
+// execute it through the owning stream's session, repeat. Workers exit
+// only when the server is closed and every stream has unregistered —
+// a closing server still needs them to drain aborted streams' queues
+// (Session.Run returns a latched error without decoding, so the drain
+// is fast).
+func (s *Server) worker(wi int) {
+	defer s.wg.Done()
+	obs.Do("service", wi, func() {
+		for {
+			s.mu.Lock()
+			tk := s.pickLocked()
+			for tk == nil {
+				if s.closed && len(s.streams) == 0 {
+					s.mu.Unlock()
+					return
+				}
+				s.cond.Wait()
+				tk = s.pickLocked()
+			}
+			tk.st.inFlight++
+			s.mu.Unlock()
+
+			err := tk.st.sess.Run(tk.t, wi)
+			tk.st.complete(tk.t, err)
+		}
+	})
+}
+
+// pickLocked implements the pool's weighted fair dispatch: among
+// streams with queued tasks, run the one with the least service per
+// unit weight (weight = priority+1), ties to the lowest id. The
+// minimum always eventually runs, so no admitted stream starves, and
+// within a priority class service rates equalize — the fairness bound
+// the load tests assert. Paused streams are skipped unless they have
+// already failed (their queues must still drain for teardown).
+func (s *Server) pickLocked() *task {
+	var best *stream
+	var bestKey float64
+	for _, st := range s.streams {
+		if len(st.pending) == 0 {
+			continue
+		}
+		if st.paused && st.sess.Err() == nil {
+			continue
+		}
+		key := st.served / st.weight
+		if best == nil || key < bestKey || (key == bestKey && st.id < best.id) {
+			best, bestKey = st, key
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	tk := best.pending[0]
+	best.pending = best.pending[1:]
+	s.backlog--
+	return tk
+}
+
+// enqueue queues one planned task for the pool.
+func (s *Server) enqueue(st *stream, t *core.SessionTask) {
+	s.mu.Lock()
+	st.pending = append(st.pending, &task{st: st, t: t})
+	s.backlog++
+	s.mu.Unlock()
+	st.touch()
+	s.cond.Broadcast()
+}

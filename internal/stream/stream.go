@@ -142,6 +142,44 @@ func rebaseGOP(gr *core.GOPRange, delta int) core.GOPRange {
 	return out
 }
 
+// ScanUnits drives the incremental scan over r in chunkSize-byte reads,
+// invoking feed with each closed group of pictures as a self-contained
+// core.Unit: an owned copy of the group's bytes with the scanned range
+// rebased to it, exactly the units stream.Decode feeds its executor. A
+// feed error aborts the scan and is returned. gauge (may be nil)
+// receives in-flight window byte deltas; note (may be nil) is called
+// with the running picture count after every scan step. Returns the
+// pictures scanned and the scan-side wall time.
+//
+// This is the scan front half of the streaming pipeline with the decode
+// back half factored out — the multi-stream service uses it to feed
+// per-stream sessions whose tasks a shared pool executes.
+func ScanUnits(ctx context.Context, r io.Reader, chunkSize int, lenient bool, gauge func(int64), note func(int), feed func(core.Unit) error) (int, time.Duration, error) {
+	if chunkSize <= 0 {
+		chunkSize = DefaultChunkSize
+	}
+	ss := core.NewScanState(lenient)
+	w := &windowScanner{r: r, chunk: chunkSize, ss: ss, gauge: gauge}
+	ss.OnGOP = func(g int, gr *core.GOPRange) error {
+		// Copy the group out of the window so the window can slide on;
+		// the unit owns its bytes until its last picture completes.
+		data := append([]byte(nil), w.bytes(gr.Offset, gr.End)...)
+		return feed(core.Unit{
+			G:     g,
+			Base:  gr.Offset,
+			Data:  data,
+			Range: rebaseGOP(gr, gr.Offset),
+			Seq:   *ss.Seq(),
+		})
+	}
+	scanStart := time.Now()
+	total, err := w.run(ctx, note)
+	if err == nil {
+		_, err = ss.Finish(total)
+	}
+	return ss.Pictures(), time.Since(scanStart), err
+}
+
 // Decode runs the full streaming pipeline over r: incremental scan,
 // parallel decode in the configured mode, in-order display through the
 // sink. It blocks until the stream is exhausted and every picture
@@ -151,46 +189,27 @@ func rebaseGOP(gr *core.GOPRange, delta int) core.GOPRange {
 // Unlike the batch API, the returned Stats are non-nil even alongside
 // an error, carrying the teardown gauges (notably LeakedFrameBytes).
 func Decode(ctx context.Context, r io.Reader, opt Options) (*core.Stats, error) {
-	chunk := opt.ChunkSize
-	if chunk <= 0 {
-		chunk = DefaultChunkSize
-	}
 	exec, err := core.NewStreamExecutor(ctx, opt.Options)
 	if err != nil {
 		return &core.Stats{Mode: opt.Mode, Workers: opt.EffectiveWorkers()}, err
 	}
-	ss := core.NewScanState(opt.Resilience != core.FailFast)
-	w := &windowScanner{r: r, chunk: chunk, ss: ss, gauge: exec.AdjustBuffered}
 	lastScan := time.Now()
-	ss.OnGOP = func(g int, gr *core.GOPRange) error {
-		// Copy the group out of the window so the window can slide on;
-		// the unit owns its bytes until its last picture completes.
-		data := append([]byte(nil), w.bytes(gr.Offset, gr.End)...)
-		// The scan lane's span for this group covers reading + scanning
-		// since the previous group closed; Feed's backpressure block is
-		// recorded separately (KindFeed) so the two never double-count.
-		opt.Obs.Record(obs.KindScan, obs.LaneScan, lastScan, time.Since(lastScan), g, -1, -1)
-		err := exec.Feed(core.Unit{
-			G:     g,
-			Base:  gr.Offset,
-			Data:  data,
-			Range: rebaseGOP(gr, gr.Offset),
-			Seq:   *ss.Seq(),
+	pics, scanDur, scanErr := ScanUnits(ctx, r, opt.ChunkSize, opt.Resilience != core.FailFast,
+		exec.AdjustBuffered, exec.NoteScanned,
+		func(u core.Unit) error {
+			// The scan lane's span for this group covers reading + scanning
+			// since the previous group closed; Feed's backpressure block is
+			// recorded separately (KindFeed) so the two never double-count.
+			opt.Obs.Record(obs.KindScan, obs.LaneScan, lastScan, time.Since(lastScan), u.G, -1, -1)
+			err := exec.Feed(u)
+			lastScan = time.Now()
+			return err
 		})
-		lastScan = time.Now()
-		return err
-	}
-	scanStart := time.Now()
-	total, scanErr := w.run(ctx, exec.NoteScanned)
-	if scanErr == nil {
-		_, scanErr = ss.Finish(total)
-	}
-	scanDur := time.Since(scanStart)
 
 	st, err := exec.Finish(scanErr)
 	st.ScanTime = scanDur
 	if scanDur > 0 {
-		st.ScanRate = float64(ss.Pictures()) / scanDur.Seconds()
+		st.ScanRate = float64(pics) / scanDur.Seconds()
 	}
 	return st, err
 }

@@ -185,6 +185,21 @@ func ParseResilience(s string) (Resilience, error) { return core.ParseResilience
 // ErrorStats counts the damage a resilient decode recovered from.
 type ErrorStats = core.ErrorStats
 
+// ShedStats counts pictures sacrificed by the multi-stream service's
+// graceful-degradation ladder (Stats.Shed) — strictly disjoint from
+// ErrorStats: a shed picture is never also counted as a decode error.
+type ShedStats = core.ShedStats
+
+// ShedLevel is the service ladder's load-shedding level.
+type ShedLevel = core.ShedLevel
+
+// The shedding levels: none, B pictures, B and P pictures.
+const (
+	ShedNone = core.ShedNone
+	ShedB    = core.ShedB
+	ShedRef  = core.ShedRef
+)
+
 // FaultSpec describes one deterministic stream corruption.
 type FaultSpec = faults.Spec
 

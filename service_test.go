@@ -1,0 +1,102 @@
+package mpeg2par_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"mpeg2par"
+)
+
+// TestServiceAPI drives the public multi-stream service: concurrent
+// streams with distinct priorities and budgets, per-stream stats with
+// shed accounting, metrics, and idempotent shutdown.
+func TestServiceAPI(t *testing.T) {
+	s := testStream(t)
+	srv := mpeg2par.NewServer(mpeg2par.ServerConfig{Workers: 3})
+	defer srv.Close()
+
+	const n = 4
+	var wg sync.WaitGroup
+	stats := make([]*mpeg2par.StreamStats, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var frames int
+			stats[i], errs[i] = srv.Decode(context.Background(), mpeg2par.FromBytes(s.Data),
+				mpeg2par.WithStreamPriority(i%2),
+				mpeg2par.WithStreamResilience(mpeg2par.ConcealSlice),
+				mpeg2par.WithFrameDeadline(5*time.Second),
+				mpeg2par.WithStreamMaxInFlight(2),
+				mpeg2par.WithStreamSink(func(f *mpeg2par.Frame) { frames++ }),
+			)
+			if errs[i] == nil && frames != len(s.Pictures) {
+				errs[i] = fmt.Errorf("stream %d delivered %d of %d frames", i, frames, len(s.Pictures))
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("stream %d: %v", i, err)
+		}
+		st := stats[i].Stats
+		if st.Displayed != len(s.Pictures) {
+			t.Fatalf("stream %d displayed %d of %d", i, st.Displayed, len(s.Pictures))
+		}
+		if st.Shed.Any() || st.Errors.Any() {
+			t.Fatalf("clean unloaded stream %d reported shed %+v errors %+v", i, st.Shed, st.Errors)
+		}
+		if st.LeakedFrameBytes != 0 {
+			t.Fatalf("stream %d leaked %d frame bytes", i, st.LeakedFrameBytes)
+		}
+		if stats[i].DeadlineMisses != 0 {
+			t.Fatalf("stream %d missed %d deadlines at 5s budget", i, stats[i].DeadlineMisses)
+		}
+		if stats[i].LatencyP50() <= 0 || stats[i].LatencyP99() < stats[i].LatencyP50() {
+			t.Fatalf("stream %d latency quantiles p50=%v p99=%v", i, stats[i].LatencyP50(), stats[i].LatencyP99())
+		}
+	}
+	m := srv.Metrics()
+	if m.Admitted != n || m.Rejected != 0 || m.Wedged != 0 {
+		t.Fatalf("metrics %+v", m)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Decode(context.Background(), mpeg2par.FromBytes(s.Data)); !errors.Is(err, mpeg2par.ErrServerClosed) {
+		t.Fatalf("post-close decode err=%v", err)
+	}
+}
+
+// TestServiceForcedDegradation exercises the public degradation control:
+// at rung 1 the service sheds B pictures, reported in Stats.Shed and
+// never in Stats.Errors.
+func TestServiceForcedDegradation(t *testing.T) {
+	s := testStream(t)
+	srv := mpeg2par.NewServer(mpeg2par.ServerConfig{Workers: 2, DisableAutoDegrade: true})
+	defer srv.Close()
+	srv.SetDegradation(1)
+	if srv.Rung() != 1 {
+		t.Fatalf("rung %d after SetDegradation(1)", srv.Rung())
+	}
+	ss, err := srv.Decode(context.Background(), mpeg2par.FromBytes(s.Data),
+		mpeg2par.WithStreamResilience(mpeg2par.ConcealSlice))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ss.Stats.Shed.BPictures == 0 {
+		t.Fatalf("rung 1 shed nothing: %+v", ss.Stats.Shed)
+	}
+	if ss.Stats.Errors.Any() {
+		t.Fatalf("shedding leaked into error stats: %+v", ss.Stats.Errors)
+	}
+	if ss.Stats.Displayed != len(s.Pictures) {
+		t.Fatalf("displayed %d of %d — shed pictures must still display", ss.Stats.Displayed, len(s.Pictures))
+	}
+}
