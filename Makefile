@@ -73,7 +73,7 @@ sched:
 # Chrome trace) and the overload-teardown suite under the race
 # detector, plus a real load-harness run through the CLI.
 service:
-	$(GO) test -race -count=1 -run 'TestLoadSmoke|TestCancelMidDegradation|TestWatchdogWedgedStream|TestPauseLadderAndResume|TestServerCloseTeardown' ./internal/server/
+	$(GO) test -race -count=1 -run 'TestLoadSmoke|TestCancelMidDegradation|TestWatchdogWedgedStream|TestPauseLadderAndResume|TestAutoDegradeNoStarvationAtTopRung|TestServerCloseTeardown' ./internal/server/
 	$(GO) test -race -count=1 -run 'TestServiceAPI|TestServiceForcedDegradation' .
 	$(GO) run ./cmd/mpeg2load -streams 64 > /dev/null
 

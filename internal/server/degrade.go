@@ -119,10 +119,13 @@ func (s *Server) tick(now time.Time) {
 	}
 
 	// Pause expiry and watchdog.
+	pausedPending := 0
 	for _, st := range s.streams {
 		if st.paused {
 			if now.After(st.pauseUntil) {
 				s.resumeLocked(st, now)
+			} else {
+				pausedPending += len(st.pending)
 			}
 			continue
 		}
@@ -133,9 +136,12 @@ func (s *Server) tick(now time.Time) {
 		}
 	}
 
-	// Ladder moves.
+	// Ladder moves. Paused streams' queued tasks are held, not offered
+	// load — counting them would keep the ladder pinned at the top rung
+	// for as long as anyone stays paused, so only runnable backlog feeds
+	// the signal.
 	if !s.cfg.DisableAutoDegrade {
-		load := float64(s.backlog) / float64(s.cfg.Workers)
+		load := float64(s.backlog-pausedPending) / float64(s.cfg.Workers)
 		hot := load > s.cfg.HighWater || s.missEWMA > s.cfg.MissHigh
 		cold := load < s.cfg.LowWater && s.missEWMA < s.cfg.MissLow
 		if now.Sub(s.lastMove) >= s.cfg.Dwell {
@@ -162,7 +168,11 @@ func (s *Server) tick(now time.Time) {
 // add idle gaps. Each pause episode doubles the stream's backoff
 // (capped), so a stream re-paused under sustained overload still
 // resumes on a bounded schedule — re-admission is guaranteed, never
-// starved.
+// starved. A stream that has not completed a task since its last
+// resume (mustServe) is exempt: without that window, a pause expiring
+// in the same tick that stays at the top rung would re-pause the
+// stream before any worker could pick its tasks, and the lowest class
+// would see zero service for as long as the overload lasts.
 func (s *Server) pauseLowestLocked(now time.Time) {
 	lo, hi := -1, -1
 	for _, st := range s.streams {
@@ -180,7 +190,7 @@ func (s *Server) pauseLowestLocked(now time.Time) {
 		return
 	}
 	for _, st := range s.streams {
-		if st.prio != lo || st.paused || st.sess.Err() != nil {
+		if st.prio != lo || st.paused || st.mustServe || st.sess.Err() != nil {
 			continue
 		}
 		backoff := s.cfg.PauseBase << st.pauseExp
@@ -199,9 +209,13 @@ func (s *Server) pauseLowestLocked(now time.Time) {
 }
 
 // resumeLocked lifts one stream's pause and restarts its progress
-// clock (paused time must not count against the watchdog).
+// clock (paused time must not count against the watchdog). The stream
+// is owed one completed task (mustServe) before it may be paused
+// again — the guaranteed service window that keeps bounded backoff an
+// actual progress bound rather than a pause/resume livelock.
 func (s *Server) resumeLocked(st *stream, now time.Time) {
 	st.paused = false
+	st.mustServe = true
 	st.touch()
 	s.obs.Record(obs.KindResume, st.lane, now, 0, -1, -1, s.rung)
 }

@@ -138,13 +138,16 @@ func (c *Config) normalize() {
 	}
 }
 
-// waiter is one admission-queue entry. The granter reserves capacity
-// (demand, stream slot) before closing ch; a cancelled waiter that was
-// granted concurrently returns the reservation itself.
+// waiter is one admission-queue entry. wakeWaitersLocked reserves
+// capacity (demand, stream slot) before closing ch and marks the
+// waiter reserved; Close grants without reserving. A waiter that was
+// granted but cannot proceed (cancelled concurrently, or woken by
+// Close) returns the reservation only if one was actually made.
 type waiter struct {
-	demand  float64
-	ch      chan struct{}
-	granted bool
+	demand   float64
+	ch       chan struct{}
+	granted  bool
+	reserved bool
 }
 
 // Server is the multi-stream decode service. Create with NewServer,
@@ -242,15 +245,24 @@ func (s *Server) capacity() float64 {
 // paced stream with a warm cost model, picture rate × predicted decode
 // time of an average picture; otherwise the configured flat default
 // (optimistic while uncalibrated — degradation catches what admission
-// lets through early on).
+// lets through early on). The estimate is clamped to capacity(): a
+// stream that wants more than the whole pool can never be satisfied,
+// and an unclamped demand would park it in the FIFO admission queue
+// forever — blocking every waiter behind it even on an idle pool.
+// Clamped, it admits alone on an empty pool and simply runs behind
+// real time, which the degradation ladder then handles.
 func (s *Server) demandFor(picRate float64) float64 {
+	d := s.cfg.DefaultDemand
 	if picRate > 0 && s.cost.Observations() > 0 && s.avgPicBytes > 0 {
 		perPic := s.cost.Predict(int64(s.avgPicBytes))
-		if d := picRate * perPic.Seconds(); d > 0 {
-			return d
+		if p := picRate * perPic.Seconds(); p > 0 {
+			d = p
 		}
 	}
-	return s.cfg.DefaultDemand
+	if cap := s.capacity(); d > cap {
+		d = cap
+	}
+	return d
 }
 
 func (s *Server) canAdmitLocked(d float64) bool {
@@ -265,6 +277,7 @@ func (s *Server) wakeWaitersLocked() {
 		s.demand += w.demand
 		s.nslots++
 		w.granted = true
+		w.reserved = true
 		close(w.ch)
 	}
 }
@@ -301,10 +314,15 @@ func (s *Server) admit(ctx ctxDone, picRate float64) (float64, error) {
 	select {
 	case <-w.ch:
 		s.mu.Lock()
-		closed := s.closed
+		closed, reserved := s.closed, w.reserved
 		s.mu.Unlock()
 		if closed {
-			s.releaseSlot(d)
+			// Close grants waiters without reserving capacity; return
+			// the reservation only if wakeWaitersLocked made one before
+			// the shutdown.
+			if reserved {
+				s.releaseSlot(d)
+			}
 			return 0, ErrServerClosed
 		}
 		return d, nil
@@ -312,10 +330,13 @@ func (s *Server) admit(ctx ctxDone, picRate float64) (float64, error) {
 		s.mu.Lock()
 		if w.granted {
 			// Granted concurrently with cancellation: return the
-			// reservation and pass it on.
-			s.demand -= d
-			s.nslots--
-			s.wakeWaitersLocked()
+			// reservation (if any — Close grants without reserving) and
+			// pass it on.
+			if w.reserved {
+				s.demand -= d
+				s.nslots--
+				s.wakeWaitersLocked()
+			}
 			s.mu.Unlock()
 			return 0, ctx.Err()
 		}
@@ -370,19 +391,18 @@ func (s *Server) unregister(st *stream) {
 	s.cond.Broadcast()
 }
 
-// notePicBytes feeds the admission estimator's bytes-per-picture EWMA.
-func (s *Server) notePicBytes(bytes int64, pics int) {
+// notePicBytesLocked feeds the admission estimator's bytes-per-picture
+// EWMA from one completed task. Called with s.mu held.
+func (s *Server) notePicBytesLocked(bytes int64, pics int) {
 	if pics <= 0 {
 		return
 	}
 	per := float64(bytes) / float64(pics)
-	s.mu.Lock()
 	if s.avgPicBytes == 0 {
 		s.avgPicBytes = per
 	} else {
 		s.avgPicBytes += 0.2 * (per - s.avgPicBytes)
 	}
-	s.mu.Unlock()
 }
 
 // Metrics is a point-in-time snapshot of the service's gauges.

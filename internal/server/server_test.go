@@ -6,6 +6,7 @@ import (
 	"errors"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -477,6 +478,66 @@ func TestPauseLadderAndResume(t *testing.T) {
 		t.Fatalf("ladder events missing from stream lane: %d pauses, %d resumes, %d degrades", pauses, resumes, degrades)
 	}
 	srv.SetDegradation(0)
+}
+
+// TestAutoDegradeNoStarvationAtTopRung: with the auto ladder held at
+// the top rung by sustained two-class overload, the paused low class
+// must still make progress — every pause/resume cycle owes it at least
+// one completed task before it may be re-paused, and paused streams'
+// queued tasks must not count as offered load. The discriminating
+// assertion is that the short low-priority stream finishes while the
+// long high-priority one is still running: a ladder that re-pauses a
+// resumed stream in the same monitor tick gives the low class zero
+// service until the overload itself ends.
+func TestAutoDegradeNoStarvationAtTopRung(t *testing.T) {
+	loData := testStream(t, 48, 32, 32, 4)
+	hiData := testStream(t, 48, 32, 256, 4)
+	srv := server.NewServer(server.Config{
+		Workers: 1,
+		Tick:    time.Millisecond, Dwell: 2 * time.Millisecond,
+		HighWater: 0.5, LowWater: 0.25,
+		PauseBase: 5 * time.Millisecond, PauseMax: 20 * time.Millisecond,
+	})
+	defer srv.Close()
+
+	type result struct {
+		ss  *server.StreamStats
+		err error
+	}
+	var hiDone atomic.Bool
+	hiC := make(chan result, 1)
+	go func() {
+		ss, err := srv.Decode(context.Background(), bytes.NewReader(hiData), server.StreamConfig{
+			Priority: 1, MaxInFlight: 2,
+			Sink: func(f *frame.Frame) { time.Sleep(2 * time.Millisecond) },
+		})
+		hiDone.Store(true)
+		hiC <- result{ss, err}
+	}()
+	loC := make(chan result, 1)
+	go func() {
+		ss, err := srv.Decode(context.Background(), bytes.NewReader(loData), server.StreamConfig{
+			Priority: 0, MaxInFlight: 2,
+			Sink: func(f *frame.Frame) { time.Sleep(time.Millisecond) },
+		})
+		loC <- result{ss, err}
+	}()
+
+	rlo := <-loC
+	hiStillRunning := !hiDone.Load()
+	rhi := <-hiC
+	if rlo.err != nil || rhi.err != nil {
+		t.Fatalf("lo=%v hi=%v", rlo.err, rhi.err)
+	}
+	if rlo.ss.Paused == 0 {
+		t.Fatal("ladder never paused the low-priority stream — overload did not reach the top rung")
+	}
+	if rlo.ss.Stats.Displayed != rlo.ss.Stats.Pictures {
+		t.Fatalf("low stream displayed %d of %d", rlo.ss.Stats.Displayed, rlo.ss.Stats.Pictures)
+	}
+	if !hiStillRunning {
+		t.Fatal("low stream starved: it only finished after the high stream's overload ended")
+	}
 }
 
 // TestCancelMidDegradation is the overload-teardown acceptance:

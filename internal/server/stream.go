@@ -59,6 +59,7 @@ type stream struct {
 	inFlight    int
 	served      float64 // pictures completed, the fair-dispatch key
 	paused      bool
+	mustServe   bool // resumed but no task completed yet: exempt from re-pause
 	pauseUntil  time.Time
 	pauseExp    int // backoff exponent (doubles each pause episode)
 	pausedCount int
@@ -134,15 +135,9 @@ func (st *stream) complete(t *core.SessionTask, err error) {
 	s := st.srv
 	s.mu.Lock()
 	st.inFlight--
+	st.mustServe = false // the post-resume service window has been honored
 	st.served += float64(t.Pictures())
-	if n := t.Pictures(); n > 0 {
-		per := float64(t.Bytes()) / float64(n)
-		if s.avgPicBytes == 0 {
-			s.avgPicBytes = per
-		} else {
-			s.avgPicBytes += 0.2 * (per - s.avgPicBytes)
-		}
-	}
+	s.notePicBytesLocked(t.Bytes(), t.Pictures())
 	s.mu.Unlock()
 	st.touch()
 	<-st.tokens
