@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: verify vet build test race bench perf fuzz faults stream compat trace sched kernels cross service
+.PHONY: verify vet build test race bench perf fuzz faults stream compat trace sched kernels cross service vldsplit apicheck
 
-verify: vet build race bench stream compat trace sched kernels cross service ## full CI gate: vet + build + race tests + bench smoke + streaming race + compat shims + traced decode + scheduler gate + kernel matrix + cross-compile + service gate
+verify: vet build race bench stream compat trace sched kernels cross service vldsplit apicheck ## full CI gate: vet + build + race tests + bench smoke + streaming race + compat shims + traced decode + scheduler gate + kernel matrix + cross-compile + service gate + split-decode gate + deprecated-API grep
 
 vet:
 	$(GO) vet ./...
@@ -77,6 +77,24 @@ service:
 	$(GO) test -race -count=1 -run 'TestServiceAPI|TestServiceForcedDegradation' .
 	$(GO) run ./cmd/mpeg2load -streams 64 > /dev/null
 
+# Intra-slice split-decode gate: indexed and speculative splits must be
+# bit-exact with the sequential oracle in every mode and policy (clean,
+# faulted, and poisoned-index streams) under the race detector, the
+# public index API must round-trip, and the experiment must show the
+# split actually parallelizes a one-slice-per-picture stream.
+vldsplit:
+	$(GO) test -race -count=1 -run 'TestSplitIndexedBitExact|TestSpeculativeSplitNoDivergence|TestPoisonedIndexFallsBack|TestSplitFaultedGolden|TestErrBadOption' ./internal/core/
+	$(GO) test -race -count=1 -run 'TestWithIndexStreaming|TestWithSpeculativeSplitStreaming|TestErrBadOptionPublic' .
+	$(GO) test -count=1 ./internal/vldsplit/
+	$(GO) test -count=1 -run TestVLDSplitExperiment -v ./internal/bench/
+
+# Deprecated-API grep gate: cmd/ and examples/ must stay on the
+# streaming entry points (Decode/ScanReader); the deprecated wrappers
+# exist for external compatibility only.
+apicheck:
+	@! grep -rn 'mpeg2par\.DecodeAll\|mpeg2par\.DecodeParallel\|mpeg2par\.Scan(' cmd/ examples/ \
+		|| { echo 'apicheck: cmd/ and examples/ must use Decode/ScanReader, not deprecated wrappers' >&2; exit 1; }
+
 # Append a perf-trajectory run to the current BENCH_<n>.json.
 perf:
 	$(GO) run ./cmd/mpeg2bench -perf -label $(or $(LABEL),local)
@@ -87,6 +105,7 @@ fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzFindStartCode -fuzztime=$(FUZZTIME) ./internal/core
 	$(GO) test -run=NONE -fuzz=FuzzScan -fuzztime=$(FUZZTIME) ./internal/core
 	$(GO) test -run=NONE -fuzz=FuzzResilientDecode -fuzztime=$(FUZZTIME) ./internal/core
+	$(GO) test -run=NONE -fuzz=FuzzSpeculativeSplit -fuzztime=$(FUZZTIME) ./internal/core
 	$(GO) test -run=NONE -fuzz=FuzzDecode -fuzztime=$(FUZZTIME) ./internal/decoder
 	$(GO) test -run=NONE -fuzz=FuzzStreamScan -fuzztime=$(FUZZTIME) ./internal/stream
 

@@ -123,6 +123,33 @@ func WithChunkSize(n int) Option {
 	return func(c *decodeConfig) { c.opt.ChunkSize = n }
 }
 
+// WithIndex supplies a split index (see BuildIndex): slices the index
+// covers are fanned out across the worker pool as independent
+// macroblock-row segments instead of decoding on one worker. Every
+// segment's exit state is verified against the recorded entry state of
+// the next; any mismatch — including a stale or corrupted index — falls
+// back to sequential decode of that slice, so output stays bit-exact in
+// every mode and policy. Split activity is reported in Stats.Split.
+func WithIndex(idx *Index) Option {
+	return func(c *decodeConfig) { c.opt.SplitIndex = idx }
+}
+
+// WithSpeculativeSplit enables speculative intra-slice splitting for
+// slices with no index entry: the decoder guesses resynchronization
+// points near macroblock-row boundaries, decodes the segments
+// optimistically, and keeps the result only if every segment's entry
+// state verifies exactly; otherwise the slice is re-decoded
+// sequentially. Wrong guesses cost time, never correctness.
+func WithSpeculativeSplit(on bool) Option {
+	return func(c *decodeConfig) { c.opt.SpeculativeSplit = on }
+}
+
+// WithSplitParts overrides how many segments a split slice is divided
+// into (default: the worker count, minimum two).
+func WithSplitParts(n int) Option {
+	return func(c *decodeConfig) { c.opt.SplitParts = n }
+}
+
 // WithTrace attaches a timeline recorder to the decode: every process —
 // scan, workers, display — logs its scheduling events (task spans, queue
 // and barrier waits, feed backpressure) into rec's per-lane ring

@@ -65,6 +65,13 @@ func main() {
 		}
 		return
 	}
+	if *exp == "vldsplit" {
+		if err := runVLDSplit(*perfOut, *perfLabel, *traceWorkers); err != nil {
+			fmt.Fprintf(os.Stderr, "mpeg2bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *sched {
 		if err := runSched(*traceWorkers, *repeat, *jsonOut); err != nil {
 			fmt.Fprintf(os.Stderr, "mpeg2bench: %v\n", err)
@@ -248,6 +255,29 @@ func runService(out, label string, workers int) error {
 		return err
 	}
 	fmt.Printf("%s: service run %q appended (%d runs total)\n", out, label, len(pf.Runs))
+	return nil
+}
+
+// runVLDSplit executes the intra-slice split-decode experiment
+// (internal/bench/vldsplit.go) and appends the measurement to the
+// selected BENCH_<n>.json as a PerfRun with only the VLDSplit point set.
+func runVLDSplit(out, label string, workers int) error {
+	if out == "" {
+		out = pickBenchFile(false)
+	}
+	if label == "" {
+		label = "vldsplit-" + time.Now().UTC().Format("20060102T150405Z")
+	}
+	res, err := bench.VLDSplit(bench.VLDSplitConfig{Workers: workers})
+	if err != nil {
+		return err
+	}
+	res.WriteText(os.Stdout)
+	pf, err := bench.AppendPerfRun(out, bench.VLDSplitRun(label, &res.Point))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: vldsplit run %q appended (%d runs total)\n", out, label, len(pf.Runs))
 	return nil
 }
 

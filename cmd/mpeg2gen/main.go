@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -26,6 +27,8 @@ func main() {
 	quiet := flag.Bool("q", false, "suppress the summary")
 	interlaced := flag.Bool("interlaced", false, "interlaced source and coding tools (field prediction/DCT)")
 	nogop := flag.Bool("nogop", false, "omit GOP headers (sequence-layer grouping, MPEG-2 option)")
+	rows := flag.Int("rows", 0, "macroblock rows per slice (0 = one row per slice; large values make few, tall slices)")
+	idxOut := flag.String("index", "", "also build a split index of the generated stream and write it here (feeds WithIndex)")
 	flag.Parse()
 
 	var w, h int
@@ -42,6 +45,7 @@ func main() {
 		RepeatSequenceHeader: true,
 		Interlaced:           *interlaced,
 		OmitGOPHeaders:       *nogop,
+		RowsPerSlice:         *rows,
 	}
 	var stream *mpeg2par.Stream
 	var err error
@@ -56,6 +60,23 @@ func main() {
 	}
 	if err := os.WriteFile(*out, stream.Data, 0o644); err != nil {
 		fatal("write: %v", err)
+	}
+	if *idxOut != "" {
+		idx, err := mpeg2par.BuildIndex(context.Background(), mpeg2par.FromBytes(stream.Data))
+		if err != nil {
+			fatal("index: %v", err)
+		}
+		raw, err := idx.MarshalBinary()
+		if err != nil {
+			fatal("index: %v", err)
+		}
+		if err := os.WriteFile(*idxOut, raw, 0o644); err != nil {
+			fatal("write index: %v", err)
+		}
+		if !*quiet {
+			fmt.Printf("%s: split index, %d slices, %d points, %d bytes\n",
+				*idxOut, idx.Slices(), idx.Points(), len(raw))
+		}
 	}
 	if !*quiet {
 		var iBits, pBits, bBits, nI, nP, nB int

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +23,7 @@ func main() {
 	veryVerbose := flag.Bool("vv", false, "list every slice")
 	check := flag.Bool("check", false, "validate stream structure and VBV conformance")
 	hist := flag.Bool("hist", false, "print per-GOP and per-picture byte-size histograms (the scheduler's cost-model input)")
+	idxPath := flag.String("index", "", "split-index file to summarize against the stream (see mpeg2gen -index)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: mpeg2info [-v|-vv] stream.m2v")
@@ -32,7 +34,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mpeg2info: %v\n", err)
 		os.Exit(1)
 	}
-	m, err := mpeg2par.Scan(data)
+	m, err := mpeg2par.ScanReader(bytes.NewReader(data), 0)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mpeg2info: %v\n", err)
 		os.Exit(1)
@@ -48,6 +50,12 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println("check: stream structure and VBV conformance OK")
+	}
+	if *idxPath != "" {
+		if err := summarizeIndex(*idxPath, data, m); err != nil {
+			fmt.Fprintf(os.Stderr, "mpeg2info: %v\n", err)
+			os.Exit(1)
+		}
 	}
 	if *hist {
 		var gopBytes, picBytes []int
@@ -83,6 +91,35 @@ func main() {
 			}
 		}
 	}
+}
+
+// summarizeIndex loads a split index and reports how much of this
+// stream's slice population it covers: indexed slices fan out across
+// the worker pool as independent macroblock-row segments.
+func summarizeIndex(path string, data []byte, m *mpeg2par.StreamMap) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	idx := mpeg2par.NewIndex()
+	if err := idx.UnmarshalBinary(raw); err != nil {
+		return fmt.Errorf("index %s: %v", path, err)
+	}
+	slices, covered, points := 0, 0, 0
+	for g := range m.GOPs {
+		for pi := range m.GOPs[g].Pictures {
+			for _, s := range m.GOPs[g].Pictures[pi].Slices {
+				slices++
+				if pts := idx.Lookup(data[s.Offset:s.End]); pts != nil {
+					covered++
+					points += len(pts)
+				}
+			}
+		}
+	}
+	fmt.Printf("split index: %d indexed slices (%d points); this stream: %d of %d slices covered, %d usable split points\n",
+		idx.Slices(), idx.Points(), covered, slices, points)
+	return nil
 }
 
 // printHist renders a linear-bucket histogram of byte sizes — the raw

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
@@ -63,11 +64,17 @@ func main() {
 }
 
 func decode(path string) []*mpeg2par.Frame {
-	data, err := os.ReadFile(path)
+	f, err := os.Open(path)
 	if err != nil {
 		fatal("%v", err)
 	}
-	frames, err := mpeg2par.DecodeAll(data)
+	defer f.Close()
+	var frames []*mpeg2par.Frame
+	_, err = mpeg2par.Decode(context.Background(), mpeg2par.FromReader(f),
+		mpeg2par.WithMode(mpeg2par.ModeSequential),
+		mpeg2par.WithWorkers(1),
+		mpeg2par.WithFrameSink(func(fr *mpeg2par.Frame) { frames = append(frames, fr.Clone()) }),
+	)
 	if err != nil {
 		fatal("decode %s: %v", path, err)
 	}

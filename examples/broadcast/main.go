@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -13,6 +14,8 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+
 	// An interlaced broadcast stream (field-coded, like real DTV).
 	src := mpeg2par.NewInterlacedSynth(352, 240)
 	stream, err := mpeg2par.EncodeFrames(mpeg2par.StreamConfig{
@@ -26,7 +29,7 @@ func main() {
 		len(stream.Pictures), stream.BitsPerSecond(30)/1e6)
 
 	// Clean reception first.
-	clean := decode(stream.Data, false)
+	clean, _ := decode(ctx, stream.Data, mpeg2par.FailFast)
 	fmt.Printf("clean reception:     avg PSNR %.2f dB\n", avgPSNR(src, clean))
 
 	// Corrupt ~2% of the payload bursts (transmission errors).
@@ -40,37 +43,31 @@ func main() {
 	}
 
 	// Without concealment the decode dies at the first bad slice.
-	if _, err := mpeg2par.DecodeParallel(damaged, mpeg2par.Options{
-		Mode: mpeg2par.ModeSliceImproved, Workers: 4,
-	}); err != nil {
+	if _, err := mpeg2par.Decode(ctx, mpeg2par.FromBytes(damaged),
+		mpeg2par.WithMode(mpeg2par.ModeSliceImproved),
+		mpeg2par.WithWorkers(4),
+	); err != nil {
 		fmt.Printf("without concealment: decode fails (%v)\n", err)
 	}
 
 	// With concealment the receiver keeps displaying.
-	var frames []*mpeg2par.Frame
-	stats, err := mpeg2par.DecodeParallel(damaged, mpeg2par.Options{
-		Mode:    mpeg2par.ModeSliceImproved,
-		Workers: 4,
-		Conceal: true,
-		Sink:    func(f *mpeg2par.Frame) { frames = append(frames, f.Clone()) },
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
+	frames, stats := decode(ctx, damaged, mpeg2par.ConcealSlice)
 	fmt.Printf("with concealment:    avg PSNR %.2f dB, %d macroblocks patched, all %d pictures shown\n",
-		avgPSNR(src, frames), stats.Concealed, stats.Displayed)
+		avgPSNR(src, frames), stats.Errors.ConcealedMBs, stats.Displayed)
 }
 
-func decode(data []byte, conceal bool) []*mpeg2par.Frame {
+func decode(ctx context.Context, data []byte, pol mpeg2par.Resilience) ([]*mpeg2par.Frame, *mpeg2par.Stats) {
 	var frames []*mpeg2par.Frame
-	_, err := mpeg2par.DecodeParallel(data, mpeg2par.Options{
-		Mode: mpeg2par.ModeSliceImproved, Workers: 4, Conceal: conceal,
-		Sink: func(f *mpeg2par.Frame) { frames = append(frames, f.Clone()) },
-	})
+	stats, err := mpeg2par.Decode(ctx, mpeg2par.FromBytes(data),
+		mpeg2par.WithMode(mpeg2par.ModeSliceImproved),
+		mpeg2par.WithWorkers(4),
+		mpeg2par.WithResilience(pol),
+		mpeg2par.WithFrameSink(func(f *mpeg2par.Frame) { frames = append(frames, f.Clone()) }),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	return frames
+	return frames, stats
 }
 
 func avgPSNR(src *mpeg2par.InterlacedSynth, frames []*mpeg2par.Frame) float64 {

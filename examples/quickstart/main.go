@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -11,6 +12,8 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+
 	// 1. Generate a 352x240 test stream: 26 pictures, 13-picture closed
 	//    GOPs, 5 Mb/s — the shape of the paper's test streams.
 	stream, err := mpeg2par.GenerateStream(mpeg2par.StreamConfig{
@@ -27,18 +30,16 @@ func main() {
 		len(stream.Pictures), len(stream.Data), stream.BitsPerSecond(30)/1e6)
 
 	// 2. Decode sequentially — the reference result.
-	want, err := mpeg2par.DecodeAll(stream.Data)
-	if err != nil {
-		log.Fatal(err)
-	}
+	want := decode(ctx, stream.Data,
+		mpeg2par.WithMode(mpeg2par.ModeSequential), mpeg2par.WithWorkers(1))
 
 	// 3. Decode with the improved slice-level parallel decoder.
 	var got []*mpeg2par.Frame
-	stats, err := mpeg2par.DecodeParallel(stream.Data, mpeg2par.Options{
-		Mode:    mpeg2par.ModeSliceImproved,
-		Workers: 4,
-		Sink:    func(f *mpeg2par.Frame) { got = append(got, f.Clone()) },
-	})
+	stats, err := mpeg2par.Decode(ctx, mpeg2par.FromBytes(stream.Data),
+		mpeg2par.WithMode(mpeg2par.ModeSliceImproved),
+		mpeg2par.WithWorkers(4),
+		mpeg2par.WithFrameSink(func(f *mpeg2par.Frame) { got = append(got, f.Clone()) }),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -53,7 +54,59 @@ func main() {
 	}
 	fmt.Printf("all %d frames bit-exact with the sequential decoder\n", len(want))
 
-	// 5. Quality sanity check against the original synthetic scene.
+	// 5. Intra-slice parallelism: slice modes get nothing from a stream
+	//    coded with one tall slice per picture (VLD is sequential inside
+	//    a slice). A split index breaks that wall: build it once, then
+	//    indexed slices are fanned out across the workers as independent
+	//    macroblock-row segments (still bit-exact — every segment's
+	//    entry state is verified against the recorded one).
+	tall, err := mpeg2par.GenerateStream(mpeg2par.StreamConfig{
+		Width:        352,
+		Height:       240,
+		Pictures:     26,
+		GOPSize:      13,
+		BitRate:      5_000_000,
+		RowsPerSlice: 240 / 16, // all 15 macroblock rows in one slice
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tallWant := decode(ctx, tall.Data,
+		mpeg2par.WithMode(mpeg2par.ModeSequential), mpeg2par.WithWorkers(1))
+	idx, err := mpeg2par.BuildIndex(ctx, mpeg2par.FromBytes(tall.Data))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var split []*mpeg2par.Frame
+	sstats, err := mpeg2par.Decode(ctx, mpeg2par.FromBytes(tall.Data),
+		mpeg2par.WithMode(mpeg2par.ModeSliceImproved),
+		mpeg2par.WithWorkers(4),
+		mpeg2par.WithIndex(idx),
+		mpeg2par.WithFrameSink(func(f *mpeg2par.Frame) { split = append(split, f.Clone()) }),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := range tallWant {
+		if !tallWant[i].Equal(split[i]) {
+			log.Fatalf("frame %d differs under the split index", i)
+		}
+	}
+	fmt.Printf("split decode of a one-slice-per-picture stream: %d slices split into %d segments (%d verified), still bit-exact\n",
+		sstats.Split.SlicesSplit, sstats.Split.SegmentsRun, sstats.Split.VerifyHits)
+
+	// 6. Quality sanity check against the original synthetic scene.
 	src := mpeg2par.NewSynth(352, 240)
 	fmt.Printf("first frame PSNR vs source: %.1f dB\n", mpeg2par.PSNR(src.Frame(0), want[0]))
+}
+
+func decode(ctx context.Context, data []byte, opts ...mpeg2par.Option) []*mpeg2par.Frame {
+	var frames []*mpeg2par.Frame
+	opts = append(opts, mpeg2par.WithFrameSink(func(f *mpeg2par.Frame) {
+		frames = append(frames, f.Clone())
+	}))
+	if _, err := mpeg2par.Decode(ctx, mpeg2par.FromBytes(data), opts...); err != nil {
+		log.Fatal(err)
+	}
+	return frames
 }

@@ -135,6 +135,12 @@ type PerfRun struct {
 	// trajectory, so runs carrying it usually leave Points empty.
 	Service *ServicePoint `json:"service,omitempty"`
 
+	// VLDSplit is the intra-slice split-decode measurement (mpeg2bench
+	// -exp vldsplit): profiled segment costs replayed in the simulator,
+	// plus the verify/fallback counters. Runs carrying it leave Points
+	// empty, like Service.
+	VLDSplit *VLDSplitPoint `json:"vldsplit,omitempty"`
+
 	Points []PerfPoint `json:"points"`
 }
 

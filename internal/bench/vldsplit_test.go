@@ -1,0 +1,36 @@
+package bench
+
+import (
+	"io"
+	"testing"
+)
+
+// TestVLDSplitExperiment is the acceptance gate for intra-slice
+// splitting: on a one-slice-per-picture stream the indexed split decode
+// must simulate at >=1.5x over the unsplit decode at 4 workers, verify
+// every segment chain, and reproduce the sequential frames bit-exactly.
+func TestVLDSplitExperiment(t *testing.T) {
+	res, err := VLDSplit(VLDSplitConfig{Pictures: 13, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.WriteText(io.Discard)
+	p := &res.Point
+	if !p.BitExact {
+		t.Fatal("indexed split decode is not bit-exact with the sequential oracle")
+	}
+	if p.SlicesSplit == 0 || p.SegmentsRun == 0 {
+		t.Fatalf("experiment split nothing: %+v", p)
+	}
+	if p.VerifyMisses != 0 || p.Fallbacks != 0 {
+		t.Fatalf("exact index failed verification: %+v", p)
+	}
+	if p.Speedup < 1.5 {
+		t.Fatalf("simulated split speedup %.2fx at %d workers, want >= 1.5x", p.Speedup, p.Workers)
+	}
+	// Speculation accounting is conservation: every speculative slice
+	// either verified or fell back.
+	if p.SpecVerifyHits+p.SpecVerifyMisses == 0 && p.SpecSegments > 0 {
+		t.Fatalf("speculative segments ran but nothing was verified or refuted: %+v", p)
+	}
+}

@@ -39,9 +39,26 @@ func (a Affinity) String() string {
 
 // taskRow returns the macroblock row of picture task ti, or -1 when the
 // task has no meaningful row (whole-picture substitutes, empty groups).
-// Slice-mode tasks are individual slices; resilient-plan tasks are
-// row groups, keyed by their first slice's row.
+// Slice-mode tasks are individual slices; resilient-plan tasks are row
+// groups, keyed by their first slice's row; segments of a split slice
+// are keyed by the row their entry point starts on.
 func taskRow(p *picState, ti int) int {
+	if p.tasks != nil {
+		if ti < 0 || ti >= len(p.tasks) {
+			return -1
+		}
+		t := p.tasks[ti]
+		if t.join != nil {
+			if t.seg == 0 {
+				return t.join.sr.Row
+			}
+			if mbw := p.params.MBWidth; mbw > 0 {
+				return (t.join.pts[t.seg-1].State.PrevAddr + 1) / mbw
+			}
+			return -1
+		}
+		ti = t.base
+	}
 	if p.groups != nil {
 		if ti < 0 || ti >= len(p.groups) || len(p.groups[ti]) == 0 {
 			return -1

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -10,7 +11,18 @@ import (
 	"mpeg2par/internal/memtrace"
 	"mpeg2par/internal/obs"
 	"mpeg2par/internal/sched"
+	"mpeg2par/internal/vldsplit"
 )
+
+// ErrBadOption is the sentinel every option-validation failure wraps:
+// errors.Is(err, ErrBadOption) distinguishes a misconfigured decode from
+// stream damage, and the wrapping message names the offending option.
+var ErrBadOption = errors.New("invalid option")
+
+// badOption reports an option-validation failure, naming the option.
+func badOption(format string, args ...any) error {
+	return fmt.Errorf("core: %w: %s", ErrBadOption, fmt.Sprintf(format, args...))
+}
 
 // Mode selects the parallelization strategy.
 type Mode int
@@ -120,6 +132,27 @@ type Options struct {
 	// estimates into absolute time across runs. Shared across decodes;
 	// ModeAuto uses it to phrase its decision in predicted wall time.
 	Cost *sched.CostModel
+
+	// SplitIndex, when non-nil, supplies exact intra-slice split points
+	// (see internal/vldsplit): slices spanning two or more macroblock
+	// rows whose content the index knows are fanned out as parallel
+	// row-segments in the slice-grain modes. Output stays bit-exact —
+	// the join verifies every segment chain and falls back to a
+	// sequential re-decode on any mismatch, so even a poisoned index
+	// only costs time.
+	SplitIndex *vldsplit.Index
+
+	// SpeculativeSplit enables guessed split points for tall slices the
+	// index does not cover (or when no index is given): resync
+	// candidates are found by trial-parsing near even payload fractions
+	// and verified at the join exactly like indexed points. A wrong
+	// guess costs a sequential fallback, never wrong pixels.
+	SpeculativeSplit bool
+
+	// SplitParts overrides how many segments a split slice targets
+	// (0 selects max(Workers, 2)). Profiling runs set it to capture
+	// per-segment costs on a single worker.
+	SplitParts int
 }
 
 // EffectiveWorkers returns the worker count a decode in this mode
@@ -199,6 +232,12 @@ type Stats struct {
 	// decode error.
 	Shed ShedStats
 
+	// Split accounts the intra-slice split decoder (zero unless
+	// Options.SplitIndex or Options.SpeculativeSplit was set and tall
+	// slices were found). Disjoint from Errors and Shed: a verify miss
+	// is a failed speculation, not stream damage.
+	Split SplitStats
+
 	// Auto records a ModeAuto run's scheduling decision (nil for fixed
 	// modes). Stats.Mode and Stats.Workers report the resolved values.
 	Auto *AutoDecision
@@ -242,7 +281,7 @@ func (s *Stats) PicturesPerSecond() float64 {
 // Decode runs the parallel decoder over a complete elementary stream.
 func Decode(data []byte, opt Options) (*Stats, error) {
 	if opt.Workers < 1 {
-		return nil, fmt.Errorf("core: need at least one worker")
+		return nil, badOption("Workers=%d (need at least one worker)", opt.Workers)
 	}
 	scanFn := Scan
 	if opt.Resilience != FailFast {
@@ -261,7 +300,10 @@ func Decode(data []byte, opt Options) (*Stats, error) {
 // (callers sweeping worker counts scan once).
 func DecodeScanned(data []byte, m *StreamMap, opt Options) (*Stats, error) {
 	if opt.Workers < 1 {
-		return nil, fmt.Errorf("core: need at least one worker")
+		return nil, badOption("Workers=%d (need at least one worker)", opt.Workers)
+	}
+	if opt.SplitParts < 0 {
+		return nil, badOption("SplitParts=%d (must be >= 0)", opt.SplitParts)
 	}
 	var auto *AutoDecision
 	if opt.Mode == ModeAuto {
@@ -288,7 +330,7 @@ func DecodeScanned(data []byte, m *StreamMap, opt Options) (*Stats, error) {
 	case opt.Mode == ModeSliceSimple || opt.Mode == ModeSliceImproved:
 		err = decodeSliceMode(data, m, opt, st)
 	default:
-		err = fmt.Errorf("core: unknown mode %d", int(opt.Mode))
+		err = badOption("Mode=%d (unknown mode)", int(opt.Mode))
 	}
 	if err != nil {
 		return nil, err

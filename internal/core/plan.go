@@ -60,6 +60,14 @@ type planBuilder struct {
 	seed    int64
 	pl      plan
 
+	// Intra-slice split configuration (setSplit): when on, every planned
+	// single-slice row group whose slice spans multiple rows is expanded
+	// into segment tasks. scratch recycles the speculative probe buffer
+	// across planned pictures (addGOP runs on one goroutine).
+	splitOn  bool
+	splitOpt Options
+	scratch  []mpeg2.MB
+
 	displayBase int
 	lastRef     int // most recent reference picture, across GOPs (a
 	// scheduling barrier for the improved slice mode, not a data
@@ -79,6 +87,17 @@ func newPlanBuilder(seq *mpeg2.SequenceHeader, policy Resilience, packing Packin
 	return &planBuilder{seq: seq, policy: policy, packing: packing, seed: seed, lastRef: -1}
 }
 
+// setSplit arms intra-slice task splitting for subsequently planned
+// groups (no-op unless opt configures a split source and a slice-grain
+// mode — the sequential and GOP executors iterate row groups whole, so
+// splitting would only waste plan-time probing there).
+func (b *planBuilder) setSplit(opt Options) {
+	if splitEligible(opt) {
+		b.splitOn = true
+		b.splitOpt = opt
+	}
+}
+
 // buildPlan resolves a lenient (or strict) scan into a decode plan under
 // the given resilience policy. FailFast and ConcealSlice treat
 // picture-level damage as a hard error; ConcealPicture substitutes such
@@ -86,6 +105,7 @@ func newPlanBuilder(seq *mpeg2.SequenceHeader, policy Resilience, packing Packin
 // anchor.
 func buildPlan(data []byte, m *StreamMap, opt Options) (*plan, error) {
 	b := newPlanBuilder(&m.Seq, opt.Resilience, opt.Packing, opt.PackSeed)
+	b.setSplit(opt)
 	for g := range m.GOPs {
 		if _, err := b.addGOP(data, g, &m.GOPs[g]); err != nil {
 			return nil, err
@@ -280,6 +300,19 @@ func (b *planBuilder) addGOP(data []byte, g int, gop *GOPRange) ([]*picState, er
 				costs[gi] = groupCost(ps.rng.Slices, grp)
 			}
 			ps.order = packOrder(costs, b.packing, b.seed+int64(len(pl.pics)))
+			ps.bounds = sliceSpanBounds(ps.rng.Slices, &ps.params)
+			if b.splitOn {
+				// Only a row group holding a single slice can split: a
+				// multi-slice group exists because same-row slices must
+				// serialize, which a segment fan-out would break.
+				buildSplitTasks(ps, data, b.splitOpt, b.seed+int64(len(pl.pics)),
+					len(ps.groups), func(gi int) int {
+						if len(ps.groups[gi]) == 1 {
+							return ps.groups[gi][0]
+						}
+						return -1
+					}, &b.scratch)
+			}
 		}
 		ps.remaining = ps.nTasks
 
@@ -305,11 +338,11 @@ func (b *planBuilder) addGOP(data []byte, g int, gop *GOPRange) ([]*picState, er
 	return pl.pics[first:], nil
 }
 
-// buildRowGroups partitions a picture's slices into per-macroblock-row
-// task groups, preserving scan order within each group. Slices of
-// different rows write disjoint pixels (DecodeSliceInto rejects
-// out-of-row macroblocks), so groups may run on any workers in any
-// order; slices *within* a row could overlap when the stream is
+// buildRowGroups partitions a picture's slices into per-starting-row
+// task groups, preserving scan order within each group. Slices starting
+// on different rows write disjoint pixels (each is bounded by the next
+// claimed row, see sliceSpanBounds), so groups may run on any workers in
+// any order; slices *within* a row could overlap when the stream is
 // corrupted, so they execute serially inside one task. On a clean
 // one-slice-per-row stream this degenerates to one slice per task —
 // the exact parallel grain of the non-resilient decoder.

@@ -84,7 +84,7 @@ func decodePlanPic(seq *mpeg2.SequenceHeader, pics []*picState, idx, wi int, opt
 	last := len(p.rng.Slices) - 1
 	for _, group := range p.groups {
 		for _, si := range group {
-			w, addrs, err := decodeSliceRange(p.data, seq, &p.hdr, &p.params, p.rng.Slices[si], refs, f, wi, opt.Tracer, scr)
+			w, addrs, err := decodeSliceRange(p.data, seq, &p.hdr, &p.params, p.rng.Slices[si], p.sliceBound(si), refs, f, wi, opt.Tracer, scr)
 			work.Add(w)
 			if err != nil {
 				if opt.Resilience == FailFast {
@@ -335,15 +335,20 @@ func decodeResilientSlice(m *StreamMap, pl *plan, opt Options, st *Stats) error 
 					reg := rtrace.StartRegion(context.Background(), "mpeg2par.sliceTask")
 					var work decoder.WorkStats
 					var es ErrorStats
+					var sst SplitStats
 					taskAddrs = taskAddrs[:0]
-					err := runPlanSliceTask(&m.Seq, pics, p, ti, wi, opt, &scr, &work, &es, &taskAddrs)
+					err := runPlanSliceTask(&m.Seq, pics, p, ti, wi, opt, &scr, &work, &es, &sst, &taskAddrs)
 					reg.End()
 					cost := time.Since(t0)
 					ws.Busy += cost
 					ws.Tasks++
-					opt.Obs.Record(obs.KindTask, wi, t0, cost, p.gop, p.displayIdx, ti)
+					kind := obs.KindTask
+					if _, j, _ := p.taskAt(ti); j != nil {
+						kind = obs.KindSegment
+					}
+					opt.Obs.Record(kind, wi, t0, cost, p.gop, p.displayIdx, ti)
 					if p.fate == fateDecode {
-						opt.Cost.Observe(groupCost(p.rng.Slices, p.groups[ti]), cost)
+						opt.Cost.Observe(taskBytes(p, ti), cost)
 					}
 					if err != nil { // only possible under FailFast (never batch)
 						errs.set(err)
@@ -368,6 +373,7 @@ func decodeResilientSlice(m *StreamMap, pl *plan, opt Options, st *Stats) error 
 					workMu.Lock()
 					st.Work.Add(work)
 					st.Errors.Add(es)
+					st.Split.Add(sst)
 					workMu.Unlock()
 				}
 			})
@@ -382,12 +388,13 @@ func decodeResilientSlice(m *StreamMap, pl *plan, opt Options, st *Stats) error 
 }
 
 // runPlanSliceTask executes task ti of planned picture p: the single
-// substitution step of a dropped picture, or one macroblock-row group of
-// slices. Damage is tallied into es; reconstructed macroblock addresses
-// are appended to taskAddrs. Shared by the batch and streaming slice
+// substitution step of a dropped picture, one macroblock-row group of
+// slices, or one segment of a split slice. Damage is tallied into es and
+// split activity into sst; reconstructed macroblock addresses are
+// appended to taskAddrs. Shared by the batch and streaming slice
 // executors; a non-nil error is only possible under FailFast (the
 // streaming path runs that policy through the plan executor too).
-func runPlanSliceTask(seq *mpeg2.SequenceHeader, pics []*picState, p *picState, ti, wi int, opt Options, scr *sliceScratch, work *decoder.WorkStats, es *ErrorStats, taskAddrs *[]int) error {
+func runPlanSliceTask(seq *mpeg2.SequenceHeader, pics []*picState, p *picState, ti, wi int, opt Options, scr *sliceScratch, work *decoder.WorkStats, es *ErrorStats, sst *SplitStats, taskAddrs *[]int) error {
 	if p.fate == fateSubstitute {
 		var src *frame.Frame
 		if p.subFrom >= 0 {
@@ -398,16 +405,30 @@ func runPlanSliceTask(seq *mpeg2.SequenceHeader, pics []*picState, p *picState, 
 		}
 		return nil
 	}
-	refs := decoder.Refs{}
-	if p.fwd >= 0 {
-		refs.Fwd = pics[p.fwd].frame
-	}
-	if p.bwd >= 0 {
-		refs.Bwd = pics[p.bwd].frame
-	}
+	refs := picRefs(pics, p)
 	last := len(p.rng.Slices) - 1
-	for _, si := range p.groups[ti] {
-		w, addrs, err := decodeSliceRange(p.data, seq, &p.hdr, &p.params, p.rng.Slices[si], refs, p.frame, wi, opt.Tracer, scr)
+	gi, j, seg := p.taskAt(ti)
+	if j != nil {
+		// A segment of a split slice. Only the join's (fallback) error is
+		// authoritative — a failed segment alone proves nothing about the
+		// slice, so per-segment errors stay inside the join state.
+		w, addrs, err := runSegment(seq, &p.hdr, &p.params, p.data, refs, p.frame, j, seg, wi, opt, opt.Tracer, scr, sst)
+		work.Add(w)
+		if err != nil {
+			if opt.Resilience == FailFast {
+				return err
+			}
+			es.DamagedSlices++
+			if j.si != last {
+				es.Resyncs++
+			}
+			return nil
+		}
+		*taskAddrs = append(*taskAddrs, addrs...)
+		return nil
+	}
+	for _, si := range p.groups[gi] {
+		w, addrs, err := decodeSliceRange(p.data, seq, &p.hdr, &p.params, p.rng.Slices[si], p.sliceBound(si), refs, p.frame, wi, opt.Tracer, scr)
 		work.Add(w)
 		if err != nil {
 			if opt.Resilience == FailFast {

@@ -40,11 +40,19 @@ type picState struct {
 	// means stream order. Tasks of one picture touch disjoint pixels
 	// (distinct macroblock rows, or row groups), so any order is safe.
 	order     []int
-	nTasks    int    // tasks this picture issues (slices, row groups, or one substitute)
-	remaining int    // tasks not yet completed
-	covered   []bool // macroblocks actually reconstructed
-	nCovered  int
-	complete  bool
+	nTasks    int // tasks this picture issues (slices, row groups, or one substitute)
+	remaining int // tasks not yet completed
+	// tasks, when non-nil, is the expanded task table of a picture with
+	// at least one split slice: queue indices resolve through it to an
+	// underlying slice/group or to one segment of a split slice.
+	tasks []segTask
+	// bounds holds the per-slice inclusive macroblock address bound
+	// (sliceSpanBounds): the span a slice may legally cover before the
+	// next slice's first row, which keeps concurrent slices disjoint.
+	bounds   []int
+	covered  []bool // macroblocks actually reconstructed
+	nCovered int
+	complete bool
 
 	// Resilient-plan fields (see plan.go); unused by the legacy paths.
 	gop       int     // index into StreamMap.GOPs
@@ -302,6 +310,7 @@ func (q *sliceQueue) missing(p *picState) []int {
 // packed per opt.Packing (LPT by byte size unless overridden).
 func buildPicStates(data []byte, m *StreamMap, opt Options) ([]*picState, error) {
 	var pics []*picState
+	var splitScratch []mpeg2.MB
 	refOld, refNew := -1, -1
 	lastRef := -1 // most recent reference picture across the whole stream:
 	// the improved version synchronizes at the end of every I/P picture
@@ -337,6 +346,13 @@ func buildPicStates(data []byte, m *StreamMap, opt Options) ([]*picState, error)
 			}
 			ps.order = packOrder(sliceCosts(pr.Slices), opt.Packing, opt.PackSeed+int64(len(pics)))
 			ps.params = decoder.PictureParams(&m.Seq, &ps.hdr)
+			ps.bounds = sliceSpanBounds(pr.Slices, &ps.params)
+			if splitEligible(opt) {
+				// Legacy-path base tasks are individual slices, so every
+				// slice is a split candidate.
+				buildSplitTasks(ps, data, opt, opt.PackSeed+int64(len(pics)),
+					len(pr.Slices), func(b int) int { return b }, &splitScratch)
+			}
 			switch hdr.Type {
 			case vlc.CodingP:
 				if refNew < 0 {
@@ -398,7 +414,7 @@ func decodeSliceMode(data []byte, m *StreamMap, opt Options, st *Stats) error {
 			st.SliceProf[i] = PicProfile{
 				Ref:        p.isRef,
 				Type:       "?IPB"[int(p.hdr.Type)],
-				SliceCosts: make([]time.Duration, len(p.rng.Slices)),
+				SliceCosts: make([]time.Duration, p.nTasks),
 				DisplayIdx: p.displayIdx,
 			}
 		}
@@ -421,20 +437,31 @@ func decodeSliceMode(data []byte, m *StreamMap, opt Options, st *Stats) error {
 				ws := &st.WorkerStats[wi]
 				var scr sliceScratch
 				for {
-					p, si, wait, ok := q.take(wi)
+					p, ti, wait, ok := q.take(wi)
 					ws.Wait += wait
 					if !ok {
 						return
 					}
 					t0 := time.Now()
 					reg := rtrace.StartRegion(context.Background(), "mpeg2par.sliceTask")
-					work, addrs, err := decodeOneSlice(m, pics, p, si, wi, opt, &scr)
+					var work decoder.WorkStats
+					var addrs []int
+					var err error
+					var sst SplitStats
+					kind := obs.KindTask
+					if si, j, seg := p.taskAt(ti); j != nil {
+						kind = obs.KindSegment
+						work, addrs, err = runSegment(&m.Seq, &p.hdr, &p.params, p.data,
+							picRefs(pics, p), p.frame, j, seg, wi, opt, opt.Tracer, &scr, &sst)
+					} else {
+						work, addrs, err = decodeOneSlice(m, pics, p, si, wi, opt, &scr)
+					}
 					reg.End()
 					cost := time.Since(t0)
 					ws.Busy += cost
 					ws.Tasks++
-					opt.Obs.Record(obs.KindTask, wi, t0, cost, -1, p.displayIdx, si)
-					opt.Cost.Observe(int64(p.rng.Slices[si].Bytes), cost)
+					opt.Obs.Record(kind, wi, t0, cost, -1, p.displayIdx, ti)
+					opt.Cost.Observe(taskBytes(p, ti), cost)
 					if err != nil && !opt.Conceal {
 						errs.set(err)
 						q.fail()
@@ -442,8 +469,9 @@ func decodeSliceMode(data []byte, m *StreamMap, opt Options, st *Stats) error {
 					}
 					workMu.Lock()
 					st.Work.Add(work)
+					st.Split.Add(sst)
 					if opt.Profile {
-						st.SliceProf[pindex(pics, p)].SliceCosts[si] = cost
+						st.SliceProf[pindex(pics, p)].SliceCosts[ti] = cost
 					}
 					workMu.Unlock()
 					if q.finish(p, addrs) {
@@ -539,6 +567,12 @@ type sliceScratch struct {
 // returned slice aliases scr.addrs and is valid until the worker's next
 // call.
 func decodeOneSlice(m *StreamMap, pics []*picState, p *picState, si, wi int, opt Options, scr *sliceScratch) (decoder.WorkStats, []int, error) {
+	return decodeSliceRange(p.data, &m.Seq, &p.hdr, &p.params, p.rng.Slices[si],
+		p.sliceBound(si), picRefs(pics, p), p.frame, wi, opt.Tracer, scr)
+}
+
+// picRefs resolves a picture's prediction reference frames.
+func picRefs(pics []*picState, p *picState) decoder.Refs {
 	refs := decoder.Refs{}
 	if p.fwd >= 0 {
 		refs.Fwd = pics[p.fwd].frame
@@ -546,22 +580,25 @@ func decodeOneSlice(m *StreamMap, pics []*picState, p *picState, si, wi int, opt
 	if p.bwd >= 0 {
 		refs.Bwd = pics[p.bwd].frame
 	}
-	return decodeSliceRange(p.data, &m.Seq, &p.hdr, &p.params, p.rng.Slices[si], refs, p.frame, wi, opt.Tracer, scr)
+	return refs
 }
 
 // decodeSliceRange parses and reconstructs the slice at sr into dst,
 // reading only the bytes the scan attributed to it — a corrupted slice
 // can therefore never run past its startcode-delimited range, which is
-// what makes mid-slice resync deterministic. The returned addresses
-// alias scr.addrs and are valid until the next call with the same scr.
-func decodeSliceRange(data []byte, seq *mpeg2.SequenceHeader, hdr *mpeg2.PictureHeader, params *mpeg2.PictureParams, sr SliceRange, refs decoder.Refs, dst *frame.Frame, wi int, tr memtrace.Tracer, scr *sliceScratch) (decoder.WorkStats, []int, error) {
+// what makes mid-slice resync deterministic. maxAddr is the inclusive
+// macroblock address bound of the slice's span (sliceSpanBounds), so a
+// corrupted slice can also never write pixels another concurrently
+// decoding slice owns. The returned addresses alias scr.addrs and are
+// valid until the next call with the same scr.
+func decodeSliceRange(data []byte, seq *mpeg2.SequenceHeader, hdr *mpeg2.PictureHeader, params *mpeg2.PictureParams, sr SliceRange, maxAddr int, refs decoder.Refs, dst *frame.Frame, wi int, tr memtrace.Tracer, scr *sliceScratch) (decoder.WorkStats, []int, error) {
 	scr.r.Reset(data[:sr.End])
 	scr.r.SeekBit(int64(sr.Offset) * 8)
 	code, err := scr.r.ReadStartCode()
 	if err != nil {
 		return decoder.WorkStats{}, nil, err
 	}
-	ds, err := mpeg2.DecodeSliceInto(&scr.r, params, int(code)-1, scr.mbs)
+	ds, err := mpeg2.DecodeSliceBounded(&scr.r, params, int(code)-1, maxAddr, scr.mbs)
 	scr.mbs = ds.MBs // keep the grown buffer for the next slice
 	if err != nil {
 		return decoder.WorkStats{}, nil, fmt.Errorf("core: slice row %d: %w", int(code)-1, err)

@@ -1,0 +1,401 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"mpeg2par/internal/bits"
+	"mpeg2par/internal/decoder"
+	"mpeg2par/internal/frame"
+	"mpeg2par/internal/memtrace"
+	"mpeg2par/internal/mpeg2"
+	"mpeg2par/internal/obs"
+	"mpeg2par/internal/vldsplit"
+)
+
+// SplitStats accounts the intra-slice split decoder: how many tall
+// slices were fanned out as row-segments, how the verify rule judged
+// them, and how many fell back to a sequential re-decode. Disjoint from
+// ErrorStats and ShedStats — a verify miss is a failed speculation, not
+// stream damage, and costs only time.
+type SplitStats struct {
+	// SlicesSplit counts slices decoded as parallel segments (whether or
+	// not the split verified).
+	SlicesSplit int
+	// SegmentsRun counts segment tasks executed (including the segments
+	// of splits that later failed verification).
+	SegmentsRun int
+	// VerifyHits counts splits whose segment chain verified exactly —
+	// the parallel result was adopted bit-for-bit.
+	VerifyHits int
+	// VerifyMisses counts splits rejected by the verify rule (wrong
+	// speculation or a poisoned index).
+	VerifyMisses int
+	// Fallbacks counts sequential whole-slice re-decodes after a miss.
+	Fallbacks int
+}
+
+// Add accumulates o into s.
+func (s *SplitStats) Add(o SplitStats) {
+	s.SlicesSplit += o.SlicesSplit
+	s.SegmentsRun += o.SegmentsRun
+	s.VerifyHits += o.VerifyHits
+	s.VerifyMisses += o.VerifyMisses
+	s.Fallbacks += o.Fallbacks
+}
+
+// Any reports whether any split activity was recorded.
+func (s SplitStats) Any() bool {
+	return s != SplitStats{}
+}
+
+// segTask is one entry of a picture's expanded task table. A picture
+// whose slices all decode whole has a nil task table and the queue's
+// task indices address slices (legacy path) or row groups (plan path)
+// directly; once any slice splits, every task is routed through the
+// table: base names the underlying slice/group, and join/seg identify a
+// segment of a split slice (join == nil for unsplit tasks).
+type segTask struct {
+	base int
+	join *splitJoin
+	seg  int
+}
+
+// segRes is one segment's outcome, parked until the join.
+type segRes struct {
+	err     error
+	exitBit int64
+	exit    mpeg2.SplitState
+	atEnd   bool
+	addrs   []int
+}
+
+// splitJoin is the shared state of one split slice: the split points,
+// each segment's result, and the join counter. The last segment to
+// finish verifies the chain and either adopts the parallel result or
+// re-decodes the slice sequentially (the fallback is authoritative for
+// pixels and errors, so a wrong guess or poisoned index can never
+// change output).
+type splitJoin struct {
+	si       int        // slice index within the picture (resync accounting)
+	sr       SliceRange // the slice's scanned byte range
+	maxAddr  int        // inclusive macroblock address bound of the slice span
+	pts      []vldsplit.Point
+	spec     bool    // points are unverified guesses, not an exact index
+	segBytes []int64 // per-segment byte-size cost estimates
+
+	mu   sync.Mutex
+	res  []segRes // len(pts)+1 entries
+	done int
+}
+
+// sliceSpanBounds returns, per slice, the inclusive macroblock address
+// bound of its span: from its own row up to the last row before the
+// next row any other slice of the picture claims (picture end for the
+// highest row). MPEG-2's general slice structure lets one slice span
+// many rows, so the per-slice decode bound cannot be the slice's own
+// row; bounding each slice at the next claimed row keeps concurrently
+// decoded slices writing disjoint pixels even on corrupt streams —
+// the invariant every parallel slice schedule relies on.
+func sliceSpanBounds(slices []SliceRange, params *mpeg2.PictureParams) []int {
+	mbw, mbh := params.MBWidth, params.MBHeight
+	bounds := make([]int, len(slices))
+	picEnd := mbw*mbh - 1
+	for i := range bounds {
+		bound := picEnd
+		row := slices[i].Row
+		for j := range slices {
+			if r := slices[j].Row; r > row && r*mbw-1 < bound {
+				bound = r*mbw - 1
+			}
+		}
+		bounds[i] = bound
+	}
+	return bounds
+}
+
+// sliceBound returns the decode bound of slice si, defaulting to the
+// picture end for pictures planned without bounds (substitutes).
+func (p *picState) sliceBound(si int) int {
+	if si < len(p.bounds) {
+		return p.bounds[si]
+	}
+	return p.params.MBWidth*p.params.MBHeight - 1
+}
+
+// taskAt resolves queue task index ti: the underlying slice/group index
+// and, for a segment of a split slice, its join state.
+func (p *picState) taskAt(ti int) (base int, j *splitJoin, seg int) {
+	if p.tasks == nil {
+		return ti, nil, 0
+	}
+	t := p.tasks[ti]
+	return t.base, t.join, t.seg
+}
+
+// taskBytes returns the byte-size cost estimate of queue task ti — the
+// scheduler's packing key and the cost model's per-task observation.
+func taskBytes(p *picState, ti int) int64 {
+	base, j, seg := p.taskAt(ti)
+	if j != nil {
+		return j.segBytes[seg]
+	}
+	if p.groups != nil {
+		return groupCost(p.rng.Slices, p.groups[base])
+	}
+	return int64(p.rng.Slices[base].Bytes)
+}
+
+// splitEligible reports whether this decode should attempt intra-slice
+// splits at all: a split source must be configured and the schedule must
+// be one that issues slice-grain tasks.
+func splitEligible(opt Options) bool {
+	if opt.SplitIndex == nil && !opt.SpeculativeSplit {
+		return false
+	}
+	return opt.Mode == ModeSliceSimple || opt.Mode == ModeSliceImproved
+}
+
+// splitParts resolves how many segments a split slice targets.
+func splitParts(opt Options) int {
+	if opt.SplitParts > 0 {
+		return opt.SplitParts
+	}
+	if opt.Workers > 2 {
+		return opt.Workers
+	}
+	return 2
+}
+
+// newSplitJoin decides whether the slice at sr splits and builds the
+// join state: exact split points from the index when its content is
+// known there, else (with speculation enabled) guessed resync points.
+// Returns nil when the slice spans fewer than two rows or no usable
+// points exist. scratch recycles the probe's macroblock buffer.
+func newSplitJoin(data []byte, params *mpeg2.PictureParams, si int, sr SliceRange, bound int, opt Options, scratch *[]mpeg2.MB) *splitJoin {
+	mbw := params.MBWidth
+	if mbw <= 0 || sr.Row < 0 || bound < 0 {
+		return nil
+	}
+	spanRows := bound/mbw - sr.Row + 1
+	if spanRows < 2 {
+		return nil
+	}
+	parts := splitParts(opt)
+	if parts > spanRows {
+		parts = spanRows
+	}
+	sliceBytes := data[sr.Offset:sr.End]
+	var pts []vldsplit.Point
+	spec := false
+	if opt.SplitIndex != nil {
+		pts = vldsplit.SelectPoints(opt.SplitIndex.Lookup(sliceBytes), parts)
+	}
+	if len(pts) == 0 && opt.SpeculativeSplit {
+		pts, *scratch = vldsplit.GuessPoints(sliceBytes, params, sr.Row, bound, parts, *scratch)
+		spec = true
+	}
+	if len(pts) == 0 {
+		return nil
+	}
+	j := &splitJoin{
+		si: si, sr: sr, maxAddr: bound, pts: pts, spec: spec,
+		res: make([]segRes, len(pts)+1),
+	}
+	j.segBytes = make([]int64, len(pts)+1)
+	totalBits := int64(sr.Bytes) * 8
+	prev := int64(0)
+	for k := range j.segBytes {
+		end := totalBits
+		if k < len(pts) {
+			end = pts[k].BitOff
+		}
+		b := (end - prev) / 8
+		if b < 1 {
+			b = 1
+		}
+		j.segBytes[k] = b
+		prev = end
+	}
+	return j
+}
+
+// buildSplitTasks expands a picture's base tasks (slices on the legacy
+// path, row groups on the plan path) into a segment task table, splitting
+// every eligible tall slice. nBase is the base task count; baseSlice
+// maps a base task to its single slice index, or -1 when the task is
+// not a splittable single slice. Returns false (leaving the picture's
+// task fields untouched) when nothing split.
+func buildSplitTasks(p *picState, data []byte, opt Options, seed int64, nBase int, baseSlice func(int) int, scratch *[]mpeg2.MB) bool {
+	var tasks []segTask
+	var costs []int64
+	split := false
+	for b := 0; b < nBase; b++ {
+		si := baseSlice(b)
+		if si >= 0 {
+			if j := newSplitJoin(data, &p.params, si, p.rng.Slices[si], p.sliceBound(si), opt, scratch); j != nil {
+				for seg := range j.res {
+					tasks = append(tasks, segTask{base: b, join: j, seg: seg})
+					costs = append(costs, j.segBytes[seg])
+				}
+				split = true
+				continue
+			}
+		}
+		tasks = append(tasks, segTask{base: b})
+		costs = append(costs, taskBytes(p, b))
+	}
+	if !split {
+		return false
+	}
+	p.tasks = tasks
+	p.nTasks = len(tasks)
+	p.remaining = len(tasks)
+	p.order = packOrder(costs, opt.Packing, seed)
+	return true
+}
+
+// runSegment executes one segment of a split slice and, when it is the
+// last of its join to finish, verifies the segment chain: every segment
+// must have stopped exactly at the next split point with exactly the
+// recorded predictive state, and the last must have consumed the slice
+// to its end. On a hit the concatenated per-segment coverage is adopted
+// (the decode is bit-exact with a sequential decode by construction: the
+// verified states make each segment parse the same bits under the same
+// predictors). On a miss the slice is re-decoded sequentially — that
+// result is authoritative for pixels and errors, so segment attempts
+// never leak into output. Returned addrs alias scr.addrs (join calls
+// only); the returned error is only ever the fallback's.
+func runSegment(seq *mpeg2.SequenceHeader, hdr *mpeg2.PictureHeader, params *mpeg2.PictureParams, data []byte, refs decoder.Refs, dst *frame.Frame, j *splitJoin, seg, wi int, opt Options, tr memtrace.Tracer, scr *sliceScratch, sst *SplitStats) (decoder.WorkStats, []int, error) {
+	sst.SegmentsRun++
+	sr := j.sr
+	nSeg := len(j.res)
+	startBit := int64(sr.Offset) * 8
+
+	segMax := j.maxAddr
+	var endBit int64
+	if seg < nSeg-1 {
+		if m := j.pts[seg].State.PrevAddr; m < segMax {
+			segMax = m
+		}
+		endBit = startBit + j.pts[seg].BitOff
+	}
+
+	var ds mpeg2.DecodedSlice
+	var end mpeg2.SegmentEnd
+	var err error
+	scr.r.Reset(data[:sr.End])
+	if seg == 0 {
+		scr.r.SeekBit(startBit)
+		var code byte
+		if code, err = scr.r.ReadStartCode(); err == nil {
+			ds, end, err = mpeg2.DecodeSliceHead(&scr.r, params, int(code)-1, segMax, endBit, nil, scr.mbs)
+			scr.mbs = ds.MBs
+		}
+	} else {
+		entry := j.pts[seg-1]
+		scr.r.SeekBit(startBit + entry.BitOff)
+		ds, end, err = mpeg2.DecodeSliceSegment(&scr.r, params, entry.State, segMax, endBit, scr.mbs)
+		scr.mbs = ds.MBs
+	}
+	var work decoder.WorkStats
+	if err == nil {
+		work, err = decoder.ReconSlice(seq, hdr, refs, dst, &ds, wi, tr)
+	}
+
+	res := segRes{err: err, exitBit: end.BitOff, exit: end.State, atEnd: end.AtEnd}
+	if err == nil {
+		res.addrs = make([]int, len(ds.MBs))
+		for i := range ds.MBs {
+			res.addrs[i] = ds.MBs[i].Addr
+		}
+	}
+	j.mu.Lock()
+	j.res[seg] = res
+	j.done++
+	last := j.done == nSeg
+	j.mu.Unlock()
+	if !last {
+		return work, nil, nil
+	}
+
+	// Join. The verify rule: segment k must stop exactly at split point
+	// k's bit offset (not at a premature end of slice) with predictive
+	// state exactly equal to the recorded entry state of segment k+1;
+	// the final segment must reach the slice's real end.
+	sst.SlicesSplit++
+	ok := true
+	for k := 0; k < nSeg && ok; k++ {
+		r := &j.res[k]
+		switch {
+		case r.err != nil:
+			ok = false
+		case k < nSeg-1:
+			ok = !r.atEnd && r.exitBit == startBit+j.pts[k].BitOff && r.exit == j.pts[k].State
+		default:
+			ok = r.atEnd
+		}
+	}
+	t0 := time.Now()
+	if ok {
+		sst.VerifyHits++
+		opt.Obs.Record(obs.KindVerify, wi, t0, 0, -1, -1, 1)
+		scr.addrs = scr.addrs[:0]
+		for k := range j.res {
+			scr.addrs = append(scr.addrs, j.res[k].addrs...)
+		}
+		return work, scr.addrs, nil
+	}
+	sst.VerifyMisses++
+	sst.Fallbacks++
+	opt.Obs.Record(obs.KindVerify, wi, t0, 0, -1, -1, 0)
+	w2, addrs, err := decodeSliceRange(data, seq, hdr, params, sr, j.maxAddr, refs, dst, wi, tr, scr)
+	work.Add(w2)
+	return work, addrs, err
+}
+
+// BuildIndexScanned walks a scanned stream and records exact split
+// points for every slice spanning two or more macroblock rows — the
+// encode-time (or indexing-pass) side of the intra-slice split channel.
+// Slices that fail to parse are skipped: an index is an accelerator, not
+// a validator.
+func BuildIndexScanned(data []byte, m *StreamMap) (*vldsplit.Index, error) {
+	ix := vldsplit.NewIndex()
+	var scratch []mpeg2.MB
+	for g := range m.GOPs {
+		gop := &m.GOPs[g]
+		for pi := range gop.Pictures {
+			pr := &gop.Pictures[pi]
+			if pr.Damaged || len(pr.Slices) == 0 {
+				continue
+			}
+			r := bits.NewReader(data[:pr.End])
+			r.SeekBit(int64(pr.Offset+4) * 8)
+			hdr, err := mpeg2.ParsePictureHeader(r)
+			if err != nil {
+				continue
+			}
+			params := decoder.PictureParams(&m.Seq, &hdr)
+			if params.MBWidth <= 0 || params.MBHeight <= 0 {
+				continue
+			}
+			bounds := sliceSpanBounds(pr.Slices, &params)
+			for si := range pr.Slices {
+				sr := pr.Slices[si]
+				if sr.Row < 0 || bounds[si]/params.MBWidth-sr.Row+1 < 2 {
+					continue
+				}
+				pts, scr, err := vldsplit.BuildSlice(data[sr.Offset:sr.End], &params, sr.Row, bounds[si], scratch)
+				scratch = scr
+				if err != nil || len(pts) == 0 {
+					continue
+				}
+				if err := ix.Add(data[sr.Offset:sr.End], pts); err != nil {
+					return nil, fmt.Errorf("core: indexing GOP %d picture %d slice %d: %w", g, pi, si, err)
+				}
+			}
+		}
+	}
+	return ix, nil
+}

@@ -135,7 +135,10 @@ func (e *StreamExecutor) setErr(err error) {
 // preserving the batch sequential baseline's decode order.
 func NewStreamExecutor(ctx context.Context, opt Options) (*StreamExecutor, error) {
 	if opt.Workers < 1 {
-		return nil, fmt.Errorf("core: need at least one worker")
+		return nil, badOption("Workers=%d (need at least one worker)", opt.Workers)
+	}
+	if opt.SplitParts < 0 {
+		return nil, badOption("SplitParts=%d (must be >= 0)", opt.SplitParts)
 	}
 	w := opt.Workers
 	if opt.Mode == ModeSequential {
@@ -147,10 +150,10 @@ func NewStreamExecutor(ctx context.Context, opt Options) (*StreamExecutor, error
 		// Resolved at the first Feed, when the first group's geometry is
 		// known; Options.Workers is the ceiling the policy chooses under.
 	default:
-		return nil, fmt.Errorf("core: unknown mode %d", int(opt.Mode))
+		return nil, badOption("Mode=%d (unknown mode)", int(opt.Mode))
 	}
 	if opt.Profile {
-		return nil, fmt.Errorf("core: profiling requires the batch decoder")
+		return nil, badOption("Profile requires the batch decoder")
 	}
 	return &StreamExecutor{
 		ctx:     ctx,
@@ -173,6 +176,7 @@ func (e *StreamExecutor) start(u *Unit) {
 		e.resolveAuto(u)
 	}
 	e.pb = newPlanBuilder(&e.seq, e.opt.Resilience, e.opt.Packing, e.opt.PackSeed)
+	e.pb.setSplit(e.opt)
 	e.pool = frame.NewPool(e.seq.Width, e.seq.Height)
 	if e.opt.Resilience != FailFast {
 		e.pool.SetScrub(true)
@@ -501,16 +505,21 @@ func (e *StreamExecutor) sliceWorker(wi int) {
 			reg := rtrace.StartRegion(context.Background(), "mpeg2par.sliceTask")
 			var work decoder.WorkStats
 			var es ErrorStats
+			var sst SplitStats
 			taskAddrs = taskAddrs[:0]
-			err := runPlanSliceTask(&e.seq, pics, p, ti, wi, e.opt, &scr, &work, &es, &taskAddrs)
+			err := runPlanSliceTask(&e.seq, pics, p, ti, wi, e.opt, &scr, &work, &es, &sst, &taskAddrs)
 			reg.End()
 			cost := time.Since(t0)
 			ws.Busy += cost
 			ws.Tasks++
 			e.tuner.NoteTask(cost)
-			e.opt.Obs.Record(obs.KindTask, wi, t0, cost, p.gop, p.displayIdx, ti)
+			kind := obs.KindTask
+			if _, j, _ := p.taskAt(ti); j != nil {
+				kind = obs.KindSegment
+			}
+			e.opt.Obs.Record(kind, wi, t0, cost, p.gop, p.displayIdx, ti)
 			if p.fate == fateDecode {
-				e.opt.Cost.Observe(groupCost(p.rng.Slices, p.groups[ti]), cost)
+				e.opt.Cost.Observe(taskBytes(p, ti), cost)
 			}
 			if err != nil { // only possible under FailFast
 				e.setErr(err)
@@ -543,6 +552,7 @@ func (e *StreamExecutor) sliceWorker(wi int) {
 			e.workMu.Lock()
 			e.st.Work.Add(work)
 			e.st.Errors.Add(es)
+			e.st.Split.Add(sst)
 			e.workMu.Unlock()
 		}
 	})

@@ -42,6 +42,14 @@ type Config struct {
 	// paper's §4 discusses between slice and macroblock tasks.
 	SlicesPerRow int
 
+	// RowsPerSlice bundles this many consecutive macroblock rows into a
+	// single tall slice (the general slice structure): 0 or 1 keeps one
+	// slice per row; MBHeight() or more produces one slice per picture —
+	// the worst-case geometry for slice-level parallelism and the target
+	// of the intra-slice split decoder. Mutually exclusive with
+	// SlicesPerRow > 1.
+	RowsPerSlice int
+
 	// IntraMatrix / NonIntraMatrix, when non-nil, replace the default
 	// quantization matrices (transmitted in the sequence header).
 	IntraMatrix    *[64]uint8
@@ -97,6 +105,12 @@ func (c *Config) normalize() error {
 	if c.SlicesPerRow < 0 || c.SlicesPerRow > c.MBWidth() {
 		return fmt.Errorf("encoder: %d slices per row impossible with %d macroblock columns",
 			c.SlicesPerRow, c.MBWidth())
+	}
+	if c.RowsPerSlice < 0 {
+		return fmt.Errorf("encoder: negative rows per slice")
+	}
+	if c.RowsPerSlice > 1 && c.SlicesPerRow > 1 {
+		return fmt.Errorf("encoder: RowsPerSlice and SlicesPerRow cannot both exceed 1")
 	}
 	for _, m := range []*[64]uint8{c.IntraMatrix, c.NonIntraMatrix} {
 		if m == nil {

@@ -99,22 +99,47 @@ func (e *seqEncoder) encodePicture(src Source, gopStart, tref int, typ vlc.Pictu
 	if slicesPerRow < 1 {
 		slicesPerRow = 1
 	}
-	for row := 0; row < cfg.MBHeight(); row++ {
-		mbs, err := pe.encodeRow(row, slicesPerRow)
-		if err != nil {
-			return err
-		}
-		// Emit the row as one or more slices (all share the row's
-		// startcode; the first macroblock's address increment encodes
-		// each slice's starting column).
-		per := (len(mbs) + slicesPerRow - 1) / slicesPerRow
-		for off := 0; off < len(mbs); off += per {
-			end := off + per
-			if end > len(mbs) {
-				end = len(mbs)
-			}
-			if err := mpeg2.EncodeSlice(e.w, &params, row, qscale, mbs[off:end]); err != nil {
+	if rows := cfg.RowsPerSlice; rows > 1 {
+		// Tall slices: bundle up to rows consecutive macroblock rows into
+		// one slice. Rows are encoded independently (B-skip chains and the
+		// first/last non-skip rule stay row-local, which remains valid in
+		// the taller slice) and emitted under the first row's startcode.
+		var acc []mpeg2.MB
+		startRow := 0
+		for row := 0; row < cfg.MBHeight(); row++ {
+			mbs, err := pe.encodeRow(row, 1)
+			if err != nil {
 				return err
+			}
+			if len(acc) == 0 {
+				startRow = row
+			}
+			acc = append(acc, mbs...)
+			if row-startRow+1 >= rows || row == cfg.MBHeight()-1 {
+				if err := mpeg2.EncodeSliceSpan(e.w, &params, startRow, qscale, acc); err != nil {
+					return err
+				}
+				acc = acc[:0]
+			}
+		}
+	} else {
+		for row := 0; row < cfg.MBHeight(); row++ {
+			mbs, err := pe.encodeRow(row, slicesPerRow)
+			if err != nil {
+				return err
+			}
+			// Emit the row as one or more slices (all share the row's
+			// startcode; the first macroblock's address increment encodes
+			// each slice's starting column).
+			per := (len(mbs) + slicesPerRow - 1) / slicesPerRow
+			for off := 0; off < len(mbs); off += per {
+				end := off + per
+				if end > len(mbs) {
+					end = len(mbs)
+				}
+				if err := mpeg2.EncodeSlice(e.w, &params, row, qscale, mbs[off:end]); err != nil {
+					return err
+				}
 			}
 		}
 	}

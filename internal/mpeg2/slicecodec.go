@@ -31,6 +31,19 @@ func deriveCBP(blocks *[6][64]int32) int {
 // marked Skipped are encoded as address gaps; the caller must have built
 // them to satisfy the skip semantics (validated here).
 func EncodeSlice(w *bits.Writer, p *PictureParams, row, qscaleCode int, mbs []MB) error {
+	return encodeSliceMBs(w, p, row, qscaleCode, mbs, false)
+}
+
+// EncodeSliceSpan writes one slice whose macroblocks may continue past
+// row into the rows below (the general slice structure of §6.1.2.2):
+// the startcode still names the first row, but addresses only have to
+// stay inside the picture and increase. This is how tall slices — up to
+// one slice per picture — are produced.
+func EncodeSliceSpan(w *bits.Writer, p *PictureParams, row, qscaleCode int, mbs []MB) error {
+	return encodeSliceMBs(w, p, row, qscaleCode, mbs, true)
+}
+
+func encodeSliceMBs(w *bits.Writer, p *PictureParams, row, qscaleCode int, mbs []MB, span bool) error {
 	if err := p.validate(); err != nil {
 		return err
 	}
@@ -57,7 +70,11 @@ func EncodeSlice(w *bits.Writer, p *PictureParams, row, qscaleCode int, mbs []MB
 	prevDir := vlc.MBType{}
 	for i := range mbs {
 		mb := &mbs[i]
-		if mb.Addr/p.MBWidth != row {
+		if span {
+			if mb.Addr/p.MBWidth < row || mb.Addr >= p.MBWidth*p.MBHeight {
+				return fmt.Errorf("mpeg2: macroblock %d outside slice span starting at row %d", mb.Addr, row)
+			}
+		} else if mb.Addr/p.MBWidth != row {
 			return fmt.Errorf("mpeg2: macroblock %d outside slice row %d", mb.Addr, row)
 		}
 		if mb.Addr <= prevAddr {
@@ -253,16 +270,41 @@ func DecodeSlice(r *bits.Reader, p *PictureParams, row int) (DecodedSlice, error
 // macroblocks and for blocks whose CBP bit is set (which decodeBlock
 // zero-fills before writing) — exactly the blocks reconstruction reads.
 func DecodeSliceInto(r *bits.Reader, p *PictureParams, row int, buf []MB) (DecodedSlice, error) {
+	return DecodeSliceBounded(r, p, row, p.MBWidth*p.MBHeight-1, buf)
+}
+
+// DecodeSliceBounded is DecodeSliceInto with an explicit inclusive
+// macroblock address bound. Parallel slice decoders derive the bound
+// from the scanned stream geometry so concurrently decoded slices write
+// disjoint address ranges even on damaged streams; maxAddr may extend
+// past the startcode row for tall (multi-row) slices.
+func DecodeSliceBounded(r *bits.Reader, p *PictureParams, row, maxAddr int, buf []MB) (DecodedSlice, error) {
+	ds, _, err := DecodeSliceHead(r, p, row, maxAddr, 0, nil, buf)
+	return ds, err
+}
+
+// DecodeSliceHead is the general slice decode entry point: the reader
+// must be positioned just after the slice startcode whose value is
+// row+1. Decoding stops cleanly when the bit position reaches endBit
+// (0 decodes to the end of the slice). capture, when non-nil, is called
+// at every coded-macroblock boundary after the first with the bit
+// offset and predictive state there — the hook the split-index builder
+// records row crossings through. The returned SegmentEnd carries the
+// exit state, exit bit offset, and whether the slice's end was reached.
+func DecodeSliceHead(r *bits.Reader, p *PictureParams, row, maxAddr int, endBit int64, capture func(bitOff int64, s SplitState), buf []MB) (DecodedSlice, SegmentEnd, error) {
 	ds := DecodedSlice{Row: row, MBs: buf[:0]}
 	if err := p.validate(); err != nil {
-		return ds, err
+		return ds, SegmentEnd{}, err
 	}
 	if row < 0 || row >= p.MBHeight {
-		return ds, fmt.Errorf("mpeg2: slice row %d outside picture", row)
+		return ds, SegmentEnd{}, fmt.Errorf("mpeg2: slice row %d outside picture", row)
+	}
+	if maxAddr < row*p.MBWidth || maxAddr > p.MBWidth*p.MBHeight-1 {
+		return ds, SegmentEnd{}, fmt.Errorf("mpeg2: slice address bound %d not decodable for row %d", maxAddr, row)
 	}
 	qs := int(r.Read(5))
 	if qs == 0 {
-		return ds, fmt.Errorf("mpeg2: slice quantiser_scale_code 0 is forbidden")
+		return ds, SegmentEnd{}, fmt.Errorf("mpeg2: slice quantiser_scale_code 0 is forbidden")
 	}
 	ds.QScaleCode = qs
 	for r.ReadBit() { // extra_information_slice
@@ -270,25 +312,48 @@ func DecodeSliceInto(r *bits.Reader, p *PictureParams, row int, buf []MB) (Decod
 	}
 	var st sliceState
 	st.init(p, qs)
-	prevAddr := row*p.MBWidth - 1
-	firstMB := true
-	prevDir := vlc.MBType{}
-	maxAddr := p.MBWidth*p.MBHeight - 1
+	run := sliceRun{maxAddr: maxAddr, endBit: endBit, capture: capture}
+	mbs, end, err := decodeSliceRun(r, p, &st, row*p.MBWidth-1, true, vlc.MBType{}, ds.MBs, run)
+	ds.MBs = mbs
+	return ds, end, err
+}
+
+// sliceRun bounds one invocation of the shared macroblock decode loop.
+type sliceRun struct {
+	maxAddr int   // inclusive macroblock address bound
+	endBit  int64 // >0: stop cleanly when the bit position reaches it
+	maxMBs  int   // >0: stop after this many coded macroblocks (probing)
+	capture func(bitOff int64, s SplitState)
+}
+
+// decodeSliceRun is the macroblock loop shared by whole-slice, bounded,
+// and mid-slice segment decodes.
+func decodeSliceRun(r *bits.Reader, p *PictureParams, st *sliceState, prevAddr int, firstMB bool, prevDir vlc.MBType, mbs []MB, run sliceRun) ([]MB, SegmentEnd, error) {
+	coded := 0
 	for {
+		if run.endBit > 0 && r.BitPos() >= run.endBit {
+			return mbs, SegmentEnd{State: snapshotSplit(st, prevAddr, prevDir), BitOff: r.BitPos()}, nil
+		}
+		if run.maxMBs > 0 && coded >= run.maxMBs {
+			return mbs, SegmentEnd{State: snapshotSplit(st, prevAddr, prevDir), BitOff: r.BitPos()}, nil
+		}
+		if run.capture != nil && !firstMB {
+			run.capture(r.BitPos(), snapshotSplit(st, prevAddr, prevDir))
+		}
 		inc, err := vlc.DecodeMBAddrInc(r)
 		if err != nil {
-			return ds, err
+			return mbs, SegmentEnd{}, err
 		}
 		if !firstMB && inc > 1 {
 			// Materialize skipped macroblocks.
 			for k := 1; k < inc; k++ {
 				addr := prevAddr + k
-				if addr > maxAddr {
-					return ds, fmt.Errorf("mpeg2: skipped macroblock address %d overflows picture", addr)
+				if addr > run.maxAddr {
+					return mbs, SegmentEnd{}, fmt.Errorf("mpeg2: skipped macroblock address %d outside slice bounds", addr)
 				}
-				ds.MBs = growMBs(ds.MBs)
-				if err := synthesizeSkip(p, &st, prevDir, addr, &ds.MBs[len(ds.MBs)-1]); err != nil {
-					return ds, err
+				mbs = growMBs(mbs)
+				if err := synthesizeSkip(p, st, prevDir, addr, &mbs[len(mbs)-1]); err != nil {
+					return mbs, SegmentEnd{}, err
 				}
 			}
 			st.resetDC()
@@ -297,25 +362,26 @@ func DecodeSliceInto(r *bits.Reader, p *PictureParams, row int, buf []MB) (Decod
 			}
 		}
 		addr := prevAddr + inc
-		if addr > maxAddr || addr/p.MBWidth != row {
-			return ds, fmt.Errorf("mpeg2: macroblock address %d outside slice row %d", addr, row)
+		if addr > run.maxAddr {
+			return mbs, SegmentEnd{}, fmt.Errorf("mpeg2: macroblock address %d outside slice bounds (max %d)", addr, run.maxAddr)
 		}
-		ds.MBs = growMBs(ds.MBs)
-		mb := &ds.MBs[len(ds.MBs)-1]
+		mbs = growMBs(mbs)
+		mb := &mbs[len(mbs)-1]
 		mb.Addr, mb.QScaleCode = addr, st.qscale
-		if err := decodeMB(r, p, &st, mb); err != nil {
-			return ds, fmt.Errorf("mpeg2: macroblock %d: %w", addr, err)
+		if err := decodeMB(r, p, st, mb); err != nil {
+			return mbs, SegmentEnd{}, fmt.Errorf("mpeg2: macroblock %d: %w", addr, err)
 		}
 		prevAddr = addr
 		firstMB = false
+		coded++
 		prevDir = vlc.MBType{MotionForward: mb.Type.MotionForward, MotionBackward: mb.Type.MotionBackward}
 		if err := r.Err(); err != nil {
-			return ds, err
+			return mbs, SegmentEnd{}, err
 		}
 		// End of slice: 23 zero bits signal byte stuffing + the next
 		// startcode prefix (§6.2.4).
 		if r.Peek(23) == 0 || r.Remaining() == 0 {
-			return ds, nil
+			return mbs, SegmentEnd{State: snapshotSplit(st, prevAddr, prevDir), BitOff: r.BitPos(), AtEnd: true}, nil
 		}
 	}
 }

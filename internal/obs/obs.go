@@ -74,6 +74,18 @@ const (
 	KindPause
 	// KindResume is a paused stream re-admitted to scheduling.
 	KindResume
+
+	// Intra-slice split-decode events (internal/core split path). They
+	// live on worker lanes like KindTask.
+
+	// KindSegment is one completed row-segment task of a split slice —
+	// the intra-slice parallel grain. Pic is the display index; Slice is
+	// the task index within the picture.
+	KindSegment
+	// KindVerify is a split slice's join verdict: Slice carries 1 for a
+	// verify hit (parallel result adopted) and 0 for a miss (sequential
+	// fallback).
+	KindVerify
 )
 
 func (k Kind) String() string {
@@ -102,6 +114,10 @@ func (k Kind) String() string {
 		return "pause"
 	case KindResume:
 		return "resume"
+	case KindSegment:
+		return "segment"
+	case KindVerify:
+		return "verify"
 	}
 	return "unknown"
 }

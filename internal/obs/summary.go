@@ -85,6 +85,12 @@ type Summary struct {
 	BarrierHist Histogram `json:"barrier_hist"`
 	QueueHist   Histogram `json:"queue_hist"`
 
+	// Intra-slice split decode (zero unless a split source was
+	// configured and tall slices were fanned out as row-segments).
+	Segments     int `json:"segments"`
+	VerifyHits   int `json:"verify_hits"`
+	VerifyMisses int `json:"verify_misses"`
+
 	// Pipeline lanes (zero when the batch paths produced the trace).
 	ScanSpans   int           `json:"scan_spans"`
 	ScanTime    time.Duration `json:"scan_ns"`
@@ -123,6 +129,17 @@ func (tl *Timeline) Summary() *Summary {
 			l := workerLoad(e.Lane)
 			l.Busy += d
 			l.Tasks++
+		case KindSegment:
+			l := workerLoad(e.Lane)
+			l.Busy += d
+			l.Tasks++
+			s.Segments++
+		case KindVerify:
+			if e.Slice == 1 {
+				s.VerifyHits++
+			} else {
+				s.VerifyMisses++
+			}
 		case KindWait:
 			workerLoad(e.Lane).QueueWait += d
 			s.QueueHist.add(d)
@@ -188,6 +205,10 @@ func (s *Summary) WriteText(w io.Writer) {
 	fmt.Fprintf(w, "  sync overhead: %.1f%% of accounted worker time\n", 100*s.SyncOverhead)
 	writeHist(w, "barrier waits", s.BarrierHist)
 	writeHist(w, "queue waits", s.QueueHist)
+	if s.Segments > 0 || s.VerifyHits+s.VerifyMisses > 0 {
+		fmt.Fprintf(w, "  split decode: %d segments, %d verify hits, %d misses\n",
+			s.Segments, s.VerifyHits, s.VerifyMisses)
+	}
 	if s.Feeds > 0 || s.ScanSpans > 0 {
 		fmt.Fprintf(w, "  pipeline: %d scan spans (%v), %d feeds (blocked %v), %d displayed\n",
 			s.ScanSpans, s.ScanTime.Round(time.Microsecond),

@@ -175,6 +175,40 @@ func TestMBAddrIncRoundTrip(t *testing.T) {
 	}
 }
 
+// TestValidMBAddrIncPrefix checks the 11-bit prefilter against the
+// ground truth: a lookahead is valid iff decoding it (padded with a
+// terminator) starts with a legal code word.
+func TestValidMBAddrIncPrefix(t *testing.T) {
+	for v := uint32(0); v < 1<<11; v++ {
+		// Ground truth by direct prefix match against table B-1 + escape.
+		want := false
+		for inc := 1; inc <= 33 && !want; inc++ {
+			c := mbaCodes[inc]
+			if v>>(11-uint32(c.Len)) == c.Bits {
+				want = true
+			}
+		}
+		if v>>(11-uint32(mbaEscape.Len)) == mbaEscape.Bits {
+			want = true
+		}
+		if got := ValidMBAddrIncPrefix(v); got != want {
+			t.Fatalf("prefix %011b: got %v want %v", v, got, want)
+		}
+	}
+	// Every encodable increment must pass its own prefilter.
+	for inc := 1; inc <= 100; inc++ {
+		var w bits.Writer
+		if err := EncodeMBAddrInc(&w, inc); err != nil {
+			t.Fatal(err)
+		}
+		w.Put(0x7ff, 11) // padding so Peek has bits
+		r := bits.NewReader(w.Bytes())
+		if !ValidMBAddrIncPrefix(r.Peek(11)) {
+			t.Fatalf("inc %d rejected by its own prefilter", inc)
+		}
+	}
+}
+
 func TestMBAddrIncErrors(t *testing.T) {
 	var w bits.Writer
 	if err := EncodeMBAddrInc(&w, 0); err == nil {

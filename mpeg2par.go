@@ -36,6 +36,7 @@
 package mpeg2par
 
 import (
+	"context"
 	"io"
 
 	"mpeg2par/internal/cachesim"
@@ -49,6 +50,7 @@ import (
 	"mpeg2par/internal/obs"
 	"mpeg2par/internal/simsched"
 	"mpeg2par/internal/stream"
+	"mpeg2par/internal/vldsplit"
 )
 
 // Frame is one decoded picture in planar YCbCr 4:2:0.
@@ -246,6 +248,55 @@ func ScanReader(r io.Reader, chunkSize int) (*StreamMap, error) {
 // and pre-scanned sweeps.
 func DecodeParallel(data []byte, opt Options) (*Stats, error) {
 	return core.Decode(data, opt)
+}
+
+// --- intra-slice split decode ---------------------------------------------------
+
+// Index is a split index: a side channel of verified resynchronization
+// points inside individual slices (bit offset plus the full predictor
+// state at that point), keyed by slice content so it survives stream
+// repackaging. With WithIndex, the parallel decoder fans a single large
+// slice out across the worker pool as independent macroblock-row
+// segments, bit-exact against the sequential decode. Build one with
+// BuildIndex and persist it with MarshalBinary/UnmarshalBinary.
+type Index = vldsplit.Index
+
+// NewIndex returns an empty split index, ready for UnmarshalBinary.
+func NewIndex() *Index { return vldsplit.NewIndex() }
+
+// SplitStats counts intra-slice split-decode activity (Stats.Split):
+// slices fanned out, segments run, entry-state verifications, and
+// sequential fallbacks. Disjoint from ErrorStats — a failed split is
+// re-decoded sequentially, never reported as stream damage.
+type SplitStats = core.SplitStats
+
+// ErrBadOption is wrapped by every option-validation failure across the
+// decode entry points; the message names the offending option. Test
+// with errors.Is(err, ErrBadOption).
+var ErrBadOption = core.ErrBadOption
+
+// BuildIndex scans src and records intra-slice split points for every
+// slice spanning at least two macroblock rows: one sequential
+// entropy-decode pass per slice, capturing the bit offset and predictor
+// state at each row boundary. The returned index feeds WithIndex; it is
+// keyed by slice content, so it remains valid when the same elementary
+// stream is decoded from a different container or offset.
+func BuildIndex(ctx context.Context, src Source) (*Index, error) {
+	data, err := io.ReadAll(src.r)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	m, err := core.Scan(data)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return core.BuildIndexScanned(data, m)
 }
 
 // --- timeline observability ----------------------------------------------------
