@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: verify vet build test race bench perf fuzz faults stream compat trace sched kernels cross service vldsplit apicheck
+.PHONY: verify vet build test race bench perf fuzz faults stream compat trace sched kernels cross service vldsplit deadline apicheck
 
-verify: vet build race bench stream compat trace sched kernels cross service vldsplit apicheck ## full CI gate: vet + build + race tests + bench smoke + streaming race + compat shims + traced decode + scheduler gate + kernel matrix + cross-compile + service gate + split-decode gate + deprecated-API grep
+verify: vet build race bench stream compat trace sched kernels cross service vldsplit deadline apicheck ## full CI gate: vet + build + race tests + bench smoke + streaming race + compat shims + traced decode + scheduler gate + kernel matrix + cross-compile + service gate + split-decode gate + deadline gate + deprecated-API grep
 
 vet:
 	$(GO) vet ./...
@@ -87,6 +87,17 @@ vldsplit:
 	$(GO) test -race -count=1 -run 'TestWithIndexStreaming|TestWithSpeculativeSplitStreaming|TestErrBadOptionPublic' .
 	$(GO) test -count=1 ./internal/vldsplit/
 	$(GO) test -count=1 -run TestVLDSplitExperiment -v ./internal/bench/
+
+# Deadline-aware dispatch gate: EDF ordering and slack-classification
+# units, the cost-model cold-start regressions, the miss/shed
+# disjointness and teardown-accounting tests, the assist and EDF
+# bit-exactness goldens (all under the race detector), and the
+# scaled-down fair-vs-EDF study smoke.
+deadline:
+	$(GO) test -race -count=1 -run 'TestParseDispatch|TestEDFActive|TestClassifySlack|TestSlackHist|TestPickEDFOrdering|TestQueueDelayEffectiveWorkers|TestAccountUndelivered|TestDemandFor|TestSlackShedDisjointFromMisses|TestUndeliveredMissesCountedOnCancel|TestEDFBitExactCleanAndFaulted|TestEDFNoStarvationAtTopRung|TestAssistOnTightSlack' ./internal/server/
+	$(GO) test -race -count=1 -run 'TestCostModelColdStart|TestChooseReasonGatedOnCalibration' ./internal/sched/
+	$(GO) test -race -count=1 -run 'TestAssistIndexedBitExact|TestAssistSpeculativeBitExact|TestAssistPoisonedIndexFallsBack|TestAssistFaultedGolden' ./internal/core/
+	$(GO) test -count=1 -run TestDeadlineExperimentSmoke -v ./internal/bench/
 
 # Deprecated-API grep gate: cmd/ and examples/ must stay on the
 # streaming entry points (Decode/ScanReader); the deprecated wrappers

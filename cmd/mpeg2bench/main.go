@@ -72,6 +72,13 @@ func main() {
 		}
 		return
 	}
+	if *exp == "deadline" {
+		if err := runDeadline(*perfOut, *perfLabel); err != nil {
+			fmt.Fprintf(os.Stderr, "mpeg2bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *sched {
 		if err := runSched(*traceWorkers, *repeat, *jsonOut); err != nil {
 			fmt.Fprintf(os.Stderr, "mpeg2bench: %v\n", err)
@@ -278,6 +285,33 @@ func runVLDSplit(out, label string, workers int) error {
 		return err
 	}
 	fmt.Printf("%s: vldsplit run %q appended (%d runs total)\n", out, label, len(pf.Runs))
+	return nil
+}
+
+// runDeadline executes the EDF-vs-fair deadline study (internal/bench/
+// deadline.go) and appends it to the selected BENCH_<n>.json as a
+// PerfRun with only the Deadline point set. The recorded run enforces
+// the tentpole's acceptance bar: the EDF arm must cut the miss rate at
+// the heaviest load by at least 2x.
+func runDeadline(out, label string) error {
+	if out == "" {
+		out = pickBenchFile(false)
+	}
+	if label == "" {
+		label = "deadline-" + time.Now().UTC().Format("20060102T150405Z")
+	}
+	pt, err := bench.DeadlineStudy(bench.DeadlineConfig{RequireImprovement: 2.0})
+	if pt != nil {
+		pt.WriteText(os.Stdout)
+	}
+	if err != nil {
+		return err
+	}
+	pf, err := bench.AppendPerfRun(out, bench.DeadlineRun(label, pt))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: deadline run %q appended (%d runs total)\n", out, label, len(pf.Runs))
 	return nil
 }
 

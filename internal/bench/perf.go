@@ -141,6 +141,12 @@ type PerfRun struct {
 	// empty, like Service.
 	VLDSplit *VLDSplitPoint `json:"vldsplit,omitempty"`
 
+	// Deadline is the EDF-vs-fair miss-rate study (mpeg2bench -exp
+	// deadline): per-load cells for both dispatch arms plus the headline
+	// fair/EDF miss-rate ratio at the heaviest load. Runs carrying it
+	// leave Points empty, like Service.
+	Deadline *DeadlinePoint `json:"deadline,omitempty"`
+
 	Points []PerfPoint `json:"points"`
 }
 

@@ -38,6 +38,13 @@ type ServiceConfig struct {
 	// slow hosts; on fast ones a small delay keeps the pool saturated so
 	// the run actually exercises the overload machinery.
 	SinkDelay time.Duration
+
+	// Dispatch selects the pool's task ordering (auto / fair / edf); the
+	// zero value is DispatchAuto.
+	Dispatch server.DispatchPolicy
+	// DisableSlackActions freezes the per-frame slack actions (the
+	// baseline arm of the deadline comparison).
+	DisableSlackActions bool
 }
 
 func (c ServiceConfig) withDefaults() ServiceConfig {
@@ -74,9 +81,10 @@ func (c ServiceConfig) withDefaults() ServiceConfig {
 // ServicePoint is one service-load measurement, recorded under
 // PerfRun.Service in BENCH_<n>.json.
 type ServicePoint struct {
-	Workers         int `json:"workers"`
-	Streams         int `json:"streams"`
-	PriorityClasses int `json:"priority_classes"`
+	Workers         int    `json:"workers"`
+	Streams         int    `json:"streams"`
+	PriorityClasses int    `json:"priority_classes"`
+	Dispatch        string `json:"dispatch,omitempty"`
 
 	WallMS              float64 `json:"wall_ms"`
 	AggregatePicsPerSec float64 `json:"aggregate_pics_per_sec"`
@@ -91,6 +99,8 @@ type ServicePoint struct {
 	ShedRefPictures  int   `json:"shed_ref_pictures"`
 	DegradedPictures int   `json:"degraded_pictures"`
 	DeadlineMisses   int64 `json:"deadline_misses"`
+	SlackSheds       int64 `json:"slack_sheds"`
+	Assists          int64 `json:"assists"`
 	Rejected         int64 `json:"rejected"`
 	Pauses           int64 `json:"pauses"`
 	Wedged           int64 `json:"wedged"`
@@ -135,10 +145,12 @@ func ServiceLoad(cfg ServiceConfig) (*ServiceResult, error) {
 	tr := obs.New(0)
 	srv := server.NewServer(server.Config{
 		Workers: cfg.Workers, MaxStreams: cfg.Streams, QueueDepth: cfg.Streams,
-		DefaultDemand: 0.01, // overload on purpose: admit everyone
-		Tick:          5 * time.Millisecond,
-		PauseBase:     10 * time.Millisecond,
-		Obs:           tr,
+		DefaultDemand:       0.01, // overload on purpose: admit everyone
+		Tick:                5 * time.Millisecond,
+		PauseBase:           10 * time.Millisecond,
+		Dispatch:            cfg.Dispatch,
+		DisableSlackActions: cfg.DisableSlackActions,
+		Obs:                 tr,
 	})
 
 	// The ladder is only visible between ticks; sample its high-water
@@ -224,9 +236,12 @@ func ServiceLoad(cfg ServiceConfig) (*ServiceResult, error) {
 	classTP := map[int][]float64{}
 	pt := ServicePoint{
 		Workers: cfg.Workers, Streams: cfg.Streams, PriorityClasses: cfg.PriorityClasses,
+		Dispatch:            cfg.Dispatch.String(),
 		WallMS:              ms(wall),
 		AggregatePicsPerSec: safeRate(float64(totalPics), wall),
 		DeadlineMisses:      m.Misses,
+		SlackSheds:          m.SlackSheds,
+		Assists:             m.Assists,
 		Rejected:            m.Rejected,
 		Pauses:              m.Pauses,
 		Wedged:              m.Wedged,
@@ -297,14 +312,14 @@ func ServiceLoad(cfg ServiceConfig) (*ServiceResult, error) {
 // WriteText renders the load report.
 func (r *ServiceResult) WriteText(w io.Writer) {
 	pt := r.Point
-	fmt.Fprintf(w, "service load: %d streams x %d-class priorities on %d workers\n",
-		pt.Streams, pt.PriorityClasses, pt.Workers)
+	fmt.Fprintf(w, "service load: %d streams x %d-class priorities on %d workers (%s dispatch)\n",
+		pt.Streams, pt.PriorityClasses, pt.Workers, pt.Dispatch)
 	fmt.Fprintf(w, "  wall %.1fms   aggregate %.0f pics/s   frame latency p50 %.2fms p99 %.2fms\n",
 		pt.WallMS, pt.AggregatePicsPerSec, pt.LatencyP50MS, pt.LatencyP99MS)
 	fmt.Fprintf(w, "  fairness max/min within class %.2f   max rung %d\n", pt.FairnessRatio, pt.MaxRung)
-	fmt.Fprintf(w, "  shed: %d B, %d ref, %d degraded   misses %d   rejected %d   pauses %d   wedged %d\n",
-		pt.ShedBPictures, pt.ShedRefPictures, pt.DegradedPictures,
-		pt.DeadlineMisses, pt.Rejected, pt.Pauses, pt.Wedged)
+	fmt.Fprintf(w, "  shed: %d B, %d ref, %d degraded (%d by slack)   misses %d   assists %d   rejected %d   pauses %d   wedged %d\n",
+		pt.ShedBPictures, pt.ShedRefPictures, pt.DegradedPictures, pt.SlackSheds,
+		pt.DeadlineMisses, pt.Assists, pt.Rejected, pt.Pauses, pt.Wedged)
 	fmt.Fprintf(w, "  obs: %s\n", r.TraceNote)
 	if len(r.PerStream) == 0 {
 		return

@@ -64,8 +64,16 @@ type SessionTask struct {
 	off   int   // absolute stream offset, for error messages
 	bytes int64 // compressed size, the cost model's estimate input
 
-	displayBase int // first display index the group occupies
-	shed        int // pictures of this group substituted by shedding
+	displayBase int   // first display index the group occupies
+	shed        int   // pictures of this group substituted by shedding
+	shedIdx     []int // display indices of the substituted pictures
+
+	// assist, when > 1, grants the task that many-way intra-picture
+	// fan-out: Run expands indexed tall slices through the split-decode
+	// chain (verify-or-fallback, so pixels and error fate never change)
+	// instead of decoding them on one worker. Set by the service's
+	// dispatcher for deadline-tight tasks when idle workers exist.
+	assist int
 
 	// policy is the effective resilience the unit was planned under
 	// (the stream's requested policy, floored at ConcealPicture while
@@ -91,6 +99,25 @@ func (t *SessionTask) DisplayBase() int { return t.displayBase }
 // ShedPictures returns how many of the task's pictures were sacrificed
 // to load shedding at plan time.
 func (t *SessionTask) ShedPictures() int { return t.shed }
+
+// ShedDisplays returns the display indices of the task's shed
+// (substituted) pictures — the service's miss accounting excludes them,
+// keeping Stats.Shed disjoint from deadline misses. The slice is owned
+// by the task; callers must not mutate it.
+func (t *SessionTask) ShedDisplays() []int { return t.shedIdx }
+
+// SetAssist grants the task n-way intra-picture fan-out: while it runs,
+// indexed tall slices are decoded as up to n parallel row segments
+// through the split-decode verify-or-fallback chain, spending otherwise
+// idle workers to pull a deadline-tight frame back under budget. Output
+// is unchanged by construction (a failed verify re-decodes
+// sequentially). Takes effect only when the session was built with
+// Options.SplitIndex or SpeculativeSplit; n < 2 disables. Call before
+// handing the task to Run.
+func (t *SessionTask) SetAssist(n int) { t.assist = n }
+
+// Assist returns the granted fan-out width (0 or 1 means none).
+func (t *SessionTask) Assist() int { return t.assist }
 
 // NewSession prepares a session. opt.Workers is the shared pool size
 // (reported in Stats); opt.Resilience is the stream's requested policy
@@ -174,13 +201,26 @@ func (s *Session) start(u *Unit) {
 // (no pictures, or dropped whole by the policy). Feed never blocks; the
 // service's per-stream token gate provides the backpressure.
 func (s *Session) Feed(u Unit) (*SessionTask, error) {
+	return s.FeedShed(u, ShedNone)
+}
+
+// FeedShed is Feed with a per-unit shedding floor: the unit is planned
+// at whichever is higher of the session-wide level (SetShed, the
+// ladder's global knob) and floor. The service's slack predictor uses
+// it to sacrifice a single already-doomed frame's B pictures before the
+// ladder escalates every stream.
+func (s *Session) FeedShed(u Unit, floor ShedLevel) (*SessionTask, error) {
 	if err := s.errs.get(); err != nil {
 		return nil, err
 	}
 	if !s.started {
 		s.start(&u)
 	}
-	s.pb.shed = ShedLevel(s.shed.Load())
+	lvl := ShedLevel(s.shed.Load())
+	if floor > lvl {
+		lvl = floor
+	}
+	s.pb.shed = lvl
 	s.pb.degraded = s.degraded.Load()
 	policy := s.opt.Resilience
 	if s.pb.degraded && policy < ConcealPicture {
@@ -195,11 +235,15 @@ func (s *Session) Feed(u Unit) (*SessionTask, error) {
 		return nil, err
 	}
 	shedNow := s.pb.pl.shed.Total() - preShed.Total()
-	if s.opt.Obs != nil && shedNow > 0 {
+	var shedIdx []int
+	if shedNow > 0 {
 		now := time.Now()
 		for _, p := range ps {
 			if p.shedBy != ShedNone {
-				s.opt.Obs.Record(obs.KindShed, s.lane, now, 0, u.G, p.displayIdx, int(p.shedBy))
+				shedIdx = append(shedIdx, p.displayIdx)
+				if s.opt.Obs != nil {
+					s.opt.Obs.Record(obs.KindShed, s.lane, now, 0, u.G, p.displayIdx, int(p.shedBy))
+				}
 			}
 		}
 	}
@@ -217,6 +261,7 @@ func (s *Session) Feed(u Unit) (*SessionTask, error) {
 		bytes:       int64(len(u.Data)),
 		displayBase: displayBase,
 		shed:        shedNow,
+		shedIdx:     shedIdx,
 		policy:      policy,
 	}, nil
 }
@@ -236,19 +281,31 @@ func (s *Session) Run(t *SessionTask, wi int) error {
 	defer reg.End()
 	var work decoder.WorkStats
 	var es ErrorStats
+	var split SplitStats
 	var scr sliceScratch
 	opt := s.opt
 	opt.Resilience = t.policy
+	assist := 0
+	if t.assist > 1 && (opt.SplitIndex != nil || opt.SpeculativeSplit) {
+		assist = t.assist
+	}
 	for idx := t.first; idx < t.first+t.n; idx++ {
 		p := t.pics[idx]
 		newPlanFrame(s.pool, p)
-		w, pes, err := decodePlanPic(&s.seq, t.pics, idx, wi, opt, &scr)
+		var w decoder.WorkStats
+		var pes ErrorStats
+		var err error
+		if assist > 1 {
+			w, pes, err = decodeAssistPic(&s.seq, t.pics, idx, wi, opt, &scr, assist, &split)
+		} else {
+			w, pes, err = decodePlanPic(&s.seq, t.pics, idx, wi, opt, &scr)
+		}
 		work.Add(w)
 		es.Add(pes)
 		if err != nil {
 			err = fmt.Errorf("core: GOP %d at byte %d: %w", t.g, t.off, err)
 			s.errs.set(err)
-			s.noteTask(t, wi, t1, work, es)
+			s.noteTask(t, wi, t1, work, es, split)
 			return err
 		}
 		for _, ri := range p.holds {
@@ -258,17 +315,18 @@ func (s *Session) Run(t *SessionTask, wi int) error {
 		}
 		s.disp.push(p.frame, p.displayIdx)
 	}
-	s.noteTask(t, wi, t1, work, es)
+	s.noteTask(t, wi, t1, work, es, split)
 	s.opt.Cost.Observe(t.bytes, time.Since(t1))
 	return nil
 }
 
-func (s *Session) noteTask(t *SessionTask, wi int, t1 time.Time, work decoder.WorkStats, es ErrorStats) {
+func (s *Session) noteTask(t *SessionTask, wi int, t1 time.Time, work decoder.WorkStats, es ErrorStats, split SplitStats) {
 	cost := time.Since(t1)
 	s.opt.Obs.Record(obs.KindTask, wi, t1, cost, t.g, -1, -1)
 	s.workMu.Lock()
 	s.st.Work.Add(work)
 	s.st.Errors.Add(es)
+	s.st.Split.Add(split)
 	s.workMu.Unlock()
 }
 

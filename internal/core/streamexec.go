@@ -15,6 +15,7 @@ import (
 	"mpeg2par/internal/mpeg2"
 	"mpeg2par/internal/obs"
 	"mpeg2par/internal/sched"
+	"mpeg2par/internal/vlc"
 )
 
 // Unit is one group of pictures handed from the streaming scanner to the
@@ -31,6 +32,25 @@ type Unit struct {
 	// scan rejects (strict) or ignores (lenient) mid-stream geometry
 	// changes, so every unit of a stream carries the same header.
 	Seq mpeg2.SequenceHeader
+}
+
+// ShedSavings returns the compressed bytes a shed level would avoid
+// decoding from this unit: the B pictures' bytes for ShedB, B plus P
+// bytes for ShedRef (substitution itself costs ~nothing). The service's
+// slack predictor converts it through the cost model into the time a
+// per-frame shed would buy back for an already-doomed unit.
+func (u *Unit) ShedSavings(l ShedLevel) int64 {
+	if l == ShedNone {
+		return 0
+	}
+	var b int64
+	for i := range u.Range.Pictures {
+		p := &u.Range.Pictures[i]
+		if p.Type == vlc.CodingB || (l >= ShedRef && p.Type == vlc.CodingP) {
+			b += int64(p.End - p.Offset)
+		}
+	}
+	return b
 }
 
 // unitState tracks one in-flight unit: its buffered bytes stay charged

@@ -86,6 +86,13 @@ const (
 	// verify hit (parallel result adopted) and 0 for a miss (sequential
 	// fallback).
 	KindVerify
+
+	// KindSlack is a deadline-aware scheduling decision at feed time,
+	// on the stream's lane. Pic carries the predicted slack in
+	// microseconds (signed — durations clamp negatives, coordinates
+	// don't); Slice carries the action taken: 0 none, 1 shed B, 2 shed
+	// refs, 3 split-assist candidate. GOP is the unit's group index.
+	KindSlack
 )
 
 func (k Kind) String() string {
@@ -118,6 +125,8 @@ func (k Kind) String() string {
 		return "segment"
 	case KindVerify:
 		return "verify"
+	case KindSlack:
+		return "slack"
 	}
 	return "unknown"
 }

@@ -66,6 +66,23 @@ func (m *CostModel) Observe(bytes int64, d time.Duration) {
 	}
 }
 
+// calibrationMin is how many observations the model needs before its
+// predictions may be used for control decisions (admission, slack,
+// mode choice). A single observation is dominated by cold-cache and
+// first-allocation noise; three smooths the worst of it while still
+// calibrating within one stream's first GOPs.
+const calibrationMin = 3
+
+// Calibrated reports whether the model has folded in enough
+// observations for Predict to be trusted in control decisions. Callers
+// that multiply or compare against Predict must treat an uncalibrated
+// model as "cost unknown — be conservative", never as "free": Predict
+// returns 0 until the first Observe, and 0 reads as a free task to any
+// naive comparison.
+func (m *CostModel) Calibrated() bool {
+	return m.Observations() >= calibrationMin
+}
+
 // NsPerByte returns the calibrated rate, 0 while uncalibrated.
 func (m *CostModel) NsPerByte() float64 {
 	if m == nil {

@@ -159,8 +159,13 @@ func Choose(g Geometry, maxWorkers int, model *CostModel) Choice {
 	kept := speedup(best.Mode, best.Workers)
 	best.Reason = fmt.Sprintf("%s x%d: predicted speedup %.2fx over %d GOPs / %d pictures",
 		best.Mode, best.Workers, kept, g.GOPs, g.Pictures)
-	if t := model.Predict(g.TotalBytes); t > 0 {
-		best.Reason += fmt.Sprintf(" (~%v sequential)", t.Round(100*time.Microsecond))
+	// Quote an absolute-time estimate only once the model is calibrated:
+	// one noisy observation would phrase a confident-looking but junk
+	// number into the reason string.
+	if model.Calibrated() {
+		if t := model.Predict(g.TotalBytes); t > 0 {
+			best.Reason += fmt.Sprintf(" (~%v sequential)", t.Round(100*time.Microsecond))
+		}
 	}
 	return best
 }

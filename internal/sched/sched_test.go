@@ -2,6 +2,7 @@ package sched
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 	"time"
 )
@@ -196,6 +197,49 @@ func TestChooseReasonUsesModel(t *testing.T) {
 	}
 	if c.Reason == "" {
 		t.Fatal("want a reason mentioning predicted time")
+	}
+}
+
+// TestCostModelColdStart pins the cold-start contract the scheduling
+// and slack layers depend on: a model below the calibration floor
+// reports Calibrated() false and predicts 0 — "cost unknown", which
+// every consumer must treat as "be conservative", never as "free".
+func TestCostModelColdStart(t *testing.T) {
+	var m CostModel
+	for i := 0; i < 3; i++ {
+		if m.Calibrated() {
+			t.Fatalf("calibrated after %d observations, floor is 3", i)
+		}
+		m.Observe(1000, 2*time.Microsecond)
+	}
+	if !m.Calibrated() {
+		t.Fatal("not calibrated after 3 observations")
+	}
+	if m.Predict(1000) == 0 {
+		t.Fatal("calibrated model must predict nonzero for nonzero bytes")
+	}
+	var nilModel *CostModel
+	if nilModel.Calibrated() {
+		t.Fatal("nil model must report uncalibrated")
+	}
+}
+
+// TestChooseReasonGatedOnCalibration: a single noisy observation must
+// not phrase an absolute-time estimate into the reason string — the
+// suffix appears only once the model passes the calibration floor.
+func TestChooseReasonGatedOnCalibration(t *testing.T) {
+	g := Geometry{GOPs: 4, Pictures: 48, TotalBytes: 400_000,
+		GOPBytes: []int64{100_000, 100_000, 100_000, 100_000}}
+	var m CostModel
+	m.Observe(1000, time.Millisecond) // one observation: below the floor
+	if c := Choose(g, 4, &m); strings.Contains(c.Reason, "sequential)") {
+		t.Fatalf("uncalibrated model quoted a time estimate: %q", c.Reason)
+	}
+	for i := 0; i < 3; i++ {
+		m.Observe(1000, time.Millisecond)
+	}
+	if c := Choose(g, 4, &m); !strings.Contains(c.Reason, "sequential)") {
+		t.Fatalf("calibrated model quoted no time estimate: %q", c.Reason)
 	}
 }
 

@@ -81,6 +81,23 @@ type Config struct {
 	// DisableAutoDegrade freezes the ladder; SetDegradation still moves
 	// it manually (deterministic tests).
 	DisableAutoDegrade bool
+	// Dispatch selects the pool's task ordering: DispatchAuto (EDF while
+	// any admitted stream has a frame deadline, weighted fair otherwise),
+	// DispatchFair, or DispatchEDF. See edf.go.
+	Dispatch DispatchPolicy
+	// BestEffortLag is the virtual deadline granted to tasks of streams
+	// without one while EDF is active: enqueue time + BestEffortLag.
+	// Best-effort work thus runs late but keeps flowing. Default 500ms.
+	BestEffortLag time.Duration
+	// StarveWindow bounds how long any queued head task can wait under
+	// EDF before it runs regardless of band or deadline — the aging
+	// guard that keeps the documented no-starvation invariant. Default 2s.
+	StarveWindow time.Duration
+	// DisableSlackActions freezes the slack predictor's per-frame
+	// actions (plan-time shedding and split assist) while leaving the
+	// dispatch order alone — the baseline arm of the deadline benchmarks
+	// and the deterministic-golden switch.
+	DisableSlackActions bool
 	// Cost is the shared byte→time cost model admission and scheduling
 	// calibrate through; nil allocates a fresh one.
 	Cost *sched.CostModel
@@ -133,6 +150,12 @@ func (c *Config) normalize() {
 	if c.PauseMax <= 0 {
 		c.PauseMax = 2 * time.Second
 	}
+	if c.BestEffortLag <= 0 {
+		c.BestEffortLag = 500 * time.Millisecond
+	}
+	if c.StarveWindow <= 0 {
+		c.StarveWindow = 2 * time.Second
+	}
 	if c.Cost == nil {
 		c.Cost = &sched.CostModel{}
 	}
@@ -168,6 +191,10 @@ type Server struct {
 	waiters []*waiter
 	backlog int // queued (not yet running) tasks across all streams
 
+	nDeadline   int           // admitted streams with a frame deadline (EDF trigger)
+	busy        int           // workers currently running a task
+	pendingCost time.Duration // Σ predicted cost of queued tasks (slack input)
+
 	rung     int // degradation ladder position, 0..3
 	lastMove time.Time
 	missEWMA float64
@@ -175,16 +202,18 @@ type Server struct {
 	avgPicBytes float64 // EWMA of compressed bytes per picture (admission input)
 
 	// Monitor-sampled counters (updated from display/worker paths).
-	displays atomic.Int64
-	misses   atomic.Int64
-	seenDisp int64 // monitor's last samples
-	seenMiss int64
-	admitted atomic.Int64
-	rejected atomic.Int64
-	pauses   atomic.Int64
-	wedged   atomic.Int64
-	stopMon  chan struct{}
-	wg       sync.WaitGroup
+	displays   atomic.Int64
+	misses     atomic.Int64
+	seenDisp   int64 // monitor's last samples
+	seenMiss   int64
+	admitted   atomic.Int64
+	rejected   atomic.Int64
+	pauses     atomic.Int64
+	wedged     atomic.Int64
+	slackSheds atomic.Int64 // pictures shed by per-frame slack prediction
+	assists    atomic.Int64 // tasks granted split fan-out at dispatch
+	stopMon    chan struct{}
+	wg         sync.WaitGroup
 }
 
 // NewServer starts the shared pool and the overload monitor.
@@ -242,10 +271,14 @@ func (s *Server) capacity() float64 {
 }
 
 // demandFor estimates one stream's steady-state worker-fraction: for a
-// paced stream with a warm cost model, picture rate × predicted decode
-// time of an average picture; otherwise the configured flat default
-// (optimistic while uncalibrated — degradation catches what admission
-// lets through early on). The estimate is clamped to capacity(): a
+// paced stream with a *calibrated* cost model, picture rate × predicted
+// decode time of an average picture; otherwise the configured flat
+// default. The calibration gate matters: Predict returns 0 until the
+// model has observations, and one observation is cold-start noise — an
+// uncalibrated model must read as "cost unknown, charge the
+// conservative default", never as "free", or the first burst of
+// arrivals is admitted at near-zero demand and lands straight on the
+// degradation ladder. The estimate is clamped to capacity(): a
 // stream that wants more than the whole pool can never be satisfied,
 // and an unclamped demand would park it in the FIFO admission queue
 // forever — blocking every waiter behind it even on an idle pool.
@@ -253,7 +286,7 @@ func (s *Server) capacity() float64 {
 // real time, which the degradation ladder then handles.
 func (s *Server) demandFor(picRate float64) float64 {
 	d := s.cfg.DefaultDemand
-	if picRate > 0 && s.cost.Observations() > 0 && s.avgPicBytes > 0 {
+	if picRate > 0 && s.cost.Calibrated() && s.avgPicBytes > 0 {
 		perPic := s.cost.Predict(int64(s.avgPicBytes))
 		if p := picRate * perPic.Seconds(); p > 0 {
 			d = p
@@ -373,6 +406,9 @@ func (s *Server) releaseSlot(d float64) {
 func (s *Server) register(st *stream) {
 	s.mu.Lock()
 	s.streams[st.id] = st
+	if st.deadline > 0 {
+		s.nDeadline++
+	}
 	applyRung(st, s.rung)
 	s.mu.Unlock()
 	s.admitted.Add(1)
@@ -384,7 +420,16 @@ func (s *Server) unregister(st *stream) {
 	delete(s.streams, st.id)
 	s.demand -= st.demand
 	s.nslots--
+	if st.deadline > 0 {
+		s.nDeadline--
+	}
 	s.backlog -= len(st.pending)
+	for _, tk := range st.pending {
+		s.pendingCost -= tk.cost
+	}
+	if s.pendingCost < 0 {
+		s.pendingCost = 0
+	}
 	st.pending = nil
 	s.wakeWaitersLocked()
 	s.mu.Unlock()
@@ -407,19 +452,25 @@ func (s *Server) notePicBytesLocked(bytes int64, pics int) {
 
 // Metrics is a point-in-time snapshot of the service's gauges.
 type Metrics struct {
-	Workers    int
-	Streams    int   // currently admitted
-	QueuedAdm  int   // admission waiters
-	Backlog    int   // queued decode tasks
-	Rung       int   // degradation ladder position
-	Admitted   int64 // streams admitted since start
-	Rejected   int64 // streams rejected since start
-	Pauses     int64 // rung-3 pause episodes
-	Wedged     int64 // watchdog failures
-	Displayed  int64 // pictures delivered across all streams
-	Misses     int64 // frame-deadline misses across all streams
+	Workers   int
+	Streams   int   // currently admitted
+	QueuedAdm int   // admission waiters
+	Backlog   int   // queued decode tasks
+	Rung      int   // degradation ladder position
+	Admitted  int64 // streams admitted since start
+	Rejected  int64 // streams rejected since start
+	Pauses    int64 // rung-3 pause episodes
+	Wedged    int64 // watchdog failures
+	Displayed int64 // pictures delivered across all streams
+	// Misses counts frame-deadline misses across all streams: frames
+	// delivered late, plus frames fed but never delivered (cancelled or
+	// wedged streams) that were already past deadline at teardown. Shed
+	// frames never count — shedding is a decision, not a miss.
+	Misses     int64
 	MissEWMA   float64
 	DemandUsed float64 // Σ admitted demand, in workers
+	SlackSheds int64   // pictures shed by per-frame slack prediction
+	Assists    int64   // tasks granted split fan-out at dispatch
 }
 
 // Metrics returns a snapshot.
@@ -441,6 +492,8 @@ func (s *Server) Metrics() Metrics {
 	m.Wedged = s.wedged.Load()
 	m.Displayed = s.displays.Load()
 	m.Misses = s.misses.Load()
+	m.SlackSheds = s.slackSheds.Load()
+	m.Assists = s.assists.Load()
 	return m
 }
 

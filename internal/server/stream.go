@@ -12,6 +12,7 @@ import (
 	"mpeg2par/internal/frame"
 	"mpeg2par/internal/obs"
 	scan "mpeg2par/internal/stream"
+	"mpeg2par/internal/vldsplit"
 )
 
 // StreamConfig is one stream's budgets and preferences.
@@ -42,6 +43,11 @@ type StreamConfig struct {
 	PicRate float64
 	// ChunkSize is the scanner's read granularity (0 = default).
 	ChunkSize int
+	// Index, when non-nil, is the stream's intra-slice split index
+	// (vldsplit): with a Deadline set, frames predicted slack-tight may
+	// fan their tall slices out across idle workers (bit-exact by
+	// construction; see edf.go). Without it, slack can only shed.
+	Index *vldsplit.Index
 }
 
 // stream is one admitted stream's server-side state.
@@ -73,10 +79,26 @@ type stream struct {
 	lastProgress atomic.Int64 // UnixNano of last feed/complete/display/resume
 
 	deadline time.Duration
+	index    *vldsplit.Index
 	dmu      sync.Mutex
-	feedAt   map[int]time.Time // display index → fed time
+	feedAt   map[int]feedMark // display index → feed-time facts
 	lats     []time.Duration
 	misses   int
+	predHist SlackHist // predicted slack at feed (deadline streams)
+	actHist  SlackHist // actual slack at delivery (deadline − latency)
+	slackShd int       // pictures shed by slack prediction (subset of Stats.Shed)
+}
+
+// feedMark is what the miss accounting remembers about one fed frame:
+// when it was fed, what slack the predictor expected (when the model
+// was calibrated), and whether the frame was shed at plan time — shed
+// frames are a degradation decision, never a deadline miss, which is
+// what keeps Stats.Shed and the miss counters disjoint.
+type feedMark struct {
+	at    time.Time
+	pred  time.Duration
+	known bool
+	shed  bool
 }
 
 const maxLatencySamples = 1 << 16
@@ -96,16 +118,33 @@ func (st *stream) touch() { st.lastProgress.Store(time.Now().UnixNano()) }
 
 func (st *stream) progress() time.Time { return time.Unix(0, st.lastProgress.Load()) }
 
-// noteFed stamps the fed time of each display slot a task covers.
-func (st *stream) noteFed(t *core.SessionTask, now time.Time) {
+// noteFed stamps the feed-time facts of each display slot a task
+// covers: fed time, the predictor's slack verdict, and which slots were
+// shed at plan time (excluded from miss accounting).
+func (st *stream) noteFed(t *core.SessionTask, now time.Time, pred time.Duration, known bool) {
+	shed := t.ShedDisplays()
 	st.dmu.Lock()
 	for i := 0; i < t.Pictures(); i++ {
-		st.feedAt[t.DisplayBase()+i] = now
+		idx := t.DisplayBase() + i
+		fm := feedMark{at: now, pred: pred, known: known}
+		for _, si := range shed {
+			if si == idx {
+				fm.shed = true
+				break
+			}
+		}
+		st.feedAt[idx] = fm
+		if st.deadline > 0 && known {
+			st.predHist.Add(pred)
+		}
 	}
 	st.dmu.Unlock()
 }
 
-// noteDisplayed closes one frame's latency sample on delivery.
+// noteDisplayed closes one frame's latency sample on delivery. A late
+// shed frame is not a miss: its substitution was the ladder's (or the
+// slack predictor's) decision, and double-counting it as a miss would
+// let one overload event feed the miss EWMA twice.
 func (st *stream) noteDisplayed(idx int) {
 	now := time.Now()
 	st.touch()
@@ -113,14 +152,41 @@ func (st *stream) noteDisplayed(idx int) {
 	st.dmu.Lock()
 	if fed, ok := st.feedAt[idx]; ok {
 		delete(st.feedAt, idx)
-		lat := now.Sub(fed)
+		lat := now.Sub(fed.at)
 		if len(st.lats) < maxLatencySamples {
 			st.lats = append(st.lats, lat)
 		}
-		if st.deadline > 0 && lat > st.deadline {
+		if st.deadline > 0 {
+			st.actHist.Add(st.deadline - lat)
+			if lat > st.deadline && !fed.shed {
+				st.misses++
+				st.srv.misses.Add(1)
+			}
+		}
+	}
+	st.dmu.Unlock()
+}
+
+// accountUndelivered settles the frames still marked fed at teardown —
+// shed, abandoned on cancel, or stuck behind a wedge — which the
+// delivery path never saw. Any non-shed frame already past its deadline
+// counts as a miss; frames whose budget had not yet expired don't (the
+// stream ended before the verdict was due). This is the other half of
+// the undercount fix: a cancelled or wedged stream used to vanish from
+// the miss statistics entirely, making overload look healthier the
+// harder it failed.
+func (st *stream) accountUndelivered() {
+	if st.deadline <= 0 {
+		return
+	}
+	now := time.Now()
+	st.dmu.Lock()
+	for idx, fed := range st.feedAt {
+		if !fed.shed && now.Sub(fed.at) > st.deadline {
 			st.misses++
 			st.srv.misses.Add(1)
 		}
+		delete(st.feedAt, idx)
 	}
 	st.dmu.Unlock()
 }
@@ -135,6 +201,7 @@ func (st *stream) complete(t *core.SessionTask, err error) {
 	s := st.srv
 	s.mu.Lock()
 	st.inFlight--
+	s.busy--
 	st.mustServe = false // the post-resume service window has been honored
 	st.served += float64(t.Pictures())
 	s.notePicBytesLocked(t.Bytes(), t.Pictures())
@@ -154,12 +221,26 @@ type StreamStats struct {
 	Stats *core.Stats
 	// QueueWait is the time spent in the admission queue.
 	QueueWait time.Duration
-	// DeadlineMisses counts frames delivered after the deadline.
+	// DeadlineMisses counts frames delivered after the deadline, plus
+	// fed-but-undelivered frames already past deadline at teardown.
+	// Shed frames are excluded — Stats.Shed stays disjoint from misses.
 	DeadlineMisses int
 	// Latencies holds raw feed→delivery samples (capped at 65536).
 	Latencies []time.Duration
 	// Paused counts rung-3 pause episodes the stream went through.
 	Paused int
+	// PredictedSlack histograms the slack predictor's feed-time verdicts
+	// (deadline − estimated queue delay − predicted cost), one sample
+	// per fed frame while the cost model was calibrated. Empty for
+	// best-effort streams.
+	PredictedSlack SlackHist
+	// ActualSlack histograms the delivered outcome (deadline − observed
+	// latency) for every delivered frame of a deadline stream. Compare
+	// against PredictedSlack to judge the predictor.
+	ActualSlack SlackHist
+	// SlackShedPictures counts pictures shed by the per-frame slack
+	// predictor (a subset of Stats.Shed, which also counts ladder sheds).
+	SlackShedPictures int
 }
 
 // LatencyP50 returns the median frame latency (0 with no samples).
@@ -219,7 +300,8 @@ func (s *Server) Decode(ctx context.Context, r io.Reader, cfg StreamConfig) (*St
 		srv:      s,
 		failCh:   make(chan struct{}),
 		deadline: cfg.Deadline,
-		feedAt:   make(map[int]time.Time),
+		index:    cfg.Index,
+		feedAt:   make(map[int]feedMark),
 	}
 	maxInFlight := cfg.MaxInFlight
 	if maxInFlight <= 0 {
@@ -233,6 +315,7 @@ func (s *Server) Decode(ctx context.Context, r io.Reader, cfg StreamConfig) (*St
 		Resilience: cfg.Resilience,
 		Obs:        s.obs,
 		Cost:       s.cost,
+		SplitIndex: cfg.Index,
 		Sink: func(f *frame.Frame) {
 			st.noteDisplayed(f.DisplayIndex)
 			if sink != nil {
@@ -286,7 +369,15 @@ func (s *Server) Decode(ctx context.Context, r io.Reader, cfg StreamConfig) (*St
 				}
 			}
 		}
-		t, err := st.sess.Feed(u)
+		// Price the unit before planning it: a negative-slack frame sheds
+		// at plan time (this frame only — the ladder stays where it is),
+		// a tight one becomes an assist candidate for dispatch.
+		sp := s.planSlack(st, &u)
+		if sp.known {
+			s.obs.Record(obs.KindSlack, st.lane, time.Now(), 0, u.G, int(sp.pred/time.Microsecond), sp.action)
+		}
+		ladder := st.sess.ShedLevel()
+		t, err := st.sess.FeedShed(u, sp.floor)
 		if err != nil {
 			<-st.tokens
 			return err
@@ -295,13 +386,24 @@ func (s *Server) Decode(ctx context.Context, r io.Reader, cfg StreamConfig) (*St
 			<-st.tokens
 			return nil
 		}
+		if sp.floor > ladder && t.ShedPictures() > 0 {
+			st.dmu.Lock()
+			st.slackShd += t.ShedPictures()
+			st.dmu.Unlock()
+			s.slackSheds.Add(int64(t.ShedPictures()))
+		}
 		if interval > 0 {
 			due = due.Add(time.Duration(t.Pictures()) * interval)
 		}
-		st.noteFed(t, time.Now())
+		now := time.Now()
+		st.noteFed(t, now, sp.pred, sp.known)
 		st.touch()
 		st.wgTasks.Add(1)
-		s.enqueue(st, t)
+		tk := &task{st: st, t: t, enq: now, cost: sp.cost, tight: sp.tight}
+		if st.deadline > 0 {
+			tk.deadline = now.Add(st.deadline)
+		}
+		s.enqueue(tk)
 		return nil
 	}
 
@@ -314,6 +416,7 @@ func (s *Server) Decode(ctx context.Context, r io.Reader, cfg StreamConfig) (*St
 	}
 	st.wgTasks.Wait()
 	s.unregister(st)
+	st.accountUndelivered()
 
 	stats, derr := sess.Finish(scanErr)
 	stats.ScanTime = scanDur
@@ -324,6 +427,9 @@ func (s *Server) Decode(ctx context.Context, r io.Reader, cfg StreamConfig) (*St
 	ss.Stats = stats
 	ss.DeadlineMisses = st.misses
 	ss.Latencies = st.lats
+	ss.PredictedSlack = st.predHist
+	ss.ActualSlack = st.actHist
+	ss.SlackShedPictures = st.slackShd
 	st.dmu.Unlock()
 	s.mu.Lock()
 	ss.Paused = st.pausedCount

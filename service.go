@@ -42,6 +42,14 @@ type ServerConfig struct {
 	// DisableAutoDegrade freezes the graceful-degradation ladder;
 	// Server.SetDegradation still moves it manually.
 	DisableAutoDegrade bool
+	// Dispatch selects the pool's task ordering: DispatchAuto (the
+	// default) runs earliest-deadline-first while any admitted stream
+	// has a frame deadline and weighted fair otherwise; DispatchFair
+	// and DispatchEDF force one order. Under EDF, predicted slack from
+	// the calibrated cost model also sheds already-doomed frames at
+	// plan time and fans deadline-tight indexed frames out across idle
+	// workers — both bit-exact for surviving frames.
+	Dispatch DispatchPolicy
 	// Trace, when non-nil, records the service's scheduling events:
 	// task spans on worker lanes, and admission, shed, degradation,
 	// pause and display events on one lane per stream.
@@ -50,6 +58,27 @@ type ServerConfig struct {
 
 // ServiceMetrics is a point-in-time snapshot of a Server's gauges.
 type ServiceMetrics = server.Metrics
+
+// DispatchPolicy selects the shared pool's task ordering (see
+// ServerConfig.Dispatch).
+type DispatchPolicy = server.DispatchPolicy
+
+// Dispatch policies.
+const (
+	// DispatchAuto: EDF while any admitted stream has a deadline,
+	// weighted fair otherwise.
+	DispatchAuto = server.DispatchAuto
+	// DispatchFair: always weighted fair by priority.
+	DispatchFair = server.DispatchFair
+	// DispatchEDF: always earliest-effective-deadline-first (best-effort
+	// streams age under a virtual deadline).
+	DispatchEDF = server.DispatchEDF
+)
+
+// SlackHist is a fixed-bucket histogram of deadline slack; StreamStats
+// carries one of predicted (feed-time) and one of actual (delivery)
+// slack for every deadline-bearing stream.
+type SlackHist = server.SlackHist
 
 // StreamStats reports one stream served by a Server: the decode-side
 // Stats (including Stats.Shed, the load-shedding accounting kept
@@ -115,6 +144,15 @@ func WithStreamChunkSize(n int) StreamOption {
 	return func(c *server.StreamConfig) { c.ChunkSize = n }
 }
 
+// WithStreamIndex attaches the stream's intra-slice split index (built
+// by BuildIndex, or NewIndex plus a deserialized payload). Combined with
+// WithFrameDeadline, frames the slack predictor judges tight may fan
+// their tall slices out across idle pool workers through the
+// verify-or-fallback split chain — identical output, lower latency.
+func WithStreamIndex(ix *Index) StreamOption {
+	return func(c *server.StreamConfig) { c.Index = ix }
+}
+
 // Server is the multi-stream decode service: N concurrent streams
 // multiplexed onto one shared worker pool, with admission control from
 // the calibrated cost model, per-stream budgets (priority, frame
@@ -135,6 +173,7 @@ func NewServer(cfg ServerConfig) *Server {
 		TargetUtilization:  cfg.TargetUtilization,
 		Watchdog:           cfg.Watchdog,
 		DisableAutoDegrade: cfg.DisableAutoDegrade,
+		Dispatch:           cfg.Dispatch,
 		Obs:                cfg.Trace,
 	})}
 }
